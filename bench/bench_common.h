@@ -1,0 +1,140 @@
+// Shared helpers for the benchmark binaries.
+//
+// Chapter-5 benchmarks report operations per *simulated* second (the
+// discrete-event clock makes them deterministic and hardware-independent);
+// Chapter-2 benchmarks report measured wall-clock ratios.  Each binary
+// prints the rows of the paper table/figure it regenerates, alongside the
+// paper's reported values where applicable.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "middleware/cluster.h"
+#include "scenarios/evalapp.h"
+
+namespace dedisys::bench {
+
+// ---------------------------------------------------------------------------
+// Table printing
+// ---------------------------------------------------------------------------
+
+inline void print_title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_header(const std::vector<std::string>& columns) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::printf(i == 0 ? "%-34s" : "%16s", columns[i].c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::printf(i == 0 ? "%-34s" : "%16s", i == 0 ? "----" : "----");
+  }
+  std::printf("\n");
+}
+
+inline void print_row(const std::string& label,
+                      const std::vector<double>& values,
+                      const char* fmt = "%16.1f") {
+  std::printf("%-34s", label.c_str());
+  for (double v : values) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+inline void print_row_text(const std::string& label,
+                           const std::vector<std::string>& values) {
+  std::printf("%-34s", label.c_str());
+  for (const auto& v : values) std::printf("%16s", v.c_str());
+  std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// Simulated-time throughput measurement
+// ---------------------------------------------------------------------------
+
+/// Runs `op` `count` times and returns operations per simulated second.
+inline double ops_per_sim_second(Cluster& cluster, std::size_t count,
+                                 const std::function<void(std::size_t)>& op) {
+  const SimTime start = cluster.clock().now();
+  for (std::size_t i = 0; i < count; ++i) op(i);
+  const SimTime elapsed = cluster.clock().now() - start;
+  if (elapsed <= 0) return 0;
+  return static_cast<double>(count) * 1e6 / static_cast<double>(elapsed);
+}
+
+// ---------------------------------------------------------------------------
+// The Section-5.1 DedisysTest workload
+// ---------------------------------------------------------------------------
+
+struct Workload {
+  /// Ops/s creating `n` entities (one transaction each).
+  static double create(Cluster& c, std::size_t node, std::size_t n,
+                       std::vector<ObjectId>& out) {
+    DedisysNode& nd = c.node(node);
+    const SimTime start = c.clock().now();
+    for (std::size_t i = 0; i < n; ++i) {
+      TxScope tx(nd.tx());
+      out.push_back(nd.create(tx.id(), "TestEntity"));
+      tx.commit();
+    }
+    return static_cast<double>(n) * 1e6 /
+           static_cast<double>(c.clock().now() - start);
+  }
+
+  /// Ops/s invoking `method` round-robin over `ids` (averaged over
+  /// same-object and different-object access as in Section 5.1).
+  static double invoke(Cluster& c, std::size_t node, std::size_t n,
+                       const std::vector<ObjectId>& ids,
+                       const std::string& method,
+                       std::vector<Value> args = {},
+                       NegotiationHandler* handler = nullptr) {
+    DedisysNode& nd = c.node(node);
+    const SimTime start = c.clock().now();
+    for (std::size_t i = 0; i < n; ++i) {
+      const ObjectId target = ids[i % ids.size()];
+      try {
+        TxScope tx(nd.tx());
+        if (handler != nullptr) {
+          nd.ccmgr().register_negotiation_handler(
+              tx.id(), std::shared_ptr<NegotiationHandler>(handler,
+                                                           [](auto*) {}));
+        }
+        nd.invoke(tx.id(), target, method, args);
+        tx.commit();
+      } catch (const DedisysError&) {
+        // violations/rejections still count as attempted operations
+      }
+    }
+    return static_cast<double>(n) * 1e6 /
+           static_cast<double>(c.clock().now() - start);
+  }
+
+  /// Ops/s deleting the given entities.
+  static double destroy(Cluster& c, std::size_t node,
+                        const std::vector<ObjectId>& ids) {
+    DedisysNode& nd = c.node(node);
+    const SimTime start = c.clock().now();
+    for (ObjectId id : ids) {
+      TxScope tx(nd.tx());
+      nd.destroy(tx.id(), id);
+      tx.commit();
+    }
+    return static_cast<double>(ids.size()) * 1e6 /
+           static_cast<double>(c.clock().now() - start);
+  }
+};
+
+/// Builds a cluster with the evaluation application deployed.
+inline std::unique_ptr<Cluster> make_eval_cluster(ClusterConfig cfg) {
+  auto cluster = std::make_unique<Cluster>(cfg);
+  scenarios::EvalApp::define_classes(cluster->classes());
+  if (cfg.with_ccm) {
+    scenarios::EvalApp::register_constraints(cluster->constraints());
+  }
+  return cluster;
+}
+
+}  // namespace dedisys::bench

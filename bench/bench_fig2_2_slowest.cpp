@@ -1,0 +1,39 @@
+// Figure 2.2 — Slowest constraint-validation approaches (wall-clock).
+//
+// Shape to hold: the naive (per-invocation linear search) repository
+// approaches are several times slower than the optimized ones; JML-style
+// generated assertion machinery lands in the same band; tool-generated
+// interpreted OCL validation is catastrophically slower than everything
+// else (paper: ~406x handcrafted).
+#include <cstdio>
+
+#include "validation/harness.h"
+
+int main() {
+  using namespace dedisys::validation;
+  std::printf("\n=== Figure 2.2 — slowest approaches (overhead vs handcrafted) ===\n");
+  const double base = measure_approach(Approach::Handcrafted);
+
+  struct Entry {
+    Approach approach;
+    double paper;
+  };
+  const Entry entries[] = {
+      {Approach::ProxyRepo, 48.03}, {Approach::JmlStyle, 61.37},
+      {Approach::AspectRepo, 70.71}, {Approach::AopRepo, 103.17},
+      {Approach::DresdenOcl, 405.71},
+  };
+
+  std::printf("%-24s%14s%12s%12s\n", "approach", "ns/run", "measured",
+              "paper");
+  for (const Entry& e : entries) {
+    const double t = measure_approach(e.approach);
+    std::printf("%-24s%14.0f%11.2fx%11.2fx\n", to_string(e.approach).c_str(),
+                t, t / base, e.paper);
+  }
+  std::printf(
+      "\nKnown deviation: in the paper JBoss-AOP-naive was the slowest\n"
+      "interceptor (attributed to JVM byte-code modification artifacts);\n"
+      "without a JVM the three naive variants land close together here.\n");
+  return 0;
+}

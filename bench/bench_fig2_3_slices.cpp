@@ -1,0 +1,44 @@
+// Figure 2.3 — Runtime slices of the repository-based approaches.
+//
+// Decomposes the total runtime of each interception mechanism into the
+// paper's five slices: R1 application, R2 interception, R3 parameter
+// extraction, R4 constraint search (optimized repository), R5 constraint
+// checks — measured by differencing the staged pipeline runs.
+#include <cstdio>
+
+#include "validation/harness.h"
+
+int main() {
+  using namespace dedisys::validation;
+  std::printf("\n=== Figure 2.3 — runtime slices per mechanism (ns/run, opt repo) ===\n");
+
+  const double r1 = measure_approach(Approach::NoChecks);
+  struct Entry {
+    MechKind mech;
+    const char* name;
+  };
+  const Entry entries[] = {
+      {MechKind::Aspect, "AspectJ"},
+      {MechKind::Aop, "JBoss AOP"},
+      {MechKind::Proxy, "Java-Proxy"},
+  };
+
+  std::printf("%-12s%12s%12s%12s%12s%12s%12s\n", "mechanism", "R1", "R2",
+              "R3", "R4", "R5", "total");
+  for (const Entry& e : entries) {
+    const double r12 =
+        measure_repo_staged(e.mech, true, RepoStage::InterceptOnly);
+    const double r123 = measure_repo_staged(e.mech, true, RepoStage::Extract);
+    const double r1234 = measure_repo_staged(e.mech, true, RepoStage::Search);
+    const double total = measure_repo_staged(e.mech, true, RepoStage::Check);
+    std::printf("%-12s%12.0f%12.0f%12.0f%12.0f%12.0f%12.0f\n", e.name, r1,
+                r12 - r1, r123 - r12, r1234 - r123, total - r1234, total);
+  }
+  std::printf(
+      "\nShape to hold: R2 is largest for the proxy (reflective dispatch)\n"
+      "and smallest for AspectJ; R3 dominates AspectJ (reflective Method\n"
+      "lookup).  R4 — the price of runtime flexibility — uses the optimized\n"
+      "repository here; its naive variant dwarfs every other slice\n"
+      "(Fig. 2.4).  R5 is the same explicit-constraint machinery for all.\n");
+  return 0;
+}

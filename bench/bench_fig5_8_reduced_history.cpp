@@ -1,0 +1,55 @@
+// Figure 5.8 — Improvements through reduced consistency threat history
+// (Section 5.5.1).
+//
+// Five iterations of 200 degraded-mode operations on 200 objects, each
+// producing a threat.  Under "identical threats only once" the first
+// iteration persists the threats and the following iterations only pay a
+// duplicate-detecting read; the full-history policy persists (and
+// replicates) every occurrence.  Paper: ~4 ops/s (full) vs ~15 ops/s
+// (identical-once) from iteration 2 on.
+#include "bench/bench_common.h"
+
+namespace dedisys::bench {
+namespace {
+
+std::vector<double> run(dedisys::ThreatHistoryPolicy policy) {
+  using namespace dedisys;
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.threat_policy = policy;
+  auto cluster = make_eval_cluster(cfg);
+
+  constexpr std::size_t kObjects = 200;
+  std::vector<ObjectId> ids;
+  (void)Workload::create(*cluster, 0, kObjects, ids);
+  cluster->split({{0, 1}, {2}});
+
+  scenarios::AcceptAllNegotiation accept_all;
+  std::vector<double> per_iteration;
+  for (int iter = 0; iter < 5; ++iter) {
+    per_iteration.push_back(Workload::invoke(*cluster, 0, kObjects, ids,
+                                             "emptyThreat", {}, &accept_all));
+  }
+  return per_iteration;
+}
+
+}  // namespace
+}  // namespace dedisys::bench
+
+int main() {
+  using namespace dedisys::bench;
+  print_title("Figure 5.8 — identical-threat improvement (ops/sim-s)");
+
+  const auto full = run(dedisys::ThreatHistoryPolicy::FullHistory);
+  const auto once = run(dedisys::ThreatHistoryPolicy::IdenticalOnce);
+
+  print_header({"iteration", "full history", "identical once", "speedup"});
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    print_row("Iteration " + std::to_string(i + 1),
+              {full[i], once[i], once[i] / full[i]}, "%16.2f");
+  }
+  std::printf(
+      "\nShape to hold: from iteration 2 on, identical-once clearly beats\n"
+      "full history (paper: ~15 vs ~4 ops/s).\n");
+  return 0;
+}

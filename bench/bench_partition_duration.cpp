@@ -1,0 +1,85 @@
+// Partition-duration sweep — "the effort required for reconciliation ...
+// is most probably only worth its costs in the case of longer lasting
+// partitions" (Section 5.2).
+//
+// For increasing degraded-period lengths, compares the availability gain
+// of the balancing approach (extra operations committed vs. the blocking
+// primary-backup baseline) against the reconciliation bill.  Shape to
+// hold: the reconciliation cost per gained operation FALLS as partitions
+// last longer (identical threats amortize; the fixed reconciliation
+// machinery is paid once), so longer partitions make the approach
+// worthwhile.
+#include "bench/bench_common.h"
+
+namespace dedisys::bench {
+namespace {
+
+struct Sweep {
+  std::size_t degraded_ops;
+  std::size_t gained_ops = 0;        // committed ops PB would have lost
+  double reconciliation_ms = 0;      // simulated milliseconds
+  double cost_per_gained_op_ms = 0;
+};
+
+Sweep run(std::size_t degraded_ops) {
+  using namespace dedisys;
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  auto cluster = make_eval_cluster(cfg);
+  constexpr std::size_t kObjects = 50;
+  std::vector<ObjectId> ids;
+  (void)Workload::create(*cluster, 0, kObjects, ids);
+
+  cluster->split({{0, 1}, {2}});
+  scenarios::AcceptAllNegotiation accept_all;
+  Sweep out;
+  out.degraded_ops = degraded_ops;
+  DedisysNode& minority = cluster->node(2);
+  for (std::size_t i = 0; i < degraded_ops; ++i) {
+    // Operations in the minority partition: primary-backup would block
+    // every one of them; the balancing approach commits them as threats.
+    const ObjectId target = ids[i % ids.size()];
+    try {
+      TxScope tx(minority.tx());
+      minority.ccmgr().register_negotiation_handler(
+          tx.id(),
+          std::shared_ptr<NegotiationHandler>(&accept_all, [](auto*) {}));
+      minority.invoke(tx.id(), target, "emptyThreat");
+      tx.commit();
+      ++out.gained_ops;
+    } catch (const DedisysError&) {
+    }
+  }
+
+  cluster->heal();
+  const SimTime t0 = cluster->clock().now();
+  (void)cluster->reconcile();
+  out.reconciliation_ms =
+      static_cast<double>(cluster->clock().now() - t0) / 1000.0;
+  out.cost_per_gained_op_ms =
+      out.gained_ops > 0 ? out.reconciliation_ms / out.gained_ops : 0;
+  return out;
+}
+
+}  // namespace
+}  // namespace dedisys::bench
+
+int main() {
+  using namespace dedisys::bench;
+  print_title("Partition-duration sweep — when reconciliation pays off");
+  print_header({"degraded ops", "gained ops", "reconcile ms",
+                "ms / gained op"});
+  for (std::size_t ops : {10u, 50u, 200u, 800u}) {
+    const Sweep s = run(ops);
+    print_row(std::to_string(s.degraded_ops),
+              {double(s.gained_ops), s.reconciliation_ms,
+               s.cost_per_gained_op_ms},
+              "%16.2f");
+  }
+  std::printf(
+      "\nShape to hold: the per-operation reconciliation cost decreases as\n"
+      "the degraded period grows (identical threats amortize), matching the\n"
+      "paper's conclusion that the approach pays off for longer-lasting\n"
+      "partitions.\n");
+  return 0;
+}

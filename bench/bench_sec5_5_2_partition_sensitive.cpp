@@ -1,0 +1,107 @@
+// Section 5.5.2 — Partition-sensitive constraints.
+//
+// Flight booking with 80 seats, 40 sold before the partition.  Both
+// partitions keep selling during degradation.  Shape to hold: with the
+// plain ticket-constraint, the merged system is overbooked and needs
+// reconciliation work; with the partition-sensitive constraint the
+// weighted quotas prevent (nearly all) inconsistencies, at the price of a
+// partition possibly running out of its quota (reduced availability).
+#include "bench/bench_common.h"
+#include "scenarios/flight.h"
+#include "util/rng.h"
+
+namespace dedisys::bench {
+namespace {
+
+struct Outcome {
+  std::int64_t sold_during_degradation = 0;  ///< availability
+  std::int64_t rejected_sales = 0;
+  std::int64_t overbooked_after_merge = 0;   ///< inconsistency
+  std::size_t reconciliation_violations = 0;
+};
+
+Outcome run(bool partition_sensitive, std::uint64_t seed) {
+  using namespace dedisys;
+  using scenarios::FlightBooking;
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  Cluster cluster(cfg);
+  FlightBooking::define_classes(cluster.classes());
+  FlightBooking::register_constraints(cluster.constraints(),
+                                      partition_sensitive,
+                                      SatisfactionDegree::PossiblySatisfied);
+
+  DedisysNode& n0 = cluster.node(0);
+  const ObjectId flight = FlightBooking::create_flight(n0, 80);
+  FlightBooking::sell(n0, flight, 40);
+  cluster.split({{0, 1}, {2, 3}});
+
+  Outcome out;
+  Rng rng(seed);
+  for (int i = 0; i < 60; ++i) {
+    DedisysNode& node = cluster.node(rng.chance(0.5) ? 0 : 2);
+    const std::int64_t count = rng.between(1, 3);
+    try {
+      FlightBooking::sell(node, flight, count);
+      out.sold_during_degradation += count;
+    } catch (const DedisysError&) {
+      ++out.rejected_sales;
+    }
+  }
+
+  cluster.heal();
+  class AdditiveMerge final : public ReplicaConsistencyHandler {
+   public:
+    EntitySnapshot reconcile_replicas(
+        ObjectId, const std::vector<EntitySnapshot>& c) override {
+      std::int64_t total = 40;
+      std::uint64_t maxv = 0;
+      for (const auto& s : c) {
+        total += as_int(s.attributes.at("soldTickets")) - 40;
+        maxv = std::max(maxv, s.version);
+      }
+      EntitySnapshot outsnap = c.front();
+      outsnap.attributes["soldTickets"] = Value{total};
+      outsnap.version = maxv + 1;
+      return outsnap;
+    }
+  } merge;
+  const auto report = cluster.reconcile(&merge);
+  out.reconciliation_violations = report.constraints.violations;
+  const std::int64_t total_sold = FlightBooking::sold(n0, flight);
+  out.overbooked_after_merge = std::max<std::int64_t>(0, total_sold - 80);
+  return out;
+}
+
+}  // namespace
+}  // namespace dedisys::bench
+
+int main() {
+  using namespace dedisys::bench;
+  print_title("Section 5.5.2 — partition-sensitive ticket constraint");
+  print_header({"configuration", "sold degr.", "rejected", "overbooked",
+                "recon.viol."});
+
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Outcome plain = run(false, seed);
+    const Outcome sensitive = run(true, seed);
+    print_row("plain constraint (seed " + std::to_string(seed) + ")",
+              {double(plain.sold_during_degradation),
+               double(plain.rejected_sales),
+               double(plain.overbooked_after_merge),
+               double(plain.reconciliation_violations)},
+              "%16.0f");
+    print_row("partition-sensitive (seed " + std::to_string(seed) + ")",
+              {double(sensitive.sold_during_degradation),
+               double(sensitive.rejected_sales),
+               double(sensitive.overbooked_after_merge),
+               double(sensitive.reconciliation_violations)},
+              "%16.0f");
+  }
+  std::printf(
+      "\nShape to hold: the partition-sensitive variant introduces no\n"
+      "overbooking (paper: \"almost no inconsistencies\") while the plain\n"
+      "constraint overbooks and must reconcile; the price is reduced\n"
+      "availability (rejected sales) once a partition's quota is used up.\n");
+  return 0;
+}

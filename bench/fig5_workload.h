@@ -1,0 +1,75 @@
+// The full Section-5.1 operation suite shared by the Fig. 5.2/5.3/5.4
+// benchmarks: create, setter, getter, empty, satisfied/violated
+// constraints, accepted threats (good case = identical threats on one
+// object; bad case = distinct threats on many objects), delete.
+#pragma once
+
+#include "bench/bench_common.h"
+
+namespace dedisys::bench {
+
+struct FullRates {
+  double create = 0;
+  double setter = 0;
+  double getter = 0;
+  double empty = 0;
+  double satisfied = 0;
+  double violated = 0;
+  double threat_good = 0;  ///< accepted threats, one object (identical)
+  double threat_bad = 0;   ///< accepted threats, distinct objects
+  double del = 0;
+};
+
+inline FullRates measure_full(Cluster& cluster, std::size_t node,
+                              std::size_t n, bool measure_threats) {
+  FullRates r;
+  std::vector<ObjectId> ids;
+  r.create = Workload::create(cluster, node, n, ids);
+
+  const Value payload{std::string{"x"}};
+  const std::vector<ObjectId> one{ids.front()};
+  r.setter = (Workload::invoke(cluster, node, n, one, "setValue", {payload}) +
+              Workload::invoke(cluster, node, n, ids, "setValue", {payload})) /
+             2;
+  r.getter = (Workload::invoke(cluster, node, n, one, "getValue") +
+              Workload::invoke(cluster, node, n, ids, "getValue")) /
+             2;
+  r.empty = (Workload::invoke(cluster, node, n, one, "emptyPlain") +
+             Workload::invoke(cluster, node, n, ids, "emptyPlain")) /
+            2;
+  r.satisfied =
+      (Workload::invoke(cluster, node, n, one, "emptySatisfied") +
+       Workload::invoke(cluster, node, n, ids, "emptySatisfied")) /
+      2;
+  r.violated =
+      (Workload::invoke(cluster, node, n, one, "emptyViolated") +
+       Workload::invoke(cluster, node, n, ids, "emptyViolated")) /
+      2;
+
+  if (measure_threats) {
+    scenarios::AcceptAllNegotiation accept_all;
+    r.threat_good = Workload::invoke(cluster, node, n, one, "emptyThreat", {},
+                                     &accept_all);
+    r.threat_bad = Workload::invoke(cluster, node, n, ids, "emptyThreat", {},
+                                    &accept_all);
+  }
+
+  r.del = Workload::destroy(cluster, node, ids);
+  return r;
+}
+
+inline void print_full_rates(const std::string& label, const FullRates& r,
+                             bool with_threats) {
+  print_row(label,
+            {r.create, r.setter, r.getter, r.empty, r.satisfied, r.violated,
+             with_threats ? r.threat_good : 0.0,
+             with_threats ? r.threat_bad : 0.0, r.del});
+}
+
+inline std::vector<std::string> full_rate_columns() {
+  return {"configuration", "Create",  "Setter",   "Getter",
+          "Empty",         "Satisf.", "Violated", "Thr(1)",
+          "Thr(1000)",     "Delete"};
+}
+
+}  // namespace dedisys::bench

@@ -1,0 +1,85 @@
+// Web callback example — negotiation over strict HTTP request/response
+// (Section 4.5, Fig. 4.8).
+//
+// A browser cannot receive callbacks, yet threat negotiation is a
+// synchronous middleware -> application callback.  The servlet parks the
+// business thread, ships the negotiation question to the browser as the
+// HTTP *response* of the business request, receives the decision as a new
+// request and returns the business result on that request's response.
+#include <cstdio>
+
+#include "middleware/cluster.h"
+#include "scenarios/flight.h"
+#include "web/bridge.h"
+
+using namespace dedisys;
+using scenarios::FlightBooking;
+using web::HttpRequest;
+using web::HttpResponse;
+using web::WebBusinessServlet;
+
+namespace {
+
+void show(const char* who, const std::string& what) {
+  std::printf("%-10s %s\n", who, what.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Web negotiation callback example (Section 4.5) ===\n\n");
+
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  Cluster cluster(cfg);
+  FlightBooking::define_classes(cluster.classes());
+  // No static acceptance: every degraded-mode threat must be decided by
+  // the human in front of the browser.
+  FlightBooking::register_constraints(cluster.constraints(), false,
+                                      SatisfactionDegree::Satisfied);
+
+  DedisysNode& node = cluster.node(0);
+  const ObjectId flight = FlightBooking::create_flight(node, 80);
+  FlightBooking::sell(node, flight, 78);
+  cluster.split({{0, 1}, {2}});
+  std::printf("flight 78/80 booked; cluster partitioned (degraded mode)\n\n");
+
+  std::shared_ptr<web::WebNegotiationBridge> bridge;
+  WebBusinessServlet servlet([&] {
+    TxScope tx(node.tx());
+    node.ccmgr().register_negotiation_handler(tx.id(), bridge);
+    node.invoke(tx.id(), flight, "sellTickets", {Value{std::int64_t{1}}});
+    tx.commit();
+    return "booked 1 ticket";
+  });
+  bridge = servlet.bridge();
+
+  // -- first booking: the user accepts the threat --------------------------
+  show("browser:", "POST /business  (book one ticket)");
+  HttpResponse r = servlet.handle(HttpRequest{"/business", {}});
+  show("server:", "response kind=" + r.kind + " constraint=" +
+                      r.fields.at("constraint") + " degree=" +
+                      r.fields.at("degree"));
+  show("browser:", "user accepts -> POST /negotiation-result?accept=true");
+  r = servlet.handle(HttpRequest{"/negotiation-result", {{"accept", "true"}}});
+  show("server:", "response kind=" + r.kind + " result=\"" +
+                      r.fields.at("result") + "\"");
+  std::printf("   tickets now: %lld/80\n\n",
+              static_cast<long long>(FlightBooking::sold(node, flight)));
+
+  // -- second booking: the user rejects ------------------------------------
+  show("browser:", "POST /business  (book one ticket)");
+  r = servlet.handle(HttpRequest{"/business", {}});
+  show("server:", "response kind=" + r.kind +
+                      " (threat must be decided again)");
+  show("browser:", "user rejects -> POST /negotiation-result?accept=false");
+  r = servlet.handle(HttpRequest{"/negotiation-result", {{"accept", "false"}}});
+  show("server:", "response status=" + std::to_string(r.status) + " kind=" +
+                      r.kind + " (transaction rolled back)");
+  std::printf("   tickets now: %lld/80\n\n",
+              static_cast<long long>(FlightBooking::sold(node, flight)));
+
+  std::printf("stored threats after the accepted booking: %zu\n",
+              cluster.threats().identity_count());
+  return 0;
+}

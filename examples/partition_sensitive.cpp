@@ -1,0 +1,95 @@
+// Partition-sensitive constraints example (Section 5.5.2).
+//
+// Tickets are a partitionable resource: during a partition, each side may
+// only sell its weight-proportional share of the remaining seats.  With
+// that rule, write access continues in every partition and (as long as
+// tickets are only sold, not cancelled) NO inconsistency is introduced at
+// all — reconciliation finds nothing to clean up.
+#include <cstdio>
+
+#include "middleware/cluster.h"
+#include "scenarios/flight.h"
+
+using namespace dedisys;
+using scenarios::FlightBooking;
+
+namespace {
+
+class AdditiveMerge final : public ReplicaConsistencyHandler {
+ public:
+  explicit AdditiveMerge(std::int64_t healthy) : healthy_(healthy) {}
+  EntitySnapshot reconcile_replicas(
+      ObjectId, const std::vector<EntitySnapshot>& c) override {
+    std::int64_t total = healthy_;
+    std::uint64_t maxv = 0;
+    for (const auto& s : c) {
+      total += as_int(s.attributes.at("soldTickets")) - healthy_;
+      maxv = std::max(maxv, s.version);
+    }
+    EntitySnapshot out = c.front();
+    out.attributes["soldTickets"] = Value{total};
+    out.version = maxv + 1;
+    return out;
+  }
+
+ private:
+  std::int64_t healthy_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Partition-sensitive ticket constraint (Section 5.5.2) ===\n\n");
+
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  Cluster cluster(cfg);
+  FlightBooking::define_classes(cluster.classes());
+  FlightBooking::register_constraints(cluster.constraints(),
+                                      /*partition_sensitive=*/true,
+                                      SatisfactionDegree::PossiblySatisfied);
+  // Node 0 is the big booking office: weight 2 (others weight 1).
+  cluster.weights().set(NodeId{0}, 2.0);
+
+  DedisysNode& office_a = cluster.node(0);
+  DedisysNode& office_b = cluster.node(2);
+  const ObjectId flight = FlightBooking::create_flight(office_a, 100);
+  FlightBooking::sell(office_a, flight, 50);
+  std::printf("healthy: 50/100 sold, 50 remaining\n");
+
+  // Partition: {0,1} holds weight 3/5, {2,3} holds 2/5.
+  cluster.split({{0, 1}, {2, 3}});
+  std::printf("partition: office A quota = 50*3/5 = 30, office B quota = "
+              "50*2/5 = 20\n\n");
+
+  auto sell_report = [&](DedisysNode& node, const char* name,
+                         std::int64_t count) {
+    try {
+      FlightBooking::sell(node, flight, count);
+      std::printf("%s sells %lld -> accepted (local total %lld)\n", name,
+                  static_cast<long long>(count),
+                  static_cast<long long>(FlightBooking::sold(node, flight)));
+    } catch (const ConsistencyThreatRejected&) {
+      std::printf("%s sells %lld -> REJECTED (quota exhausted)\n", name,
+                  static_cast<long long>(count));
+    }
+  };
+
+  sell_report(office_a, "office A", 25);
+  sell_report(office_a, "office A", 5);   // exactly at quota (30)
+  sell_report(office_a, "office A", 1);   // beyond quota -> rejected
+  sell_report(office_b, "office B", 20);  // exactly at quota
+  sell_report(office_b, "office B", 1);   // beyond quota -> rejected
+
+  cluster.heal();
+  AdditiveMerge merge(50);
+  const auto report = cluster.reconcile(&merge);
+  const std::int64_t total = FlightBooking::sold(office_a, flight);
+  std::printf(
+      "\nafter reconciliation: %lld/100 sold, %zu constraint violation(s) "
+      "to clean up\n",
+      static_cast<long long>(total), report.constraints.violations);
+  std::printf("=> weighted quotas preserved integrity without blocking "
+              "either partition\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Quickstart — the flight-booking walkthrough of Section 1.3.
+//
+// Builds a 3-node DeDiSys cluster, deploys the Flight class with its
+// explicit runtime ticket-constraint, books seats, injects a network
+// partition, keeps booking in both partitions (accepting consistency
+// threats), heals the partition and reconciles: the replica consistency
+// handler merges the divergent counts, the constraint reconciliation
+// handler rebooks the surplus passengers.
+#include <cstdio>
+
+#include "middleware/cluster.h"
+#include "scenarios/flight.h"
+
+using namespace dedisys;
+using scenarios::FlightBooking;
+
+namespace {
+
+/// Merges divergent soldTickets counts additively (each partition's delta
+/// relative to the healthy count is applied).
+class AdditiveMerge final : public ReplicaConsistencyHandler {
+ public:
+  explicit AdditiveMerge(std::int64_t healthy_sold) : healthy_(healthy_sold) {}
+
+  EntitySnapshot reconcile_replicas(
+      ObjectId id, const std::vector<EntitySnapshot>& candidates) override {
+    std::int64_t total = healthy_;
+    std::uint64_t max_version = 0;
+    for (const EntitySnapshot& c : candidates) {
+      total += as_int(c.attributes.at("soldTickets")) - healthy_;
+      max_version = std::max(max_version, c.version);
+    }
+    std::printf("  [replica handler] merging %zu divergent replicas of %s "
+                "-> %lld sold\n",
+                candidates.size(), to_string(id).c_str(),
+                static_cast<long long>(total));
+    EntitySnapshot merged = candidates.front();
+    merged.attributes["soldTickets"] = Value{total};
+    merged.version = max_version + 1;
+    return merged;
+  }
+
+ private:
+  std::int64_t healthy_;
+};
+
+/// Rebooks passengers beyond capacity to other flights (Section 1.3:
+/// "five tickets will be cancelled or rebooked to another flight").
+class Rebooker final : public ConstraintReconciliationHandler {
+ public:
+  explicit Rebooker(DedisysNode& node) : node_(&node) {}
+
+  bool reconcile(const ConsistencyThreat& threat,
+                 ConstraintValidationContext&) override {
+    TxScope tx(node_->tx());
+    const ObjectId flight = threat.context_object;
+    const std::int64_t sold =
+        as_int(node_->invoke(tx.id(), flight, "getSoldTickets"));
+    const std::int64_t seats =
+        as_int(node_->invoke(tx.id(), flight, "getSeats"));
+    if (sold > seats) {
+      std::printf("  [reconciliation handler] flight overbooked %lld/%lld: "
+                  "rebooking %lld passengers\n",
+                  static_cast<long long>(sold), static_cast<long long>(seats),
+                  static_cast<long long>(sold - seats));
+      node_->invoke(tx.id(), flight, "cancelTickets", {Value{sold - seats}});
+    }
+    tx.commit();
+    return true;  // resolved immediately
+  }
+
+ private:
+  DedisysNode* node_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== DeDiSys quickstart: the Section 1.3 flight booking ===\n\n");
+
+  // 1. Bring up a 3-node cluster with the P4 replication protocol.
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  Cluster cluster(cfg);
+  FlightBooking::define_classes(cluster.classes());
+  FlightBooking::register_constraints(cluster.constraints());
+  std::printf("cluster up: %zu nodes, protocol %s\n", cluster.size(),
+              to_string(cfg.protocol).c_str());
+
+  // 2. Healthy mode: create a flight with 80 seats and book 70.
+  DedisysNode& node_a = cluster.node(0);
+  DedisysNode& node_c = cluster.node(2);
+  const ObjectId flight = FlightBooking::create_flight(node_a, 80);
+  FlightBooking::sell(node_a, flight, 70);
+  std::printf("healthy mode: sold %lld/80 tickets (replicated to all nodes)\n",
+              static_cast<long long>(FlightBooking::sold(node_c, flight)));
+
+  // 3. The ticket-constraint guards every booking.
+  try {
+    FlightBooking::sell(node_a, flight, 20);
+  } catch (const ConstraintViolation& e) {
+    std::printf("overbooking attempt rejected: %s\n", e.what());
+  }
+
+  // 4. A link failure splits the cluster: {A,B} vs {C}.
+  cluster.split({{0, 1}, {2}});
+  std::printf("\nnetwork partition injected; node 0 mode: %s\n",
+              to_string(node_a.mode()).c_str());
+
+  // 5. Both partitions keep selling — constraint validation is only a
+  //    limited check on possibly stale replicas, so each sale raises a
+  //    consistency threat that static negotiation accepts.
+  FlightBooking::sell(node_a, flight, 7);   // partition A: 77 <= 80
+  FlightBooking::sell(node_c, flight, 8);   // partition B: 78 <= 80
+  std::printf("degraded mode: partition A sees %lld sold, partition B sees "
+              "%lld sold\n",
+              static_cast<long long>(FlightBooking::sold(node_a, flight)),
+              static_cast<long long>(FlightBooking::sold(node_c, flight)));
+  std::printf("stored consistency threats: %zu\n",
+              cluster.threats().identity_count());
+
+  // 6. The link is repaired; reconciliation merges 70+7+8 = 85 > 80 and
+  //    the application cleans up the overbooking.
+  cluster.heal();
+  std::printf("\npartition healed; node 0 mode: %s — reconciling...\n",
+              to_string(node_a.mode()).c_str());
+  AdditiveMerge merge(70);
+  Rebooker rebooker(node_a);
+  const Cluster::ReconciliationReport report =
+      cluster.reconcile(&merge, &rebooker);
+
+  std::printf(
+      "\nreconciliation report: %zu replica conflict(s), %zu threat(s) "
+      "re-evaluated, %zu violation(s) resolved immediately\n",
+      report.replica.conflicts, report.constraints.reevaluated,
+      report.constraints.resolved_immediately);
+  std::printf("final state: %lld/80 tickets sold, %zu threats left, mode %s\n",
+              static_cast<long long>(FlightBooking::sold(node_a, flight)),
+              cluster.threats().identity_count(),
+              to_string(node_a.mode()).c_str());
+  return 0;
+}

@@ -1,0 +1,304 @@
+// Constraint consistency manager (CCMgr, Section 4.2.3).
+//
+// The CCMgr is the new middleware service introduced by the paper.  It is
+// notified before and after method invocations by the invocation-service
+// interceptor, looks up affected constraints in the repository and triggers
+// validation according to constraint type:
+//
+//   preconditions      -> before the invocation,
+//   postconditions     -> after the invocation (with a @pre snapshot hook),
+//   hard invariants    -> after each affected operation,
+//   soft invariants    -> at transaction prepare (the CCMgr enlists as a
+//                         transactional resource),
+//   async invariants   -> soft in healthy mode; in degraded mode recorded
+//                         as threats without validation (Section 5.5.3).
+//
+// In degraded mode the CCMgr gathers the objects each validation accessed,
+// asks the replication service whether any were possibly stale, derives the
+// satisfaction degree, negotiates arising consistency threats (dynamic
+// handler > per-constraint static rule > application-wide default) and
+// persists accepted threats.  During reconciliation it re-evaluates stored
+// threats and drives the application's constraint reconciliation handler.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "constraints/negotiation.h"
+#include "constraints/repository.h"
+#include "constraints/threats.h"
+#include "objects/invocation.h"
+#include "objects/method_context.h"
+#include "sim/cost_model.h"
+#include "tx/tx_manager.h"
+#include "util/ids.h"
+#include "util/sim_clock.h"
+
+namespace dedisys {
+
+/// Application callback invoked for violated constraints detected during
+/// the reconciliation phase (Section 4.4).  Returning true means the
+/// inconsistency is resolved now (the CCMgr revalidates); returning false
+/// defers the clean-up to the application (e-mail to an operator, ...).
+class ConstraintReconciliationHandler {
+ public:
+  virtual ~ConstraintReconciliationHandler() = default;
+  virtual bool reconcile(const ConsistencyThreat& threat,
+                         ConstraintValidationContext& ctx) = 0;
+  /// Optional notification: a threat's constraint is satisfied but a
+  /// replica conflict was involved (Section 3.3).
+  virtual void on_replica_conflict_resolved(const ConsistencyThreat&) {}
+};
+
+class ConstraintConsistencyManager final : public TransactionalResource {
+ public:
+  ConstraintConsistencyManager(ConstraintRepository& repository,
+                               ThreatStore& threats, TransactionManager& tm,
+                               SimClock& clock, const CostModel& cost,
+                               NodeId self);
+
+  // -- wiring ----------------------------------------------------------------
+
+  void set_staleness_oracle(const StalenessOracle* oracle) {
+    oracle_ = oracle;
+  }
+  /// Accessor used for prepare-time and reconciliation-time validations.
+  void set_object_accessor(ObjectAccessor* objects) { objects_ = objects; }
+  /// Hook replicating an accepted threat to partition members.
+  void set_threat_replicator(std::function<void(const ConsistencyThreat&)> f) {
+    replicate_threat_ = std::move(f);
+  }
+  /// Application-wide fallback minimum satisfaction degree.
+  void set_default_min_degree(SatisfactionDegree d) { default_min_ = d; }
+
+  /// Query used by constraints without a context object ("validation
+  /// starts from a set of objects obtained by a query", Section 3.2.2).
+  void set_object_query(ConstraintValidationContext::ObjectQuery query) {
+    object_query_ = std::move(query);
+  }
+
+  /// Class-hierarchy resolver (behavioral subtyping, Section 2.3.1):
+  /// constraints of superclasses/interfaces also apply, preconditions
+  /// OR'd across levels, postconditions/invariants AND'd [DL96].
+  using AncestryQuery =
+      std::function<std::vector<std::string>(const std::string&)>;
+  void set_class_ancestry(AncestryQuery query) {
+    ancestry_ = std::move(query);
+  }
+
+  /// When a threat is negotiated (Section 5.4): immediately when it
+  /// arises, or deferred in a batch at transaction commit (useful for
+  /// longer-lasting transactions).
+  enum class NegotiationTiming { Immediate, Deferred };
+  void set_negotiation_timing(NegotiationTiming t) { negotiation_timing_ = t; }
+
+  /// Registers a per-application constraint repository (Section 5.3:
+  /// "constraint names have to be unique within an application and not
+  /// within the whole application server").  Invocations carrying
+  /// context["application"] = name use this repository; everything else
+  /// uses the default one.
+  void register_application(const std::string& name,
+                            ConstraintRepository* repository) {
+    app_repositories_[name] = repository;
+  }
+
+  /// Driven by the middleware kernel on view changes.
+  void set_degraded(bool degraded, double partition_weight);
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
+  /// Objects treated as possibly stale regardless of the replication
+  /// oracle — used by the TreatAsDegraded reconciliation policy
+  /// (Section 3.3): until their threats are re-evaluated, validations on
+  /// them must not be trusted as full checks.
+  void set_forced_stale(std::unordered_set<ObjectId> objects) {
+    forced_stale_ = std::move(objects);
+  }
+  void clear_forced_stale() { forced_stale_.clear(); }
+
+  // -- negotiation handler binding (Section 4.2.3) -----------------------------
+
+  void register_negotiation_handler(TxId tx,
+                                    std::shared_ptr<NegotiationHandler> h);
+
+  // -- invocation hooks (called by the CCM interceptor) -------------------------
+
+  void before_invocation(const Invocation& inv, ObjectAccessor& objects);
+  void after_invocation(const Invocation& inv, ObjectAccessor& objects);
+
+  // -- TransactionalResource -----------------------------------------------------
+
+  [[nodiscard]] std::string name() const override { return "CCMgr"; }
+  Vote prepare(TxId tx) override;
+  void commit(TxId tx) override;
+  void rollback(TxId tx) override;
+
+  // -- reconciliation (Section 4.4) -----------------------------------------------
+
+  struct ReconcileStats {
+    std::size_t reevaluated = 0;
+    std::size_t removed_satisfied = 0;
+    std::size_t violations = 0;
+    std::size_t resolved_by_rollback = 0;
+    std::size_t resolved_immediately = 0;
+    std::size_t deferred = 0;
+    std::size_t postponed = 0;
+    std::size_t conflict_notifications = 0;
+  };
+
+  /// Attempts rollback-based resolution of a violated threat; provided by
+  /// the replication reconciler when replica history is kept.
+  using TryRollback = std::function<bool(const ConsistencyThreat&)>;
+  /// Whether a replica write-write conflict was detected for an object
+  /// during the preceding replica reconciliation.
+  using ConflictQuery = std::function<bool(ObjectId)>;
+
+  ReconcileStats reconcile(ConstraintReconciliationHandler* handler,
+                           const ConflictQuery& had_conflict = {},
+                           const TryRollback& try_rollback = {});
+
+  /// Re-validates one constraint for every given context object — required
+  /// when a disabled constraint is enabled again or a new constraint is
+  /// introduced at runtime (Section 3.3).  Returns the violating objects.
+  std::vector<ObjectId> revalidate_for_objects(
+      const std::string& constraint_name,
+      const std::vector<ObjectId>& context_objects);
+
+  /// Objects currently covered by stored threats; business operations
+  /// touching them during reconciliation are still subject to threats.
+  [[nodiscard]] std::unordered_set<ObjectId> threatened_objects();
+
+  // -- statistics --------------------------------------------------------------
+
+  struct Stats {
+    std::size_t validations = 0;
+    std::size_t threats_detected = 0;
+    std::size_t threats_accepted = 0;
+    std::size_t threats_rejected = 0;
+    std::size_t violations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingCheck {
+    Constraint* constraint;
+    ObjectId context_object;
+    ObjectId called_object;
+  };
+
+  struct PendingThreat {
+    Constraint* constraint;
+    ConsistencyThreat threat;
+  };
+
+  struct TxState {
+    std::shared_ptr<NegotiationHandler> negotiation;
+    std::vector<PendingCheck> pending;          // soft/async invariants
+    std::vector<PendingThreat> deferred;        // deferred negotiations
+    std::vector<ConsistencyThreat> staged;      // accepted threats
+    std::vector<std::string> staged_removals;   // satisfied identities
+  };
+
+  /// RAII guard preventing re-entrant constraint validation when a
+  /// validate() body invokes further intercepted methods (Section 5.3).
+  class ValidationGuard {
+   public:
+    explicit ValidationGuard(bool& flag) : flag_(flag) { flag_ = true; }
+    ~ValidationGuard() { flag_ = false; }
+    ValidationGuard(const ValidationGuard&) = delete;
+    ValidationGuard& operator=(const ValidationGuard&) = delete;
+
+   private:
+    bool& flag_;
+  };
+
+  /// Repository for the application the invocation belongs to.
+  ConstraintRepository& repository_for(const Invocation& inv);
+
+  /// Matches of `type` for the invocation's class and all its ancestors,
+  /// flattened (postconditions/invariants: conjunction semantics).
+  std::vector<ConstraintRepository::Match> collect_matches(
+      ConstraintRepository& repository, const Invocation& inv,
+      ConstraintType type);
+
+  /// Precondition groups per hierarchy level (disjunction across levels).
+  std::vector<std::vector<ConstraintRepository::Match>> precondition_groups(
+      ConstraintRepository& repository, const Invocation& inv);
+
+  /// OR semantics across levels: the call proceeds when any level's
+  /// conjunction holds.
+  void check_preconditions(ConstraintRepository& repository,
+                           const Invocation& inv, ObjectAccessor& objects);
+
+  /// Finds a constraint registration across all applications.
+  const ConstraintRegistration* find_registration(const std::string& name);
+
+  ObjectId prepare_context_object(const Invocation& inv,
+                                  const ContextPreparation& prep,
+                                  ObjectAccessor& objects) const;
+
+  ConstraintValidationContext make_context(const Invocation& inv,
+                                           ObjectId context_object,
+                                           ObjectAccessor& objects) const;
+
+  /// Runs validate() and derives the satisfaction degree from the
+  /// staleness of the accessed objects (Fig. 4.4).
+  SatisfactionDegree evaluate(Constraint& constraint,
+                              ConstraintValidationContext& ctx);
+
+  /// Full handling of one constraint check within a business operation.
+  void check(Constraint& constraint, const Invocation& inv,
+             ObjectId context_object, ObjectAccessor& objects);
+
+  void handle_outcome(Constraint& constraint, SatisfactionDegree degree,
+                      ConstraintValidationContext& ctx, TxId tx);
+
+  void handle_threat(Constraint& constraint, SatisfactionDegree degree,
+                     ConstraintValidationContext& ctx, TxId tx);
+
+  /// Runs (dynamic-or-static) negotiation; on acceptance stages/persists
+  /// the threat, otherwise marks the tx rollback-only and throws.
+  void negotiate_threat(Constraint& constraint, ConsistencyThreat threat,
+                        ConstraintValidationContext& ctx, TxId tx);
+
+  void record_pending(TxId tx, Constraint& constraint, ObjectId context_object,
+                      ObjectId called_object);
+
+  void store_async_threat(TxId tx, Constraint& constraint,
+                          ObjectId context_object);
+
+  TxState& tx_state(TxId tx) { return tx_state_[tx]; }
+
+  ConstraintRepository& repository_;
+  ThreatStore& threats_;
+  TransactionManager& tm_;
+  SimClock& clock_;
+  const CostModel& cost_;
+  NodeId self_;
+
+  const StalenessOracle* oracle_;
+  ObjectAccessor* objects_ = nullptr;
+  std::function<void(const ConsistencyThreat&)> replicate_threat_;
+  SatisfactionDegree default_min_ = SatisfactionDegree::Satisfied;
+  ConstraintValidationContext::ObjectQuery object_query_;
+  AncestryQuery ancestry_;
+  NegotiationTiming negotiation_timing_ = NegotiationTiming::Immediate;
+
+  bool degraded_ = false;
+  double partition_weight_ = 1.0;
+  bool in_validation_ = false;
+  std::unordered_set<ObjectId> forced_stale_;
+
+  std::unordered_map<TxId, TxState> tx_state_;
+  std::map<std::string, ConstraintRepository*> app_repositories_;
+  Stats stats_;
+
+  static const AlwaysFreshOracle kFreshOracle;
+};
+
+}  // namespace dedisys

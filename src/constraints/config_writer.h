@@ -1,0 +1,146 @@
+// Constraint descriptor writer: serializes registered constraints back to
+// the Listing-4.1 XML format.
+//
+// Runtime constraint management (add/remove/enable at runtime) needs a way
+// to persist the currently deployed configuration — e.g. so an
+// administrator can snapshot a tuned deployment and redeploy it elsewhere.
+// OclConstraints round-trip completely; class-based constraints serialize
+// their metadata and reference their implementation class by name.
+#pragma once
+
+#include <string>
+
+#include "constraints/ocl_constraint.h"
+#include "constraints/repository.h"
+
+namespace dedisys {
+
+namespace config_writer_detail {
+
+inline std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+inline const char* type_name(ConstraintType t) {
+  switch (t) {
+    case ConstraintType::Precondition: return "PRE";
+    case ConstraintType::Postcondition: return "POST";
+    case ConstraintType::HardInvariant: return "HARD";
+    case ConstraintType::SoftInvariant: return "SOFT";
+    case ConstraintType::AsyncInvariant: return "ASYNC";
+  }
+  return "?";
+}
+
+inline std::string degree_name(SatisfactionDegree d) {
+  switch (d) {
+    case SatisfactionDegree::Violated: return "VIOLATED";
+    case SatisfactionDegree::Uncheckable: return "UNCHECKABLE";
+    case SatisfactionDegree::PossiblyViolated: return "POSSIBLY_VIOLATED";
+    case SatisfactionDegree::PossiblySatisfied: return "POSSIBLY_SATISFIED";
+    case SatisfactionDegree::Satisfied: return "SATISFIED";
+  }
+  return "?";
+}
+
+}  // namespace config_writer_detail
+
+/// Serializes one registration.  `impl_class` names the implementation
+/// class for non-OCL constraints (ignored for OclConstraint).
+inline std::string write_constraint_xml(const ConstraintRegistration& reg,
+                                        const std::string& impl_class = "") {
+  using namespace config_writer_detail;
+  const Constraint& c = *reg.constraint;
+  std::string out;
+  out += "  <constraint name=\"" + escape(c.name()) + "\" type=\"" +
+         type_name(c.type()) + "\" priority=\"" +
+         (c.is_tradeable() ? "RELAXABLE" : "CRITICAL") + "\" contextObject=\"" +
+         (c.context_object_needed() ? "Y" : "N") + "\"";
+  if (c.intra_object()) out += " intraObject=\"Y\"";
+  if (c.min_satisfaction_degree()) {
+    out += " minSatisfactionDegree=\"" +
+           degree_name(*c.min_satisfaction_degree()) + "\"";
+  }
+  out += ">\n";
+
+  if (const auto* ocl = dynamic_cast<const OclConstraint*>(&c)) {
+    out += "    <ocl>" + escape(ocl->expression()) + "</ocl>\n";
+  } else {
+    out += "    <class>" + escape(impl_class) + "</class>\n";
+  }
+  if (!c.description().empty()) {
+    out += "    <description>" + escape(c.description()) + "</description>\n";
+  }
+  if (!reg.context_class.empty()) {
+    out += "    <context-class>" + escape(reg.context_class) +
+           "</context-class>\n";
+  }
+  for (const auto& [cls, max_age] : c.freshness_criteria()) {
+    out += "    <freshness class=\"" + escape(cls) + "\" maxAge=\"" +
+           std::to_string(max_age) + "\"/>\n";
+  }
+
+  if (!reg.affected_methods.empty()) {
+    out += "    <affected-methods>\n";
+    for (const AffectedMethod& am : reg.affected_methods) {
+      out += "      <affected-method>\n";
+      out += "        <context-preparation><preparation-class>";
+      switch (am.preparation.kind) {
+        case ContextPreparationKind::None:
+          out += "NoContextObject";
+          break;
+        case ContextPreparationKind::CalledObject:
+          out += "CalledObjectIsContextObject";
+          break;
+        case ContextPreparationKind::ReferenceGetter:
+          out += "ReferenceIsContextObject";
+          break;
+      }
+      out += "</preparation-class>";
+      if (am.preparation.kind == ContextPreparationKind::ReferenceGetter) {
+        out += "<params><param name=\"getter\" value=\"" +
+               escape(am.preparation.getter) + "\"/></params>";
+      }
+      out += "</context-preparation>\n";
+      out += "        <objectMethod name=\"" + escape(am.method.name) +
+             "\">\n";
+      out += "          <objectClass>" + escape(am.class_name) +
+             "</objectClass>\n";
+      if (!am.method.param_types.empty()) {
+        out += "          <arguments>";
+        for (const std::string& p : am.method.param_types) {
+          out += "<argument>" + escape(p) + "</argument>";
+        }
+        out += "</arguments>\n";
+      }
+      out += "        </objectMethod>\n";
+      out += "      </affected-method>\n";
+    }
+    out += "    </affected-methods>\n";
+  }
+  out += "  </constraint>\n";
+  return out;
+}
+
+/// Serializes every registration of a repository into one descriptor.
+inline std::string write_constraints_xml(const ConstraintRepository& repo) {
+  std::string out = "<constraints>\n";
+  for (const ConstraintRegistration& reg : repo.registrations()) {
+    out += write_constraint_xml(reg);
+  }
+  out += "</constraints>\n";
+  return out;
+}
+
+}  // namespace dedisys

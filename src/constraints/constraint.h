@@ -1,0 +1,139 @@
+// Explicit runtime integrity constraints (Fig. 4.3, Listing 1.2).
+//
+// One class instance represents exactly one integrity constraint.  The
+// middleware owns triggering; the application owns the validate() body.
+// Metadata (type, tradeability, minimum acceptable satisfaction degree,
+// freshness criteria, intra-object classification) configures the
+// integrity/availability balancing of Chapter 3.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "constraints/satisfaction.h"
+#include "constraints/validation_context.h"
+#include "util/errors.h"
+
+namespace dedisys {
+
+/// When a constraint's validation is triggered (Section 1.6).
+enum class ConstraintType {
+  Precondition,   ///< Before an affected method.
+  Postcondition,  ///< After an affected method (may snapshot @pre state).
+  HardInvariant,  ///< After each affected operation within a transaction.
+  SoftInvariant,  ///< At transaction commit (prepare phase).
+  AsyncInvariant, ///< Soft in healthy mode; in degraded mode not validated
+                  ///< at all, only recorded for reconciliation (§5.5.3).
+};
+
+/// Whether availability may be traded against this constraint (Section 3).
+enum class ConstraintPriority {
+  NonTradeable,  ///< Must never be violated; threats are always rejected.
+  Tradeable,     ///< May be relaxed during degraded mode ("RELAXABLE").
+};
+
+/// Freshness criterion: maximum tolerated version gap
+/// (estimated latest version - actual version) per affected class.
+using FreshnessCriteria = std::map<std::string, std::uint64_t>;
+
+class Constraint {
+ public:
+  Constraint(std::string name, ConstraintType type, ConstraintPriority prio)
+      : name_(std::move(name)), type_(type), priority_(prio) {}
+
+  virtual ~Constraint() = default;
+
+  // -- metadata ------------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ConstraintType type() const { return type_; }
+  [[nodiscard]] ConstraintPriority priority() const { return priority_; }
+  [[nodiscard]] bool is_tradeable() const {
+    return priority_ == ConstraintPriority::Tradeable;
+  }
+
+  /// Minimum acceptable satisfaction degree for static negotiation; when
+  /// unset, the CCMgr falls back to the application-wide default
+  /// (negotiation priority of Section 3.2.1).
+  [[nodiscard]] std::optional<SatisfactionDegree> min_satisfaction_degree()
+      const {
+    return min_degree_;
+  }
+  void set_min_satisfaction_degree(SatisfactionDegree d) { min_degree_ = d; }
+
+  [[nodiscard]] const std::string& description() const { return description_; }
+  void set_description(std::string d) { description_ = std::move(d); }
+
+  [[nodiscard]] bool context_object_needed() const { return needs_context_; }
+  void set_context_object_needed(bool v) { needs_context_ = v; }
+
+  /// Intra-object constraints touch a single object only; LCC validations
+  /// of them may report plain satisfied/violated (Section 3.1).
+  [[nodiscard]] bool intra_object() const { return intra_object_; }
+  void set_intra_object(bool v) { intra_object_ = v; }
+
+  [[nodiscard]] const FreshnessCriteria& freshness_criteria() const {
+    return freshness_;
+  }
+  void set_freshness(const std::string& class_name, std::uint64_t max_age) {
+    freshness_[class_name] = max_age;
+  }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool v) { enabled_ = v; }
+
+  // -- contract with the middleware -----------------------------------------
+
+  /// Called before the affected method runs; postconditions snapshot the
+  /// @pre state here (Section 4.2.1).
+  virtual void before_method_invocation(ConstraintValidationContext&) {}
+
+  /// Returns true iff the constraint holds; must not modify state; throws
+  /// ObjectUnreachable when checking is impossible.
+  virtual bool validate(ConstraintValidationContext& ctx) = 0;
+
+ private:
+  std::string name_;
+  ConstraintType type_;
+  ConstraintPriority priority_;
+  std::optional<SatisfactionDegree> min_degree_;
+  std::string description_;
+  bool needs_context_ = true;
+  bool intra_object_ = false;
+  bool enabled_ = true;
+  FreshnessCriteria freshness_;
+};
+
+/// Convenience adaptor: constraint defined by callables.
+class FunctionConstraint final : public Constraint {
+ public:
+  using Predicate = std::function<bool(ConstraintValidationContext&)>;
+  using BeforeHook = std::function<void(ConstraintValidationContext&)>;
+
+  FunctionConstraint(std::string name, ConstraintType type,
+                     ConstraintPriority prio, Predicate predicate)
+      : Constraint(std::move(name), type, prio),
+        predicate_(std::move(predicate)) {}
+
+  void set_before_hook(BeforeHook hook) { before_ = std::move(hook); }
+
+  void before_method_invocation(ConstraintValidationContext& ctx) override {
+    if (before_) before_(ctx);
+  }
+
+  bool validate(ConstraintValidationContext& ctx) override {
+    return predicate_(ctx);
+  }
+
+ private:
+  Predicate predicate_;
+  BeforeHook before_;
+};
+
+using ConstraintPtr = std::shared_ptr<Constraint>;
+
+}  // namespace dedisys

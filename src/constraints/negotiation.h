@@ -1,0 +1,75 @@
+// Consistency-threat negotiation (Section 3.2.1, Fig. 3.3).
+//
+// Two negotiation kinds decide whether an arising threat is acceptable:
+//   * dynamic (algorithmic): an application-provided NegotiationHandler
+//     registered with the current transaction;
+//   * static (descriptive): the constraint's configured minimum
+//     satisfaction degree plus optional freshness criteria.
+// Dynamic negotiation takes priority over static negotiation (Section
+// 3.2.1); non-tradeable constraints are rejected without negotiation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "constraints/constraint.h"
+#include "constraints/threats.h"
+#include "constraints/validation_context.h"
+
+namespace dedisys {
+
+struct NegotiationOutcome {
+  bool accepted = false;
+  /// Application data to associate with the stored threat.
+  std::string application_data;
+  ReconciliationInstructions instructions;
+};
+
+/// Application callback deciding on a specific consistency threat.  May be
+/// registered per transaction to associate the mechanism with a use case.
+class NegotiationHandler {
+ public:
+  virtual ~NegotiationHandler() = default;
+  virtual NegotiationOutcome negotiate(const ConsistencyThreat& threat,
+                                       ConstraintValidationContext& ctx) = 0;
+};
+
+/// Convenience adaptor for lambda-based negotiation handlers.
+class FunctionNegotiationHandler final : public NegotiationHandler {
+ public:
+  using Fn = std::function<NegotiationOutcome(const ConsistencyThreat&,
+                                              ConstraintValidationContext&)>;
+  explicit FunctionNegotiationHandler(Fn fn) : fn_(std::move(fn)) {}
+
+  NegotiationOutcome negotiate(const ConsistencyThreat& threat,
+                               ConstraintValidationContext& ctx) override {
+    return fn_(threat, ctx);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Static (descriptive) negotiation: accept when the degree is at least the
+/// effective minimum (per-constraint rule or application-wide default) and
+/// every possibly-stale accessed object satisfies the constraint's
+/// freshness criterion for its class (Section 4.2.3).
+[[nodiscard]] inline bool static_negotiation_accepts(
+    const Constraint& constraint, SatisfactionDegree effective_min,
+    SatisfactionDegree degree, ConstraintValidationContext& ctx,
+    const StalenessOracle& oracle, SimTime now) {
+  if (!at_least(degree, effective_min)) return false;
+  const FreshnessCriteria& criteria = constraint.freshness_criteria();
+  if (criteria.empty()) return true;
+  for (ObjectId id : ctx.accessed_objects()) {
+    if (!oracle.possibly_stale(id)) continue;
+    const Entity& e = ctx.read(id);
+    auto it = criteria.find(e.cls().name());
+    if (it == criteria.end()) continue;
+    const std::uint64_t gap = e.estimated_latest_version(now) - e.version();
+    if (gap > it->second) return false;
+  }
+  return true;
+}
+
+}  // namespace dedisys

@@ -1,0 +1,79 @@
+// Runtime constraints defined by OCL expressions.
+//
+// Closes the loop from design-phase OCL (Fig. 1.6) to explicit runtime
+// constraints (Listing 1.2): an OclConstraint parses the design-time
+// expression once and evaluates it against the context entity's attributes
+// and the invocation arguments — no hand-written validate() body needed.
+// Constraint descriptors embed the expression in an <ocl> element
+// (Section 4.2.2).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "constraints/constraint.h"
+#include "ocl/ocl.h"
+
+namespace dedisys {
+
+/// OCL environment over a middleware entity: `self.<attr>` reads boxed
+/// entity attributes (recorded as object accesses through the validation
+/// context), `arg<N>` reads the intercepted invocation's arguments.
+class EntityOclEnv final : public OclEnv {
+ public:
+  explicit EntityOclEnv(ConstraintValidationContext& ctx) : ctx_(&ctx) {}
+
+  [[nodiscard]] OclValue attribute(const std::string& name) const override {
+    const Value& v = ctx_->context_entity().get(name);
+    return to_ocl(v, name);
+  }
+
+  [[nodiscard]] OclValue argument(std::size_t index) const override {
+    const auto& args = ctx_->arguments();
+    if (index >= args.size()) {
+      throw DedisysError("OCL arg index out of range");
+    }
+    return to_ocl(args[index], "arg" + std::to_string(index));
+  }
+
+ private:
+  static OclValue to_ocl(const Value& v, const std::string& what) {
+    if (std::holds_alternative<std::int64_t>(v)) {
+      return OclValue{std::get<std::int64_t>(v)};
+    }
+    if (std::holds_alternative<double>(v)) {
+      return OclValue{std::get<double>(v)};
+    }
+    if (std::holds_alternative<std::string>(v)) {
+      return OclValue{std::get<std::string>(v)};
+    }
+    if (std::holds_alternative<bool>(v)) {
+      return OclValue{static_cast<double>(std::get<bool>(v))};
+    }
+    throw DedisysError("OCL cannot evaluate non-scalar value " + what);
+  }
+
+  ConstraintValidationContext* ctx_;
+};
+
+class OclConstraint final : public Constraint {
+ public:
+  OclConstraint(std::string name, ConstraintType type,
+                ConstraintPriority prio, const std::string& expression)
+      : Constraint(std::move(name), type, prio),
+        source_(expression),
+        expr_(parse_ocl(expression)) {}
+
+  [[nodiscard]] const std::string& expression() const { return source_; }
+
+  bool validate(ConstraintValidationContext& ctx) override {
+    EntityOclEnv env(ctx);
+    return ocl_check(expr_, env);
+  }
+
+ private:
+  std::string source_;
+  OclExpr expr_;
+};
+
+}  // namespace dedisys

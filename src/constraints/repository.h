@@ -1,0 +1,169 @@
+// Constraint repository (Sections 2.1.4, 4.2.2).
+//
+// All constraints of an application are registered here together with
+// their affected methods and context-preparation rules.  The repository
+// can be queried by (class, method, constraint type); constraints can be
+// added, removed, enabled and disabled at runtime — the flexibility that
+// motivates explicit runtime constraints in the first place.
+//
+// Two search modes reproduce the Chapter-2 study: a naive scan that walks
+// every registration per query, and an optimized mode that caches query
+// results in a hash table keyed by class+method+type (Section 2.2.1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "objects/class_descriptor.h"
+#include "util/errors.h"
+
+namespace dedisys {
+
+/// How to derive the context object from an intercepted invocation
+/// (the <preparation-class> of Listing 4.1).
+enum class ContextPreparationKind {
+  None,            ///< Constraint needs no context object (query-based).
+  CalledObject,    ///< The called object is the context object.
+  ReferenceGetter, ///< Follow a reference: call `getter` on the called object.
+};
+
+struct ContextPreparation {
+  ContextPreparationKind kind = ContextPreparationKind::CalledObject;
+  /// Getter method name for ReferenceGetter (e.g. "getRepairReport").
+  std::string getter;
+};
+
+struct AffectedMethod {
+  std::string class_name;
+  MethodSignature method;
+  ContextPreparation preparation;
+};
+
+struct ConstraintRegistration {
+  ConstraintPtr constraint;
+  /// Context class for invariant constraints (may be empty).
+  std::string context_class;
+  std::vector<AffectedMethod> affected_methods;
+};
+
+class ConstraintRepository {
+ public:
+  struct Match {
+    Constraint* constraint;
+    const ContextPreparation* preparation;
+  };
+
+  // -- runtime management ---------------------------------------------------
+
+  void register_constraint(ConstraintRegistration reg) {
+    if (!reg.constraint) throw ConfigError("null constraint registration");
+    const std::string& name = reg.constraint->name();
+    if (by_name_.count(name) != 0) {
+      throw ConfigError("duplicate constraint name: " + name);
+    }
+    by_name_[name] = registrations_.size();
+    registrations_.push_back(std::move(reg));
+    invalidate_cache();
+  }
+
+  /// Removes a constraint at runtime.
+  void remove(const std::string& name) {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) throw ConfigError("unknown constraint: " + name);
+    registrations_.erase(registrations_.begin() +
+                         static_cast<std::ptrdiff_t>(it->second));
+    by_name_.clear();
+    for (std::size_t i = 0; i < registrations_.size(); ++i) {
+      by_name_[registrations_[i].constraint->name()] = i;
+    }
+    invalidate_cache();
+  }
+
+  void set_enabled(const std::string& name, bool enabled) {
+    find(name).set_enabled(enabled);
+    invalidate_cache();
+  }
+
+  [[nodiscard]] Constraint& find(const std::string& name) {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) throw ConfigError("unknown constraint: " + name);
+    return *registrations_[it->second].constraint;
+  }
+
+  [[nodiscard]] const ConstraintRegistration* registration(
+      const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : &registrations_[it->second];
+  }
+
+  [[nodiscard]] const std::vector<ConstraintRegistration>& registrations()
+      const {
+    return registrations_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return registrations_.size(); }
+
+  // -- search ----------------------------------------------------------------
+
+  /// Enables/disables the query cache (the "optimized repository").
+  void set_caching(bool on) {
+    caching_ = on;
+    invalidate_cache();
+  }
+
+  /// All enabled constraints of `type` affected by `method` on
+  /// `class_name`, each with its context-preparation rule.
+  const std::vector<Match>& lookup(const std::string& class_name,
+                                   const MethodSignature& method,
+                                   ConstraintType type) {
+    ++searches_;
+    if (!caching_) {
+      scratch_ = search(class_name, method, type);
+      return scratch_;
+    }
+    const std::string key =
+        class_name + '#' + method.key() + '#' +
+        std::to_string(static_cast<int>(type));
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    auto [ins, _] = cache_.emplace(key, search(class_name, method, type));
+    return ins->second;
+  }
+
+  [[nodiscard]] std::size_t search_count() const { return searches_; }
+
+ private:
+  /// Linear scan over every registration and affected method — the
+  /// non-optimized search whose cost dominates Fig. 2.2.
+  std::vector<Match> search(const std::string& class_name,
+                            const MethodSignature& method,
+                            ConstraintType type) const {
+    std::vector<Match> out;
+    const std::string method_key = method.key();
+    for (const auto& reg : registrations_) {
+      Constraint& c = *reg.constraint;
+      if (!c.enabled() || c.type() != type) continue;
+      for (const auto& am : reg.affected_methods) {
+        if (am.class_name == class_name && am.method.key() == method_key) {
+          out.push_back(Match{&c, &am.preparation});
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  void invalidate_cache() { cache_.clear(); }
+
+  std::vector<ConstraintRegistration> registrations_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+  bool caching_ = true;
+  std::unordered_map<std::string, std::vector<Match>> cache_;
+  std::vector<Match> scratch_;
+  std::size_t searches_ = 0;
+};
+
+}  // namespace dedisys

@@ -1,0 +1,75 @@
+// Satisfaction degrees and constraint-check categories (Section 3.1).
+//
+// In a partitioned system a validation may run on stale backups (LCC) or
+// not at all (NCC), which extends the boolean outcome to five degrees with
+// the total order
+//     violated < uncheckable < possibly_violated < possibly_satisfied
+//              < satisfied.
+// A *consistency threat* is any of the three middle degrees.
+#pragma once
+
+#include <string>
+
+#include "util/errors.h"
+
+namespace dedisys {
+
+enum class SatisfactionDegree {
+  Violated = 0,
+  Uncheckable = 1,
+  PossiblyViolated = 2,
+  PossiblySatisfied = 3,
+  Satisfied = 4,
+};
+
+/// Category of an individual constraint check (Section 3.1).
+enum class CheckCategory {
+  FCC,  ///< Full check: all affected objects up to date.
+  LCC,  ///< Limited check: some affected objects possibly stale.
+  NCC,  ///< No check possible: some affected object unreachable.
+};
+
+[[nodiscard]] inline bool is_threat(SatisfactionDegree d) {
+  return d == SatisfactionDegree::Uncheckable ||
+         d == SatisfactionDegree::PossiblyViolated ||
+         d == SatisfactionDegree::PossiblySatisfied;
+}
+
+/// Combines degrees of a constraint set into the overall outcome
+/// (Section 3.1): the minimum under the total order above.
+[[nodiscard]] inline SatisfactionDegree combine(SatisfactionDegree a,
+                                                SatisfactionDegree b) {
+  return static_cast<int>(a) < static_cast<int>(b) ? a : b;
+}
+
+[[nodiscard]] inline bool at_least(SatisfactionDegree d,
+                                   SatisfactionDegree minimum) {
+  return static_cast<int>(d) >= static_cast<int>(minimum);
+}
+
+[[nodiscard]] inline std::string to_string(SatisfactionDegree d) {
+  switch (d) {
+    case SatisfactionDegree::Violated: return "violated";
+    case SatisfactionDegree::Uncheckable: return "uncheckable";
+    case SatisfactionDegree::PossiblyViolated: return "possibly_violated";
+    case SatisfactionDegree::PossiblySatisfied: return "possibly_satisfied";
+    case SatisfactionDegree::Satisfied: return "satisfied";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline SatisfactionDegree degree_from_string(
+    const std::string& s) {
+  if (s == "violated" || s == "VIOLATED") return SatisfactionDegree::Violated;
+  if (s == "uncheckable" || s == "UNCHECKABLE")
+    return SatisfactionDegree::Uncheckable;
+  if (s == "possibly_violated" || s == "POSSIBLY_VIOLATED")
+    return SatisfactionDegree::PossiblyViolated;
+  if (s == "possibly_satisfied" || s == "POSSIBLY_SATISFIED")
+    return SatisfactionDegree::PossiblySatisfied;
+  if (s == "satisfied" || s == "SATISFIED")
+    return SatisfactionDegree::Satisfied;
+  throw ConfigError("unknown satisfaction degree: " + s);
+}
+
+}  // namespace dedisys

@@ -1,0 +1,208 @@
+// Consistency threats and their persistent store (Sections 3.1, 3.2.2).
+//
+// An accepted threat is remembered durably so the reconciliation phase can
+// re-evaluate it after partitions merge.  Two storage policies implement
+// the Section-5.5.1 trade-off:
+//   * FullHistory   — every occurrence is persisted (needed when the
+//                     application wants rollback/undo to intermediate
+//                     states),
+//   * IdenticalOnce — threats with the same identity (constraint +
+//                     context object) are persisted once; later
+//                     occurrences only cost a read to detect the duplicate.
+//
+// Matching the paper's measurements, a new threat costs three durable
+// records (threat row + two associated-object rows) and each additional
+// identical occurrence under FullHistory costs two more.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/satisfaction.h"
+#include "persist/record_store.h"
+#include "util/ids.h"
+#include "util/sim_clock.h"
+
+namespace dedisys {
+
+/// Application-supplied instructions attached to an accepted threat
+/// (Section 3.2.2).
+struct ReconciliationInstructions {
+  /// Rollback/undo to historical states may be attempted for violations.
+  bool allow_rollback = false;
+  /// Notify the application when the constraint turned out satisfied but a
+  /// replica conflict was involved (Section 3.3).
+  bool notify_on_replica_conflict = false;
+};
+
+struct ConsistencyThreat {
+  std::string constraint_name;
+  /// Context object for re-evaluation; invalid when the constraint starts
+  /// from a query instead of a context object.
+  ObjectId context_object;
+  SatisfactionDegree degree = SatisfactionDegree::Uncheckable;
+  std::vector<ObjectId> affected_objects;
+  /// Opaque application-specific data associated during negotiation.
+  std::string application_data;
+  ReconciliationInstructions instructions;
+  SimTime occurred_at = 0;
+
+  /// Two threats are identical iff they refer to the same constraint and
+  /// the same context object (Section 3.2.2).
+  [[nodiscard]] std::string identity() const {
+    return constraint_name + '@' +
+           (context_object.valid() ? to_string(context_object) : "-");
+  }
+};
+
+enum class ThreatHistoryPolicy { FullHistory, IdenticalOnce };
+
+/// A stored threat identity plus how many identical occurrences exist.
+struct StoredThreat {
+  ConsistencyThreat threat;
+  std::size_t occurrences = 1;
+};
+
+class ThreatStore {
+ public:
+  explicit ThreatStore(RecordStore& db) : db_(&db) {}
+
+  [[nodiscard]] ThreatHistoryPolicy policy() const { return policy_; }
+  void set_policy(ThreatHistoryPolicy p) { policy_ = p; }
+
+  /// Persists a threat occurrence; returns true when this identity was new.
+  bool store(const ConsistencyThreat& threat) {
+    const std::string key = threat.identity();
+    const bool exists = db_->contains(kTable, key);
+    if (!exists) {
+      db_->put(kTable, key, serialize(threat));
+      // Two associated-object records (affected objects, app data).
+      db_->put(kObjectsTable, key + "/objects", {});
+      db_->put(kObjectsTable, key + "/appdata", {});
+      counts_[key] = 1;
+      return true;
+    }
+    ++counts_[key];
+    if (policy_ == ThreatHistoryPolicy::FullHistory) {
+      const std::string occ_key =
+          key + '#' + std::to_string(counts_[key]);
+      db_->put(kHistoryTable, occ_key, serialize(threat));
+      db_->put(kObjectsTable, occ_key + "/objects", {});
+    }
+    return false;
+  }
+
+  /// Removes a threat identity and all identical occurrences.  Identical
+  /// occurrences are range-deleted in one statement.
+  void remove(const std::string& identity) {
+    auto it = counts_.find(identity);
+    if (it == counts_.end()) return;
+    db_->erase(kTable, identity);
+    db_->erase(kObjectsTable, identity + "/objects");
+    db_->erase(kObjectsTable, identity + "/appdata");
+    if (policy_ == ThreatHistoryPolicy::FullHistory && it->second > 1) {
+      db_->erase_prefix(kHistoryTable, identity + "#");
+      db_->erase_prefix(kObjectsTable, identity + "#");
+    }
+    counts_.erase(it);
+  }
+
+  /// Loads every stored threat identity with its occurrence count
+  /// (reconciliation re-evaluates identical threats only once).
+  [[nodiscard]] std::vector<StoredThreat> load_all() {
+    std::vector<StoredThreat> out;
+    for (const auto& [key, record] : db_->scan(kTable)) {
+      StoredThreat st;
+      st.threat = deserialize(record);
+      auto it = counts_.find(key);
+      st.occurrences = it == counts_.end() ? 1 : it->second;
+      out.push_back(std::move(st));
+    }
+    return out;
+  }
+
+  /// Rebuilds the in-memory identity index from durable rows — the
+  /// recovery path after a node pause-crash (the paper's threats are
+  /// "persistently stored by the middleware").  Occurrence counts under
+  /// the full-history policy are restored from the history table.
+  void rebuild_index() {
+    counts_.clear();
+    for (const auto& [key, record] : db_->scan(kTable)) {
+      counts_[key] = 1;
+    }
+    for (const auto& [key, record] : db_->scan(kHistoryTable)) {
+      const std::size_t hash = key.rfind('#');
+      if (hash == std::string::npos) continue;
+      auto it = counts_.find(key.substr(0, hash));
+      if (it != counts_.end()) ++it->second;
+    }
+  }
+
+  [[nodiscard]] std::size_t identity_count() const { return counts_.size(); }
+
+  [[nodiscard]] std::size_t total_occurrences() const {
+    std::size_t n = 0;
+    for (const auto& [key, c] : counts_) n += c;
+    return n;
+  }
+
+  [[nodiscard]] bool has(const std::string& identity) const {
+    return counts_.count(identity) != 0;
+  }
+
+  // -- (de)serialization ------------------------------------------------------
+
+  static AttributeMap serialize(const ConsistencyThreat& t) {
+    AttributeMap m;
+    m["constraint"] = t.constraint_name;
+    m["context"] = t.context_object.valid()
+                       ? Value{t.context_object}
+                       : Value{};
+    m["degree"] = static_cast<std::int64_t>(t.degree);
+    m["appdata"] = t.application_data;
+    m["allow_rollback"] = t.instructions.allow_rollback;
+    m["notify_conflict"] = t.instructions.notify_on_replica_conflict;
+    m["occurred_at"] = static_cast<std::int64_t>(t.occurred_at);
+    std::string objs;
+    for (ObjectId o : t.affected_objects) {
+      if (!objs.empty()) objs += ',';
+      objs += to_string(o);
+    }
+    m["objects"] = objs;
+    return m;
+  }
+
+  static ConsistencyThreat deserialize(const AttributeMap& m) {
+    ConsistencyThreat t;
+    t.constraint_name = as_string(m.at("constraint"));
+    if (!is_null(m.at("context"))) t.context_object = as_object(m.at("context"));
+    t.degree = static_cast<SatisfactionDegree>(as_int(m.at("degree")));
+    t.application_data = as_string(m.at("appdata"));
+    t.instructions.allow_rollback = as_bool(m.at("allow_rollback"));
+    t.instructions.notify_on_replica_conflict =
+        as_bool(m.at("notify_conflict"));
+    t.occurred_at = as_int(m.at("occurred_at"));
+    const std::string& objs = as_string(m.at("objects"));
+    std::size_t start = 0;
+    while (start < objs.size()) {
+      std::size_t end = objs.find(',', start);
+      if (end == std::string::npos) end = objs.size();
+      t.affected_objects.push_back(
+          ObjectId{std::stoull(objs.substr(start, end - start))});
+      start = end + 1;
+    }
+    return t;
+  }
+
+ private:
+  static constexpr const char* kTable = "threats";
+  static constexpr const char* kObjectsTable = "threat_objects";
+  static constexpr const char* kHistoryTable = "threat_history";
+
+  RecordStore* db_;
+  ThreatHistoryPolicy policy_ = ThreatHistoryPolicy::IdenticalOnce;
+  std::map<std::string, std::size_t> counts_;
+};
+
+}  // namespace dedisys

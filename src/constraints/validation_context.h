@@ -1,0 +1,140 @@
+// ConstraintValidationContext (Fig. 4.3) with object-access tracking.
+//
+// A validation context carries the called object, the context object, the
+// invoked method, its arguments and (for postconditions) the result.  All
+// object access inside validate() flows through the context so the CCMgr
+// can, after validation returns, ask the replication service whether any
+// accessed object was possibly stale (Fig. 4.4) and derive the
+// satisfaction degree accordingly.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "objects/entity.h"
+#include "objects/method_context.h"
+#include "objects/value.h"
+#include "util/errors.h"
+#include "util/ids.h"
+
+namespace dedisys {
+
+/// Answers staleness/reachability questions about local object views.
+/// Implemented by the replication service; a trivial implementation for
+/// non-replicated deployments reports everything fresh.
+class StalenessOracle {
+ public:
+  virtual ~StalenessOracle() = default;
+
+  /// True when updates to `id` may have happened in another partition
+  /// (the local view may have missed them).
+  virtual bool possibly_stale(ObjectId id) const = 0;
+
+  /// True when some replica of `id` is reachable from this node.
+  virtual bool reachable(ObjectId id) const = 0;
+};
+
+/// Oracle for single-node / healthy deployments: everything fresh.
+class AlwaysFreshOracle final : public StalenessOracle {
+ public:
+  bool possibly_stale(ObjectId) const override { return false; }
+  bool reachable(ObjectId) const override { return true; }
+};
+
+class ConstraintValidationContext {
+ public:
+  /// Enumerates the logical objects of a class (query-based constraints
+  /// that need no context object obtain their affected objects this way,
+  /// Section 3.2.2 case 2).
+  using ObjectQuery =
+      std::function<std::vector<ObjectId>(const std::string& class_name)>;
+
+  ConstraintValidationContext(ObjectAccessor& objects, NodeId node, TxId tx)
+      : objects_(&objects), node_(node), tx_(tx) {}
+
+  // -- invocation details ------------------------------------------------
+
+  void set_called_object(ObjectId id) { called_object_ = id; }
+  void set_context_object(ObjectId id) { context_object_ = id; }
+  void set_method(const MethodSignature* m) { method_ = m; }
+  void set_arguments(const std::vector<Value>* args) { args_ = args; }
+  void set_result(const Value* r) { result_ = r; }
+
+  [[nodiscard]] ObjectId called_object() const { return called_object_; }
+  [[nodiscard]] ObjectId context_object() const { return context_object_; }
+  [[nodiscard]] const MethodSignature* method() const { return method_; }
+  [[nodiscard]] const std::vector<Value>& arguments() const {
+    static const std::vector<Value> kNone;
+    return args_ != nullptr ? *args_ : kNone;
+  }
+  [[nodiscard]] const Value& result() const {
+    static const Value kNone;
+    return result_ != nullptr ? *result_ : kNone;
+  }
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] TxId tx() const { return tx_; }
+
+  // -- partition awareness (Section 5.5.2) ----------------------------------
+
+  void set_partition_weight(double w) { partition_weight_ = w; }
+  void set_degraded(bool d) { degraded_ = d; }
+
+  /// This partition's share of the total node weight; 1.0 when healthy.
+  [[nodiscard]] double partition_weight() const { return partition_weight_; }
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
+  // -- tracked object access ---------------------------------------------
+
+  /// Reads the local view of a logical object, recording the access.
+  /// Throws ObjectUnreachable when no replica is reachable.
+  const Entity& read(ObjectId id) {
+    accessed_.insert(id);
+    return objects_->read(id);
+  }
+
+  /// Convenience: context object entity (throws if none was prepared).
+  const Entity& context_entity() {
+    if (!context_object_.valid()) {
+      throw ConfigError("constraint requires a context object");
+    }
+    return read(context_object_);
+  }
+
+  [[nodiscard]] const std::unordered_set<ObjectId>& accessed_objects() const {
+    return accessed_;
+  }
+
+  // -- query-based validation ------------------------------------------------
+
+  void set_object_query(const ObjectQuery* query) { query_ = query; }
+
+  /// All logical objects of `class_name` (for constraints whose validation
+  /// "starts from a set of objects, obtained by a query operation").
+  [[nodiscard]] std::vector<ObjectId> objects_of(
+      const std::string& class_name) const {
+    if (query_ == nullptr || !*query_) {
+      throw ConfigError("no object query configured for this context");
+    }
+    return (*query_)(class_name);
+  }
+
+ private:
+  ObjectAccessor* objects_;
+  NodeId node_;
+  TxId tx_;
+  ObjectId called_object_;
+  ObjectId context_object_;
+  const MethodSignature* method_ = nullptr;
+  const std::vector<Value>* args_ = nullptr;
+  const Value* result_ = nullptr;
+  double partition_weight_ = 1.0;
+  bool degraded_ = false;
+  const ObjectQuery* query_ = nullptr;
+  std::unordered_set<ObjectId> accessed_;
+};
+
+}  // namespace dedisys

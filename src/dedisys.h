@@ -1,0 +1,44 @@
+// Umbrella header: the public API of the DeDiSys-C++ middleware.
+//
+// #include "dedisys.h" pulls in everything an application developer needs:
+// the cluster harness, explicit runtime constraints (hand-written or OCL),
+// descriptor loading, negotiation and reconciliation callbacks, threat
+// inspection, the Web callback bridges and the scripting driver.
+#pragma once
+
+// Core middleware
+#include "middleware/cluster.h"   // Cluster, ClusterConfig, DedisysNode
+#include "middleware/admin.h"     // AdminConsole
+#include "middleware/metrics.h"   // collect_metrics, render_metrics
+#include "middleware/mode.h"      // SystemMode
+
+// Constraints
+#include "constraints/ccmgr.h"           // ConstraintConsistencyManager
+#include "constraints/config.h"          // XML descriptors, ConstraintFactory
+#include "constraints/config_writer.h"   // descriptor serialization
+#include "constraints/constraint.h"      // Constraint, FunctionConstraint
+#include "constraints/negotiation.h"     // NegotiationHandler
+#include "constraints/ocl_constraint.h"  // OclConstraint
+#include "constraints/repository.h"      // ConstraintRepository
+#include "constraints/satisfaction.h"    // SatisfactionDegree
+#include "constraints/threats.h"         // ConsistencyThreat, ThreatStore
+
+// Replication
+#include "replication/adapt.h"       // component monitors
+#include "replication/manager.h"     // ReplicationManager
+#include "replication/protocol.h"    // ReplicationProtocol
+#include "replication/reconciler.h"  // ReplicaConsistencyHandler
+
+// Transactions and persistence
+#include "persist/snapshot.h"  // save_snapshot / load_snapshot
+#include "tx/tx_manager.h"     // TransactionManager, TxScope
+
+// Web front-ends
+#include "web/bridge.h"        // request/response negotiation bridge
+#include "web/push_channel.h"  // persistent-connection push callbacks
+
+// Utilities
+#include "util/errors.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"

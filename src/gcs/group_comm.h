@@ -1,0 +1,54 @@
+// Group communication primitives (Spread substitute).
+//
+// Update propagation in the replication service uses a synchronous, acked
+// multicast: the primary sends state to all reachable backups and waits for
+// confirmations (Section 4.3).  Because the whole cluster lives in one
+// process, "delivery" is a direct call per receiver; this class contributes
+// the cost accounting and the reachability filtering.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sim/network.h"
+#include "util/ids.h"
+
+namespace dedisys {
+
+class GroupCommunication {
+ public:
+  explicit GroupCommunication(SimNetwork& net) : net_(net) {}
+
+  /// Synchronous acked multicast: invokes `deliver(node)` for every
+  /// reachable member other than `from`, charging multicast plus one
+  /// aggregate confirmation round.  Returns the number of nodes reached.
+  std::size_t multicast(NodeId from, const std::vector<NodeId>& members,
+                        const std::function<void(NodeId)>& deliver) {
+    const std::size_t reached = net_.charge_multicast(from, members);
+    for (NodeId m : members) {
+      if (m != from && net_.reachable(from, m)) deliver(m);
+    }
+    if (reached > 0) {
+      // Confirmation messages from the backups travel back to the primary
+      // in parallel; charge a single response latency.
+      net_.clock().advance(net_.cost().rpc_latency);
+    }
+    return reached;
+  }
+
+  /// Synchronous point-to-point request; returns false when unreachable.
+  bool send(NodeId from, NodeId to, const std::function<void()>& deliver) {
+    if (!net_.charge_rpc(from, to)) return false;
+    deliver();
+    if (from != to) net_.clock().advance(net_.cost().rpc_latency);  // reply
+    return true;
+  }
+
+  SimNetwork& network() { return net_; }
+
+ private:
+  SimNetwork& net_;
+};
+
+}  // namespace dedisys

@@ -1,0 +1,90 @@
+// Group membership service (GMS).
+//
+// One instance runs per node.  It watches the simulated network for
+// topology changes, derives the node's current view and notifies listeners
+// (the replication service, the middleware kernel).  Node weights support
+// the weighted-partition mechanism of Section 5.5.2: the GMS computes the
+// current partition's weight relative to the whole system, which
+// partition-sensitive constraints use to apportion partitionable resources.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gcs/view.h"
+#include "sim/network.h"
+#include "util/ids.h"
+
+namespace dedisys {
+
+/// Static per-node weights shared by all GMS instances of a cluster
+/// (Gifford-style weighted voting, Section 5.5.2).
+class NodeWeights {
+ public:
+  void set(NodeId node, double weight) { weights_[node] = weight; }
+
+  [[nodiscard]] double of(NodeId node) const {
+    auto it = weights_.find(node);
+    return it == weights_.end() ? 1.0 : it->second;
+  }
+
+  [[nodiscard]] double total(const std::vector<NodeId>& nodes) const {
+    double sum = 0;
+    for (NodeId n : nodes) sum += of(n);
+    return sum;
+  }
+
+ private:
+  std::unordered_map<NodeId, double> weights_;
+};
+
+class GroupMembershipService : public TopologyListener {
+ public:
+  GroupMembershipService(SimNetwork& net, NodeId self,
+                         std::shared_ptr<NodeWeights> weights)
+      : net_(net), self_(self), weights_(std::move(weights)) {
+    net_.subscribe(this);
+    recompute(/*force=*/true);
+  }
+
+  ~GroupMembershipService() override { net_.unsubscribe(this); }
+
+  GroupMembershipService(const GroupMembershipService&) = delete;
+  GroupMembershipService& operator=(const GroupMembershipService&) = delete;
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] const View& current_view() const { return view_; }
+
+  void subscribe(ViewListener* listener) { listeners_.push_back(listener); }
+
+  void on_topology_changed() override { recompute(/*force=*/false); }
+
+ private:
+  void recompute(bool force) {
+    std::vector<NodeId> members = net_.reachable_set(self_);
+    std::sort(members.begin(), members.end());
+    if (!force && members == view_.members) return;
+
+    View previous = view_;
+    view_.id = ViewId{next_view_id_++};
+    view_.members = std::move(members);
+    view_.complete = view_.members.size() == net_.nodes().size();
+    const double total = weights_->total(net_.nodes());
+    view_.weight_fraction =
+        total > 0 ? weights_->total(view_.members) / total : 1.0;
+    if (!force) {
+      for (auto* l : listeners_) l->on_view_installed(view_, previous);
+    }
+  }
+
+  SimNetwork& net_;
+  NodeId self_;
+  std::shared_ptr<NodeWeights> weights_;
+  View view_;
+  std::uint64_t next_view_id_ = 1;
+  std::vector<ViewListener*> listeners_;
+};
+
+}  // namespace dedisys

@@ -1,0 +1,52 @@
+// Group-membership views.
+//
+// A view is the set of nodes a given node can currently communicate with.
+// View changes are the signal that moves the system between the three major
+// states of Figure 1.4: healthy (full view), degraded (partial view) and
+// reconciliation (previously missing nodes re-appear in the view).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace dedisys {
+
+struct View {
+  ViewId id;
+  /// Members of this view, sorted ascending by NodeId.
+  std::vector<NodeId> members;
+  /// True when the view covers every registered node (healthy system).
+  bool complete = false;
+  /// This partition's share of the total node weight (Section 5.5.2),
+  /// in (0, 1].  1.0 in a healthy system.
+  double weight_fraction = 1.0;
+
+  [[nodiscard]] bool contains(NodeId node) const {
+    return std::binary_search(members.begin(), members.end(), node);
+  }
+
+  /// Deterministic coordinator choice: the smallest member id.
+  [[nodiscard]] NodeId coordinator() const { return members.front(); }
+
+  /// Members present in this view but absent from `previous` — the
+  /// "joined nodes" that trigger the reconciliation phase.
+  [[nodiscard]] std::vector<NodeId> joined_since(const View& previous) const {
+    std::vector<NodeId> out;
+    std::set_difference(members.begin(), members.end(),
+                        previous.members.begin(), previous.members.end(),
+                        std::back_inserter(out));
+    return out;
+  }
+};
+
+/// Observer of view installations on a particular node.
+class ViewListener {
+ public:
+  virtual ~ViewListener() = default;
+  virtual void on_view_installed(const View& installed,
+                                 const View& previous) = 0;
+};
+
+}  // namespace dedisys

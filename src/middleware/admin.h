@@ -1,0 +1,123 @@
+// Administration, deployment and runtime configuration (Fig. 4.1).
+//
+// The paper's architecture has a dedicated administrator role above the
+// middleware: "responsible for proper administration, deployment, and
+// runtime configuration of the middleware as well as the application".
+// This facade bundles those tasks: deploying constraint descriptors,
+// runtime constraint management with re-validation, inspecting stored
+// threats, and snapshotting/restoring durable state.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "constraints/config.h"
+#include "constraints/config_writer.h"
+#include "middleware/cluster.h"
+#include "middleware/metrics.h"
+#include "persist/snapshot.h"
+
+namespace dedisys {
+
+class AdminConsole {
+ public:
+  explicit AdminConsole(Cluster& cluster) : cluster_(&cluster) {}
+
+  // -- deployment ------------------------------------------------------------
+
+  /// Deploys a constraint descriptor (Listing 4.1) into the default
+  /// repository; returns the number of constraints registered.
+  std::size_t deploy_constraints(const std::string& xml,
+                                 const ConstraintFactory& factory = {}) {
+    return load_constraints(xml, factory, cluster_->constraints());
+  }
+
+  /// Serializes the currently deployed default repository.
+  [[nodiscard]] std::string export_constraints() const {
+    return write_constraints_xml(cluster_->constraints());
+  }
+
+  // -- runtime configuration ----------------------------------------------------
+
+  /// Disables a constraint at runtime (relaxing consistency, Section 3.3).
+  void disable_constraint(const std::string& name) {
+    cluster_->constraints().set_enabled(name, false);
+  }
+
+  /// Re-enables a constraint and re-validates it for every context object
+  /// of its context class (required by Section 3.3).  Returns the objects
+  /// found violating — the administrator's clean-up worklist.
+  std::vector<ObjectId> enable_constraint(const std::string& name,
+                                          std::size_t via_node = 0) {
+    cluster_->constraints().set_enabled(name, true);
+    const ConstraintRegistration* reg =
+        cluster_->constraints().registration(name);
+    if (reg == nullptr) throw ConfigError("unknown constraint: " + name);
+    std::vector<ObjectId> context_objects;
+    if (!reg->context_class.empty()) {
+      context_objects = cluster_->objects_of(reg->context_class);
+    }
+    return cluster_->node(via_node).ccmgr().revalidate_for_objects(
+        name, context_objects);
+  }
+
+  // -- inspection ---------------------------------------------------------------
+
+  struct ThreatSummary {
+    std::string identity;
+    std::string constraint;
+    SatisfactionDegree degree;
+    std::size_t occurrences;
+    std::size_t affected_objects;
+  };
+
+  /// Lists stored consistency threats (the administrator's view of the
+  /// degradation damage awaiting reconciliation).
+  [[nodiscard]] std::vector<ThreatSummary> list_threats() {
+    std::vector<ThreatSummary> out;
+    for (const StoredThreat& st : cluster_->threats().load_all()) {
+      out.push_back(ThreatSummary{st.threat.identity(),
+                                  st.threat.constraint_name, st.threat.degree,
+                                  st.occurrences,
+                                  st.threat.affected_objects.size()});
+    }
+    return out;
+  }
+
+  void print_threats(std::ostream& os) {
+    for (const ThreatSummary& t : list_threats()) {
+      os << t.identity << " degree=" << to_string(t.degree)
+         << " occurrences=" << t.occurrences
+         << " affected=" << t.affected_objects << '\n';
+    }
+  }
+
+  [[nodiscard]] ClusterMetrics metrics() { return collect_metrics(*cluster_); }
+
+  // -- durable state ---------------------------------------------------------------
+
+  /// Saves a node's durable store (entities, replica metadata, threats on
+  /// the shared store live in the threat DB, saved separately).
+  void save_node_state(std::size_t node, std::ostream& os) {
+    save_snapshot(cluster_->node(node).db(), os);
+  }
+
+  void restore_node_state(std::size_t node, std::istream& is) {
+    load_snapshot(cluster_->node(node).db(), is);
+  }
+
+  void save_threat_state(std::ostream& os) {
+    save_snapshot(cluster_->threat_db(), os);
+  }
+
+  void restore_threat_state(std::istream& is) {
+    load_snapshot(cluster_->threat_db(), is);
+    cluster_->threats().rebuild_index();
+  }
+
+ private:
+  Cluster* cluster_;
+};
+
+}  // namespace dedisys

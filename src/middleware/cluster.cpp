@@ -1,0 +1,172 @@
+#include "middleware/cluster.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/errors.h"
+
+namespace dedisys {
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  network_ = std::make_unique<SimNetwork>(clock_, config_.cost);
+  tm_ = std::make_unique<TransactionManager>(clock_, network_->cost());
+  gc_ = std::make_unique<GroupCommunication>(*network_);
+  events_ = std::make_unique<EventQueue>(clock_);
+  weights_ = std::make_shared<NodeWeights>();
+  directory_ = std::make_shared<ObjectDirectory>();
+  threat_db_ = std::make_unique<RecordStore>(clock_, network_->cost());
+  threat_store_ = std::make_unique<ThreatStore>(*threat_db_);
+  threat_store_->set_policy(config_.threat_policy);
+
+  for (std::size_t i = 0; i < config_.nodes; ++i) {
+    network_->add_node(NodeId{i});
+  }
+
+  NodeOptions options;
+  options.protocol = config_.protocol;
+  options.with_replication = config_.with_replication;
+  options.with_ccm = config_.with_ccm;
+  options.keep_history = config_.keep_history;
+  options.default_min_degree = config_.default_min_degree;
+  options.reconciliation_policy = config_.reconciliation_policy;
+  for (std::size_t i = 0; i < config_.nodes; ++i) {
+    nodes_.push_back(std::make_unique<DedisysNode>(*this, NodeId{i}, options));
+  }
+
+  std::vector<ReplicationManager*> managers;
+  managers.reserve(nodes_.size());
+  for (auto& n : nodes_) managers.push_back(&n->replication());
+  for (auto& n : nodes_) n->replication().connect_peers(managers);
+}
+
+Cluster::~Cluster() = default;
+
+ConstraintRepository& Cluster::application_constraints(
+    const std::string& name) {
+  auto it = app_repositories_.find(name);
+  if (it == app_repositories_.end()) {
+    it = app_repositories_
+             .emplace(name, std::make_unique<ConstraintRepository>())
+             .first;
+    for (auto& n : nodes_) {
+      n->ccmgr().register_application(name, it->second.get());
+    }
+  }
+  return *it->second;
+}
+
+std::vector<ObjectId> Cluster::objects_of(const std::string& class_name) const {
+  std::vector<ObjectId> out;
+  for (ObjectId id : directory_->all_objects()) {
+    if (directory_->get(id).class_name == class_name) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+DedisysNode* Cluster::node_by_id(NodeId id) {
+  for (auto& n : nodes_) {
+    if (n->id() == id) return n.get();
+  }
+  return nullptr;
+}
+
+void Cluster::split(const std::vector<std::vector<std::size_t>>& groups) {
+  std::vector<std::vector<NodeId>> node_groups;
+  node_groups.reserve(groups.size());
+  for (const auto& g : groups) {
+    std::vector<NodeId> ids;
+    ids.reserve(g.size());
+    for (std::size_t idx : g) ids.push_back(node(idx).id());
+    node_groups.push_back(std::move(ids));
+  }
+  last_partition_groups_ = node_groups;
+  network_->partition(node_groups);
+}
+
+void Cluster::heal() { network_->heal(); }
+
+Cluster::ReconciliationReport Cluster::reconcile(
+    ReplicaConsistencyHandler* replica_handler,
+    ConstraintReconciliationHandler* constraint_handler,
+    std::size_t coordinator) {
+  ReconciliationReport report;
+
+  std::vector<ReplicationManager*> managers;
+  managers.reserve(nodes_.size());
+  for (auto& n : nodes_) managers.push_back(&n->replication());
+  ReplicaReconciler reconciler(managers, clock_, network_->cost());
+
+  // Without explicitly recorded link-failure groups (e.g. recovery from a
+  // node crash), derive the former partitions from the view memberships
+  // the replication managers recorded while degraded: nodes that shared a
+  // degraded-era view formed one partition.
+  std::vector<std::vector<NodeId>> former = last_partition_groups_;
+  if (former.empty()) {
+    std::map<std::vector<NodeId>, std::vector<NodeId>> by_membership;
+    for (auto& n : nodes_) {
+      by_membership[n->replication().degraded_view_members()].push_back(
+          n->id());
+    }
+    for (auto& [membership, group] : by_membership) former.push_back(group);
+  }
+
+  // Step 1: replica reconciliation — propagate missed updates between the
+  // former partitions and resolve write-write conflicts (Fig. 4.6).
+  // Missed updates include the consistency-threat records themselves
+  // (Section 5.2); replica reconciliation cannot benefit from identifying
+  // identical threats and pays per stored row.
+  SimTime t0 = clock_.now();
+  const std::size_t identities = threat_store_->identity_count();
+  const std::size_t occurrences = threat_store_->total_occurrences();
+  std::size_t threat_rows = identities * 3;
+  if (threat_store_->policy() == ThreatHistoryPolicy::FullHistory &&
+      occurrences > identities) {
+    threat_rows += (occurrences - identities) * 2;
+  }
+  // Per row: read, transfer, conflict-check against the local threat
+  // tables and durably apply on the joining side.
+  clock_.advance(static_cast<SimDuration>(threat_rows) *
+                 (config_.cost.db_read + config_.cost.rpc_latency +
+                  config_.cost.state_extraction + config_.cost.db_write +
+                  config_.cost.backup_apply));
+  report.replica = reconciler.reconcile(former, replica_handler);
+  report.replica_time = clock_.now() - t0;
+
+  // Step 2: constraint reconciliation — re-evaluate accepted threats.
+  ConstraintConsistencyManager& ccm = node(coordinator).ccmgr();
+  auto conflict_query = [&reconciler](ObjectId id) {
+    return reconciler.had_conflict(id);
+  };
+  auto try_rollback = [this, &reconciler,
+                       coordinator](const ConsistencyThreat& threat) {
+    const ConstraintRegistration* reg =
+        constraint_repository_.registration(threat.constraint_name);
+    if (reg == nullptr) return false;
+    Constraint* constraint = reg->constraint.get();
+    DedisysNode& n = node(coordinator);
+    auto is_consistent = [&]() {
+      ConstraintValidationContext ctx(n.accessor(), n.id(), TxId{});
+      ctx.set_context_object(threat.context_object);
+      try {
+        return constraint->validate(ctx);
+      } catch (const DedisysError&) {
+        return false;
+      }
+    };
+    return reconciler.try_rollback_search(threat.affected_objects,
+                                          is_consistent);
+  };
+
+  t0 = clock_.now();
+  report.constraints =
+      ccm.reconcile(constraint_handler, conflict_query, try_rollback);
+  report.constraint_time = clock_.now() - t0;
+
+  reconciler.finish();
+  for (auto& n : nodes_) n->set_mode(SystemMode::Healthy);
+  last_partition_groups_.clear();
+  return report;
+}
+
+}  // namespace dedisys

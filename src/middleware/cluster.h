@@ -1,0 +1,131 @@
+// Simulated DeDiSys cluster: shared substrate + node kernels + the
+// reconciliation driver (Fig. 4.6).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "constraints/ccmgr.h"
+#include "constraints/repository.h"
+#include "constraints/threats.h"
+#include "gcs/group_comm.h"
+#include "gcs/membership.h"
+#include "middleware/node.h"
+#include "persist/record_store.h"
+#include "replication/protocol.h"
+#include "replication/reconciler.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "tx/tx_manager.h"
+#include "util/sim_clock.h"
+
+namespace dedisys {
+
+struct ClusterConfig {
+  std::size_t nodes = 3;
+  CostModel cost{};
+  ReplicationProtocol protocol = ReplicationProtocol::PrimaryPartition;
+  /// false = the "No DeDiSys" baseline (independent nodes, no replication).
+  bool with_replication = true;
+  /// false = no constraint consistency management service.
+  bool with_ccm = true;
+  /// Replica history capture during degraded mode (Section 5.5.1).
+  bool keep_history = true;
+  ThreatHistoryPolicy threat_policy = ThreatHistoryPolicy::IdenticalOnce;
+  /// Application-wide fallback for static negotiation.
+  SatisfactionDegree default_min_degree = SatisfactionDegree::Satisfied;
+  /// Business operations on threatened objects during reconciliation.
+  ReconciliationBusinessPolicy reconciliation_policy =
+      ReconciliationBusinessPolicy::Proceed;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // -- shared substrate -------------------------------------------------------
+
+  SimClock& clock() { return clock_; }
+  SimNetwork& network() { return *network_; }
+  /// Cluster-wide distributed transaction manager.
+  TransactionManager& tx() { return *tm_; }
+  GroupCommunication& gc() { return *gc_; }
+  EventQueue& events() { return *events_; }
+  ClassRegistry& classes() { return classes_; }
+  ConstraintRepository& constraints() { return constraint_repository_; }
+
+  /// Per-application constraint repository (created on first use and
+  /// registered with every node's CCMgr).  Constraint names only need to
+  /// be unique within one application (Section 5.3).
+  ConstraintRepository& application_constraints(const std::string& name);
+  ThreatStore& threats() { return *threat_store_; }
+  RecordStore& threat_db() { return *threat_db_; }
+  NodeWeights& weights() { return *weights_; }
+  std::shared_ptr<NodeWeights> weights_ptr() { return weights_; }
+  std::shared_ptr<ObjectDirectory> directory() { return directory_; }
+  const ClusterConfig& config() const { return config_; }
+
+  // -- nodes -------------------------------------------------------------------
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  DedisysNode& node(std::size_t index) { return *nodes_.at(index); }
+  DedisysNode* node_by_id(NodeId id);
+
+  /// All logical objects of `class_name` (query support for constraints
+  /// without a context object, and for re-validation after runtime
+  /// constraint changes).
+  [[nodiscard]] std::vector<ObjectId> objects_of(
+      const std::string& class_name) const;
+
+  // -- failure injection ----------------------------------------------------------
+
+  /// Splits the cluster into partitions of node indices, e.g. {{0,1},{2}}.
+  void split(const std::vector<std::vector<std::size_t>>& groups);
+
+  /// Repairs all link failures; nodes transition to Reconciling mode.
+  void heal();
+
+  // -- reconciliation (Section 4.4) -------------------------------------------------
+
+  struct ReconciliationReport {
+    ReplicaReconcileStats replica;
+    ConstraintConsistencyManager::ReconcileStats constraints;
+    SimDuration replica_time = 0;
+    SimDuration constraint_time = 0;
+  };
+
+  /// Runs both reconciliation steps: replica reconciliation (update
+  /// propagation + conflict resolution), then constraint reconciliation
+  /// (threat re-evaluation + application callbacks).  Nodes return to
+  /// Healthy mode afterwards.
+  ReconciliationReport reconcile(
+      ReplicaConsistencyHandler* replica_handler = nullptr,
+      ConstraintReconciliationHandler* constraint_handler = nullptr,
+      std::size_t coordinator = 0);
+
+ private:
+  ClusterConfig config_;
+  SimClock clock_;
+  std::unique_ptr<SimNetwork> network_;
+  std::unique_ptr<TransactionManager> tm_;
+  std::unique_ptr<GroupCommunication> gc_;
+  std::unique_ptr<EventQueue> events_;
+  std::shared_ptr<NodeWeights> weights_;
+  std::shared_ptr<ObjectDirectory> directory_;
+  ClassRegistry classes_;
+  ConstraintRepository constraint_repository_;
+  std::map<std::string, std::unique_ptr<ConstraintRepository>>
+      app_repositories_;
+  std::unique_ptr<RecordStore> threat_db_;
+  std::unique_ptr<ThreatStore> threat_store_;
+  std::vector<std::unique_ptr<DedisysNode>> nodes_;
+  std::vector<std::vector<NodeId>> last_partition_groups_;
+};
+
+}  // namespace dedisys

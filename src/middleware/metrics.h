@@ -1,0 +1,98 @@
+// Cluster observability: aggregated metrics snapshots.
+//
+// Pulls together the statistics the individual services already track
+// (database I/O, replication propagation, constraint validations, threat
+// counts) into one structure that tests, benchmarks and operators can
+// inspect — the runtime-monitoring face of the middleware.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "middleware/cluster.h"
+
+namespace dedisys {
+
+struct NodeMetrics {
+  NodeId node;
+  SystemMode mode = SystemMode::Healthy;
+  std::size_t db_reads = 0;
+  std::size_t db_writes = 0;
+  std::size_t db_deletes = 0;
+  std::size_t updates_propagated = 0;
+  std::size_t backups_applied = 0;
+  std::size_t history_records = 0;
+  std::size_t validations = 0;
+  std::size_t threats_detected = 0;
+  std::size_t threats_accepted = 0;
+  std::size_t threats_rejected = 0;
+  std::size_t violations = 0;
+};
+
+struct ClusterMetrics {
+  SimTime sim_time = 0;
+  std::size_t stored_threat_identities = 0;
+  std::size_t stored_threat_occurrences = 0;
+  std::size_t live_objects = 0;
+  std::vector<NodeMetrics> nodes;
+
+  /// Sums a per-node counter across the cluster.
+  template <typename Member>
+  [[nodiscard]] std::size_t total(Member member) const {
+    std::size_t sum = 0;
+    for (const NodeMetrics& n : nodes) sum += n.*member;
+    return sum;
+  }
+};
+
+/// Takes a consistent snapshot of the whole cluster's metrics.
+inline ClusterMetrics collect_metrics(Cluster& cluster) {
+  ClusterMetrics out;
+  out.sim_time = cluster.clock().now();
+  out.stored_threat_identities = cluster.threats().identity_count();
+  out.stored_threat_occurrences = cluster.threats().total_occurrences();
+  out.live_objects = cluster.directory()->size();
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    DedisysNode& node = cluster.node(i);
+    NodeMetrics m;
+    m.node = node.id();
+    m.mode = node.mode();
+    m.db_reads = node.db().read_count();
+    m.db_writes = node.db().write_count();
+    m.db_deletes = node.db().delete_count();
+    m.updates_propagated = node.replication().stats().updates_propagated;
+    m.backups_applied = node.replication().stats().backups_applied;
+    m.history_records = node.replication().stats().history_records;
+    m.validations = node.ccmgr().stats().validations;
+    m.threats_detected = node.ccmgr().stats().threats_detected;
+    m.threats_accepted = node.ccmgr().stats().threats_accepted;
+    m.threats_rejected = node.ccmgr().stats().threats_rejected;
+    m.violations = node.ccmgr().stats().violations;
+    out.nodes.push_back(m);
+  }
+  return out;
+}
+
+/// Human-readable rendering (examples, operator tooling).
+inline std::string render_metrics(const ClusterMetrics& m) {
+  std::string out;
+  out += "sim time: " + std::to_string(m.sim_time / 1000) + " ms, objects: " +
+         std::to_string(m.live_objects) + ", threats: " +
+         std::to_string(m.stored_threat_identities) + " (" +
+         std::to_string(m.stored_threat_occurrences) + " occurrences)\n";
+  for (const NodeMetrics& n : m.nodes) {
+    out += "  node " + to_string(n.node) + " [" + to_string(n.mode) + "]" +
+           " db r/w/d=" + std::to_string(n.db_reads) + "/" +
+           std::to_string(n.db_writes) + "/" + std::to_string(n.db_deletes) +
+           " repl prop/apply=" + std::to_string(n.updates_propagated) + "/" +
+           std::to_string(n.backups_applied) +
+           " ccm val/thr/rej/viol=" + std::to_string(n.validations) + "/" +
+           std::to_string(n.threats_accepted) + "/" +
+           std::to_string(n.threats_rejected) + "/" +
+           std::to_string(n.violations) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dedisys

@@ -1,0 +1,23 @@
+// Major system states as perceived by each node (Fig. 1.4).
+#pragma once
+
+#include <string>
+
+namespace dedisys {
+
+enum class SystemMode {
+  Healthy,       ///< No failures or inconsistencies present.
+  Degraded,      ///< Node/link failures present; threats may be introduced.
+  Reconciling,   ///< Failures repaired; inconsistencies being cleaned up.
+};
+
+[[nodiscard]] inline std::string to_string(SystemMode m) {
+  switch (m) {
+    case SystemMode::Healthy: return "healthy";
+    case SystemMode::Degraded: return "degraded";
+    case SystemMode::Reconciling: return "reconciling";
+  }
+  return "?";
+}
+
+}  // namespace dedisys

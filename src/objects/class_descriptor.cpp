@@ -1,0 +1,35 @@
+#include "objects/class_descriptor.h"
+
+#include <cctype>
+
+#include "objects/entity.h"
+#include "objects/method_context.h"
+
+namespace dedisys {
+
+namespace {
+std::string capitalize(std::string s) {
+  if (!s.empty()) s[0] = static_cast<char>(std::toupper(s[0]));
+  return s;
+}
+}  // namespace
+
+void ClassDescriptor::define_property(const std::string& attr,
+                                      Value default_value,
+                                      const std::string& value_type) {
+  define_attribute(attr, std::move(default_value));
+  const std::string cap = capitalize(attr);
+  define_method(
+      MethodSignature{"get" + cap, {}}, MethodKind::Getter,
+      [attr](Entity& self, MethodContext&, const std::vector<Value>&) {
+        return self.get(attr);
+      });
+  define_method(
+      MethodSignature{"set" + cap, {value_type}}, MethodKind::Setter,
+      [attr](Entity& self, MethodContext&, const std::vector<Value>& args) {
+        self.set(attr, args.at(0));
+        return Value{};
+      });
+}
+
+}  // namespace dedisys

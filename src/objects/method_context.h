@@ -1,0 +1,41 @@
+// Execution context handed to method bodies and constraint validators.
+//
+// Methods and constraints never touch peer entities directly; they go
+// through an ObjectAccessor supplied by the middleware.  That indirection
+// is what lets the CCMgr gather the set of objects a validation accessed
+// (Fig. 4.4) and lets the replication service flag possibly stale replicas
+// or throw ObjectUnreachable for the NCC case.
+#pragma once
+
+#include <vector>
+
+#include "objects/class_descriptor.h"
+#include "objects/value.h"
+#include "util/ids.h"
+
+namespace dedisys {
+
+class Entity;
+
+/// Mediated access to logical objects.  Implementations resolve the id to
+/// a local replica (possibly a stale backup) or throw ObjectUnreachable.
+class ObjectAccessor {
+ public:
+  virtual ~ObjectAccessor() = default;
+
+  /// Read access to the local view of a logical object.
+  virtual const Entity& read(ObjectId id) = 0;
+
+  /// Nested invocation on another object (runs through the middleware,
+  /// so interception/constraint checking applies recursively).
+  virtual Value invoke(ObjectId id, const MethodSignature& method,
+                       std::vector<Value> args) = 0;
+};
+
+struct MethodContext {
+  ObjectAccessor& objects;
+  TxId tx;
+  NodeId node;
+};
+
+}  // namespace dedisys

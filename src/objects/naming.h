@@ -1,0 +1,51 @@
+// Naming service (JNDI substitute): name -> logical object bindings.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/errors.h"
+#include "util/ids.h"
+
+namespace dedisys {
+
+class NamingService {
+ public:
+  void bind(const std::string& name, ObjectId id) {
+    auto [it, inserted] = bindings_.emplace(name, id);
+    if (!inserted) throw ConfigError("name already bound: " + name);
+    (void)it;
+  }
+
+  void rebind(const std::string& name, ObjectId id) { bindings_[name] = id; }
+
+  void unbind(const std::string& name) { bindings_.erase(name); }
+
+  [[nodiscard]] ObjectId lookup(const std::string& name) const {
+    auto it = bindings_.find(name);
+    if (it == bindings_.end()) throw ConfigError("unbound name: " + name);
+    return it->second;
+  }
+
+  [[nodiscard]] bool bound(const std::string& name) const {
+    return bindings_.count(name) != 0;
+  }
+
+  /// All bindings whose name starts with `prefix` (query-style constraint
+  /// validation uses this to enumerate context objects).
+  [[nodiscard]] std::vector<ObjectId> list(const std::string& prefix) const {
+    std::vector<ObjectId> out;
+    for (auto it = bindings_.lower_bound(prefix);
+         it != bindings_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      out.push_back(it->second);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, ObjectId> bindings_;
+};
+
+}  // namespace dedisys

@@ -1,0 +1,69 @@
+// Boxed value model for dynamic entities.
+//
+// The paper's entity beans hold attribute values accessed reflectively.
+// We mirror that with a variant-based Value: it gives the middleware a
+// uniform representation for method arguments, attribute state, update
+// propagation payloads and replica snapshots — and it reproduces the boxing
+// costs that matter for the Chapter-2 interceptor study.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "util/ids.h"
+
+namespace dedisys {
+
+/// A dynamically-typed attribute/argument value.  ObjectId values are
+/// references to other logical objects (relationships).
+using Value = std::variant<std::monostate, bool, std::int64_t, double,
+                           std::string, ObjectId>;
+
+/// Ordered map for deterministic snapshots and serialization.
+using AttributeMap = std::map<std::string, Value>;
+
+/// Human-readable rendering (examples, logging, error messages).
+inline std::string to_string(const Value& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "null"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const { return std::to_string(d); }
+    std::string operator()(const std::string& s) const { return '"' + s + '"'; }
+    std::string operator()(ObjectId id) const {
+      return "obj#" + to_string_id(id);
+    }
+    static std::string to_string_id(ObjectId id) {
+      return dedisys::to_string(id);
+    }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+/// Runtime type name of a boxed value (used for method signature matching).
+inline const char* type_name(const Value& v) {
+  switch (v.index()) {
+    case 0: return "null";
+    case 1: return "bool";
+    case 2: return "int";
+    case 3: return "double";
+    case 4: return "string";
+    case 5: return "object";
+    default: return "?";
+  }
+}
+
+inline std::int64_t as_int(const Value& v) { return std::get<std::int64_t>(v); }
+inline bool as_bool(const Value& v) { return std::get<bool>(v); }
+inline double as_double(const Value& v) { return std::get<double>(v); }
+inline const std::string& as_string(const Value& v) {
+  return std::get<std::string>(v);
+}
+inline ObjectId as_object(const Value& v) { return std::get<ObjectId>(v); }
+inline bool is_null(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+}  // namespace dedisys

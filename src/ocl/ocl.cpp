@@ -1,0 +1,296 @@
+#include "ocl/ocl.h"
+
+#include <cctype>
+
+#include "util/errors.h"
+
+namespace dedisys {
+
+namespace {
+
+class NumberNode final : public OclNode {
+ public:
+  explicit NumberNode(double v) : value_(v) {}
+  OclValue eval(const OclEnv&) const override { return OclValue{value_}; }
+
+ private:
+  double value_;
+};
+
+class StringNode final : public OclNode {
+ public:
+  explicit StringNode(std::string v) : value_(std::move(v)) {}
+  OclValue eval(const OclEnv&) const override { return OclValue{value_}; }
+
+ private:
+  std::string value_;
+};
+
+class AttrNode final : public OclNode {
+ public:
+  explicit AttrNode(std::string name) : name_(std::move(name)) {}
+  OclValue eval(const OclEnv& env) const override {
+    return env.attribute(name_);  // reflective string-keyed access
+  }
+
+ private:
+  std::string name_;
+};
+
+class ArgNode final : public OclNode {
+ public:
+  explicit ArgNode(std::size_t index) : index_(index) {}
+  OclValue eval(const OclEnv& env) const override {
+    return env.argument(index_);
+  }
+
+ private:
+  std::size_t index_;
+};
+
+enum class BinOp { Add, Sub, Mul, Div, Lt, Le, Gt, Ge, Eq, Ne, And, Or,
+                   Implies };
+
+class BinaryNode final : public OclNode {
+ public:
+  BinaryNode(BinOp op, OclExpr lhs, OclExpr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  OclValue eval(const OclEnv& env) const override {
+    const OclValue lv = lhs_->eval(env);
+    const OclValue rv = rhs_->eval(env);
+    // String equality/inequality (e.g. self.alarmKind = "Signal").
+    if ((op_ == BinOp::Eq || op_ == BinOp::Ne) &&
+        std::holds_alternative<std::string>(lv) &&
+        std::holds_alternative<std::string>(rv)) {
+      const bool eq = std::get<std::string>(lv) == std::get<std::string>(rv);
+      return OclValue{static_cast<double>(op_ == BinOp::Eq ? eq : !eq)};
+    }
+    const double a = ocl_num(lv);
+    const double b = ocl_num(rv);
+    switch (op_) {
+      case BinOp::Add: return OclValue{a + b};
+      case BinOp::Sub: return OclValue{a - b};
+      case BinOp::Mul: return OclValue{a * b};
+      case BinOp::Div: return OclValue{a / b};
+      case BinOp::Lt: return OclValue{static_cast<double>(a < b)};
+      case BinOp::Le: return OclValue{static_cast<double>(a <= b)};
+      case BinOp::Gt: return OclValue{static_cast<double>(a > b)};
+      case BinOp::Ge: return OclValue{static_cast<double>(a >= b)};
+      case BinOp::Eq: return OclValue{static_cast<double>(a == b)};
+      case BinOp::Ne: return OclValue{static_cast<double>(a != b)};
+      case BinOp::And: return OclValue{static_cast<double>(a != 0 && b != 0)};
+      case BinOp::Or: return OclValue{static_cast<double>(a != 0 || b != 0)};
+      case BinOp::Implies:
+        return OclValue{static_cast<double>(a == 0 || b != 0)};
+    }
+    throw DedisysError("bad OCL operator");
+  }
+
+ private:
+  BinOp op_;
+  OclExpr lhs_;
+  OclExpr rhs_;
+};
+
+class NotNode final : public OclNode {
+ public:
+  explicit NotNode(OclExpr inner) : inner_(std::move(inner)) {}
+  OclValue eval(const OclEnv& env) const override {
+    return OclValue{static_cast<double>(ocl_num(inner_->eval(env)) == 0)};
+  }
+
+ private:
+  OclExpr inner_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : in_(text) {}
+
+  OclExpr parse_document() {
+    OclExpr e = parse_implies();
+    skip_ws();
+    if (pos_ != in_.size()) throw ConfigError("trailing OCL input: " + in_);
+    return e;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool eat_word(const char* w) {
+    skip_ws();
+    const std::size_t len = std::string(w).size();
+    if (in_.compare(pos_, len, w) != 0) return false;
+    const std::size_t end = pos_ + len;
+    if (end < in_.size() &&
+        (std::isalnum(static_cast<unsigned char>(in_[end])) != 0 ||
+         in_[end] == '_')) {
+      return false;  // identifier continues
+    }
+    pos_ = end;
+    return true;
+  }
+
+  bool eat(const char* token) {
+    skip_ws();
+    const std::size_t len = std::string(token).size();
+    if (in_.compare(pos_, len, token) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  OclExpr parse_implies() {
+    OclExpr lhs = parse_or();
+    while (eat_word("implies")) {
+      lhs = std::make_shared<BinaryNode>(BinOp::Implies, lhs, parse_or());
+    }
+    return lhs;
+  }
+
+  OclExpr parse_or() {
+    OclExpr lhs = parse_and();
+    while (eat_word("or")) {
+      lhs = std::make_shared<BinaryNode>(BinOp::Or, lhs, parse_and());
+    }
+    return lhs;
+  }
+
+  OclExpr parse_and() {
+    OclExpr lhs = parse_unary();
+    while (eat_word("and")) {
+      lhs = std::make_shared<BinaryNode>(BinOp::And, lhs, parse_unary());
+    }
+    return lhs;
+  }
+
+  OclExpr parse_unary() {
+    if (eat_word("not")) return std::make_shared<NotNode>(parse_unary());
+    return parse_cmp();
+  }
+
+  OclExpr parse_cmp() {
+    OclExpr lhs = parse_add();
+    skip_ws();
+    static constexpr std::pair<const char*, BinOp> kOps[] = {
+        {"<=", BinOp::Le}, {">=", BinOp::Ge}, {"<>", BinOp::Ne},
+        {"<", BinOp::Lt},  {">", BinOp::Gt},  {"=", BinOp::Eq},
+    };
+    for (const auto& [tok, op] : kOps) {
+      if (eat(tok)) {
+        return std::make_shared<BinaryNode>(op, lhs, parse_add());
+      }
+    }
+    return lhs;
+  }
+
+  OclExpr parse_add() {
+    OclExpr lhs = parse_mul();
+    while (true) {
+      if (eat("+")) {
+        lhs = std::make_shared<BinaryNode>(BinOp::Add, lhs, parse_mul());
+      } else if (eat("-")) {
+        lhs = std::make_shared<BinaryNode>(BinOp::Sub, lhs, parse_mul());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  OclExpr parse_mul() {
+    OclExpr lhs = parse_prim();
+    while (true) {
+      if (eat("*")) {
+        lhs = std::make_shared<BinaryNode>(BinOp::Mul, lhs, parse_prim());
+      } else if (eat("/")) {
+        lhs = std::make_shared<BinaryNode>(BinOp::Div, lhs, parse_prim());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  OclExpr parse_prim() {
+    skip_ws();
+    if (eat_word("true")) return std::make_shared<NumberNode>(1);
+    if (eat_word("false")) return std::make_shared<NumberNode>(0);
+    if (pos_ < in_.size() && (in_[pos_] == '"' || in_[pos_] == '\'')) {
+      return parse_string_literal();
+    }
+    if (eat("(")) {
+      OclExpr e = parse_implies();
+      if (!eat(")")) throw ConfigError("expected ')' in OCL: " + in_);
+      return e;
+    }
+    if (eat_word("self")) {
+      if (!eat(".")) throw ConfigError("expected '.' after self in: " + in_);
+      return std::make_shared<AttrNode>(parse_ident());
+    }
+    if (in_.compare(pos_, 3, "arg") == 0 && pos_ + 3 < in_.size() &&
+        std::isdigit(static_cast<unsigned char>(in_[pos_ + 3])) != 0) {
+      pos_ += 3;
+      const std::size_t idx = static_cast<std::size_t>(in_[pos_] - '0');
+      ++pos_;
+      return std::make_shared<ArgNode>(idx);
+    }
+    return parse_number();
+  }
+
+  std::string parse_ident() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < in_.size() &&
+           (std::isalnum(static_cast<unsigned char>(in_[pos_])) != 0 ||
+            in_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw ConfigError("expected identifier in: " + in_);
+    return in_.substr(start, pos_ - start);
+  }
+
+  OclExpr parse_string_literal() {
+    const char quote = in_[pos_++];
+    const std::size_t start = pos_;
+    while (pos_ < in_.size() && in_[pos_] != quote) ++pos_;
+    if (pos_ >= in_.size()) {
+      throw ConfigError("unterminated string literal in OCL: " + in_);
+    }
+    std::string value = in_.substr(start, pos_ - start);
+    ++pos_;
+    return std::make_shared<StringNode>(std::move(value));
+  }
+
+  OclExpr parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < in_.size() &&
+           (std::isdigit(static_cast<unsigned char>(in_[pos_])) != 0 ||
+            in_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw ConfigError("expected number at '" + in_.substr(pos_) + "'");
+    }
+    return std::make_shared<NumberNode>(std::stod(in_.substr(start, pos_ - start)));
+  }
+
+  std::string in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+OclExpr parse_ocl(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+bool ocl_check(const OclExpr& expr, const OclEnv& env) {
+  return ocl_num(expr->eval(env)) != 0;
+}
+
+}  // namespace dedisys

@@ -1,0 +1,60 @@
+// OCL-like expression interpreter (shared core).
+//
+// Constraints are specified in OCL at design time (Fig. 1.6); this small
+// interpreter makes such expressions executable at runtime — both for the
+// Chapter-2 "Dresden OCL" study approach and for runtime OclConstraint
+// instances loaded from XML descriptors.
+//
+// Grammar:
+//   expr := or ;  or := and ("or" and)* ;  and := unary ("and" unary)*
+//   unary := "not" unary | cmp
+//   cmp  := add (("<="|">="|"<"|">"|"="|"<>") add)?
+//   add  := mul (("+"|"-") mul)* ;  mul := prim (("*"|"/") prim)*
+//   prim := NUMBER | "self" "." IDENT | "arg" DIGIT | "(" expr ")"
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/errors.h"
+
+namespace dedisys {
+
+/// Boxed value produced/consumed by OCL evaluation.
+using OclValue = std::variant<std::monostate, double, std::int64_t, std::string>;
+
+inline double ocl_num(const OclValue& v) {
+  if (std::holds_alternative<double>(v)) return std::get<double>(v);
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return static_cast<double>(std::get<std::int64_t>(v));
+  }
+  throw DedisysError("OCL value is not numeric");
+}
+
+/// Evaluation environment: resolves `self.<attr>` and `arg<N>`.
+class OclEnv {
+ public:
+  virtual ~OclEnv() = default;
+  [[nodiscard]] virtual OclValue attribute(const std::string& name) const = 0;
+  [[nodiscard]] virtual OclValue argument(std::size_t index) const = 0;
+};
+
+class OclNode;
+using OclExpr = std::shared_ptr<const OclNode>;
+
+class OclNode {
+ public:
+  virtual ~OclNode() = default;
+  [[nodiscard]] virtual OclValue eval(const OclEnv& env) const = 0;
+};
+
+/// Parses one OCL boolean expression; throws ConfigError on bad syntax.
+[[nodiscard]] OclExpr parse_ocl(const std::string& text);
+
+/// Evaluates a parsed constraint to a boolean (numeric results: != 0).
+[[nodiscard]] bool ocl_check(const OclExpr& expr, const OclEnv& env);
+
+}  // namespace dedisys

@@ -1,0 +1,71 @@
+// Replica history store.
+//
+// During degraded mode the replication service persists intermediate
+// replica states so that the reconciliation phase can attempt rollbacks to
+// earlier, constraint-consistent states (Sections 3.3 and 4.3).  Keeping
+// this history is the main cost of degraded-mode writes (Fig. 5.2) and the
+// main driver of reconciliation time (Fig. 5.6); applications that do not
+// need rollback disable it ("reduced history", Section 5.5.1).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "objects/entity.h"
+#include "sim/cost_model.h"
+#include "util/ids.h"
+#include "util/sim_clock.h"
+
+namespace dedisys {
+
+struct TimedSnapshot {
+  SimTime when = 0;
+  EntitySnapshot state;
+};
+
+class ReplicaHistoryStore {
+ public:
+  ReplicaHistoryStore(SimClock& clock, const CostModel& cost)
+      : clock_(&clock), cost_(&cost) {}
+
+  /// Persists one historical state (charged as a durable write).
+  void append(const EntitySnapshot& state) {
+    clock_->advance(cost_->history_write);
+    history_[state.id].push_back(TimedSnapshot{clock_->now(), state});
+    ++total_;
+  }
+
+  [[nodiscard]] const std::vector<TimedSnapshot>& history(ObjectId id) const {
+    static const std::vector<TimedSnapshot> kEmpty;
+    auto it = history_.find(id);
+    return it == history_.end() ? kEmpty : it->second;
+  }
+
+  [[nodiscard]] bool has_history(ObjectId id) const {
+    return history_.count(id) != 0;
+  }
+
+  void clear(ObjectId id) {
+    auto it = history_.find(id);
+    if (it != history_.end()) {
+      total_ -= it->second.size();
+      history_.erase(it);
+    }
+  }
+
+  void clear_all() {
+    history_.clear();
+    total_ = 0;
+  }
+
+  [[nodiscard]] std::size_t total_entries() const { return total_; }
+
+ private:
+  SimClock* clock_;
+  const CostModel* cost_;
+  std::unordered_map<ObjectId, std::vector<TimedSnapshot>> history_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dedisys

@@ -1,0 +1,78 @@
+// ADAPT replication-framework extension points (Section 4.3, [BBM+04]).
+//
+// The paper's replication protocol plugs into the application server
+// through the ADAPT framework's *component monitors*:
+//   * the client-side component monitor "can redirect calls to different
+//     servers",
+//   * the server-side component monitor is notified of component events
+//     (creation of, calls to, deletion of entity beans) before and after
+//     control passes to the bean implementation.
+//
+// This header provides those extension points for custom replication
+// behaviour on top of the built-in protocols, plus a ready-made
+// read-balancing client monitor.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "objects/invocation.h"
+#include "util/ids.h"
+
+namespace dedisys {
+
+/// Client-side component monitor: may redirect an invocation to a
+/// different node than the router planned (e.g. to balance read load
+/// across replicas).
+class ClientComponentMonitor {
+ public:
+  virtual ~ClientComponentMonitor() = default;
+
+  /// Returns the node the invocation should execute on.  `planned` is the
+  /// router's choice; `replicas` the nodes holding a copy.  Writes must
+  /// not be redirected away from the primary — the kernel ignores write
+  /// redirections.
+  virtual NodeId redirect(const Invocation& inv, NodeId planned,
+                          const std::vector<NodeId>& replicas) {
+    (void)inv;
+    (void)replicas;
+    return planned;
+  }
+};
+
+/// Server-side component monitor: observes component lifecycle and
+/// invocation processing on the node it is registered with.
+class ServerComponentMonitor {
+ public:
+  virtual ~ServerComponentMonitor() = default;
+
+  virtual void on_created(ObjectId id, const std::string& class_name) {
+    (void)id;
+    (void)class_name;
+  }
+  virtual void before_invocation(const Invocation& inv) { (void)inv; }
+  virtual void after_invocation(const Invocation& inv) { (void)inv; }
+  virtual void on_deleted(ObjectId id) { (void)id; }
+};
+
+/// Ready-made client monitor distributing READ invocations round-robin
+/// over the reachable replicas (the backups serve no update load in the
+/// paper's measurements — "the backup nodes show no CPU load for
+/// non-update operations and hence can serve further client requests",
+/// Section 5.1).
+class RoundRobinReadBalancer final : public ClientComponentMonitor {
+ public:
+  NodeId redirect(const Invocation& inv, NodeId planned,
+                  const std::vector<NodeId>& replicas) override {
+    if (inv.is_write || replicas.empty()) return planned;
+    return replicas[next_++ % replicas.size()];
+  }
+
+  [[nodiscard]] std::size_t dispatched() const { return next_; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+}  // namespace dedisys

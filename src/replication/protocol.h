@@ -1,0 +1,88 @@
+// Replication protocols and the shared object directory.
+//
+// Three protocols are provided:
+//   * PrimaryBackup — classic primary/backup with the primary-partition
+//     rule: writes only where the designated primary is reachable; other
+//     partitions are read-only (the conventional baseline of Section 1.1).
+//   * PrimaryPartition (P4) — the primary-per-partition protocol of
+//     Section 4.3: during degraded mode every partition elects a temporary
+//     primary per object, so writes continue everywhere at the price of
+//     consistency threats.
+//   * AdaptiveVoting — the quorum-based protocol referenced as further
+//     reading: the majority partition keeps reliable (quorum) writes while
+//     minority partitions operate with adapted quorums and threats.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/errors.h"
+#include "util/ids.h"
+
+namespace dedisys {
+
+enum class ReplicationProtocol {
+  PrimaryBackup,
+  PrimaryPartition,  // P4
+  AdaptiveVoting,
+};
+
+[[nodiscard]] inline std::string to_string(ReplicationProtocol p) {
+  switch (p) {
+    case ReplicationProtocol::PrimaryBackup: return "primary-backup";
+    case ReplicationProtocol::PrimaryPartition: return "P4";
+    case ReplicationProtocol::AdaptiveVoting: return "adaptive-voting";
+  }
+  return "?";
+}
+
+/// Cluster-wide object location knowledge (in a real deployment this is
+/// part of the replicated naming/location service).  Maps each logical
+/// object to its class, designated primary and replica set.
+class ObjectDirectory {
+ public:
+  struct Entry {
+    std::string class_name;
+    NodeId designated_primary;
+    std::vector<NodeId> replicas;  ///< nodes hosting a copy, sorted
+    /// Owning application (Section 5.3: the constraint repository is
+    /// application-specific); empty = the default application.
+    std::string application;
+  };
+
+  ObjectId allocate() { return ObjectId{next_id_++}; }
+
+  void add(ObjectId id, Entry entry) { entries_[id] = std::move(entry); }
+
+  void remove(ObjectId id) { entries_.erase(id); }
+
+  [[nodiscard]] bool contains(ObjectId id) const {
+    return entries_.count(id) != 0;
+  }
+
+  [[nodiscard]] const Entry& get(ObjectId id) const {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      throw ObjectUnreachable("unknown object " + to_string(id));
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::vector<ObjectId> all_objects() const {
+    std::vector<ObjectId> out;
+    out.reserve(entries_.size());
+    for (const auto& [id, e] : entries_) out.push_back(id);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<ObjectId, Entry> entries_;
+};
+
+}  // namespace dedisys

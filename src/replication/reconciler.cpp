@@ -1,0 +1,146 @@
+#include "replication/reconciler.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace dedisys {
+
+EntitySnapshot LatestVersionWins::reconcile_replicas(
+    ObjectId, const std::vector<EntitySnapshot>& candidates) {
+  if (candidates.empty()) {
+    throw DedisysError("no candidate replicas to reconcile");
+  }
+  const EntitySnapshot* best = &candidates.front();
+  for (const EntitySnapshot& c : candidates) {
+    if (c.version > best->version) best = &c;
+  }
+  return *best;
+}
+
+ReplicationManager* ReplicaReconciler::manager_of(NodeId node) const {
+  for (auto* m : managers_) {
+    if (m->self() == node) return m;
+  }
+  return nullptr;
+}
+
+std::optional<EntitySnapshot> ReplicaReconciler::latest_in_partition(
+    ObjectId id, const std::vector<NodeId>& partition) const {
+  std::optional<EntitySnapshot> best;
+  for (NodeId n : partition) {
+    ReplicationManager* m = manager_of(n);
+    if (m == nullptr || !m->has_local_replica(id)) continue;
+    EntitySnapshot snap = m->local_replica(id).snapshot();
+    if (!best || snap.version > best->version) best = std::move(snap);
+  }
+  return best;
+}
+
+bool ReplicaReconciler::updated_in_partition(
+    ObjectId id, const std::vector<NodeId>& partition) const {
+  for (NodeId n : partition) {
+    ReplicationManager* m = manager_of(n);
+    if (m != nullptr && m->degraded_updates().count(id) != 0) return true;
+  }
+  return false;
+}
+
+void ReplicaReconciler::apply_everywhere(const EntitySnapshot& snap) {
+  // One propagation round: multicast to every node plus per-node apply.
+  clock_->advance(cost_->multicast_base +
+                  static_cast<SimDuration>(managers_.size()) *
+                      (cost_->multicast_per_receiver + cost_->backup_apply));
+  for (auto* m : managers_) m->apply_snapshot(snap);
+}
+
+ReplicaReconcileStats ReplicaReconciler::reconcile(
+    const std::vector<std::vector<NodeId>>& former_partitions,
+    ReplicaConsistencyHandler* handler) {
+  ReplicaReconcileStats stats;
+  conflicts_.clear();
+  LatestVersionWins generic_policy;
+  ReplicaConsistencyHandler& policy =
+      handler != nullptr ? *handler : static_cast<ReplicaConsistencyHandler&>(
+                                          generic_policy);
+  if (managers_.empty()) return stats;
+
+  for (ObjectId id : managers_.front()->directory().all_objects()) {
+    ++stats.objects_examined;
+
+    // Which former partitions wrote this object during degraded mode?
+    std::vector<EntitySnapshot> updated_candidates;
+    for (const auto& partition : former_partitions) {
+      if (!updated_in_partition(id, partition)) continue;
+      std::optional<EntitySnapshot> snap = latest_in_partition(id, partition);
+      if (snap) updated_candidates.push_back(std::move(*snap));
+    }
+    if (updated_candidates.empty()) continue;
+
+    EntitySnapshot winner;
+    if (updated_candidates.size() == 1) {
+      winner = std::move(updated_candidates.front());
+    } else {
+      // Write-write conflict: the application (or the generic policy)
+      // produces the replica-consistent state (Fig. 4.6).
+      ++stats.conflicts;
+      conflicts_.insert(id);
+      winner = policy.reconcile_replicas(id, updated_candidates);
+    }
+    apply_everywhere(winner);
+    ++stats.updates_propagated;
+  }
+  return stats;
+}
+
+bool ReplicaReconciler::try_rollback_search(
+    const std::vector<ObjectId>& affected_objects,
+    const std::function<bool()>& is_consistent) {
+  // Collect the union of recorded historical states across all nodes,
+  // newest first.  Rolling them back one at a time undoes degraded-mode
+  // updates in reverse chronological order (Section 3.3); the potential
+  // "domino effect" is bounded by the history length.
+  struct Candidate {
+    SimTime when;
+    EntitySnapshot state;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<EntitySnapshot> saved;
+  for (ObjectId id : affected_objects) {
+    bool have_current = false;
+    for (auto* m : managers_) {
+      if (!have_current && m->has_local_replica(id)) {
+        saved.push_back(m->local_replica(id).snapshot());
+        have_current = true;
+      }
+      for (const TimedSnapshot& ts : m->history().history(id)) {
+        candidates.push_back(Candidate{ts.when, ts.state});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.when > b.when;
+            });
+
+  for (const Candidate& c : candidates) {
+    // The recorded state is the state *after* an update; applying the
+    // preceding entry effectively undoes that update.  We conservatively
+    // re-apply each historical state and test for consistency.
+    apply_everywhere(c.state);
+    if (is_consistent()) return true;
+  }
+
+  for (const EntitySnapshot& snap : saved) apply_everywhere(snap);
+  return false;
+}
+
+void ReplicaReconciler::finish() {
+  for (auto* m : managers_) {
+    m->clear_degraded_updates();
+    m->history().clear_all();
+  }
+  conflicts_.clear();
+}
+
+}  // namespace dedisys

@@ -1,0 +1,101 @@
+// Replica reconciliation (first step of the reconciliation phase, Fig. 4.6).
+//
+// After previously unreachable nodes re-join, missed updates are exchanged
+// between the former partitions.  Write-write conflicts (the same object
+// updated in two or more partitions) are resolved through the
+// application-provided replica consistency handler, or a generic
+// latest-version-wins policy.  Only after a replica-consistent state is
+// re-established does the CCMgr re-evaluate consistency threats
+// (Section 5.2 motivates this staging).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "objects/entity.h"
+#include "replication/manager.h"
+#include "util/ids.h"
+
+namespace dedisys {
+
+/// Application callback producing a replica-consistent state out of
+/// conflicting snapshots (Section 4.4).
+class ReplicaConsistencyHandler {
+ public:
+  virtual ~ReplicaConsistencyHandler() = default;
+  virtual EntitySnapshot reconcile_replicas(
+      ObjectId id, const std::vector<EntitySnapshot>& candidates) = 0;
+};
+
+/// Generic policy: the replica with the highest version (i.e. the most
+/// updates during degraded mode) wins.
+class LatestVersionWins final : public ReplicaConsistencyHandler {
+ public:
+  EntitySnapshot reconcile_replicas(
+      ObjectId, const std::vector<EntitySnapshot>& candidates) override;
+};
+
+struct ReplicaReconcileStats {
+  std::size_t objects_examined = 0;
+  std::size_t updates_propagated = 0;
+  std::size_t conflicts = 0;
+};
+
+class ReplicaReconciler {
+ public:
+  ReplicaReconciler(std::vector<ReplicationManager*> managers, SimClock& clock,
+                    const CostModel& cost)
+      : managers_(std::move(managers)), clock_(&clock), cost_(&cost) {}
+
+  /// Propagates missed updates between the given former partitions and
+  /// resolves write-write conflicts.  `handler` may be null (generic
+  /// latest-version-wins policy applies).
+  ReplicaReconcileStats reconcile(
+      const std::vector<std::vector<NodeId>>& former_partitions,
+      ReplicaConsistencyHandler* handler);
+
+  /// Whether the last reconcile() detected a write-write conflict on `id`.
+  [[nodiscard]] bool had_conflict(ObjectId id) const {
+    return conflicts_.count(id) != 0;
+  }
+
+  [[nodiscard]] const std::unordered_set<ObjectId>& conflicts() const {
+    return conflicts_;
+  }
+
+  /// Rollback-based resolution (Section 3.3): walks historical states of
+  /// the affected objects newest-to-oldest, undoing one degraded-mode
+  /// update at a time, until `is_consistent` reports a consistent state.
+  /// Leaves the first consistent state applied and returns true; restores
+  /// the pre-search state and returns false when none is found.
+  bool try_rollback_search(const std::vector<ObjectId>& affected_objects,
+                           const std::function<bool()>& is_consistent);
+
+  /// Clears per-degraded-period bookkeeping after full reconciliation.
+  void finish();
+
+ private:
+  /// Latest snapshot of `id` among the nodes of `partition` (by version);
+  /// nullopt when no replica exists there.
+  std::optional<EntitySnapshot> latest_in_partition(
+      ObjectId id, const std::vector<NodeId>& partition) const;
+
+  /// Whether any node of `partition` recorded a degraded-mode write of `id`.
+  bool updated_in_partition(ObjectId id,
+                            const std::vector<NodeId>& partition) const;
+
+  ReplicationManager* manager_of(NodeId node) const;
+
+  /// Applies a snapshot on every manager, charging one propagation round.
+  void apply_everywhere(const EntitySnapshot& snap);
+
+  std::vector<ReplicationManager*> managers_;
+  SimClock* clock_;
+  const CostModel* cost_;
+  std::unordered_set<ObjectId> conflicts_;
+};
+
+}  // namespace dedisys

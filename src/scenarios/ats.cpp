@@ -1,0 +1,86 @@
+#include "scenarios/ats.h"
+
+#include "objects/entity.h"
+#include "objects/method_context.h"
+
+namespace dedisys::scenarios {
+
+void AlarmTracking::define_classes(ClassRegistry& classes) {
+  ClassDescriptor& alarm = classes.define("Alarm");
+  alarm.define_property("alarmKind", Value{std::string{}}, "string");
+  alarm.define_property("description", Value{std::string{}}, "string");
+  alarm.define_property("repairReport", Value{}, "object");
+
+  ClassDescriptor& report = classes.define("RepairReport");
+  report.define_property("affectedComponent", Value{std::string{}}, "string");
+  report.define_property("componentKind", Value{std::string{}}, "string");
+  report.define_property("alarm", Value{}, "object");
+}
+
+void AlarmTracking::register_constraints(ConstraintRepository& repository,
+                                         SatisfactionDegree min_degree) {
+  auto constraint = std::make_shared<ComponentKindReferenceConstraint>(
+      "ComponentKindReferenceConsistency", ConstraintType::HardInvariant,
+      ConstraintPriority::Tradeable);
+  constraint->set_min_satisfaction_degree(min_degree);
+  constraint->set_description(
+      "The repaired component must match the alarm kind");
+
+  ConstraintRegistration reg;
+  reg.constraint = std::move(constraint);
+  reg.context_class = "RepairReport";
+  reg.affected_methods.push_back(AffectedMethod{
+      "RepairReport", MethodSignature{"setAffectedComponent", {"string"}},
+      ContextPreparation{ContextPreparationKind::CalledObject, ""}});
+  reg.affected_methods.push_back(AffectedMethod{
+      "Alarm", MethodSignature{"setAlarmKind", {"string"}},
+      ContextPreparation{ContextPreparationKind::ReferenceGetter,
+                         "getRepairReport"}});
+  repository.register_constraint(std::move(reg));
+}
+
+std::string AlarmTracking::constraint_descriptor_xml() {
+  return R"(<constraints>
+  <constraint name="ComponentKindReferenceConsistency"
+              type="HARD" priority="RELAXABLE" contextObject="Y"
+              minSatisfactionDegree="UNCHECKABLE">
+    <class>ComponentKindReferenceConstraint</class>
+    <context-class>RepairReport</context-class>
+    <affected-methods>
+      <affected-method>
+        <context-preparation>
+          <preparation-class>CalledObjectIsContextObject</preparation-class>
+        </context-preparation>
+        <objectMethod name="setAffectedComponent">
+          <objectClass>RepairReport</objectClass>
+          <arguments><argument>string</argument></arguments>
+        </objectMethod>
+      </affected-method>
+      <affected-method>
+        <context-preparation>
+          <preparation-class>ReferenceIsContextObject</preparation-class>
+          <params><param name="getter" value="getRepairReport"/></params>
+        </context-preparation>
+        <objectMethod name="setAlarmKind">
+          <objectClass>Alarm</objectClass>
+          <arguments><argument>string</argument></arguments>
+        </objectMethod>
+      </affected-method>
+    </affected-methods>
+  </constraint>
+</constraints>)";
+}
+
+AlarmTracking::Pair AlarmTracking::create_linked(DedisysNode& node,
+                                                 const std::string& kind) {
+  TxScope tx(node.tx());
+  const ObjectId alarm = node.create(tx.id(), "Alarm");
+  const ObjectId report = node.create(tx.id(), "RepairReport");
+  node.invoke(tx.id(), alarm, "setAlarmKind", {Value{kind}});
+  node.invoke(tx.id(), alarm, "setRepairReport", {Value{report}});
+  node.invoke(tx.id(), report, "setAlarm", {Value{alarm}});
+  tx.commit();
+  return Pair{alarm, report};
+}
+
+}  // namespace dedisys::scenarios

@@ -1,0 +1,67 @@
+// Alarm tracking system (ATS) scenario (Section 1.4, Fig. 1.5).
+//
+// Alarms (managed by administrative operators) reference RepairReports
+// (filled in by technical operators).  The ComponentKindReferenceConsistency
+// constraint requires the repaired component kind to match the alarm kind —
+// e.g. an alarm with alarmKind="Signal" can only be removed by repairing a
+// "Signal Controller" or a "Signal Cable".  Both operators work in
+// different partitions; the constraint is tradeable and even *possibly
+// violated* threats may be accepted (the technical operator knows the
+// component better than the stale alarm copy, Section 3.1).
+#pragma once
+
+#include <string>
+
+#include "constraints/constraint.h"
+#include "constraints/repository.h"
+#include "middleware/cluster.h"
+
+namespace dedisys::scenarios {
+
+/// ComponentKindReferenceConsistency (Fig. 1.5): the affected component of
+/// the repair report must belong to the alarm's kind — modelled as the
+/// component name starting with the alarm kind.
+class ComponentKindReferenceConstraint final : public Constraint {
+ public:
+  ComponentKindReferenceConstraint(std::string name, ConstraintType type,
+                                   ConstraintPriority prio)
+      : Constraint(std::move(name), type, prio) {}
+
+  bool validate(ConstraintValidationContext& ctx) override {
+    const Entity& report = ctx.context_entity();  // RepairReport
+    const Value& alarm_ref = report.get("alarm");
+    if (is_null(alarm_ref)) return true;  // not yet linked
+    const Entity& alarm = ctx.read(as_object(alarm_ref));
+    const std::string& kind = as_string(alarm.get("alarmKind"));
+    const std::string& component = as_string(report.get("affectedComponent"));
+    if (component.empty()) return true;  // no repair recorded yet
+    return component.rfind(kind, 0) == 0;  // component starts with kind
+  }
+};
+
+struct AlarmTracking {
+  /// Defines Alarm {alarmKind, description} and RepairReport
+  /// {affectedComponent, componentKind, alarm->Alarm}.
+  static void define_classes(ClassRegistry& classes);
+
+  /// Registers ComponentKindReferenceConsistency as a tradeable hard
+  /// invariant on RepairReport, affected by
+  /// RepairReport.setAffectedComponent and Alarm.setAlarmKind (the latter
+  /// reaching the context object through getRepairReport, Listing 4.1).
+  static void register_constraints(
+      ConstraintRepository& repository,
+      SatisfactionDegree min_degree = SatisfactionDegree::PossiblyViolated);
+
+  /// Returns the Listing-4.1-style XML descriptor for this constraint
+  /// (exercised by the config-loading path).
+  static std::string constraint_descriptor_xml();
+
+  /// Creates a linked Alarm/RepairReport pair; returns {alarm, report}.
+  struct Pair {
+    ObjectId alarm;
+    ObjectId report;
+  };
+  static Pair create_linked(DedisysNode& node, const std::string& alarm_kind);
+};
+
+}  // namespace dedisys::scenarios

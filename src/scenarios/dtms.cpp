@@ -1,0 +1,81 @@
+#include "scenarios/dtms.h"
+
+#include "objects/entity.h"
+#include "objects/method_context.h"
+
+namespace dedisys::scenarios {
+
+void Dtms::define_classes(ClassRegistry& classes) {
+  ClassDescriptor& endpoint = classes.define("ChannelEndpoint");
+  endpoint.define_property("frequency", Value{std::int64_t{0}}, "int");
+  endpoint.define_property("siteName", Value{std::string{}}, "string");
+  endpoint.define_property("peer", Value{}, "object");
+  // Retunes the channel: updates this endpoint and — via a nested,
+  // intercepted invocation — its peer, so the constraint holds afterwards.
+  endpoint.define_method(
+      MethodSignature{"retune", {"int"}}, MethodKind::Mutator,
+      [](Entity& self, MethodContext& ctx, const std::vector<Value>& args) {
+        self.set("frequency", args.at(0));
+        const Value& peer = self.get("peer");
+        if (!is_null(peer)) {
+          ctx.objects.invoke(as_object(peer),
+                             MethodSignature{"setFrequency", {"int"}},
+                             {args.at(0)});
+        }
+        return Value{};
+      });
+}
+
+void Dtms::register_constraints(ConstraintRepository& repository,
+                                SatisfactionDegree min_degree) {
+  auto constraint = std::make_shared<ChannelConfigConstraint>(
+      "ChannelConfigConsistency", ConstraintType::HardInvariant,
+      ConstraintPriority::Tradeable);
+  constraint->set_min_satisfaction_degree(min_degree);
+  constraint->set_description(
+      "both endpoints of a voice channel must be tuned to the same "
+      "frequency");
+
+  ConstraintRegistration reg;
+  reg.constraint = std::move(constraint);
+  reg.context_class = "ChannelEndpoint";
+  const ContextPreparation called{ContextPreparationKind::CalledObject, ""};
+  reg.affected_methods.push_back(AffectedMethod{
+      "ChannelEndpoint", MethodSignature{"setFrequency", {"int"}}, called});
+  reg.affected_methods.push_back(AffectedMethod{
+      "ChannelEndpoint", MethodSignature{"retune", {"int"}}, called});
+  repository.register_constraint(std::move(reg));
+}
+
+Dtms::Channel Dtms::create_channel(Cluster& cluster, std::size_t site_a,
+                                   std::size_t site_b,
+                                   std::int64_t frequency) {
+  DedisysNode& node_a = cluster.node(site_a);
+  DedisysNode& node_b = cluster.node(site_b);
+
+  TxScope tx(node_a.tx());
+  // Site-bound objects: each endpoint lives on its site's node only.
+  const ObjectId a = node_a.replication().create(
+      "ChannelEndpoint", tx.id(), std::vector<NodeId>{node_a.id()});
+  const ObjectId b = node_b.replication().create(
+      "ChannelEndpoint", tx.id(), std::vector<NodeId>{node_b.id()});
+  node_a.invoke(tx.id(), a, "setSiteName",
+                {Value{"site-" + std::to_string(site_a)}});
+  node_b.invoke(tx.id(), b, "setSiteName",
+                {Value{"site-" + std::to_string(site_b)}});
+  node_a.invoke(tx.id(), a, "setFrequency", {Value{frequency}});
+  node_b.invoke(tx.id(), b, "setFrequency", {Value{frequency}});
+  node_a.invoke(tx.id(), a, "setPeer", {Value{b}});
+  node_b.invoke(tx.id(), b, "setPeer", {Value{a}});
+  tx.commit();
+  return Channel{a, b};
+}
+
+std::int64_t Dtms::frequency(DedisysNode& node, ObjectId endpoint) {
+  TxScope tx(node.tx());
+  const Value v = node.invoke(tx.id(), endpoint, "getFrequency");
+  tx.commit();
+  return as_int(v);
+}
+
+}  // namespace dedisys::scenarios

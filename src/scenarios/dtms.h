@@ -1,0 +1,73 @@
+// Distributed telecommunication management system (DTMS) scenario
+// (Section 1.4, [SG03]) — the paper's primary industrial motivation.
+//
+// Each site runs its own DTMS instance managing the voice communication
+// system (VCS) hardware installed there; the hardware is represented by
+// objects BOUND TO THAT SITE (replica set = the site's node only), because
+// a site failure must not have effects beyond the site.  Communication
+// channels span two sites: their endpoint configurations must be
+// consistent (same frequency) for the channel to work — an inter-object
+// constraint across site boundaries.
+//
+// When the sites partition, the peer endpoint becomes UNREACHABLE (no
+// replica in the local partition): constraint validation is impossible
+// (NCC -> uncheckable), yet the site operator must be able to retune the
+// local endpoint.  The uncheckable threat is accepted and resolved after
+// the link is repaired.
+#pragma once
+
+#include <string>
+
+#include "constraints/constraint.h"
+#include "constraints/repository.h"
+#include "middleware/cluster.h"
+
+namespace dedisys::scenarios {
+
+/// ChannelConfigConsistency: both endpoints of a channel must be tuned to
+/// the same frequency (inter-object, inter-site constraint).
+class ChannelConfigConstraint final : public Constraint {
+ public:
+  ChannelConfigConstraint(std::string name, ConstraintType type,
+                          ConstraintPriority prio)
+      : Constraint(std::move(name), type, prio) {}
+
+  bool validate(ConstraintValidationContext& ctx) override {
+    const Entity& endpoint = ctx.context_entity();
+    const Value& peer_ref = endpoint.get("peer");
+    if (is_null(peer_ref)) return true;  // unconnected endpoint
+    // Reading the peer throws ObjectUnreachable when its site is cut off
+    // (the NCC case of Section 3.1).
+    const Entity& peer = ctx.read(as_object(peer_ref));
+    return as_int(endpoint.get("frequency")) == as_int(peer.get("frequency"));
+  }
+};
+
+struct Dtms {
+  /// Defines ChannelEndpoint {frequency, siteName, peer->ChannelEndpoint}
+  /// with a `retune(frequency)` method that updates BOTH endpoints via a
+  /// nested middleware invocation.
+  static void define_classes(ClassRegistry& classes);
+
+  /// Registers ChannelConfigConsistency (tradeable hard invariant,
+  /// accepting even uncheckable threats so site operators stay available
+  /// during inter-site link failures).
+  static void register_constraints(
+      ConstraintRepository& repository,
+      SatisfactionDegree min_degree = SatisfactionDegree::Uncheckable);
+
+  struct Channel {
+    ObjectId endpoint_a;
+    ObjectId endpoint_b;
+  };
+
+  /// Creates a channel between two sites; each endpoint is replicated on
+  /// its site's node ONLY (strong ownership, Section 1.4).
+  static Channel create_channel(Cluster& cluster, std::size_t site_a,
+                                std::size_t site_b, std::int64_t frequency);
+
+  [[nodiscard]] static std::int64_t frequency(DedisysNode& node,
+                                              ObjectId endpoint);
+};
+
+}  // namespace dedisys::scenarios

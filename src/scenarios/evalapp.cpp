@@ -1,0 +1,141 @@
+#include "scenarios/evalapp.h"
+
+#include "objects/entity.h"
+#include "objects/method_context.h"
+
+namespace dedisys::scenarios {
+
+namespace {
+
+MethodBody noop() {
+  return [](Entity&, MethodContext&, const std::vector<Value>&) {
+    return Value{};
+  };
+}
+
+void register_invariant(ConstraintRepository& repo, ConstraintPtr constraint,
+                        const std::string& method) {
+  ConstraintRegistration reg;
+  reg.constraint = std::move(constraint);
+  reg.context_class = "TestEntity";
+  reg.affected_methods.push_back(AffectedMethod{
+      "TestEntity", MethodSignature{method, {}},
+      ContextPreparation{ContextPreparationKind::CalledObject, ""}});
+  repo.register_constraint(std::move(reg));
+}
+
+}  // namespace
+
+void EvalApp::define_classes(ClassRegistry& classes) {
+  ClassDescriptor& entity = classes.define("TestEntity");
+  entity.define_property("value", Value{std::string{}}, "string");
+  // Mutating attribute whose setter carries the threat-raising constraint
+  // (used by the reconciliation and reduced-history experiments).
+  entity.define_property("payload", Value{std::string{}}, "string");
+  for (const char* m :
+       {"emptyPlain", "emptySatisfied", "emptyViolated", "emptyThreat",
+        "emptySoftThreat", "emptyAsyncThreat"}) {
+    entity.define_method(MethodSignature{m, {}}, MethodKind::Empty, noop());
+  }
+}
+
+void EvalApp::register_constraints(ConstraintRepository& repo) {
+  // Returning a fixed value without reading objects isolates the
+  // constraint-handling overhead (runtime slice R5 eliminated, Section 5.1).
+  auto satisfied = std::make_shared<FunctionConstraint>(
+      "AlwaysSatisfied", ConstraintType::HardInvariant,
+      ConstraintPriority::Tradeable,
+      [](ConstraintValidationContext&) { return true; });
+  satisfied->set_context_object_needed(false);
+  register_invariant(repo, std::move(satisfied), "emptySatisfied");
+
+  auto violated = std::make_shared<FunctionConstraint>(
+      "AlwaysViolated", ConstraintType::HardInvariant,
+      ConstraintPriority::Tradeable,
+      [](ConstraintValidationContext&) { return false; });
+  violated->set_context_object_needed(false);
+  register_invariant(repo, std::move(violated), "emptyViolated");
+
+  // Reading the context entity makes the validation subject to staleness:
+  // every degraded-mode call raises a consistency threat.
+  auto touch_predicate = [](ConstraintValidationContext& ctx) {
+    (void)ctx.context_entity();
+    return true;
+  };
+  auto hard_touch = std::make_shared<FunctionConstraint>(
+      "TouchHard", ConstraintType::HardInvariant,
+      ConstraintPriority::Tradeable, touch_predicate);
+  {
+    ConstraintRegistration reg;
+    reg.constraint = std::move(hard_touch);
+    reg.context_class = "TestEntity";
+    const ContextPreparation called{ContextPreparationKind::CalledObject, ""};
+    reg.affected_methods.push_back(AffectedMethod{
+        "TestEntity", MethodSignature{"emptyThreat", {}}, called});
+    reg.affected_methods.push_back(AffectedMethod{
+        "TestEntity", MethodSignature{"setPayload", {"string"}}, called});
+    repo.register_constraint(std::move(reg));
+  }
+
+  auto soft_touch = std::make_shared<FunctionConstraint>(
+      "TouchSoft", ConstraintType::SoftInvariant, ConstraintPriority::Tradeable,
+      touch_predicate);
+  soft_touch->set_min_satisfaction_degree(SatisfactionDegree::Uncheckable);
+  register_invariant(repo, std::move(soft_touch), "emptySoftThreat");
+
+  auto async_touch = std::make_shared<FunctionConstraint>(
+      "TouchAsync", ConstraintType::AsyncInvariant,
+      ConstraintPriority::Tradeable, touch_predicate);
+  async_touch->set_min_satisfaction_degree(SatisfactionDegree::Uncheckable);
+  register_invariant(repo, std::move(async_touch), "emptyAsyncThreat");
+}
+
+std::vector<ObjectId> EvalApp::create_entities(DedisysNode& node,
+                                               std::size_t count) {
+  std::vector<ObjectId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TxScope tx(node.tx());
+    out.push_back(node.create(tx.id(), "TestEntity"));
+    tx.commit();
+  }
+  return out;
+}
+
+bool EvalApp::run_op(DedisysNode& node, ObjectId target,
+                     const std::string& method, std::vector<Value> args) {
+  try {
+    TxScope tx(node.tx());
+    node.invoke(tx.id(), target, method, std::move(args));
+    tx.commit();
+    return true;
+  } catch (const DedisysError&) {
+    return false;
+  }
+}
+
+bool EvalApp::run_op_negotiated(DedisysNode& node, ObjectId target,
+                                const std::string& method,
+                                std::shared_ptr<NegotiationHandler> handler,
+                                std::vector<Value> args) {
+  try {
+    TxScope tx(node.tx());
+    node.ccmgr().register_negotiation_handler(tx.id(), std::move(handler));
+    node.invoke(tx.id(), target, method, std::move(args));
+    tx.commit();
+    return true;
+  } catch (const DedisysError&) {
+    return false;
+  }
+}
+
+void EvalApp::delete_entities(DedisysNode& node,
+                              const std::vector<ObjectId>& ids) {
+  for (ObjectId id : ids) {
+    TxScope tx(node.tx());
+    node.destroy(tx.id(), id);
+    tx.commit();
+  }
+}
+
+}  // namespace dedisys::scenarios

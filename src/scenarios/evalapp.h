@@ -1,0 +1,66 @@
+// Evaluation workload (the script-based "DedisysTest" application of
+// Section 5.1).
+//
+// A TestEntity has one string attribute and a family of empty methods with
+// different constraint associations, so benchmarks can isolate the cost of
+// each middleware feature:
+//   emptyPlain       — no associated constraints (interception overhead),
+//   emptySatisfied   — constraint returning true without touching objects
+//                      (pure constraint-handling cost, runtime slice R5=0),
+//   emptyViolated    — constraint returning false (violation handling),
+//   emptyThreat      — hard constraint reading the entity (in degraded mode
+//                      every call raises a consistency threat),
+//   emptySoftThreat  — same but soft (validated at commit),
+//   emptyAsyncThreat — same but asynchronous (Section 5.5.3: in degraded
+//                      mode recorded without validation or negotiation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/repository.h"
+#include "middleware/cluster.h"
+
+namespace dedisys::scenarios {
+
+struct EvalApp {
+  static void define_classes(ClassRegistry& classes);
+  static void register_constraints(ConstraintRepository& repository);
+
+  /// Creates `count` TestEntity instances on `node`, one transaction each.
+  static std::vector<ObjectId> create_entities(DedisysNode& node,
+                                               std::size_t count);
+
+  /// Runs one committed transaction invoking `method` on `target`.
+  /// Returns false when the transaction aborted (violation / rejected
+  /// threat), true otherwise.
+  static bool run_op(DedisysNode& node, ObjectId target,
+                     const std::string& method,
+                     std::vector<Value> args = {});
+
+  /// Like run_op, but registers `handler` for dynamic threat negotiation
+  /// within the transaction (Section 4.2.3).
+  static bool run_op_negotiated(DedisysNode& node, ObjectId target,
+                                const std::string& method,
+                                std::shared_ptr<NegotiationHandler> handler,
+                                std::vector<Value> args = {});
+
+  /// Deletes entities, one transaction each.
+  static void delete_entities(DedisysNode& node,
+                              const std::vector<ObjectId>& ids);
+};
+
+/// Negotiation handler accepting every threat (the dynamic handler used in
+/// the Section-5.1 degraded-mode measurements).
+class AcceptAllNegotiation final : public NegotiationHandler {
+ public:
+  NegotiationOutcome negotiate(const ConsistencyThreat&,
+                               ConstraintValidationContext&) override {
+    NegotiationOutcome out;
+    out.accepted = true;
+    return out;
+  }
+};
+
+}  // namespace dedisys::scenarios

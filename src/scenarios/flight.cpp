@@ -1,0 +1,127 @@
+#include "scenarios/flight.h"
+
+#include "objects/entity.h"
+#include "objects/method_context.h"
+
+namespace dedisys::scenarios {
+
+void FlightBooking::define_classes(ClassRegistry& classes) {
+  ClassDescriptor& flight = classes.define("Flight");
+  flight.define_property("seats", Value{std::int64_t{0}}, "int");
+  flight.define_property("soldTickets", Value{std::int64_t{0}}, "int");
+  flight.define_method(
+      MethodSignature{"sellTickets", {"int"}}, MethodKind::Mutator,
+      [](Entity& self, MethodContext&, const std::vector<Value>& args) {
+        self.set("soldTickets",
+                 Value{as_int(self.get("soldTickets")) + as_int(args.at(0))});
+        return Value{};
+      });
+  flight.define_method(
+      MethodSignature{"cancelTickets", {"int"}}, MethodKind::Mutator,
+      [](Entity& self, MethodContext&, const std::vector<Value>& args) {
+        self.set("soldTickets",
+                 Value{as_int(self.get("soldTickets")) - as_int(args.at(0))});
+        return Value{};
+      });
+  flight.define_method(
+      MethodSignature{"getAvailable", {}}, MethodKind::Query,
+      [](Entity& self, MethodContext&, const std::vector<Value>&) {
+        return Value{as_int(self.get("seats")) -
+                     as_int(self.get("soldTickets"))};
+      });
+}
+
+void FlightBooking::register_constraints(ConstraintRepository& repository,
+                                         bool partition_sensitive,
+                                         SatisfactionDegree min_degree) {
+  ConstraintPtr constraint;
+  if (partition_sensitive) {
+    constraint = std::make_shared<PartitionSensitiveTicketConstraint>(
+        "TicketConstraint", ConstraintType::HardInvariant,
+        ConstraintPriority::Tradeable);
+  } else {
+    constraint = std::make_shared<TicketConstraint>(
+        "TicketConstraint", ConstraintType::HardInvariant,
+        ConstraintPriority::Tradeable);
+  }
+  constraint->set_min_satisfaction_degree(min_degree);
+  constraint->set_description(
+      "The system must not sell more tickets than available seats");
+
+  ConstraintRegistration reg;
+  reg.constraint = std::move(constraint);
+  reg.context_class = "Flight";
+  const ContextPreparation called{ContextPreparationKind::CalledObject, ""};
+  for (const char* method :
+       {"sellTickets", "cancelTickets", "setSoldTickets", "setSeats"}) {
+    reg.affected_methods.push_back(
+        AffectedMethod{"Flight", MethodSignature{method, {"int"}}, called});
+  }
+  repository.register_constraint(std::move(reg));
+}
+
+void FlightBooking::register_method_contracts(
+    ConstraintRepository& repository) {
+  const ContextPreparation called{ContextPreparationKind::CalledObject, ""};
+
+  auto pre = std::make_shared<FunctionConstraint>(
+      "SellCountPositive", ConstraintType::Precondition,
+      ConstraintPriority::NonTradeable, [](ConstraintValidationContext& ctx) {
+        return as_int(ctx.arguments().at(0)) > 0;
+      });
+  pre->set_context_object_needed(false);
+  ConstraintRegistration pre_reg;
+  pre_reg.constraint = std::move(pre);
+  pre_reg.affected_methods.push_back(
+      AffectedMethod{"Flight", MethodSignature{"sellTickets", {"int"}}, called});
+  repository.register_constraint(std::move(pre_reg));
+
+  auto post = std::make_shared<SellPostcondition>(
+      "SoldIncreasesBySellCount", ConstraintType::Postcondition,
+      ConstraintPriority::NonTradeable);
+  ConstraintRegistration post_reg;
+  post_reg.constraint = std::move(post);
+  post_reg.context_class = "Flight";
+  post_reg.affected_methods.push_back(
+      AffectedMethod{"Flight", MethodSignature{"sellTickets", {"int"}}, called});
+  repository.register_constraint(std::move(post_reg));
+}
+
+void FlightBooking::register_fleet_constraint(
+    ConstraintRepository& repository) {
+  auto constraint = std::make_shared<FleetCapacityConstraint>(
+      "FleetCapacity", ConstraintType::SoftInvariant,
+      ConstraintPriority::Tradeable);
+  constraint->set_min_satisfaction_degree(
+      SatisfactionDegree::PossiblySatisfied);
+  ConstraintRegistration reg;
+  reg.constraint = std::move(constraint);
+  reg.affected_methods.push_back(AffectedMethod{
+      "Flight", MethodSignature{"sellTickets", {"int"}},
+      ContextPreparation{ContextPreparationKind::None, ""}});
+  repository.register_constraint(std::move(reg));
+}
+
+ObjectId FlightBooking::create_flight(DedisysNode& node, std::int64_t seats) {
+  TxScope tx(node.tx());
+  const ObjectId id = node.create(tx.id(), "Flight");
+  node.invoke(tx.id(), id, "setSeats", {Value{seats}});
+  tx.commit();
+  return id;
+}
+
+void FlightBooking::sell(DedisysNode& node, ObjectId flight,
+                         std::int64_t count) {
+  TxScope tx(node.tx());
+  node.invoke(tx.id(), flight, "sellTickets", {Value{count}});
+  tx.commit();
+}
+
+std::int64_t FlightBooking::sold(DedisysNode& node, ObjectId flight) {
+  TxScope tx(node.tx());
+  const Value v = node.invoke(tx.id(), flight, "getSoldTickets");
+  tx.commit();
+  return as_int(v);
+}
+
+}  // namespace dedisys::scenarios

@@ -1,0 +1,157 @@
+// Flight-booking scenario (Sections 1.3, 5.5.2).
+//
+// A Flight entity has `seats` and `soldTickets`; the ticket-constraint
+// requires soldTickets <= seats.  During partitions, bookings continue in
+// every partition; reconciliation discovers overbooking and the
+// application's reconciliation handler rebooks passengers.
+//
+// The partition-sensitive variant (Section 5.5.2) apportions the remaining
+// tickets by partition weight: partition x may sell
+//     t_x = floor((seats - sold_at_degradation) * weight_fraction)
+// further tickets, which avoids introducing inconsistencies at all when
+// tickets are only sold (never cancelled) during degradation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "constraints/constraint.h"
+#include "constraints/repository.h"
+#include "middleware/cluster.h"
+
+namespace dedisys::scenarios {
+
+/// The plain ticket-constraint: soldTickets <= seats.
+class TicketConstraint final : public Constraint {
+ public:
+  TicketConstraint(std::string name, ConstraintType type,
+                   ConstraintPriority prio)
+      : Constraint(std::move(name), type, prio) {}
+
+  bool validate(ConstraintValidationContext& ctx) override {
+    const Entity& flight = ctx.context_entity();
+    return as_int(flight.get("soldTickets")) <= as_int(flight.get("seats"));
+  }
+};
+
+/// Partition-sensitive ticket-constraint (Section 5.5.2): on the first
+/// degraded-mode validation of a flight it snapshots the sold count, then
+/// limits degraded-mode sales to this partition's weighted share.
+class PartitionSensitiveTicketConstraint final : public Constraint {
+ public:
+  PartitionSensitiveTicketConstraint(std::string name, ConstraintType type,
+                                     ConstraintPriority prio)
+      : Constraint(std::move(name), type, prio) {}
+
+  /// Records the healthy-mode sold count before the first degraded-mode
+  /// write ("the ticket-constraint saves the number of tickets sold in
+  /// healthy mode", Section 5.5.2).
+  void before_method_invocation(ConstraintValidationContext& ctx) override {
+    if (!ctx.degraded() || !ctx.context_object().valid()) return;
+    if (baselines_.count(ctx.context_object()) != 0) return;
+    const Entity& flight = ctx.context_entity();
+    baselines_[ctx.context_object()] = as_int(flight.get("soldTickets"));
+  }
+
+  bool validate(ConstraintValidationContext& ctx) override {
+    const Entity& flight = ctx.context_entity();
+    const std::int64_t sold = as_int(flight.get("soldTickets"));
+    const std::int64_t seats = as_int(flight.get("seats"));
+    if (!ctx.degraded()) {
+      baselines_.erase(ctx.context_object());
+      return sold <= seats;
+    }
+    auto [it, inserted] = baselines_.emplace(ctx.context_object(), sold);
+    const std::int64_t baseline = it->second;
+    const auto quota = static_cast<std::int64_t>(
+        static_cast<double>(seats - baseline) * ctx.partition_weight());
+    return sold <= baseline + quota;
+  }
+
+ private:
+  std::unordered_map<ObjectId, std::int64_t> baselines_;
+};
+
+/// Postcondition with @pre state: after sellTickets(count) the sold count
+/// must have increased by exactly count (Section 4.2.1's @pre mechanism).
+class SellPostcondition final : public Constraint {
+ public:
+  SellPostcondition(std::string name, ConstraintType type,
+                    ConstraintPriority prio)
+      : Constraint(std::move(name), type, prio) {}
+
+  void before_method_invocation(ConstraintValidationContext& ctx) override {
+    if (!ctx.context_object().valid()) return;
+    pre_sold_[ctx.context_object()] =
+        as_int(ctx.context_entity().get("soldTickets"));
+  }
+
+  bool validate(ConstraintValidationContext& ctx) override {
+    auto it = pre_sold_.find(ctx.context_object());
+    if (it == pre_sold_.end()) return true;  // no @pre snapshot available
+    const std::int64_t before = it->second;
+    pre_sold_.erase(it);
+    const std::int64_t after =
+        as_int(ctx.context_entity().get("soldTickets"));
+    return after == before + as_int(ctx.arguments().at(0));
+  }
+
+ private:
+  std::unordered_map<ObjectId, std::int64_t> pre_sold_;
+};
+
+/// Query-based invariant without a context object (Section 3.2.2 case 2):
+/// across the whole fleet, total bookings must not exceed total seats.
+class FleetCapacityConstraint final : public Constraint {
+ public:
+  FleetCapacityConstraint(std::string name, ConstraintType type,
+                          ConstraintPriority prio)
+      : Constraint(std::move(name), type, prio) {
+    set_context_object_needed(false);
+  }
+
+  bool validate(ConstraintValidationContext& ctx) override {
+    std::int64_t sold = 0;
+    std::int64_t seats = 0;
+    for (ObjectId id : ctx.objects_of("Flight")) {
+      const Entity& flight = ctx.read(id);
+      sold += as_int(flight.get("soldTickets"));
+      seats += as_int(flight.get("seats"));
+    }
+    return sold <= seats;
+  }
+};
+
+struct FlightBooking {
+  /// Defines the Flight class: properties seats/soldTickets, mutators
+  /// sellTickets(count) / cancelTickets(count), query getAvailable().
+  static void define_classes(ClassRegistry& classes);
+
+  /// Registers the ticket-constraint (tradeable hard invariant accepting
+  /// threats up to `min_degree`); `partition_sensitive` swaps in the
+  /// Section-5.5.2 variant.
+  static void register_constraints(
+      ConstraintRepository& repository, bool partition_sensitive = false,
+      SatisfactionDegree min_degree = SatisfactionDegree::PossiblySatisfied);
+
+  /// Creates a flight with `seats` seats on `node`, committed in its own
+  /// transaction; returns the object id.
+  static ObjectId create_flight(DedisysNode& node, std::int64_t seats);
+
+  /// Sells `count` tickets in a fresh transaction; throws on violation or
+  /// rejected threat.
+  static void sell(DedisysNode& node, ObjectId flight, std::int64_t count);
+
+  static std::int64_t sold(DedisysNode& node, ObjectId flight);
+
+  /// Registers design-by-contract style method contracts for
+  /// Flight.sellTickets: a precondition (count > 0) and a postcondition
+  /// with @pre state (sold increases by exactly count).
+  static void register_method_contracts(ConstraintRepository& repository);
+
+  /// Registers the fleet-wide query-based capacity invariant
+  /// (no context object; affected objects obtained by query).
+  static void register_fleet_constraint(ConstraintRepository& repository);
+};
+
+}  // namespace dedisys::scenarios

@@ -1,0 +1,94 @@
+#include "scenarios/flight_full.h"
+
+#include "objects/entity.h"
+#include "objects/method_context.h"
+
+namespace dedisys::scenarios {
+
+void FlightBookingFull::define_classes(ClassRegistry& classes) {
+  ClassDescriptor& flight = classes.define("Flight");
+  flight.define_property("seats", Value{std::int64_t{0}}, "int");
+
+  ClassDescriptor& person = classes.define("Person");
+  person.define_property("name", Value{std::string{}}, "string");
+
+  ClassDescriptor& ticket = classes.define("Ticket");
+  ticket.define_property("flight", Value{}, "object");
+  ticket.define_property("person", Value{}, "object");
+}
+
+void FlightBookingFull::register_constraints(ConstraintRepository& repository,
+                                             SatisfactionDegree min_degree) {
+  auto constraint = std::make_shared<TicketCountConstraint>(
+      "TicketConstraint", ConstraintType::HardInvariant,
+      ConstraintPriority::Tradeable);
+  constraint->set_min_satisfaction_degree(min_degree);
+  constraint->set_description(
+      "the number of sold tickets must be less than or equal to the number "
+      "of seats of a specific flight");
+
+  ConstraintRegistration reg;
+  reg.constraint = std::move(constraint);
+  reg.context_class = "Flight";
+  // Linking a ticket to its flight is the booking event; the context
+  // object (the flight) is reached through the ticket's getFlight.
+  reg.affected_methods.push_back(AffectedMethod{
+      "Ticket", MethodSignature{"setFlight", {"object"}},
+      ContextPreparation{ContextPreparationKind::ReferenceGetter,
+                         "getFlight"}});
+  // Shrinking a flight also re-triggers the check.
+  reg.affected_methods.push_back(AffectedMethod{
+      "Flight", MethodSignature{"setSeats", {"int"}},
+      ContextPreparation{ContextPreparationKind::CalledObject, ""}});
+  repository.register_constraint(std::move(reg));
+}
+
+ObjectId FlightBookingFull::create_flight(DedisysNode& node,
+                                          std::int64_t seats) {
+  TxScope tx(node.tx());
+  const ObjectId id = node.create(tx.id(), "Flight");
+  node.invoke(tx.id(), id, "setSeats", {Value{seats}});
+  tx.commit();
+  return id;
+}
+
+ObjectId FlightBookingFull::create_person(DedisysNode& node,
+                                          const std::string& name) {
+  TxScope tx(node.tx());
+  const ObjectId id = node.create(tx.id(), "Person");
+  node.invoke(tx.id(), id, "setName", {Value{name}});
+  tx.commit();
+  return id;
+}
+
+ObjectId FlightBookingFull::book(DedisysNode& node, ObjectId flight,
+                                 ObjectId person) {
+  TxScope tx(node.tx());
+  const ObjectId ticket = node.create(tx.id(), "Ticket");
+  node.invoke(tx.id(), ticket, "setPerson", {Value{person}});
+  // Linking the flight triggers the ticket-count check; a violation or
+  // rejected threat aborts the transaction, destroying the ticket again.
+  node.invoke(tx.id(), ticket, "setFlight", {Value{flight}});
+  tx.commit();
+  return ticket;
+}
+
+void FlightBookingFull::cancel(DedisysNode& node, ObjectId ticket) {
+  TxScope tx(node.tx());
+  node.destroy(tx.id(), ticket);
+  tx.commit();
+}
+
+std::vector<ObjectId> FlightBookingFull::tickets_of(Cluster& cluster,
+                                                    DedisysNode& node,
+                                                    ObjectId flight) {
+  std::vector<ObjectId> out;
+  for (ObjectId id : cluster.objects_of("Ticket")) {
+    const Entity& ticket = node.accessor().read(id);
+    const Value& ref = ticket.get("flight");
+    if (!is_null(ref) && as_object(ref) == flight) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace dedisys::scenarios

@@ -1,0 +1,69 @@
+// Full flight-booking object model (Fig. 1.3): Flight, Person and Ticket
+// entities with relations — tickets are first-class objects referencing a
+// flight and a passenger, and the ticket-constraint counts them through a
+// query ("number of sold tickets must be <= number of seats").
+//
+// Compared to the counter-based scenario in flight.h, this model exercises
+// inter-class constraints over object sets: validation enumerates every
+// Ticket (query-based affected objects), so staleness of ANY ticket or
+// flight replica degrades the check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "constraints/repository.h"
+#include "middleware/cluster.h"
+
+namespace dedisys::scenarios {
+
+/// The ticket-constraint over the object graph: tickets referencing the
+/// context flight must not exceed its seats.
+class TicketCountConstraint final : public Constraint {
+ public:
+  TicketCountConstraint(std::string name, ConstraintType type,
+                        ConstraintPriority prio)
+      : Constraint(std::move(name), type, prio) {}
+
+  bool validate(ConstraintValidationContext& ctx) override {
+    const Entity& flight = ctx.context_entity();
+    std::int64_t sold = 0;
+    for (ObjectId id : ctx.objects_of("Ticket")) {
+      const Entity& ticket = ctx.read(id);
+      const Value& ref = ticket.get("flight");
+      if (!is_null(ref) && as_object(ref) == ctx.context_object()) ++sold;
+    }
+    return sold <= as_int(flight.get("seats"));
+  }
+};
+
+struct FlightBookingFull {
+  /// Defines Flight {seats}, Person {name}, Ticket {flight->, person->}.
+  static void define_classes(ClassRegistry& classes);
+
+  /// Registers TicketCountConstraint: context class Flight, affected by
+  /// Ticket.setFlight (a new booking materializes when the ticket is
+  /// linked to its flight).
+  static void register_constraints(
+      ConstraintRepository& repository,
+      SatisfactionDegree min_degree = SatisfactionDegree::PossiblySatisfied);
+
+  static ObjectId create_flight(DedisysNode& node, std::int64_t seats);
+  static ObjectId create_person(DedisysNode& node, const std::string& name);
+
+  /// Books one ticket: creates the Ticket entity and links it to flight
+  /// and passenger in one transaction.  Returns the ticket id; throws on
+  /// violation / rejected threat (the transaction rolls back and the
+  /// ticket is destroyed).
+  static ObjectId book(DedisysNode& node, ObjectId flight, ObjectId person);
+
+  /// Cancels a booking (destroys the ticket object).
+  static void cancel(DedisysNode& node, ObjectId ticket);
+
+  /// Tickets currently referencing `flight`.
+  static std::vector<ObjectId> tickets_of(Cluster& cluster, DedisysNode& node,
+                                          ObjectId flight);
+};
+
+}  // namespace dedisys::scenarios

@@ -1,0 +1,79 @@
+// Discrete-event queue for deferred work.
+//
+// Most protocol interactions in the paper are synchronous (blocking
+// negotiation, synchronous update propagation), but deferred constraint
+// reconciliation and asynchronous application notifications run "later".
+// The event queue schedules such work at virtual timestamps and drains it
+// deterministically (FIFO among events with equal timestamps).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/sim_clock.h"
+
+namespace dedisys {
+
+class EventQueue {
+ public:
+  explicit EventQueue(SimClock& clock) : clock_(clock) {}
+
+  /// Schedules `fn` to run `delay` after the current virtual time.
+  void schedule_in(SimDuration delay, std::function<void()> fn) {
+    schedule_at(clock_.now() + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Schedules `fn` at an absolute virtual time (clamped to now).
+  void schedule_at(SimTime when, std::function<void()> fn) {
+    if (when < clock_.now()) when = clock_.now();
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+
+  /// Runs a single event (if any), advancing the clock to its timestamp.
+  bool run_one() {
+    if (queue_.empty()) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    clock_.advance_to(ev.when);
+    ev.fn();
+    return true;
+  }
+
+  /// Drains every event, including events scheduled while draining.
+  void run_all() {
+    while (run_one()) {
+    }
+  }
+
+  /// Runs events with timestamp <= `until`, then advances the clock there.
+  void run_until(SimTime until) {
+    while (!queue_.empty() && queue_.top().when <= until) {
+      run_one();
+    }
+    clock_.advance_to(until);
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  SimClock& clock_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dedisys

@@ -1,0 +1,155 @@
+// Simulated cluster network with partition and crash injection.
+//
+// Nodes communicate only through this class, which decides reachability
+// from the current partition layout and advances the shared virtual clock
+// by the configured message costs.  Link failures "lose" messages between
+// partitions but never corrupt or duplicate them, matching the failure
+// model of Section 1.1 (crash nodes, fair-lossy links).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "util/ids.h"
+#include "util/sim_clock.h"
+
+namespace dedisys {
+
+/// Observer of topology changes (the GMS subscribes to drive view changes).
+class TopologyListener {
+ public:
+  virtual ~TopologyListener() = default;
+  virtual void on_topology_changed() = 0;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(SimClock& clock, CostModel cost) : clock_(clock), cost_(cost) {}
+
+  SimClock& clock() { return clock_; }
+  const CostModel& cost() const { return cost_; }
+
+  // -- membership ---------------------------------------------------------
+
+  /// Registers a node; newly added nodes are alive and in the sole
+  /// partition group unless a partition is already in force.
+  void add_node(NodeId node) {
+    nodes_.push_back(node);
+    group_of_[node] = 0;
+    alive_.insert(node);
+  }
+
+  [[nodiscard]] const std::vector<NodeId>& nodes() const { return nodes_; }
+  [[nodiscard]] bool is_alive(NodeId node) const {
+    return alive_.count(node) != 0;
+  }
+
+  // -- failure injection ----------------------------------------------------
+
+  /// Splits the cluster into the given groups.  Nodes not mentioned keep
+  /// their previous group.  Notifies topology listeners.
+  void partition(const std::vector<std::vector<NodeId>>& groups) {
+    int next_group = 1;
+    for (const auto& g : groups) {
+      for (NodeId n : g) group_of_[n] = next_group;
+      ++next_group;
+    }
+    notify();
+  }
+
+  /// Repairs all link failures: every alive node is mutually reachable.
+  void heal() {
+    for (auto& [node, group] : group_of_) group = 0;
+    notify();
+  }
+
+  /// Pause-crash of a server node (Section 1.1): unreachable until recovery.
+  void crash(NodeId node) {
+    alive_.erase(node);
+    notify();
+  }
+
+  /// Recovers a previously crashed node.
+  void recover(NodeId node) {
+    alive_.insert(node);
+    notify();
+  }
+
+  // -- reachability -------------------------------------------------------
+
+  [[nodiscard]] bool reachable(NodeId from, NodeId to) const {
+    if (!is_alive(from) || !is_alive(to)) return false;
+    return group_of_.at(from) == group_of_.at(to);
+  }
+
+  /// All alive nodes reachable from `from`, including `from` itself.
+  [[nodiscard]] std::vector<NodeId> reachable_set(NodeId from) const {
+    std::vector<NodeId> out;
+    if (!is_alive(from)) return out;
+    for (NodeId n : nodes_) {
+      if (reachable(from, n)) out.push_back(n);
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool fully_connected() const {
+    for (NodeId n : nodes_) {
+      if (!is_alive(n)) return false;
+      if (group_of_.at(n) != group_of_.at(nodes_.front())) return false;
+    }
+    return true;
+  }
+
+  // -- message costs --------------------------------------------------------
+
+  /// Charges the cost of one point-to-point message; returns false (message
+  /// lost) when the destination is unreachable.
+  bool charge_rpc(NodeId from, NodeId to) {
+    if (!reachable(from, to)) return false;
+    if (from != to) clock_.advance(cost_.rpc_latency);
+    return true;
+  }
+
+  /// Charges a synchronous acked multicast from `from` to `receivers`
+  /// (self excluded from per-receiver cost); returns the number reached.
+  std::size_t charge_multicast(NodeId from,
+                               const std::vector<NodeId>& receivers) {
+    std::size_t reached = 0;
+    for (NodeId r : receivers) {
+      if (r != from && reachable(from, r)) ++reached;
+    }
+    if (reached > 0) {
+      clock_.advance(cost_.multicast_base +
+                     static_cast<SimDuration>(reached) *
+                         cost_.multicast_per_receiver);
+    }
+    return reached;
+  }
+
+  // -- listeners ------------------------------------------------------------
+
+  void subscribe(TopologyListener* listener) { listeners_.push_back(listener); }
+  void unsubscribe(TopologyListener* listener) {
+    listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                     listeners_.end());
+  }
+
+ private:
+  void notify() {
+    for (auto* l : listeners_) l->on_topology_changed();
+  }
+
+  SimClock& clock_;
+  CostModel cost_;
+  std::vector<NodeId> nodes_;
+  std::unordered_map<NodeId, int> group_of_;
+  std::unordered_set<NodeId> alive_;
+  std::vector<TopologyListener*> listeners_;
+};
+
+}  // namespace dedisys

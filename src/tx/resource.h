@@ -1,0 +1,33 @@
+// Transactional resource interface (XA analogue).
+//
+// The CCMgr registers itself as a transactional resource so that soft
+// invariant constraints are validated during prepare() — any violation or
+// rejected threat turns the transaction rollback-only before commit
+// (Section 4.2.3).
+#pragma once
+
+#include <string>
+
+#include "util/ids.h"
+
+namespace dedisys {
+
+enum class Vote { Commit, Rollback };
+
+class TransactionalResource {
+ public:
+  virtual ~TransactionalResource() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Phase 1 of two-phase commit.  A Rollback vote aborts the transaction.
+  virtual Vote prepare(TxId tx) = 0;
+
+  /// Phase 2: make the work durable.  Must not fail.
+  virtual void commit(TxId tx) = 0;
+
+  /// Undo any transaction-scoped work.
+  virtual void rollback(TxId tx) = 0;
+};
+
+}  // namespace dedisys

@@ -1,0 +1,238 @@
+// Distributed transaction manager (JBoss TS substitute).
+//
+// Provides flat transactions with:
+//   * resource enlistment and two-phase commit,
+//   * a rollback-only flag (set by the CCMgr on violations / rejected
+//     threats),
+//   * exclusive per-object locks,
+//   * undo actions (entity state restoration on rollback) and post-commit
+//     actions (threat flushing, update propagation bookkeeping).
+//
+// Atomicity, isolation and durability stay strictly bound to transactions;
+// constraint consistency and replication operate on top of these "AID"
+// transactions (Fig. 1.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "tx/resource.h"
+#include "util/errors.h"
+#include "util/ids.h"
+#include "util/sim_clock.h"
+
+namespace dedisys {
+
+enum class TxStatus {
+  Active,
+  RollbackOnly,
+  Committed,
+  RolledBack,
+};
+
+class Transaction {
+ public:
+  explicit Transaction(TxId id) : id_(id) {}
+
+  [[nodiscard]] TxId id() const { return id_; }
+  [[nodiscard]] TxStatus status() const { return status_; }
+  [[nodiscard]] bool finished() const {
+    return status_ == TxStatus::Committed || status_ == TxStatus::RolledBack;
+  }
+
+ private:
+  friend class TransactionManager;
+
+  TxId id_;
+  TxStatus status_ = TxStatus::Active;
+  std::vector<TransactionalResource*> resources_;
+  std::vector<std::function<void()>> undo_actions_;
+  std::vector<std::function<void()>> post_commit_actions_;
+  std::unordered_set<ObjectId> locks_;
+};
+
+class TransactionManager {
+ public:
+  TransactionManager(SimClock& clock, const CostModel& cost)
+      : clock_(&clock), cost_(&cost) {}
+
+  // -- lifecycle ------------------------------------------------------------
+
+  TxId begin() {
+    clock_->advance(cost_->tx_begin);
+    const TxId id{next_id_++};
+    txs_.emplace(id, std::make_unique<Transaction>(id));
+    return id;
+  }
+
+  [[nodiscard]] Transaction& get(TxId id) {
+    auto it = txs_.find(id);
+    if (it == txs_.end()) throw TxAborted("unknown transaction");
+    return *it->second;
+  }
+
+  [[nodiscard]] bool exists(TxId id) const { return txs_.count(id) != 0; }
+
+  // -- enlistment ------------------------------------------------------------
+
+  /// Enlists a resource once per transaction.
+  void enlist(TxId id, TransactionalResource* resource) {
+    Transaction& tx = get(id);
+    for (auto* r : tx.resources_) {
+      if (r == resource) return;
+    }
+    tx.resources_.push_back(resource);
+  }
+
+  /// Registers an action to run (in reverse order) if the tx rolls back.
+  void on_rollback(TxId id, std::function<void()> undo) {
+    get(id).undo_actions_.push_back(std::move(undo));
+  }
+
+  /// Registers an action to run after a successful commit.
+  void after_commit(TxId id, std::function<void()> action) {
+    get(id).post_commit_actions_.push_back(std::move(action));
+  }
+
+  // -- rollback-only ----------------------------------------------------------
+
+  void set_rollback_only(TxId id) {
+    Transaction& tx = get(id);
+    if (tx.status_ == TxStatus::Active) tx.status_ = TxStatus::RollbackOnly;
+  }
+
+  [[nodiscard]] bool is_rollback_only(TxId id) {
+    return get(id).status_ == TxStatus::RollbackOnly;
+  }
+
+  // -- locking ----------------------------------------------------------------
+
+  /// Acquires an exclusive lock; throws TxAborted on conflict with another
+  /// live transaction (no deadlock-prone waiting in the simulation).
+  void lock(TxId id, ObjectId object) {
+    Transaction& tx = get(id);
+    auto holder = lock_table_.find(object);
+    if (holder != lock_table_.end() && holder->second != id) {
+      throw TxAborted("lock conflict on object " + to_string(object));
+    }
+    lock_table_[object] = id;
+    tx.locks_.insert(object);
+  }
+
+  [[nodiscard]] bool is_locked_by_other(TxId id, ObjectId object) const {
+    auto holder = lock_table_.find(object);
+    return holder != lock_table_.end() && holder->second != id;
+  }
+
+  // -- completion ---------------------------------------------------------------
+
+  /// Two-phase commit.  Throws TxAborted (after rolling back) when the
+  /// transaction is rollback-only or any resource votes Rollback.
+  void commit(TxId id) {
+    Transaction& tx = get(id);
+    if (tx.finished()) throw TxAborted("transaction already finished");
+    if (tx.status_ == TxStatus::RollbackOnly) {
+      do_rollback(tx);
+      throw TxAborted("transaction marked rollback-only");
+    }
+
+    // Phase 1: prepare.
+    for (auto* r : tx.resources_) {
+      clock_->advance(cost_->tx_commit_per_resource);
+      if (r->prepare(id) == Vote::Rollback ||
+          tx.status_ == TxStatus::RollbackOnly) {
+        do_rollback(tx);
+        throw TxAborted("resource " +
+                        std::string(r != nullptr ? r->name() : "?") +
+                        " vetoed commit");
+      }
+    }
+    // Phase 2: commit.
+    for (auto* r : tx.resources_) {
+      clock_->advance(cost_->tx_commit_per_resource);
+      r->commit(id);
+    }
+    tx.status_ = TxStatus::Committed;
+    release_locks(tx);
+    auto actions = std::move(tx.post_commit_actions_);
+    tx.post_commit_actions_.clear();
+    for (auto& a : actions) a();
+  }
+
+  void rollback(TxId id) {
+    Transaction& tx = get(id);
+    if (tx.finished()) return;
+    do_rollback(tx);
+  }
+
+ private:
+  void do_rollback(Transaction& tx) {
+    for (auto* r : tx.resources_) r->rollback(tx.id_);
+    for (auto it = tx.undo_actions_.rbegin(); it != tx.undo_actions_.rend();
+         ++it) {
+      (*it)();
+    }
+    tx.undo_actions_.clear();
+    tx.status_ = TxStatus::RolledBack;
+    release_locks(tx);
+  }
+
+  void release_locks(Transaction& tx) {
+    for (ObjectId o : tx.locks_) {
+      auto holder = lock_table_.find(o);
+      if (holder != lock_table_.end() && holder->second == tx.id_) {
+        lock_table_.erase(holder);
+      }
+    }
+    tx.locks_.clear();
+  }
+
+  SimClock* clock_;
+  const CostModel* cost_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<TxId, std::unique_ptr<Transaction>> txs_;
+  std::unordered_map<ObjectId, TxId> lock_table_;
+};
+
+/// RAII transaction scope: rolls back unless commit() was called.
+class TxScope {
+ public:
+  explicit TxScope(TransactionManager& tm) : tm_(&tm), id_(tm.begin()) {}
+
+  TxScope(const TxScope&) = delete;
+  TxScope& operator=(const TxScope&) = delete;
+
+  ~TxScope() {
+    if (!done_) {
+      try {
+        tm_->rollback(id_);
+      } catch (...) {  // NOLINT(bugprone-empty-catch) — dtor must not throw
+      }
+    }
+  }
+
+  [[nodiscard]] TxId id() const { return id_; }
+
+  void commit() {
+    done_ = true;
+    tm_->commit(id_);
+  }
+
+  void rollback() {
+    done_ = true;
+    tm_->rollback(id_);
+  }
+
+ private:
+  TransactionManager* tm_;
+  TxId id_;
+  bool done_ = false;
+};
+
+}  // namespace dedisys

@@ -1,0 +1,81 @@
+// Exception hierarchy of the DeDiSys middleware.
+//
+// The paper distinguishes three failure signals surfaced to applications:
+//   * ConstraintViolation      — a constraint evaluated to `false` in a
+//                                situation where that is not tolerable
+//                                (healthy mode, or non-tradeable constraint).
+//   * ConsistencyThreatRejected— a threat arose in degraded mode and the
+//                                negotiation decided not to accept it; the
+//                                surrounding transaction is rolled back.
+//   * ObjectUnreachable        — an affected object has no reachable replica
+//                                (the NCC case of Section 3.1).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dedisys {
+
+/// Base class for all middleware errors.
+class DedisysError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A data integrity constraint is definitely violated.
+class ConstraintViolation : public DedisysError {
+ public:
+  explicit ConstraintViolation(const std::string& constraint_name)
+      : DedisysError("constraint violated: " + constraint_name),
+        constraint_name_(constraint_name) {}
+
+  [[nodiscard]] const std::string& constraint_name() const {
+    return constraint_name_;
+  }
+
+ private:
+  std::string constraint_name_;
+};
+
+/// A consistency threat was rejected during negotiation.
+class ConsistencyThreatRejected : public DedisysError {
+ public:
+  explicit ConsistencyThreatRejected(const std::string& constraint_name)
+      : DedisysError("consistency threat rejected: " + constraint_name),
+        constraint_name_(constraint_name) {}
+
+  [[nodiscard]] const std::string& constraint_name() const {
+    return constraint_name_;
+  }
+
+ private:
+  std::string constraint_name_;
+};
+
+/// No replica of a required object is reachable in the current partition.
+class ObjectUnreachable : public DedisysError {
+ public:
+  using DedisysError::DedisysError;
+};
+
+/// A transaction was aborted (lock conflict, rollback-only, resource veto).
+class TxAborted : public DedisysError {
+ public:
+  using DedisysError::DedisysError;
+};
+
+/// Malformed configuration input (constraint descriptor files etc.).
+class ConfigError : public DedisysError {
+ public:
+  using DedisysError::DedisysError;
+};
+
+/// A business operation touched a still-threatened object while the
+/// reconciliation of that object is underway and the deployment chose the
+/// blocking policy (Section 3.3).
+class ReconciliationBlocked : public DedisysError {
+ public:
+  using DedisysError::DedisysError;
+};
+
+}  // namespace dedisys

@@ -1,0 +1,73 @@
+// Strong identifier types used across the DeDiSys middleware.
+//
+// Every subsystem refers to nodes, logical objects, transactions, views and
+// consistency threats by value-typed identifiers.  Using distinct wrapper
+// types (rather than bare integers) prevents accidentally passing a
+// transaction id where a node id is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace dedisys {
+
+/// CRTP base for strongly-typed 64-bit identifiers.
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint64_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+
+  static constexpr std::uint64_t kInvalid = UINT64_MAX;
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+struct NodeIdTag {};
+struct ObjectIdTag {};
+struct TxIdTag {};
+struct ViewIdTag {};
+struct ThreatIdTag {};
+
+/// Identifies a server node in the distributed system.
+using NodeId = StrongId<NodeIdTag>;
+/// Identifies a logical (replicated) object; replicas share the ObjectId.
+using ObjectId = StrongId<ObjectIdTag>;
+/// Identifies a distributed transaction.
+using TxId = StrongId<TxIdTag>;
+/// Identifies a group-membership view installed by the GMS.
+using ViewId = StrongId<ViewIdTag>;
+/// Identifies a stored consistency threat.
+using ThreatId = StrongId<ThreatIdTag>;
+
+template <typename Tag>
+std::string to_string(StrongId<Tag> id) {
+  return id.valid() ? std::to_string(id.value()) : std::string("<invalid>");
+}
+
+}  // namespace dedisys
+
+namespace std {
+template <typename Tag>
+struct hash<dedisys::StrongId<Tag>> {
+  size_t operator()(dedisys::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

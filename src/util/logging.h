@@ -1,0 +1,53 @@
+// Minimal leveled logging for tests and examples.
+//
+// Logging is off by default so benchmarks stay quiet; examples flip the
+// level to Info to narrate the scenario.  Not thread-safe by design: the
+// cluster simulation is single-threaded and deterministic.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dedisys {
+
+enum class LogLevel { Off = 0, Error = 1, Info = 2, Debug = 3 };
+
+class Logger {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::Off;
+    return lvl;
+  }
+
+  static void log(LogLevel lvl, const std::string& component,
+                  const std::string& message) {
+    if (static_cast<int>(lvl) > static_cast<int>(level())) return;
+    const char* tag = lvl == LogLevel::Error  ? "ERROR"
+                      : lvl == LogLevel::Info ? "INFO "
+                                              : "DEBUG";
+    std::clog << "[" << tag << "] " << component << ": " << message << '\n';
+  }
+};
+
+#define DEDISYS_LOG_INFO(component, msg)                        \
+  do {                                                          \
+    if (::dedisys::Logger::level() >= ::dedisys::LogLevel::Info) { \
+      std::ostringstream oss__;                                 \
+      oss__ << msg;                                             \
+      ::dedisys::Logger::log(::dedisys::LogLevel::Info, component, \
+                             oss__.str());                      \
+    }                                                           \
+  } while (0)
+
+#define DEDISYS_LOG_DEBUG(component, msg)                        \
+  do {                                                           \
+    if (::dedisys::Logger::level() >= ::dedisys::LogLevel::Debug) { \
+      std::ostringstream oss__;                                  \
+      oss__ << msg;                                              \
+      ::dedisys::Logger::log(::dedisys::LogLevel::Debug, component, \
+                             oss__.str());                       \
+    }                                                            \
+  } while (0)
+
+}  // namespace dedisys

@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in workloads and failure injection flows through
+// a seeded SplitMix64/xoshiro-style generator so that every test and
+// benchmark run is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dedisys {
+
+/// Small, fast, seedable PRNG (SplitMix64).  Satisfies
+/// UniformRandomBitGenerator so it can be used with <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return (*this)() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dedisys

@@ -1,0 +1,46 @@
+// Deterministic simulated clock.
+//
+// Chapter-5 experiments in the paper depend on relative costs of network
+// and database operations rather than on CPU speed.  The discrete-event
+// simulation therefore advances a virtual clock by configurable amounts;
+// benchmark harnesses report operations per *simulated* second, which makes
+// runs deterministic and hardware-independent.
+#pragma once
+
+#include <cstdint>
+
+namespace dedisys {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Duration in simulated microseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration sim_us(std::int64_t n) { return n; }
+constexpr SimDuration sim_ms(std::int64_t n) { return n * 1000; }
+constexpr SimDuration sim_sec(std::int64_t n) { return n * 1000 * 1000; }
+
+/// A monotonically advancing virtual clock shared by all simulated
+/// components of a cluster.
+class SimClock {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Advances the clock; negative durations are ignored.
+  void advance(SimDuration d) {
+    if (d > 0) now_ += d;
+  }
+
+  /// Moves the clock to an absolute point, never backwards.
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  void reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace dedisys

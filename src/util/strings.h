@@ -1,0 +1,49 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dedisys {
+
+/// Splits `text` on `sep`, keeping empty fields.
+inline std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+/// Removes leading/trailing ASCII whitespace.
+inline std::string_view trim(std::string_view s) {
+  const char* ws = " \t\r\n";
+  const auto begin = s.find_first_not_of(ws);
+  if (begin == std::string_view::npos) return {};
+  const auto end = s.find_last_not_of(ws);
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Joins `parts` with `sep`.
+inline std::string join(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+inline bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace dedisys

@@ -1,0 +1,238 @@
+#include "validation/constraints_set.h"
+
+#include "util/errors.h"
+
+namespace dedisys::validation {
+
+namespace {
+
+/// Explicit invariant defined by an attribute comparison — reflective,
+/// boxed access as in Listing 2.5.
+class AttrInvariant final : public StudyConstraint {
+ public:
+  enum class Op { Le, Ge };
+
+  AttrInvariant(std::string name, std::string attr, Op op, double bound)
+      : StudyConstraint(std::move(name), StudyConstraintType::Invariant),
+        attr_(std::move(attr)),
+        op_(op),
+        bound_(bound) {}
+
+  bool validate(const StudyContext& ctx) const override {
+    const double v = boxed_num(ctx.target.get(attr_));
+    return op_ == Op::Le ? v <= bound_ : v >= bound_;
+  }
+
+ private:
+  std::string attr_;
+  Op op_;
+  double bound_;
+};
+
+/// workload <= max_workload / spent <= budget (two-attribute invariants).
+class AttrPairInvariant final : public StudyConstraint {
+ public:
+  AttrPairInvariant(std::string name, std::string lesser, std::string greater)
+      : StudyConstraint(std::move(name), StudyConstraintType::Invariant),
+        lesser_(std::move(lesser)),
+        greater_(std::move(greater)) {}
+
+  bool validate(const StudyContext& ctx) const override {
+    return boxed_num(ctx.target.get(lesser_)) <=
+           boxed_num(ctx.target.get(greater_));
+  }
+
+ private:
+  std::string lesser_;
+  std::string greater_;
+};
+
+/// Precondition: numeric argument 0 must be positive (and optionally below
+/// an upper bound).
+class PositiveArgPrecondition final : public StudyConstraint {
+ public:
+  PositiveArgPrecondition(std::string name, double upper_bound = 1e12)
+      : StudyConstraint(std::move(name), StudyConstraintType::Precondition),
+        upper_(upper_bound) {}
+
+  bool validate(const StudyContext& ctx) const override {
+    const double v = boxed_num(ctx.args->at(0));
+    return v > 0 && v <= upper_;
+  }
+
+ private:
+  double upper_;
+};
+
+/// Postcondition: attribute must be at least the numeric argument 0
+/// (e.g. workload >= hours after addWork).
+class AttrAtLeastArgPostcondition final : public StudyConstraint {
+ public:
+  AttrAtLeastArgPostcondition(std::string name, std::string attr)
+      : StudyConstraint(std::move(name), StudyConstraintType::Postcondition),
+        attr_(std::move(attr)) {}
+
+  bool validate(const StudyContext& ctx) const override {
+    return boxed_num(ctx.target.get(attr_)) >= boxed_num(ctx.args->at(0));
+  }
+
+ private:
+  std::string attr_;
+};
+
+/// Postcondition without arguments: attribute non-negative after the call.
+class AttrNonNegativePostcondition final : public StudyConstraint {
+ public:
+  AttrNonNegativePostcondition(std::string name, std::string attr)
+      : StudyConstraint(std::move(name), StudyConstraintType::Postcondition),
+        attr_(std::move(attr)) {}
+
+  bool validate(const StudyContext& ctx) const override {
+    return boxed_num(ctx.target.get(attr_)) >= 0;
+  }
+
+ private:
+  std::string attr_;
+};
+
+}  // namespace
+
+const StudyConstraintSet& StudyConstraintSet::instance() {
+  static const StudyConstraintSet set;
+  return set;
+}
+
+StudyConstraintSet::StudyConstraintSet() {
+  using Op = AttrInvariant::Op;
+
+  // -- Employee invariants (also as OCL sources) -----------------------------
+  constraints_.push_back(std::make_unique<AttrInvariant>(
+      "EmployeeWorkloadNonNegative", "workload", Op::Ge, 0));
+  constraints_.push_back(std::make_unique<AttrPairInvariant>(
+      "EmployeeWorkloadBelowMax", "workload", "max_workload"));
+  constraints_.push_back(std::make_unique<AttrInvariant>(
+      "EmployeeProjectsNonNegative", "projects", Op::Ge, 0));
+  constraints_.push_back(std::make_unique<AttrInvariant>(
+      "EmployeeProjectsAtMostFive", "projects", Op::Le, 5));
+  constraints_.push_back(std::make_unique<AttrInvariant>(
+      "EmployeeSalaryAboveMinimum", "salary", Op::Ge, 1000));
+  for (const char* src :
+       {"self.workload >= 0", "self.workload <= self.max_workload",
+        "self.projects >= 0", "self.projects <= 5", "self.salary >= 1000"}) {
+    employee_inv_ocl_.push_back(parse_ocl(src));
+  }
+
+  // -- Project invariants -------------------------------------------------------
+  constraints_.push_back(std::make_unique<AttrInvariant>(
+      "ProjectSpentNonNegative", "spent", Op::Ge, 0));
+  constraints_.push_back(std::make_unique<AttrPairInvariant>(
+      "ProjectWithinBudget", "spent", "budget"));
+  constraints_.push_back(std::make_unique<AttrInvariant>(
+      "ProjectMembersNonNegative", "members", Op::Ge, 0));
+  for (const char* src :
+       {"self.spent >= 0", "self.spent <= self.budget", "self.members >= 0"}) {
+    project_inv_ocl_.push_back(parse_ocl(src));
+  }
+
+  // -- Department invariants (rest of the 78-constraint corpus; the
+  // scenario never touches Departments, so these only lengthen naive
+  // repository scans, as the unexercised constraints of the paper's
+  // application did).
+  for (int i = 0; i < 20; ++i) {
+    const bool ge = i % 2 == 0;
+    constraints_.push_back(std::make_unique<AttrInvariant>(
+        "DepartmentRule" + std::to_string(i),
+        i % 3 == 0   ? "budget_pool"
+        : i % 3 == 1 ? "headcount"
+                     : "floor_space",
+        ge ? Op::Ge : Op::Le, ge ? -1e9 : 1e9));
+  }
+
+  // -- Preconditions ---------------------------------------------------------------
+  constraints_.push_back(std::make_unique<PositiveArgPrecondition>(
+      "AddWorkHoursPositive", /*upper=*/24));
+  constraints_.push_back(
+      std::make_unique<PositiveArgPrecondition>("RemoveWorkHoursPositive"));
+  constraints_.push_back(
+      std::make_unique<PositiveArgPrecondition>("ChargeAmountPositive"));
+  constraints_.push_back(
+      std::make_unique<PositiveArgPrecondition>("RefundAmountPositive"));
+  constraints_.push_back(
+      std::make_unique<PositiveArgPrecondition>("RaiseAmountPositive"));
+  pre_ocl_["addWork(double)"] = {parse_ocl("arg0 > 0 and arg0 <= 24")};
+  pre_ocl_["removeWork(double)"] = {parse_ocl("arg0 > 0")};
+  pre_ocl_["charge(double)"] = {parse_ocl("arg0 > 0")};
+  pre_ocl_["refund(double)"] = {parse_ocl("arg0 > 0")};
+  pre_ocl_["raiseSalary(double)"] = {parse_ocl("arg0 > 0")};
+
+  // -- Postconditions ----------------------------------------------------------------
+  constraints_.push_back(std::make_unique<AttrAtLeastArgPostcondition>(
+      "WorkloadCoversAddedHours", "workload"));
+  constraints_.push_back(std::make_unique<AttrAtLeastArgPostcondition>(
+      "SpentCoversChargedAmount", "spent"));
+  constraints_.push_back(std::make_unique<AttrNonNegativePostcondition>(
+      "MembersNonNegativeAfterJoin", "members"));
+  post_ocl_["addWork(double)"] = {parse_ocl("self.workload >= arg0")};
+  post_ocl_["charge(double)"] = {parse_ocl("self.spent >= arg0")};
+  post_ocl_["addMember()"] = {parse_ocl("self.members >= 0")};
+}
+
+void StudyConstraintSet::populate(StudyRepository& repo) const {
+  auto find = [&](const std::string& name) -> const StudyConstraint* {
+    for (const auto& c : constraints_) {
+      if (c->name() == name) return c.get();
+    }
+    throw ConfigError("unknown study constraint: " + name);
+  };
+
+  // Invariants: affected by every public method of the context class
+  // (trigger-point convention of Section 2.1).
+  for (const char* name :
+       {"EmployeeWorkloadNonNegative", "EmployeeWorkloadBelowMax",
+        "EmployeeProjectsNonNegative", "EmployeeProjectsAtMostFive",
+        "EmployeeSalaryAboveMinimum"}) {
+    for (const MethodInfo& m : employee_class().methods) {
+      repo.add(find(name), "Employee", m.key);
+    }
+  }
+  for (const char* name :
+       {"ProjectSpentNonNegative", "ProjectWithinBudget",
+        "ProjectMembersNonNegative"}) {
+    for (const MethodInfo& m : project_class().methods) {
+      repo.add(find(name), "Project", m.key);
+    }
+  }
+
+  for (int i = 0; i < 20; ++i) {
+    const StudyConstraint* c = find("DepartmentRule" + std::to_string(i));
+    for (const MethodInfo& m : department_class().methods) {
+      repo.add(c, "Department", m.key);
+    }
+  }
+
+  // Pre/postconditions: bound to specific methods.
+  repo.add(find("AddWorkHoursPositive"), "Employee", "addWork(double)");
+  repo.add(find("RemoveWorkHoursPositive"), "Employee", "removeWork(double)");
+  repo.add(find("RaiseAmountPositive"), "Employee", "raiseSalary(double)");
+  repo.add(find("ChargeAmountPositive"), "Project", "charge(double)");
+  repo.add(find("RefundAmountPositive"), "Project", "refund(double)");
+  repo.add(find("WorkloadCoversAddedHours"), "Employee", "addWork(double)");
+  repo.add(find("SpentCoversChargedAmount"), "Project", "charge(double)");
+  repo.add(find("MembersNonNegativeAfterJoin"), "Project", "addMember()");
+}
+
+void check_employee_invariants(const Employee& e) {
+  if (e.workload < 0) throw DedisysError("workload negative");
+  if (e.workload > e.max_workload) throw DedisysError("workload above max");
+  if (e.projects < 0) throw DedisysError("projects negative");
+  if (e.projects > 5) throw DedisysError("too many projects");
+  if (e.salary < 1000) throw DedisysError("salary below minimum");
+}
+
+void check_project_invariants(const Project& p) {
+  if (p.spent < 0) throw DedisysError("spent negative");
+  if (p.spent > p.budget) throw DedisysError("budget exceeded");
+  if (p.members < 0) throw DedisysError("members negative");
+}
+
+}  // namespace dedisys::validation

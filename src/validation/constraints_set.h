@@ -1,0 +1,170 @@
+// The constraint corpus of the Chapter-2 study, in every representation
+// the approaches need:
+//   * explicit constraint classes queried from a repository,
+//   * OCL expression sources (interpreted approach),
+//   * hand-written check functions (handcrafted / inline aspect / JML).
+//
+// Comparison conditions of Section 2.3.1 apply uniformly: invariants are
+// checked before and after every public method; preconditions before,
+// postconditions after; the deterministic scenario violates nothing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "validation/ocl.h"
+#include "validation/reflection.h"
+
+namespace dedisys::validation {
+
+enum class StudyConstraintType { Precondition, Postcondition, Invariant };
+
+/// Validation input for explicit constraint classes.
+struct StudyContext {
+  ObjectRefl target;
+  const MethodInfo* method = nullptr;
+  const std::vector<Boxed>* args = nullptr;
+};
+
+/// One explicit runtime constraint (Section 2.1.4): reflective, boxed
+/// attribute access inside validate().
+class StudyConstraint {
+ public:
+  StudyConstraint(std::string name, StudyConstraintType type)
+      : name_(std::move(name)), type_(type) {}
+  virtual ~StudyConstraint() = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] StudyConstraintType type() const { return type_; }
+
+  [[nodiscard]] virtual bool validate(const StudyContext& ctx) const = 0;
+
+ private:
+  std::string name_;
+  StudyConstraintType type_;
+};
+
+/// Registration of a constraint for one affected method.
+struct StudyRegistration {
+  const StudyConstraint* constraint;
+  std::string class_name;
+  std::string method_key;
+};
+
+/// Constraint repository for the study (Section 2.1.4): naive linear
+/// search per query, or the optimized variant caching query results in a
+/// hash table keyed by class+method+type (Section 2.2.1).
+class StudyRepository {
+ public:
+  void add(const StudyConstraint* c, std::string class_name,
+           std::string method_key) {
+    registrations_.push_back(
+        StudyRegistration{c, std::move(class_name), std::move(method_key)});
+    cache_.clear();
+  }
+
+  void set_caching(bool on) {
+    caching_ = on;
+    cache_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const { return registrations_.size(); }
+  [[nodiscard]] std::size_t search_count() const { return searches_; }
+  void reset_search_count() { searches_ = 0; }
+
+  /// Constraints of `type` affected by (class, method).
+  const std::vector<const StudyConstraint*>& lookup(
+      const std::string& class_name, const std::string& method_key,
+      StudyConstraintType type) {
+    ++searches_;
+    if (!caching_) {
+      scratch_ = search(class_name, method_key, type);
+      return scratch_;
+    }
+    // Optimized repository: combined-key hash lookup with a reused key
+    // buffer (no per-query allocation once warm).
+    key_buf_.clear();
+    key_buf_.append(class_name);
+    key_buf_.push_back('#');
+    key_buf_.append(method_key);
+    key_buf_.push_back('#');
+    key_buf_.push_back(static_cast<char>('0' + static_cast<int>(type)));
+    auto it = cache_.find(key_buf_);
+    if (it != cache_.end()) return it->second;
+    auto [ins, _] =
+        cache_.emplace(key_buf_, search(class_name, method_key, type));
+    return ins->second;
+  }
+
+ private:
+  [[nodiscard]] std::vector<const StudyConstraint*> search(
+      const std::string& class_name, const std::string& method_key,
+      StudyConstraintType type) const {
+    std::vector<const StudyConstraint*> out;
+    for (const StudyRegistration& reg : registrations_) {
+      if (reg.constraint->type() == type && reg.class_name == class_name &&
+          reg.method_key == method_key) {
+        out.push_back(reg.constraint);
+      }
+    }
+    return out;
+  }
+
+  std::vector<StudyRegistration> registrations_;
+  std::string key_buf_;
+  bool caching_ = true;
+  std::unordered_map<std::string, std::vector<const StudyConstraint*>> cache_;
+  std::vector<const StudyConstraint*> scratch_;
+  std::size_t searches_ = 0;
+};
+
+/// The shared constraint corpus (built once, immutable afterwards).
+class StudyConstraintSet {
+ public:
+  static const StudyConstraintSet& instance();
+
+  [[nodiscard]] const std::vector<std::unique_ptr<StudyConstraint>>&
+  constraints() const {
+    return constraints_;
+  }
+
+  /// Fills a repository with all registrations (invariants registered for
+  /// every public method of their class).
+  void populate(StudyRepository& repo) const;
+
+  /// Parsed OCL invariants per class (same predicates).
+  [[nodiscard]] const std::vector<OclExpr>& employee_invariants_ocl() const {
+    return employee_inv_ocl_;
+  }
+  [[nodiscard]] const std::vector<OclExpr>& project_invariants_ocl() const {
+    return project_inv_ocl_;
+  }
+  /// Parsed OCL pre/postconditions keyed by method key.
+  [[nodiscard]] const std::unordered_map<std::string, std::vector<OclExpr>>&
+  pre_ocl() const {
+    return pre_ocl_;
+  }
+  [[nodiscard]] const std::unordered_map<std::string, std::vector<OclExpr>>&
+  post_ocl() const {
+    return post_ocl_;
+  }
+
+ private:
+  StudyConstraintSet();
+
+  std::vector<std::unique_ptr<StudyConstraint>> constraints_;
+  std::vector<OclExpr> employee_inv_ocl_;
+  std::vector<OclExpr> project_inv_ocl_;
+  std::unordered_map<std::string, std::vector<OclExpr>> pre_ocl_;
+  std::unordered_map<std::string, std::vector<OclExpr>> post_ocl_;
+};
+
+// -- hand-written check functions (handcrafted / inline aspects / JML) -------
+
+/// Throws DedisysError when an Employee invariant is broken.
+void check_employee_invariants(const Employee& e);
+void check_project_invariants(const Project& p);
+
+}  // namespace dedisys::validation

@@ -1,0 +1,899 @@
+#include "validation/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "util/errors.h"
+
+namespace dedisys::validation {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Method metadata shortcuts
+// ---------------------------------------------------------------------------
+
+struct Methods {
+  const MethodInfo* add_work;
+  const MethodInfo* remove_work;
+  const MethodInfo* join_project;
+  const MethodInfo* leave_project;
+  const MethodInfo* raise_salary;
+  const MethodInfo* charge;
+  const MethodInfo* refund;
+  const MethodInfo* add_member;
+  const MethodInfo* remove_member;
+
+  static const Methods& get() {
+    static const Methods m = [] {
+      const ClassInfo& e = employee_class();
+      const ClassInfo& p = project_class();
+      return Methods{&e.methods[0], &e.methods[1], &e.methods[2],
+                     &e.methods[3], &e.methods[4], &p.methods[0],
+                     &p.methods[1], &p.methods[2], &p.methods[3]};
+    }();
+    return m;
+  }
+};
+
+ObjectRefl refl(Employee& e) { return ObjectRefl{&employee_class(), &e}; }
+ObjectRefl refl(Project& p) { return ObjectRefl{&project_class(), &p}; }
+
+// ---------------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------------
+
+struct NoChecksPolicy {
+  CheckCounters* c;
+
+  void add_work(Employee& e, double h) { e.add_work(h); }
+  void remove_work(Employee& e, double h) { e.remove_work(h); }
+  void join_project(Employee& e) { e.join_project(); }
+  void leave_project(Employee& e) { e.leave_project(); }
+  void raise_salary(Employee& e, double a) { e.raise_salary(a); }
+  void charge(Project& p, double a) { p.charge(a); }
+  void refund(Project& p, double a) { p.refund(a); }
+  void add_member(Project& p) { p.add_member(); }
+  void remove_member(Project& p) { p.remove_member(); }
+};
+
+/// Inline if-statements tangled with the business logic (Listing 2.1).
+struct HandcraftedPolicy {
+  CheckCounters* c;
+
+  void employee_invariants(const Employee& e) {
+    check_employee_invariants(e);
+    c->invariants += 5;
+  }
+  void project_invariants(const Project& p) {
+    check_project_invariants(p);
+    c->invariants += 3;
+  }
+  void pre(bool ok) {
+    ++c->preconditions;
+    if (!ok) {
+      ++c->violations;
+      throw DedisysError("precondition violated");
+    }
+  }
+  void post(bool ok) {
+    ++c->postconditions;
+    if (!ok) {
+      ++c->violations;
+      throw DedisysError("postcondition violated");
+    }
+  }
+
+  void add_work(Employee& e, double h) {
+    pre(h > 0 && h <= 24);
+    employee_invariants(e);
+    e.add_work(h);
+    employee_invariants(e);
+    post(e.workload >= h);
+  }
+  void remove_work(Employee& e, double h) {
+    pre(h > 0);
+    employee_invariants(e);
+    e.remove_work(h);
+    employee_invariants(e);
+  }
+  void join_project(Employee& e) {
+    employee_invariants(e);
+    e.join_project();
+    employee_invariants(e);
+  }
+  void leave_project(Employee& e) {
+    employee_invariants(e);
+    e.leave_project();
+    employee_invariants(e);
+  }
+  void raise_salary(Employee& e, double a) {
+    pre(a > 0);
+    employee_invariants(e);
+    e.raise_salary(a);
+    employee_invariants(e);
+  }
+  void charge(Project& p, double a) {
+    pre(a > 0);
+    project_invariants(p);
+    p.charge(a);
+    project_invariants(p);
+    post(p.spent >= a);
+  }
+  void refund(Project& p, double a) {
+    pre(a > 0);
+    project_invariants(p);
+    p.refund(a);
+    project_invariants(p);
+  }
+  void add_member(Project& p) {
+    project_invariants(p);
+    p.add_member();
+    project_invariants(p);
+    post(p.members >= 0);
+  }
+  void remove_member(Project& p) {
+    project_invariants(p);
+    p.remove_member();
+    project_invariants(p);
+  }
+};
+
+/// Pre-compiler in-place injection (Section 2.1.2, Listing 2.2): the tool
+/// writes the validation statements straight into each method body.  The
+/// generated code is duplicated per call site but compiles to the same
+/// machine code class as handcrafted checks.
+struct InPlaceGeneratedPolicy : HandcraftedPolicy {
+  // Structurally: every method body carries its own generated
+  // BEGIN/END-validation blocks (code duplication is the maintainability
+  // cost, Section 2.2.3); performance-wise the injected code is ordinary
+  // compiled C++.
+};
+
+/// Wrapper-based source instrumentation (Section 2.1.2, Listing 2.3): the
+/// original method is renamed and only called through a generated wrapper
+/// holding the checks.  The extra non-inlined call frames are the
+/// performance cost of this structure.
+struct WrapperGeneratedPolicy {
+  CheckCounters* c;
+
+  // "countChar" -> wrapper; "countChar_wrapped" -> original (renamed).
+  [[gnu::noinline]] static void add_work_wrapped(Employee& e, double h) {
+    e.add_work(h);
+  }
+  [[gnu::noinline]] static void remove_work_wrapped(Employee& e, double h) {
+    e.remove_work(h);
+  }
+  [[gnu::noinline]] static void join_project_wrapped(Employee& e) {
+    e.join_project();
+  }
+  [[gnu::noinline]] static void leave_project_wrapped(Employee& e) {
+    e.leave_project();
+  }
+  [[gnu::noinline]] static void raise_salary_wrapped(Employee& e, double a) {
+    e.raise_salary(a);
+  }
+  [[gnu::noinline]] static void charge_wrapped(Project& p, double a) {
+    p.charge(a);
+  }
+  [[gnu::noinline]] static void refund_wrapped(Project& p, double a) {
+    p.refund(a);
+  }
+  [[gnu::noinline]] static void add_member_wrapped(Project& p) {
+    p.add_member();
+  }
+  [[gnu::noinline]] static void remove_member_wrapped(Project& p) {
+    p.remove_member();
+  }
+
+  void employee_invariants(const Employee& e) {
+    check_employee_invariants(e);
+    c->invariants += 5;
+  }
+  void project_invariants(const Project& p) {
+    check_project_invariants(p);
+    c->invariants += 3;
+  }
+  void pre(bool ok) {
+    ++c->preconditions;
+    if (!ok) {
+      ++c->violations;
+      throw DedisysError("precondition violated");
+    }
+  }
+  void post(bool ok) {
+    ++c->postconditions;
+    if (!ok) {
+      ++c->violations;
+      throw DedisysError("postcondition violated");
+    }
+  }
+
+  [[gnu::noinline]] void add_work(Employee& e, double h) {
+    pre(h > 0 && h <= 24);
+    employee_invariants(e);
+    add_work_wrapped(e, h);
+    employee_invariants(e);
+    post(e.workload >= h);
+  }
+  [[gnu::noinline]] void remove_work(Employee& e, double h) {
+    pre(h > 0);
+    employee_invariants(e);
+    remove_work_wrapped(e, h);
+    employee_invariants(e);
+  }
+  [[gnu::noinline]] void join_project(Employee& e) {
+    employee_invariants(e);
+    join_project_wrapped(e);
+    employee_invariants(e);
+  }
+  [[gnu::noinline]] void leave_project(Employee& e) {
+    employee_invariants(e);
+    leave_project_wrapped(e);
+    employee_invariants(e);
+  }
+  [[gnu::noinline]] void raise_salary(Employee& e, double a) {
+    pre(a > 0);
+    employee_invariants(e);
+    raise_salary_wrapped(e, a);
+    employee_invariants(e);
+  }
+  [[gnu::noinline]] void charge(Project& p, double a) {
+    pre(a > 0);
+    project_invariants(p);
+    charge_wrapped(p, a);
+    project_invariants(p);
+    post(p.spent >= a);
+  }
+  [[gnu::noinline]] void refund(Project& p, double a) {
+    pre(a > 0);
+    project_invariants(p);
+    refund_wrapped(p, a);
+    project_invariants(p);
+  }
+  [[gnu::noinline]] void add_member(Project& p) {
+    project_invariants(p);
+    add_member_wrapped(p);
+    project_invariants(p);
+    post(p.members >= 0);
+  }
+  [[gnu::noinline]] void remove_member(Project& p) {
+    project_invariants(p);
+    remove_member_wrapped(p);
+    project_invariants(p);
+  }
+};
+
+/// Constraints coded directly in aspects: the advice is compiled around the
+/// call sites (statically woven), so it performs like handcrafted checks.
+struct AspectInlinePolicy : HandcraftedPolicy {
+  // Identical check bodies; the structural difference (advice functions vs
+  // tangled ifs) disappears after inlining — which is precisely the
+  // paper's finding (overhead factor 1.06, Fig. 2.1).
+};
+
+/// JML-style compiler-generated assertion machinery: \old() snapshot
+/// stores and boxed reflective spec evaluation.
+struct JmlStylePolicy {
+  CheckCounters* c;
+
+  void jml_assert(bool ok, const char* label, std::size_t* counter) {
+    ++*counter;
+    if (!ok) {
+      ++c->violations;
+      throw DedisysError(std::string("JML assertion violated: ") + label);
+    }
+  }
+
+  void employee_invariants(const ObjectRefl& self) {
+    jml_assert(boxed_num(self.get("workload")) >= 0, "inv", &c->invariants);
+    jml_assert(boxed_num(self.get("workload")) <=
+                   boxed_num(self.get("max_workload")),
+               "inv", &c->invariants);
+    jml_assert(boxed_num(self.get("projects")) >= 0, "inv", &c->invariants);
+    jml_assert(boxed_num(self.get("projects")) <= 5, "inv", &c->invariants);
+    jml_assert(boxed_num(self.get("salary")) >= 1000, "inv", &c->invariants);
+  }
+  void project_invariants(const ObjectRefl& self) {
+    jml_assert(boxed_num(self.get("spent")) >= 0, "inv", &c->invariants);
+    jml_assert(boxed_num(self.get("spent")) <= boxed_num(self.get("budget")),
+               "inv", &c->invariants);
+    jml_assert(boxed_num(self.get("members")) >= 0, "inv", &c->invariants);
+  }
+
+  /// The generated wrapper conservatively snapshots every field of the
+  /// receiver into the \old() store (JML's runtime assertion checker
+  /// materializes pre-state for all referenced locations).
+  static std::map<std::string, Boxed> old_store(const ObjectRefl& self,
+                                                std::initializer_list<const char*>
+                                                    attrs) {
+    std::map<std::string, Boxed> store;
+    if (self.cls == &employee_class()) {
+      for (const char* a : {"workload", "max_workload", "projects", "salary"})
+        store[a] = self.get(a);
+    } else {
+      for (const char* a : {"budget", "spent", "members"})
+        store[a] = self.get(a);
+    }
+    (void)attrs;
+    return store;
+  }
+
+  void add_work(Employee& e, double h) {
+    ObjectRefl self = refl(e);
+    auto old = old_store(self, {"workload", "projects", "salary"});
+    jml_assert(h > 0 && h <= 24, "pre", &c->preconditions);
+    employee_invariants(self);
+    e.add_work(h);
+    employee_invariants(self);
+    jml_assert(boxed_num(self.get("workload")) >=
+                   boxed_num(old.at("workload")) + h - 1e-9,
+               "post", &c->postconditions);
+  }
+  void remove_work(Employee& e, double h) {
+    ObjectRefl self = refl(e);
+    auto old = old_store(self, {"workload"});
+    jml_assert(h > 0, "pre", &c->preconditions);
+    employee_invariants(self);
+    e.remove_work(h);
+    employee_invariants(self);
+    (void)old;
+  }
+  void join_project(Employee& e) {
+    ObjectRefl self = refl(e);
+    auto old = old_store(self, {"projects"});
+    employee_invariants(self);
+    e.join_project();
+    employee_invariants(self);
+    (void)old;
+  }
+  void leave_project(Employee& e) {
+    ObjectRefl self = refl(e);
+    auto old = old_store(self, {"projects"});
+    employee_invariants(self);
+    e.leave_project();
+    employee_invariants(self);
+    (void)old;
+  }
+  void raise_salary(Employee& e, double a) {
+    ObjectRefl self = refl(e);
+    auto old = old_store(self, {"salary"});
+    jml_assert(a > 0, "pre", &c->preconditions);
+    employee_invariants(self);
+    e.raise_salary(a);
+    employee_invariants(self);
+    (void)old;
+  }
+  void charge(Project& p, double a) {
+    ObjectRefl self = refl(p);
+    auto old = old_store(self, {"spent"});
+    jml_assert(a > 0, "pre", &c->preconditions);
+    project_invariants(self);
+    p.charge(a);
+    project_invariants(self);
+    jml_assert(boxed_num(self.get("spent")) >=
+                   boxed_num(old.at("spent")) + a - 1e-9,
+               "post", &c->postconditions);
+  }
+  void refund(Project& p, double a) {
+    ObjectRefl self = refl(p);
+    auto old = old_store(self, {"spent"});
+    jml_assert(a > 0, "pre", &c->preconditions);
+    project_invariants(self);
+    p.refund(a);
+    project_invariants(self);
+    (void)old;
+  }
+  void add_member(Project& p) {
+    ObjectRefl self = refl(p);
+    auto old = old_store(self, {"members"});
+    project_invariants(self);
+    p.add_member();
+    project_invariants(self);
+    jml_assert(boxed_num(self.get("members")) >= 0, "post",
+               &c->postconditions);
+  }
+  void remove_member(Project& p) {
+    ObjectRefl self = refl(p);
+    auto old = old_store(self, {"members"});
+    project_invariants(self);
+    p.remove_member();
+    project_invariants(self);
+    (void)old;
+  }
+};
+
+/// Dresden-OCL-style wrapper validation: every check builds a fresh boxed
+/// evaluation context and interprets the OCL AST.
+struct DresdenOclPolicy {
+  CheckCounters* c;
+  const StudyConstraintSet* set = &StudyConstraintSet::instance();
+
+  void eval_set(const std::vector<OclExpr>& exprs, const ObjectRefl& self,
+                const std::vector<Boxed>& args, std::size_t* counter) {
+    for (const OclExpr& e : exprs) {
+      // Generated generic code materializes an evaluation environment of
+      // boxed attribute values per check before interpreting.
+      std::map<std::string, Boxed> env;
+      for (const MethodInfo& m : self.cls->methods) env[m.name] = Boxed{};
+      env["self"] = Boxed{std::string(self.cls->name)};
+      ++*counter;
+      if (!ocl_check(e, self, args)) {
+        ++c->violations;
+        throw DedisysError("OCL constraint violated");
+      }
+    }
+  }
+
+  void invariants(const ObjectRefl& self, const std::vector<Boxed>& args) {
+    const auto& exprs = self.cls == &employee_class()
+                            ? set->employee_invariants_ocl()
+                            : set->project_invariants_ocl();
+    eval_set(exprs, self, args, &c->invariants);
+  }
+
+  void pre(const ObjectRefl& self, const MethodInfo& m,
+           const std::vector<Boxed>& args) {
+    auto it = set->pre_ocl().find(m.key);
+    if (it != set->pre_ocl().end()) {
+      eval_set(it->second, self, args, &c->preconditions);
+    }
+  }
+  void post(const ObjectRefl& self, const MethodInfo& m,
+            const std::vector<Boxed>& args) {
+    auto it = set->post_ocl().find(m.key);
+    if (it != set->post_ocl().end()) {
+      eval_set(it->second, self, args, &c->postconditions);
+    }
+  }
+
+  template <typename Obj, typename Fn>
+  void wrapped(Obj& obj, const MethodInfo& m, const double* arg, Fn&& body) {
+    ObjectRefl self = refl(obj);
+    std::vector<Boxed> args;
+    if (arg != nullptr) args.emplace_back(*arg);
+    pre(self, m, args);
+    invariants(self, args);
+    body();
+    invariants(self, args);
+    post(self, m, args);
+  }
+
+  void add_work(Employee& e, double h) {
+    wrapped(e, *Methods::get().add_work, &h, [&] { e.add_work(h); });
+  }
+  void remove_work(Employee& e, double h) {
+    wrapped(e, *Methods::get().remove_work, &h, [&] { e.remove_work(h); });
+  }
+  void join_project(Employee& e) {
+    wrapped(e, *Methods::get().join_project, nullptr, [&] { e.join_project(); });
+  }
+  void leave_project(Employee& e) {
+    wrapped(e, *Methods::get().leave_project, nullptr,
+            [&] { e.leave_project(); });
+  }
+  void raise_salary(Employee& e, double a) {
+    wrapped(e, *Methods::get().raise_salary, &a, [&] { e.raise_salary(a); });
+  }
+  void charge(Project& p, double a) {
+    wrapped(p, *Methods::get().charge, &a, [&] { p.charge(a); });
+  }
+  void refund(Project& p, double a) {
+    wrapped(p, *Methods::get().refund, &a, [&] { p.refund(a); });
+  }
+  void add_member(Project& p) {
+    wrapped(p, *Methods::get().add_member, nullptr, [&] { p.add_member(); });
+  }
+  void remove_member(Project& p) {
+    wrapped(p, *Methods::get().remove_member, nullptr,
+            [&] { p.remove_member(); });
+  }
+};
+
+/// Generic interceptor + constraint repository (Sections 2.1.4/2.1.5).
+struct RepoPolicy {
+  CheckCounters* c;
+  Mechanism* mech;
+  StudyRepository* repo;
+  RepoStage stage;
+
+  [[nodiscard]] bool at_least(RepoStage s) const {
+    return static_cast<int>(stage) >= static_cast<int>(s);
+  }
+
+  void run_set(const std::vector<const StudyConstraint*>& matches,
+               const StudyContext& sctx, std::size_t* counter) {
+    if (!at_least(RepoStage::Check)) return;
+    for (const StudyConstraint* sc : matches) {
+      ++*counter;
+      if (!sc->validate(sctx)) {
+        ++c->violations;
+        throw DedisysError("constraint violated: " + sc->name());
+      }
+    }
+  }
+
+  void call(ObjectRefl target, const MethodInfo& m, const double* arg,
+            BodyFn body, void* bctx) {
+    ++c->interceptions;
+    mech->begin(target, m, arg);
+    if (!at_least(RepoStage::Extract)) {
+      mech->dispatch(body, bctx);
+      return;
+    }
+    std::string class_name;
+    std::vector<Boxed> args;
+    const MethodInfo* mi = mech->extract(class_name, args);
+    if (mi == nullptr) throw DedisysError("method extraction failed");
+    if (!at_least(RepoStage::Search)) {
+      mech->dispatch(body, bctx);
+      return;
+    }
+    StudyContext sctx{target, mi, &args};
+    run_set(repo->lookup(class_name, mi->key,
+                         StudyConstraintType::Precondition),
+            sctx, &c->preconditions);
+    run_set(repo->lookup(class_name, mi->key, StudyConstraintType::Invariant),
+            sctx, &c->invariants);
+    mech->dispatch(body, bctx);
+    run_set(repo->lookup(class_name, mi->key, StudyConstraintType::Invariant),
+            sctx, &c->invariants);
+    run_set(repo->lookup(class_name, mi->key,
+                         StudyConstraintType::Postcondition),
+            sctx, &c->postconditions);
+    c->searches = repo->search_count();
+  }
+
+  // -- operations ------------------------------------------------------------
+
+  void add_work(Employee& e, double h) {
+    struct Ctx {
+      Employee* e;
+      double h;
+    } ctx{&e, h};
+    call(refl(e), *Methods::get().add_work, &h,
+         [](void* p) {
+           auto* x = static_cast<Ctx*>(p);
+           x->e->add_work(x->h);
+         },
+         &ctx);
+  }
+  void remove_work(Employee& e, double h) {
+    struct Ctx {
+      Employee* e;
+      double h;
+    } ctx{&e, h};
+    call(refl(e), *Methods::get().remove_work, &h,
+         [](void* p) {
+           auto* x = static_cast<Ctx*>(p);
+           x->e->remove_work(x->h);
+         },
+         &ctx);
+  }
+  void join_project(Employee& e) {
+    call(refl(e), *Methods::get().join_project, nullptr,
+         [](void* p) { static_cast<Employee*>(p)->join_project(); }, &e);
+  }
+  void leave_project(Employee& e) {
+    call(refl(e), *Methods::get().leave_project, nullptr,
+         [](void* p) { static_cast<Employee*>(p)->leave_project(); }, &e);
+  }
+  void raise_salary(Employee& e, double a) {
+    struct Ctx {
+      Employee* e;
+      double a;
+    } ctx{&e, a};
+    call(refl(e), *Methods::get().raise_salary, &a,
+         [](void* p) {
+           auto* x = static_cast<Ctx*>(p);
+           x->e->raise_salary(x->a);
+         },
+         &ctx);
+  }
+  void charge(Project& p, double a) {
+    struct Ctx {
+      Project* p;
+      double a;
+    } ctx{&p, a};
+    call(refl(p), *Methods::get().charge, &a,
+         [](void* q) {
+           auto* x = static_cast<Ctx*>(q);
+           x->p->charge(x->a);
+         },
+         &ctx);
+  }
+  void refund(Project& p, double a) {
+    struct Ctx {
+      Project* p;
+      double a;
+    } ctx{&p, a};
+    call(refl(p), *Methods::get().refund, &a,
+         [](void* q) {
+           auto* x = static_cast<Ctx*>(q);
+           x->p->refund(x->a);
+         },
+         &ctx);
+  }
+  void add_member(Project& p) {
+    call(refl(p), *Methods::get().add_member, nullptr,
+         [](void* q) { static_cast<Project*>(q)->add_member(); }, &p);
+  }
+  void remove_member(Project& p) {
+    call(refl(p), *Methods::get().remove_member, nullptr,
+         [](void* q) { static_cast<Project*>(q)->remove_member(); }, &p);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Scenario
+// ---------------------------------------------------------------------------
+
+template <typename Policy>
+void scenario(StudyApp& app, Policy& pol, std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (Employee& e : app.employees) {
+      pol.join_project(e);
+      pol.add_work(e, 3);
+      pol.raise_salary(e, 5);
+      pol.remove_work(e, 3);
+      pol.leave_project(e);
+    }
+    for (Project& p : app.projects) {
+      pol.add_member(p);
+      pol.charge(p, 100);
+      pol.refund(p, 100);
+      pol.remove_member(p);
+    }
+  }
+}
+
+template <typename Policy>
+std::size_t violation_scenario(StudyApp& app, Policy& pol) {
+  std::size_t detected = 0;
+  const auto attempt = [&](auto&& op) {
+    try {
+      op();
+    } catch (const DedisysError&) {
+      ++detected;
+    }
+    app.reset();
+  };
+  attempt([&] { pol.add_work(app.employees[0], 50); });       // pre: h <= 24
+  attempt([&] { pol.charge(app.projects[0], 2e6); });          // inv: budget
+  attempt([&] { pol.remove_member(app.projects[0]); });        // inv: members
+  attempt([&] { pol.remove_work(app.employees[0], 5); });      // inv: workload
+  return detected;
+}
+
+struct MechSet {
+  AspectStaticMechanism aspect;
+  AopFrameworkMechanism aop;
+  ReflectiveProxyMechanism proxy;
+
+  Mechanism& get(MechKind kind) {
+    switch (kind) {
+      case MechKind::Aspect: return aspect;
+      case MechKind::Aop: return aop;
+      case MechKind::Proxy: return proxy;
+    }
+    throw DedisysError("bad mechanism");
+  }
+};
+
+StudyRepository& shared_repo(bool optimized) {
+  static StudyRepository naive = [] {
+    StudyRepository r;
+    StudyConstraintSet::instance().populate(r);
+    r.set_caching(false);
+    return r;
+  }();
+  static StudyRepository cached = [] {
+    StudyRepository r;
+    StudyConstraintSet::instance().populate(r);
+    r.set_caching(true);
+    return r;
+  }();
+  return optimized ? cached : naive;
+}
+
+template <typename Fn>
+CheckCounters with_counters(Fn&& fn) {
+  CheckCounters c;
+  fn(c);
+  return c;
+}
+
+CheckCounters run_repo(MechKind kind, bool optimized, RepoStage stage,
+                       StudyApp& app, std::size_t rounds) {
+  return with_counters([&](CheckCounters& c) {
+    static MechSet mechs;
+    StudyRepository& repo = shared_repo(optimized);
+    repo.reset_search_count();
+    RepoPolicy pol{&c, &mechs.get(kind), &repo, stage};
+    scenario(app, pol, rounds);
+    c.searches = repo.search_count();
+  });
+}
+
+}  // namespace
+
+std::string to_string(Approach a) {
+  switch (a) {
+    case Approach::NoChecks: return "No checks";
+    case Approach::Handcrafted: return "Handcrafted";
+    case Approach::InPlaceGenerated: return "InPlace-Generated";
+    case Approach::WrapperGenerated: return "Wrapper-Generated";
+    case Approach::AspectInline: return "AspectJ-Interceptor";
+    case Approach::JmlStyle: return "JML";
+    case Approach::DresdenOcl: return "Dresden-OCL";
+    case Approach::AspectRepo: return "AspectJ-Rep";
+    case Approach::AspectRepoOpt: return "AspectJ-Rep-Opt";
+    case Approach::AopRepo: return "JBossAOP-Rep";
+    case Approach::AopRepoOpt: return "JBossAOP-Rep-Opt";
+    case Approach::ProxyRepo: return "Proxy-Rep";
+    case Approach::ProxyRepoOpt: return "Proxy-Rep-Opt";
+  }
+  return "?";
+}
+
+CheckCounters run_scenario(Approach approach, StudyApp& app,
+                           std::size_t rounds) {
+  switch (approach) {
+    case Approach::NoChecks:
+      return with_counters([&](CheckCounters& c) {
+        NoChecksPolicy pol{&c};
+        scenario(app, pol, rounds);
+      });
+    case Approach::Handcrafted:
+      return with_counters([&](CheckCounters& c) {
+        HandcraftedPolicy pol{&c};
+        scenario(app, pol, rounds);
+      });
+    case Approach::InPlaceGenerated:
+      return with_counters([&](CheckCounters& c) {
+        InPlaceGeneratedPolicy pol{{&c}};
+        scenario(app, pol, rounds);
+      });
+    case Approach::WrapperGenerated:
+      return with_counters([&](CheckCounters& c) {
+        WrapperGeneratedPolicy pol{&c};
+        scenario(app, pol, rounds);
+      });
+    case Approach::AspectInline:
+      return with_counters([&](CheckCounters& c) {
+        AspectInlinePolicy pol{{&c}};
+        scenario(app, pol, rounds);
+      });
+    case Approach::JmlStyle:
+      return with_counters([&](CheckCounters& c) {
+        JmlStylePolicy pol{&c};
+        scenario(app, pol, rounds);
+      });
+    case Approach::DresdenOcl:
+      return with_counters([&](CheckCounters& c) {
+        DresdenOclPolicy pol{&c};
+        scenario(app, pol, rounds);
+      });
+    case Approach::AspectRepo:
+      return run_repo(MechKind::Aspect, false, RepoStage::Check, app, rounds);
+    case Approach::AspectRepoOpt:
+      return run_repo(MechKind::Aspect, true, RepoStage::Check, app, rounds);
+    case Approach::AopRepo:
+      return run_repo(MechKind::Aop, false, RepoStage::Check, app, rounds);
+    case Approach::AopRepoOpt:
+      return run_repo(MechKind::Aop, true, RepoStage::Check, app, rounds);
+    case Approach::ProxyRepo:
+      return run_repo(MechKind::Proxy, false, RepoStage::Check, app, rounds);
+    case Approach::ProxyRepoOpt:
+      return run_repo(MechKind::Proxy, true, RepoStage::Check, app, rounds);
+  }
+  throw DedisysError("bad approach");
+}
+
+CheckCounters run_repo_staged(MechKind mech, bool optimized_repo,
+                              RepoStage stage, StudyApp& app,
+                              std::size_t rounds) {
+  return run_repo(mech, optimized_repo, stage, app, rounds);
+}
+
+namespace {
+
+template <typename Fn>
+double measure_median_ns(Fn&& run_once, std::size_t repetitions) {
+  for (int i = 0; i < 3; ++i) run_once();  // warm-up (JIT analogue)
+  std::vector<double> samples;
+  samples.reserve(repetitions);
+  for (std::size_t i = 0; i < repetitions; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    run_once();
+    const auto end = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(end - start).count());
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+double measure_approach(Approach approach, std::size_t rounds,
+                        std::size_t repetitions) {
+  StudyApp app = StudyApp::make();
+  return measure_median_ns(
+      [&] {
+        app.reset();
+        (void)run_scenario(approach, app, rounds);
+      },
+      repetitions);
+}
+
+double measure_repo_staged(MechKind mech, bool optimized_repo, RepoStage stage,
+                           std::size_t rounds, std::size_t repetitions) {
+  StudyApp app = StudyApp::make();
+  return measure_median_ns(
+      [&] {
+        app.reset();
+        (void)run_repo_staged(mech, optimized_repo, stage, app, rounds);
+      },
+      repetitions);
+}
+
+std::size_t run_violation_scenario(Approach approach, StudyApp& app) {
+  switch (approach) {
+    case Approach::NoChecks: {
+      NoChecksPolicy pol{nullptr};
+      return violation_scenario(app, pol);
+    }
+    case Approach::Handcrafted: {
+      CheckCounters c;
+      HandcraftedPolicy pol{&c};
+      return violation_scenario(app, pol);
+    }
+    case Approach::InPlaceGenerated: {
+      CheckCounters c;
+      InPlaceGeneratedPolicy pol{{&c}};
+      return violation_scenario(app, pol);
+    }
+    case Approach::WrapperGenerated: {
+      CheckCounters c;
+      WrapperGeneratedPolicy pol{&c};
+      return violation_scenario(app, pol);
+    }
+    case Approach::AspectInline: {
+      CheckCounters c;
+      AspectInlinePolicy pol{{&c}};
+      return violation_scenario(app, pol);
+    }
+    case Approach::JmlStyle: {
+      CheckCounters c;
+      JmlStylePolicy pol{&c};
+      return violation_scenario(app, pol);
+    }
+    case Approach::DresdenOcl: {
+      CheckCounters c;
+      DresdenOclPolicy pol{&c};
+      return violation_scenario(app, pol);
+    }
+    default: {
+      CheckCounters c;
+      static MechSet mechs;
+      const MechKind kind = approach == Approach::AspectRepo ||
+                                    approach == Approach::AspectRepoOpt
+                                ? MechKind::Aspect
+                            : approach == Approach::AopRepo ||
+                                    approach == Approach::AopRepoOpt
+                                ? MechKind::Aop
+                                : MechKind::Proxy;
+      const bool optimized = approach == Approach::AspectRepoOpt ||
+                             approach == Approach::AopRepoOpt ||
+                             approach == Approach::ProxyRepoOpt;
+      StudyRepository& repo = shared_repo(optimized);
+      RepoPolicy pol{&c, &mechs.get(kind), &repo, RepoStage::Check};
+      return violation_scenario(app, pol);
+    }
+  }
+}
+
+}  // namespace dedisys::validation

@@ -1,0 +1,69 @@
+// Chapter-2 study harness: runs the deterministic project/employee scenario
+// under every constraint-validation approach and measures it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "validation/constraints_set.h"
+#include "validation/mechanisms.h"
+#include "validation/study_app.h"
+
+namespace dedisys::validation {
+
+enum class Approach {
+  NoChecks,       ///< Application without constraint checks (R1).
+  Handcrafted,    ///< Inline if-statements (Section 2.1.1) — the baseline.
+  InPlaceGenerated,  ///< Pre-compiler in-place code injection (§2.1.2,
+                     ///< iContract style): duplicated generated checks at
+                     ///< every call site, compiled with the app.
+  WrapperGenerated,  ///< Wrapper-based source instrumentation (§2.1.2,
+                     ///< Dresden structure, compiled checks): original
+                     ///< methods renamed, wrappers validate around them.
+  AspectInline,   ///< Constraints coded directly in aspects (AspectJ-Interceptor).
+  JmlStyle,       ///< Compiler-generated checks with @pre snapshots (JML).
+  DresdenOcl,     ///< Tool-generated interpreted OCL validation (Dresden).
+  AspectRepo,     ///< AspectJ interception + naive repository.
+  AspectRepoOpt,  ///< AspectJ interception + optimized (caching) repository.
+  AopRepo,        ///< JBoss-AOP-style interception + naive repository.
+  AopRepoOpt,     ///< JBoss-AOP-style interception + optimized repository.
+  ProxyRepo,      ///< Reflective proxy + naive repository.
+  ProxyRepoOpt,   ///< Reflective proxy + optimized repository.
+};
+
+[[nodiscard]] std::string to_string(Approach a);
+
+enum class MechKind { Aspect, Aop, Proxy };
+
+/// Runtime slices of Fig. 2.3: how far the repo pipeline runs.
+enum class RepoStage {
+  InterceptOnly,  ///< R1+R2
+  Extract,        ///< R1+R2+R3
+  Search,         ///< R1+R2+R3+R4
+  Check,          ///< full (R5 included)
+};
+
+/// One scenario execution under `approach`; `rounds` scales the workload
+/// (each round performs 56 intercepted operations).  Returns check/search
+/// counters (identical across approaches per Section 2.3.1).
+CheckCounters run_scenario(Approach approach, StudyApp& app,
+                           std::size_t rounds = 10);
+
+/// Staged repo-pipeline run for Figures 2.4–2.6.
+CheckCounters run_repo_staged(MechKind mech, bool optimized_repo,
+                              RepoStage stage, StudyApp& app,
+                              std::size_t rounds = 10);
+
+/// Median wall-clock nanoseconds for one scenario run (after warm-up).
+double measure_approach(Approach approach, std::size_t rounds = 10,
+                        std::size_t repetitions = 15);
+
+double measure_repo_staged(MechKind mech, bool optimized_repo, RepoStage stage,
+                           std::size_t rounds = 10,
+                           std::size_t repetitions = 15);
+
+/// Scenario that deliberately violates constraints; returns the number of
+/// violations each approach must detect (used by equivalence tests).
+std::size_t run_violation_scenario(Approach approach, StudyApp& app);
+
+}  // namespace dedisys::validation

@@ -1,0 +1,199 @@
+// The three interception mechanisms of the Chapter-2 study (Section 2.1.5).
+//
+// Each mechanism splits its work into the runtime slices of Fig. 2.3:
+//   begin()    — R2: interception (capturing the call into the mechanism's
+//                invocation representation),
+//   dispatch() — R2: forwarding to the intercepted method,
+//   extract()  — R3: obtaining the search parameters (class, method, args)
+//                for querying the constraint repository.
+//
+// Cost profiles mirror the Java originals:
+//   * AspectStaticMechanism ("AspectJ"): compile-time woven advice —
+//     interception is almost free, but the reflective Method object must
+//     be looked up via the costly getClass().getMethod() analogue.
+//   * AopFrameworkMechanism ("JBossAOP"): the call is reified into a
+//     heap-allocated invocation object traversing a virtual interceptor
+//     chain; the Method reference is already inside (cheap extraction).
+//   * ReflectiveProxyMechanism ("Java proxy"): dispatch itself goes through
+//     a string-keyed handler table with fully boxed arguments (expensive
+//     interception); extraction is cheap.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "validation/reflection.h"
+
+namespace dedisys::validation {
+
+using BodyFn = void (*)(void*);
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// R2: intercept a call on `target` to `method` with optional numeric
+  /// argument (the study methods take zero or one double).
+  virtual void begin(ObjectRefl target, const MethodInfo& method,
+                     const double* arg) = 0;
+
+  /// R2: forward to the intercepted method body.
+  virtual void dispatch(BodyFn body, void* ctx) = 0;
+
+  /// R3: produce the repository search parameters; returns the Method.
+  virtual const MethodInfo* extract(std::string& class_name_out,
+                                    std::vector<Boxed>& args_out) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// AspectJ-style static weaving
+// ---------------------------------------------------------------------------
+
+class AspectStaticMechanism final : public Mechanism {
+ public:
+  [[nodiscard]] const char* name() const override { return "AspectJ"; }
+
+  void begin(ObjectRefl target, const MethodInfo& method,
+             const double* arg) override {
+    // Woven advice: the join-point context is available statically.
+    target_ = target;
+    method_hint_ = &method;
+    arg_ = arg;
+  }
+
+  void dispatch(BodyFn body, void* ctx) override { body(ctx); }
+
+  const MethodInfo* extract(std::string& class_name_out,
+                            std::vector<Boxed>& args_out) override {
+    // AspectJ only knows name + argument values; the reflective Method has
+    // to be fetched via Object.getClass().getMethod(...) (Section 2.3.2).
+    class_name_out = target_.cls->name;
+    std::vector<std::string> param_types;
+    if (arg_ != nullptr) param_types.emplace_back("double");
+    const MethodInfo* m =
+        target_.cls->get_method(method_hint_->name, param_types);
+    args_out.clear();
+    if (arg_ != nullptr) args_out.emplace_back(*arg_);
+    return m;
+  }
+
+ private:
+  ObjectRefl target_{};
+  const MethodInfo* method_hint_ = nullptr;
+  const double* arg_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// JBoss-AOP-style invocation objects
+// ---------------------------------------------------------------------------
+
+class AopFrameworkMechanism final : public Mechanism {
+ public:
+  AopFrameworkMechanism() {
+    chain_.push_back(std::make_unique<NoopInterceptor>());
+    chain_.push_back(std::make_unique<NoopInterceptor>());
+  }
+
+  [[nodiscard]] const char* name() const override { return "JBossAOP"; }
+
+  void begin(ObjectRefl target, const MethodInfo& method,
+             const double* arg) override {
+    // Reify the call into a fresh invocation object (heap) and traverse
+    // the registered interceptor chain.
+    auto inv = std::make_unique<AopInvocation>();
+    inv->target = target;
+    inv->method = &method;
+    if (arg != nullptr) inv->args.emplace_back(*arg);
+    for (const auto& i : chain_) i->process(*inv);
+    invocation_ = std::move(inv);
+  }
+
+  void dispatch(BodyFn body, void* ctx) override {
+    invocation_->invoke_next(body, ctx);
+  }
+
+  const MethodInfo* extract(std::string& class_name_out,
+                            std::vector<Boxed>& args_out) override {
+    class_name_out = invocation_->target.cls->name;
+    args_out = invocation_->args;  // already boxed in the invocation
+    return invocation_->method;
+  }
+
+ private:
+  struct AopInvocation {
+    ObjectRefl target{};
+    const MethodInfo* method = nullptr;
+    std::vector<Boxed> args;
+
+    void invoke_next(BodyFn body, void* ctx) { body(ctx); }
+  };
+
+  class InterceptorBase {
+   public:
+    virtual ~InterceptorBase() = default;
+    virtual void process(AopInvocation& inv) = 0;
+  };
+
+  class NoopInterceptor final : public InterceptorBase {
+   public:
+    void process(AopInvocation& inv) override { (void)inv; }
+  };
+
+  std::vector<std::unique_ptr<InterceptorBase>> chain_;
+  std::unique_ptr<AopInvocation> invocation_;
+};
+
+// ---------------------------------------------------------------------------
+// java.lang.reflect.Proxy-style reflective dispatch
+// ---------------------------------------------------------------------------
+
+class ReflectiveProxyMechanism final : public Mechanism {
+ public:
+  [[nodiscard]] const char* name() const override { return "Java-Proxy"; }
+
+  void begin(ObjectRefl target, const MethodInfo& method,
+             const double* arg) override {
+    target_ = target;
+    method_ = &method;
+    args_.clear();
+    if (arg != nullptr) args_.emplace_back(*arg);
+    // The proxy resolves the handler reflectively by method key.
+    const std::string key = target.cls->name + '.' + method.key;
+    auto it = handlers_.find(key);
+    if (it == handlers_.end()) {
+      it = handlers_
+               .emplace(key,
+                        std::function<void(BodyFn, void*)>(
+                            [](BodyFn body, void* ctx) { body(ctx); }))
+               .first;
+    }
+    handler_ = &it->second;
+  }
+
+  void dispatch(BodyFn body, void* ctx) override {
+    // Method.invoke(...): indirect reflective call.
+    (*handler_)(body, ctx);
+  }
+
+  const MethodInfo* extract(std::string& class_name_out,
+                            std::vector<Boxed>& args_out) override {
+    class_name_out = target_.cls->name;
+    args_out = args_;
+    return method_;
+  }
+
+ private:
+  ObjectRefl target_{};
+  const MethodInfo* method_ = nullptr;
+  std::vector<Boxed> args_;
+  const std::function<void(BodyFn, void*)>* handler_ = nullptr;
+  std::unordered_map<std::string, std::function<void(BodyFn, void*)>>
+      handlers_;
+};
+
+}  // namespace dedisys::validation

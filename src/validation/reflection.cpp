@@ -1,0 +1,128 @@
+#include "validation/reflection.h"
+
+namespace dedisys::validation {
+
+namespace {
+
+Boxed employee_get(const void* object, const std::string& attr) {
+  const auto* e = static_cast<const Employee*>(object);
+  if (attr == "workload") return Boxed{e->workload};
+  if (attr == "max_workload") return Boxed{e->max_workload};
+  if (attr == "projects") return Boxed{e->projects};
+  if (attr == "salary") return Boxed{e->salary};
+  if (attr == "name") return Boxed{e->name};
+  throw DedisysError("Employee has no attribute " + attr);
+}
+
+Boxed project_get(const void* object, const std::string& attr) {
+  const auto* p = static_cast<const Project*>(object);
+  if (attr == "budget") return Boxed{p->budget};
+  if (attr == "spent") return Boxed{p->spent};
+  if (attr == "members") return Boxed{p->members};
+  if (attr == "name") return Boxed{p->name};
+  throw DedisysError("Project has no attribute " + attr);
+}
+
+MethodInfo make_method(const std::string& cls, const std::string& name,
+                       std::vector<std::string> params) {
+  MethodInfo m;
+  m.name = name;
+  m.param_types = std::move(params);
+  m.declaring_class = cls;
+  m.key = name + "(";
+  for (std::size_t i = 0; i < m.param_types.size(); ++i) {
+    if (i != 0) m.key += ',';
+    m.key += m.param_types[i];
+  }
+  m.key += ")";
+  return m;
+}
+
+Boxed department_get(const void* object, const std::string& attr) {
+  const auto* d = static_cast<const Department*>(object);
+  if (attr == "budget_pool") return Boxed{d->budget_pool};
+  if (attr == "headcount") return Boxed{d->headcount};
+  if (attr == "floor_space") return Boxed{d->floor_space};
+  if (attr == "name") return Boxed{d->name};
+  throw DedisysError("Department has no attribute " + attr);
+}
+
+}  // namespace
+
+const ClassInfo& department_class() {
+  static const ClassInfo cls = [] {
+    ClassInfo c;
+    c.name = "Department";
+    c.methods = {
+        make_method("Department", "hire", {}),
+        make_method("Department", "fire", {}),
+        make_method("Department", "allocateBudget", {"double"}),
+        make_method("Department", "returnBudget", {"double"}),
+        make_method("Department", "resize", {"double"}),
+        make_method("Department", "audit", {}),
+    };
+    c.get_attribute = department_get;
+    return c;
+  }();
+  return cls;
+}
+
+const ClassInfo& employee_class() {
+  static const ClassInfo cls = [] {
+    ClassInfo c;
+    c.name = "Employee";
+    c.methods = {
+        make_method("Employee", "addWork", {"double"}),
+        make_method("Employee", "removeWork", {"double"}),
+        make_method("Employee", "joinProject", {}),
+        make_method("Employee", "leaveProject", {}),
+        make_method("Employee", "raiseSalary", {"double"}),
+    };
+    c.get_attribute = employee_get;
+    return c;
+  }();
+  return cls;
+}
+
+const ClassInfo& project_class() {
+  static const ClassInfo cls = [] {
+    ClassInfo c;
+    c.name = "Project";
+    c.methods = {
+        make_method("Project", "charge", {"double"}),
+        make_method("Project", "refund", {"double"}),
+        make_method("Project", "addMember", {}),
+        make_method("Project", "removeMember", {}),
+    };
+    c.get_attribute = project_get;
+    return c;
+  }();
+  return cls;
+}
+
+StudyApp StudyApp::make(std::size_t num_employees, std::size_t num_projects) {
+  StudyApp app;
+  app.employees.resize(num_employees);
+  for (std::size_t i = 0; i < num_employees; ++i) {
+    app.employees[i].name = "employee-" + std::to_string(i);
+  }
+  app.projects.resize(num_projects);
+  for (std::size_t i = 0; i < num_projects; ++i) {
+    app.projects[i].name = "project-" + std::to_string(i);
+  }
+  return app;
+}
+
+void StudyApp::reset() {
+  for (Employee& e : employees) {
+    e.workload = 0;
+    e.projects = 0;
+    e.salary = 3000;
+  }
+  for (Project& p : projects) {
+    p.spent = 0;
+    p.members = 0;
+  }
+}
+
+}  // namespace dedisys::validation

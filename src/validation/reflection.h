@@ -1,0 +1,88 @@
+// Miniature reflection layer for the Chapter-2 study.
+//
+// The interceptor mechanisms differ in how they obtain method metadata and
+// box arguments; this header provides the java.lang.reflect analogues:
+// per-class method tables, boxed argument vectors and boxed attribute
+// access on the study objects.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ocl/ocl.h"
+#include "util/errors.h"
+#include "validation/study_app.h"
+
+namespace dedisys::validation {
+
+/// Boxed value (deliberately small: the study objects only hold numbers
+/// and strings).  Shared with the OCL interpreter.
+using Boxed = OclValue;
+
+inline double boxed_num(const Boxed& b) { return ocl_num(b); }
+
+/// The java.lang.reflect.Method analogue.
+struct MethodInfo {
+  std::string name;
+  std::vector<std::string> param_types;
+  std::string declaring_class;
+  /// Pre-computed "name(type,...)" key.
+  std::string key;
+};
+
+/// The java.lang.Class analogue: method table + boxed attribute access.
+struct ClassInfo {
+  std::string name;
+  std::vector<MethodInfo> methods;
+  /// Boxed attribute read by name (reflective field access).
+  Boxed (*get_attribute)(const void* object, const std::string& attr);
+
+  /// getMethod(...): the costly reflective lookup AspectJ needs for
+  /// parameter extraction (Section 2.3.2).  Like java.lang.Class.getMethod
+  /// it materializes each candidate's signature descriptor before
+  /// comparing — string construction per candidate, exactly the work the
+  /// JVM's reflective lookup performs.
+  [[nodiscard]] const MethodInfo* get_method(
+      const std::string& method_name,
+      const std::vector<std::string>& param_types) const {
+    std::string wanted = method_name + "(";
+    for (std::size_t i = 0; i < param_types.size(); ++i) {
+      if (i != 0) wanted += ',';
+      wanted += param_types[i];
+    }
+    wanted += ")";
+    for (const MethodInfo& m : methods) {
+      std::string candidate = m.name + "(";
+      for (std::size_t i = 0; i < m.param_types.size(); ++i) {
+        if (i != 0) candidate += ',';
+        candidate += m.param_types[i];
+      }
+      candidate += ")";
+      if (candidate == wanted) return &m;
+    }
+    return nullptr;
+  }
+};
+
+/// Reflection registry for the study classes.  Department is part of the
+/// application model (and of the 78-constraint corpus) but not exercised
+/// by the measured scenario — its registrations lengthen the naive
+/// repository scan exactly as the paper's larger application did.
+const ClassInfo& employee_class();
+const ClassInfo& project_class();
+const ClassInfo& department_class();
+
+/// Boxed view of one study object (reflective target).
+struct ObjectRefl {
+  const ClassInfo* cls;
+  void* object;
+
+  [[nodiscard]] Boxed get(const std::string& attr) const {
+    return cls->get_attribute(object, attr);
+  }
+};
+
+}  // namespace dedisys::validation

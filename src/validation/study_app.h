@@ -1,0 +1,86 @@
+// The Chapter-2 study application: management of projects and employees
+// within a company (Section 2.3).
+//
+// The application itself is plain C++ (the paper's app is plain Java); the
+// different constraint-validation approaches bolt their machinery around
+// it.  Employees participate in projects and perform a certain amount of
+// work; several restrictions apply (an employee can only handle a certain
+// workload, budgets must not be exceeded, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dedisys::validation {
+
+struct Employee {
+  std::string name;
+  double workload = 0;         ///< currently assigned hours per week
+  double max_workload = 40;    ///< invariant: workload <= max_workload
+  std::int64_t projects = 0;   ///< invariant: 0 <= projects <= 5
+  double salary = 3000;        ///< invariant: salary >= 1000
+
+  // -- business operations (no checks; approaches wrap these) --------------
+
+  void add_work(double hours) { workload += hours; }
+  void remove_work(double hours) { workload -= hours; }
+  void join_project() { ++projects; }
+  void leave_project() { --projects; }
+  void raise_salary(double amount) { salary += amount; }
+};
+
+struct Department {
+  std::string name;
+  double budget_pool = 500000;  ///< invariant: budget_pool >= 0
+  std::int64_t headcount = 0;   ///< invariant: 0 <= headcount <= 500
+  double floor_space = 100;     ///< invariant: floor_space > 0
+
+  void hire() { ++headcount; }
+  void fire() { --headcount; }
+  void allocate_budget(double amount) { budget_pool -= amount; }
+  void return_budget(double amount) { budget_pool += amount; }
+  void resize(double space) { floor_space = space; }
+  void audit() {}
+};
+
+struct Project {
+  std::string name;
+  double budget = 100000;      ///< invariant: spent <= budget
+  double spent = 0;            ///< invariant: spent >= 0
+  std::int64_t members = 0;    ///< invariant: members >= 0
+
+  void charge(double amount) { spent += amount; }
+  void refund(double amount) { spent -= amount; }
+  void add_member() { ++members; }
+  void remove_member() { --members; }
+};
+
+/// The fixed study population and the deterministic scenario every
+/// approach runs (Section 2.3.2's "use cases").
+struct StudyApp {
+  std::vector<Employee> employees;
+  std::vector<Project> projects;
+
+  static StudyApp make(std::size_t num_employees = 8,
+                       std::size_t num_projects = 4);
+
+  void reset();
+};
+
+/// Per-run counters so tests can assert that every approach performs the
+/// same number of checks (comparison condition of Section 2.3.1).
+struct CheckCounters {
+  std::size_t preconditions = 0;
+  std::size_t postconditions = 0;
+  std::size_t invariants = 0;
+  std::size_t interceptions = 0;
+  std::size_t searches = 0;
+  std::size_t violations = 0;
+
+  [[nodiscard]] std::size_t total_checks() const {
+    return preconditions + postconditions + invariants;
+  }
+};
+
+}  // namespace dedisys::validation

@@ -1,0 +1,141 @@
+#include "web/bridge.h"
+
+#include "constraints/satisfaction.h"
+#include "util/errors.h"
+
+namespace dedisys::web {
+
+NegotiationOutcome WebNegotiationBridge::negotiate(
+    const ConsistencyThreat& threat, ConstraintValidationContext&) {
+  NegotiationOutcome out;
+  if (servlet_ == nullptr) {
+    out.accepted = false;  // no browser attached: reject conservatively
+    return out;
+  }
+  out.accepted = servlet_->park_for_decision(threat);
+  return out;
+}
+
+WebBusinessServlet::WebBusinessServlet(BusinessOp op)
+    : op_(std::move(op)), bridge_(std::make_shared<WebNegotiationBridge>()) {
+  bridge_->servlet_ = this;
+}
+
+WebBusinessServlet::~WebBusinessServlet() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (neg_state_ == NegotiationState::Pending) {
+      decision_accept_ = false;  // shutting down: reject pending threat
+      neg_state_ = NegotiationState::Decided;
+      cv_.notify_all();
+    }
+  }
+  join_worker();
+}
+
+HttpResponse WebBusinessServlet::handle(const HttpRequest& request) {
+  if (request.path == "/business") return start_business();
+  if (request.path == "/negotiation-result") return deliver_decision(request);
+  return HttpResponse{404, "error", {{"message", "no such path"}}};
+}
+
+HttpResponse WebBusinessServlet::start_business() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (business_running_) {
+      return HttpResponse{409, "error",
+                          {{"message", "business operation in progress"}}};
+    }
+    business_running_ = true;
+    business_done_ = false;
+    business_result_.reset();
+    business_error_.reset();
+  }
+  join_worker();  // reap a previously finished worker
+
+  worker_ = std::thread([this] {
+    std::optional<std::string> result;
+    std::optional<std::string> error;
+    try {
+      result = op_();
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    business_result_ = std::move(result);
+    business_error_ = std::move(error);
+    business_done_ = true;
+    business_running_ = false;
+    cv_.notify_all();
+  });
+
+  return await_worker_progress();
+}
+
+HttpResponse WebBusinessServlet::deliver_decision(const HttpRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (neg_state_ != NegotiationState::Pending) {
+      return HttpResponse{409, "error",
+                          {{"message", "no negotiation pending"}}};
+    }
+    auto it = request.params.find("accept");
+    decision_accept_ = it != request.params.end() && it->second == "true";
+    neg_state_ = NegotiationState::Decided;
+    cv_.notify_all();
+  }
+  // The business response (or the next negotiation request) travels back
+  // via the response to THIS request (Fig. 4.8).
+  return await_worker_progress();
+}
+
+HttpResponse WebBusinessServlet::await_worker_progress() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return business_done_ || neg_state_ == NegotiationState::Pending;
+  });
+
+  if (neg_state_ == NegotiationState::Pending) {
+    HttpResponse r;
+    r.kind = "negotiation-request";
+    r.fields["constraint"] = pending_threat_.constraint_name;
+    r.fields["degree"] = to_string(pending_threat_.degree);
+    r.fields["context"] = pending_threat_.context_object.valid()
+                              ? to_string(pending_threat_.context_object)
+                              : "-";
+    return r;
+  }
+
+  lock.unlock();
+  join_worker();
+  HttpResponse r;
+  if (business_error_) {
+    r.status = 500;
+    r.kind = "error";
+    r.fields["message"] = *business_error_;
+  } else {
+    r.kind = "business-result";
+    r.fields["result"] = business_result_.value_or("");
+  }
+  return r;
+}
+
+bool WebBusinessServlet::park_for_decision(const ConsistencyThreat& threat) {
+  std::unique_lock<std::mutex> lock(mu_);
+  pending_threat_ = threat;
+  neg_state_ = NegotiationState::Pending;
+  cv_.notify_all();  // wake the servlet thread to emit the response
+
+  const bool decided = cv_.wait_for(lock, timeout_, [this] {
+    return neg_state_ == NegotiationState::Decided;
+  });
+  const bool accepted = decided && decision_accept_;
+  neg_state_ = NegotiationState::Idle;
+  return accepted;  // timeout: "not accepting the consistency threat"
+}
+
+void WebBusinessServlet::join_worker() {
+  if (worker_.joinable()) worker_.join();
+}
+
+}  // namespace dedisys::web

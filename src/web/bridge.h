@@ -1,0 +1,120 @@
+// Web negotiation bridge (Section 4.5, Fig. 4.8).
+//
+// Problem: consistency-threat negotiation is a synchronous middleware →
+// application callback, but a callback to a Web browser is impossible.
+// Solution (as in the paper):
+//   1. The business request starts the operation on a worker thread.
+//   2. When a threat arises, the negotiation handler parks the worker and
+//      the pending negotiation is transferred to the browser as the HTTP
+//      *response* of the business request.
+//   3. The browser's decision arrives as a *new* HTTP request, is matched
+//      to the parked worker, and resumes it.
+//   4. The business result travels back in the response to the request
+//      that carried the negotiation decision.
+// A configurable timeout rejects the threat when the user never answers,
+// so the worker is never parked indefinitely.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "constraints/negotiation.h"
+#include "web/http.h"
+
+namespace dedisys::web {
+
+class WebBusinessServlet;
+
+/// Negotiation handler handed to the middleware: publishes the threat to
+/// the servlet and blocks the business (worker) thread until the browser's
+/// decision arrives or the timeout fires.
+class WebNegotiationBridge final : public NegotiationHandler {
+ public:
+  NegotiationOutcome negotiate(const ConsistencyThreat& threat,
+                               ConstraintValidationContext& ctx) override;
+
+ private:
+  friend class WebBusinessServlet;
+  WebBusinessServlet* servlet_ = nullptr;
+};
+
+/// Server-side logic matching the HTTP request/response discrepancy.
+///
+/// Paths:
+///   /business            — starts the business operation
+///   /negotiation-result  — carries the user's accept/reject decision
+///                          (param "accept" = "true"/"false")
+class WebBusinessServlet {
+ public:
+  /// The business operation; returns the payload for the final response.
+  /// Runs on a worker thread; may trigger negotiation via the bridge.
+  using BusinessOp = std::function<std::string()>;
+
+  explicit WebBusinessServlet(BusinessOp op);
+  ~WebBusinessServlet();
+
+  WebBusinessServlet(const WebBusinessServlet&) = delete;
+  WebBusinessServlet& operator=(const WebBusinessServlet&) = delete;
+
+  /// The negotiation handler to register with the CCMgr for business
+  /// transactions served by this servlet.
+  [[nodiscard]] std::shared_ptr<WebNegotiationBridge> bridge() {
+    return bridge_;
+  }
+
+  /// Strict request/response entry point.
+  HttpResponse handle(const HttpRequest& request);
+
+  /// How long a parked negotiation waits for the browser before the
+  /// threat is auto-rejected (the paper's anti-starvation timeout).
+  void set_negotiation_timeout(std::chrono::milliseconds t) { timeout_ = t; }
+
+  /// Whether a business operation is currently executing (or parked).
+  [[nodiscard]] bool business_in_progress() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return business_running_;
+  }
+
+ private:
+  friend class WebNegotiationBridge;
+
+  enum class NegotiationState {
+    Idle,
+    Pending,   ///< worker parked, browser must decide
+    Decided,   ///< browser decided, worker may resume
+  };
+
+  HttpResponse start_business();
+  HttpResponse deliver_decision(const HttpRequest& request);
+  /// Waits until the worker either finishes or parks on a negotiation and
+  /// renders the corresponding response.
+  HttpResponse await_worker_progress();
+  void join_worker();
+
+  /// Worker-side: park until the decision or timeout; returns acceptance.
+  bool park_for_decision(const ConsistencyThreat& threat);
+
+  BusinessOp op_;
+  std::shared_ptr<WebNegotiationBridge> bridge_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread worker_;
+  bool business_running_ = false;
+  bool business_done_ = false;
+  std::optional<std::string> business_result_;
+  std::optional<std::string> business_error_;
+
+  NegotiationState neg_state_ = NegotiationState::Idle;
+  ConsistencyThreat pending_threat_;
+  bool decision_accept_ = false;
+  std::chrono::milliseconds timeout_{2000};
+};
+
+}  // namespace dedisys::web

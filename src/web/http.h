@@ -1,0 +1,25 @@
+// Minimal strict request/response HTTP model (Section 4.5).
+//
+// Web browsers cannot receive callbacks: every interaction is a request
+// the browser initiates plus exactly one response.  These types model that
+// discipline; the negotiation bridge maps middleware callbacks onto it.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace dedisys::web {
+
+struct HttpRequest {
+  std::string path;
+  std::map<std::string, std::string> params;
+};
+
+struct HttpResponse {
+  int status = 200;
+  /// "business-result" | "negotiation-request" | "error"
+  std::string kind;
+  std::map<std::string, std::string> fields;
+};
+
+}  // namespace dedisys::web

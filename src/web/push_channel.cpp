@@ -1,0 +1,113 @@
+#include "web/push_channel.h"
+
+#include "constraints/satisfaction.h"
+
+namespace dedisys::web {
+
+NegotiationOutcome PushNegotiationBridge::negotiate(
+    const ConsistencyThreat& threat, ConstraintValidationContext&) {
+  NegotiationOutcome out;
+  out.accepted = servlet_ != nullptr && servlet_->park_for_decision(threat);
+  return out;
+}
+
+PushBusinessServlet::PushBusinessServlet(BusinessOp op)
+    : op_(std::move(op)), bridge_(std::make_shared<PushNegotiationBridge>()) {
+  bridge_->servlet_ = this;
+}
+
+PushBusinessServlet::~PushBusinessServlet() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    decision_pending_ = false;
+    decision_accept_ = false;
+    cv_.notify_all();
+  }
+  join_worker();
+}
+
+HttpResponse PushBusinessServlet::handle(const HttpRequest& request) {
+  if (request.path == "/business") {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (running_) {
+        return HttpResponse{409, "error",
+                            {{"message", "operation in progress"}}};
+      }
+      running_ = true;
+      done_ = false;
+      result_.reset();
+      error_.reset();
+    }
+    join_worker();
+    worker_ = std::thread([this] {
+      std::optional<std::string> result;
+      std::optional<std::string> error;
+      try {
+        result = op_();
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      result_ = std::move(result);
+      error_ = std::move(error);
+      done_ = true;
+      running_ = false;
+      cv_.notify_all();
+    });
+    // The persistent channel decouples callbacks from this response: the
+    // browser gets an immediate acknowledgement.
+    return HttpResponse{202, "accepted", {}};
+  }
+
+  if (request.path == "/decision") {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!decision_pending_) {
+      return HttpResponse{409, "error", {{"message", "no negotiation pending"}}};
+    }
+    auto it = request.params.find("accept");
+    decision_accept_ = it != request.params.end() && it->second == "true";
+    decision_pending_ = false;
+    cv_.notify_all();
+    return HttpResponse{200, "decision-recorded", {}};
+  }
+
+  if (request.path == "/result") {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!done_) return HttpResponse{202, "pending", {}};
+    lock.unlock();
+    join_worker();
+    if (error_) {
+      return HttpResponse{500, "error", {{"message", *error_}}};
+    }
+    return HttpResponse{200, "business-result",
+                        {{"result", result_.value_or("")}}};
+  }
+
+  return HttpResponse{404, "error", {{"message", "no such path"}}};
+}
+
+bool PushBusinessServlet::park_for_decision(const ConsistencyThreat& threat) {
+  PushChunk chunk;
+  chunk.kind = "negotiation-request";
+  chunk.fields["constraint"] = threat.constraint_name;
+  chunk.fields["degree"] = to_string(threat.degree);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  decision_pending_ = true;
+  channel_.push(std::move(chunk));  // real server->browser callback
+  const bool decided = cv_.wait_for(lock, timeout_, [this] {
+    return !decision_pending_;
+  });
+  if (!decided) {
+    decision_pending_ = false;
+    return false;  // timeout: reject
+  }
+  return decision_accept_;
+}
+
+void PushBusinessServlet::join_worker() {
+  if (worker_.joinable()) worker_.join();
+}
+
+}  // namespace dedisys::web

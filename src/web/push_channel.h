@@ -1,0 +1,135 @@
+// Persistent-connection push callbacks (Section 6.4).
+//
+// The request/response bridge of Section 4.5 piggybacks negotiation onto
+// HTTP responses.  The alternative discussed in the related work is an
+// XMLBlaster-style persistent connection (Connection: keep-alive): the
+// browser keeps one long-lived channel open and the server pushes messages
+// — which may actually be callbacks — as data chunks.
+//
+// This module implements that alternative:
+//   * PushChannel — the held-open connection; the server pushes chunks,
+//     the browser (test/client code) polls with a timeout.
+//   * PushBusinessServlet — business requests return immediately with 202
+//     Accepted; negotiation requests arrive as pushed chunks; decisions
+//     and result polling are ordinary requests.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "constraints/negotiation.h"
+#include "web/http.h"
+
+namespace dedisys::web {
+
+/// One message pushed over the persistent connection.
+struct PushChunk {
+  std::string kind;  ///< "negotiation-request" | ...
+  std::map<std::string, std::string> fields;
+};
+
+/// The held-open server->browser connection.
+class PushChannel {
+ public:
+  /// Server side: push one chunk to the browser.
+  void push(PushChunk chunk) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      chunks_.push_back(std::move(chunk));
+    }
+    cv_.notify_all();
+  }
+
+  /// Browser side: blocking poll; nullopt on timeout.
+  std::optional<PushChunk> poll(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(2000)) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [this] { return !chunks_.empty(); })) {
+      return std::nullopt;
+    }
+    PushChunk chunk = std::move(chunks_.front());
+    chunks_.pop_front();
+    return chunk;
+  }
+
+  [[nodiscard]] std::size_t pending() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return chunks_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PushChunk> chunks_;
+};
+
+class PushBusinessServlet;
+
+/// Negotiation handler publishing threats over the push channel and
+/// parking the business thread until the browser's decision arrives.
+class PushNegotiationBridge final : public NegotiationHandler {
+ public:
+  NegotiationOutcome negotiate(const ConsistencyThreat& threat,
+                               ConstraintValidationContext& ctx) override;
+
+ private:
+  friend class PushBusinessServlet;
+  PushBusinessServlet* servlet_ = nullptr;
+};
+
+/// Paths:
+///   /business  — starts the operation, responds 202 immediately
+///   /decision  — param "accept"="true|false", resumes the parked worker
+///   /result    — 200 + result when done, 202 while pending, 500 on error
+class PushBusinessServlet {
+ public:
+  using BusinessOp = std::function<std::string()>;
+
+  explicit PushBusinessServlet(BusinessOp op);
+  ~PushBusinessServlet();
+
+  PushBusinessServlet(const PushBusinessServlet&) = delete;
+  PushBusinessServlet& operator=(const PushBusinessServlet&) = delete;
+
+  [[nodiscard]] std::shared_ptr<PushNegotiationBridge> bridge() {
+    return bridge_;
+  }
+  [[nodiscard]] PushChannel& channel() { return channel_; }
+
+  HttpResponse handle(const HttpRequest& request);
+
+  void set_negotiation_timeout(std::chrono::milliseconds t) { timeout_ = t; }
+
+ private:
+  friend class PushNegotiationBridge;
+
+  /// Worker-side: publish the threat chunk and park until the decision.
+  bool park_for_decision(const ConsistencyThreat& threat);
+  void join_worker();
+
+  BusinessOp op_;
+  std::shared_ptr<PushNegotiationBridge> bridge_;
+  PushChannel channel_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread worker_;
+  bool running_ = false;
+  bool done_ = false;
+  std::optional<std::string> result_;
+  std::optional<std::string> error_;
+
+  bool decision_pending_ = false;
+  bool decision_accept_ = false;
+  std::chrono::milliseconds timeout_{2000};
+};
+
+}  // namespace dedisys::web

@@ -1,0 +1,134 @@
+// ADAPT component monitors (Section 4.3): client-side read redirection
+// and server-side lifecycle/invocation callbacks.
+#include <gtest/gtest.h>
+
+#include "middleware/cluster.h"
+#include "scenarios/flight.h"
+
+namespace dedisys {
+namespace {
+
+using scenarios::FlightBooking;
+
+class RecordingMonitor final : public ServerComponentMonitor {
+ public:
+  void on_created(ObjectId, const std::string& class_name) override {
+    events.push_back("created:" + class_name);
+  }
+  void before_invocation(const Invocation& inv) override {
+    events.push_back("before:" + inv.method.name);
+  }
+  void after_invocation(const Invocation& inv) override {
+    events.push_back("after:" + inv.method.name);
+  }
+  void on_deleted(ObjectId) override { events.push_back("deleted"); }
+
+  std::vector<std::string> events;
+};
+
+class AdaptFixture : public ::testing::Test {
+ protected:
+  AdaptFixture() : cluster_(make_config()) {
+    FlightBooking::define_classes(cluster_.classes());
+  }
+
+  static ClusterConfig make_config() {
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    return cfg;
+  }
+
+  Cluster cluster_;
+};
+
+TEST_F(AdaptFixture, ServerMonitorSeesLifecycleAndInvocations) {
+  auto monitor = std::make_shared<RecordingMonitor>();
+  cluster_.node(0).add_server_monitor(monitor);
+
+  DedisysNode& n = cluster_.node(0);
+  const ObjectId f = FlightBooking::create_flight(n, 50);
+  FlightBooking::sell(n, f, 1);
+  {
+    TxScope tx(n.tx());
+    n.destroy(tx.id(), f);
+    tx.commit();
+  }
+
+  ASSERT_GE(monitor->events.size(), 6u);
+  EXPECT_EQ(monitor->events.front(), "created:Flight");
+  EXPECT_EQ(monitor->events.back(), "deleted");
+  EXPECT_NE(std::find(monitor->events.begin(), monitor->events.end(),
+                      "before:sellTickets"),
+            monitor->events.end());
+  EXPECT_NE(std::find(monitor->events.begin(), monitor->events.end(),
+                      "after:sellTickets"),
+            monitor->events.end());
+}
+
+TEST_F(AdaptFixture, ReadBalancerSpreadsGettersAcrossReplicas) {
+  // Count invocation arrivals per node via server monitors.
+  std::vector<std::shared_ptr<RecordingMonitor>> monitors;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    monitors.push_back(std::make_shared<RecordingMonitor>());
+    cluster_.node(i).add_server_monitor(monitors.back());
+  }
+  auto balancer = std::make_shared<RoundRobinReadBalancer>();
+  cluster_.node(0).set_client_monitor(balancer);
+
+  DedisysNode& n = cluster_.node(0);
+  const ObjectId f = FlightBooking::create_flight(n, 50);
+  for (int i = 0; i < 9; ++i) {
+    TxScope tx(n.tx());
+    n.invoke(tx.id(), f, "getSeats");
+    tx.commit();
+  }
+
+  // Every node served reads (round robin over the three replicas).
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    const auto& ev = monitors[i]->events;
+    EXPECT_EQ(std::count(ev.begin(), ev.end(), "before:getSeats"), 3)
+        << "node " << i;
+  }
+  EXPECT_EQ(balancer->dispatched(), 9u);
+}
+
+TEST_F(AdaptFixture, WritesAreNeverRedirectedAwayFromThePrimary) {
+  auto balancer = std::make_shared<RoundRobinReadBalancer>();
+  cluster_.node(1).set_client_monitor(balancer);
+  DedisysNode& n1 = cluster_.node(1);
+  const ObjectId f = FlightBooking::create_flight(cluster_.node(0), 50);
+
+  auto monitor0 = std::make_shared<RecordingMonitor>();
+  cluster_.node(0).add_server_monitor(monitor0);
+  {
+    TxScope tx(n1.tx());
+    n1.invoke(tx.id(), f, "sellTickets", {Value{std::int64_t{2}}});
+    tx.commit();
+  }
+  // The write executed on the designated primary (node 0).
+  EXPECT_NE(std::find(monitor0->events.begin(), monitor0->events.end(),
+                      "before:sellTickets"),
+            monitor0->events.end());
+  EXPECT_EQ(as_int(cluster_.node(2)
+                       .replication()
+                       .local_replica(f)
+                       .get("soldTickets")),
+            2);
+}
+
+TEST_F(AdaptFixture, RedirectionRespectsPartitions) {
+  auto balancer = std::make_shared<RoundRobinReadBalancer>();
+  cluster_.node(0).set_client_monitor(balancer);
+  DedisysNode& n = cluster_.node(0);
+  const ObjectId f = FlightBooking::create_flight(n, 50);
+  cluster_.split({{0, 1}, {2}});
+  // Reads keep working, balanced only over reachable replicas {0,1}.
+  for (int i = 0; i < 6; ++i) {
+    TxScope tx(n.tx());
+    EXPECT_NO_THROW(n.invoke(tx.id(), f, "getSeats"));
+    tx.commit();
+  }
+}
+
+}  // namespace
+}  // namespace dedisys

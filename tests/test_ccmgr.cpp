@@ -1,0 +1,228 @@
+// Constraint consistency manager behaviour (Section 4.2.3) exercised
+// through the full middleware stack.
+#include <gtest/gtest.h>
+
+#include "middleware/cluster.h"
+#include "scenarios/evalapp.h"
+#include "scenarios/flight.h"
+
+namespace dedisys {
+namespace {
+
+using scenarios::AcceptAllNegotiation;
+using scenarios::EvalApp;
+using scenarios::FlightBooking;
+
+class CcmgrTest : public ::testing::Test {
+ protected:
+  CcmgrTest() : cluster_(make_config()) {
+    EvalApp::define_classes(cluster_.classes());
+    EvalApp::register_constraints(cluster_.constraints());
+  }
+
+  static ClusterConfig make_config() {
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    return cfg;
+  }
+
+  Cluster cluster_;
+};
+
+TEST_F(CcmgrTest, SatisfiedHardConstraintAllowsCommit) {
+  DedisysNode& n = cluster_.node(0);
+  const auto ids = EvalApp::create_entities(n, 1);
+  EXPECT_TRUE(EvalApp::run_op(n, ids[0], "emptySatisfied"));
+  EXPECT_EQ(n.ccmgr().stats().violations, 0u);
+  EXPECT_GE(n.ccmgr().stats().validations, 1u);
+}
+
+TEST_F(CcmgrTest, ViolatedHardConstraintAbortsTransaction) {
+  DedisysNode& n = cluster_.node(0);
+  const auto ids = EvalApp::create_entities(n, 1);
+  EXPECT_FALSE(EvalApp::run_op(n, ids[0], "emptyViolated"));
+  EXPECT_EQ(n.ccmgr().stats().violations, 1u);
+}
+
+TEST_F(CcmgrTest, HealthyModeNeverCreatesThreats) {
+  DedisysNode& n = cluster_.node(0);
+  const auto ids = EvalApp::create_entities(n, 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(EvalApp::run_op(n, ids[0], "emptyThreat"));
+  }
+  EXPECT_EQ(n.ccmgr().stats().threats_detected, 0u);
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+}
+
+TEST_F(CcmgrTest, DegradedModeDetectsThreatsViaStaleness) {
+  DedisysNode& n = cluster_.node(0);
+  const auto ids = EvalApp::create_entities(n, 1);
+  cluster_.split({{0, 1}, {2}});
+  // Static negotiation: TouchHard has no min degree, app default is
+  // Satisfied -> threat rejected.
+  EXPECT_FALSE(EvalApp::run_op(n, ids[0], "emptyThreat"));
+  EXPECT_EQ(n.ccmgr().stats().threats_detected, 1u);
+  EXPECT_EQ(n.ccmgr().stats().threats_rejected, 1u);
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+}
+
+TEST_F(CcmgrTest, DynamicNegotiationHandlerTakesPriority) {
+  DedisysNode& n = cluster_.node(0);
+  const auto ids = EvalApp::create_entities(n, 1);
+  cluster_.split({{0, 1}, {2}});
+  // Dynamic handler accepts what static negotiation would reject.
+  EXPECT_TRUE(EvalApp::run_op_negotiated(
+      n, ids[0], "emptyThreat", std::make_shared<AcceptAllNegotiation>()));
+  EXPECT_EQ(n.ccmgr().stats().threats_accepted, 1u);
+  EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+}
+
+TEST_F(CcmgrTest, RejectingHandlerAbortsTransaction) {
+  class RejectAll final : public NegotiationHandler {
+   public:
+    NegotiationOutcome negotiate(const ConsistencyThreat&,
+                                 ConstraintValidationContext&) override {
+      return NegotiationOutcome{};  // accepted = false
+    }
+  };
+  DedisysNode& n = cluster_.node(0);
+  const auto ids = EvalApp::create_entities(n, 1);
+  cluster_.split({{0, 1}, {2}});
+  EXPECT_FALSE(EvalApp::run_op_negotiated(n, ids[0], "emptyThreat",
+                                          std::make_shared<RejectAll>()));
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+}
+
+TEST_F(CcmgrTest, ThreatsOfAbortedTransactionsAreNotPersisted) {
+  class AcceptThenFail final : public NegotiationHandler {
+   public:
+    NegotiationOutcome negotiate(const ConsistencyThreat&,
+                                 ConstraintValidationContext&) override {
+      NegotiationOutcome out;
+      out.accepted = true;
+      return out;
+    }
+  };
+  DedisysNode& n = cluster_.node(0);
+  const auto ids = EvalApp::create_entities(n, 1);
+  cluster_.split({{0, 1}, {2}});
+  {
+    TxScope tx(n.tx());
+    n.ccmgr().register_negotiation_handler(
+        tx.id(), std::make_shared<AcceptThenFail>());
+    n.invoke(tx.id(), ids[0], "emptyThreat");
+    tx.rollback();  // business decides to abort
+  }
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+}
+
+TEST_F(CcmgrTest, SoftConstraintValidatedAtCommitNotPerOperation) {
+  DedisysNode& n = cluster_.node(0);
+  const auto ids = EvalApp::create_entities(n, 1);
+  const std::size_t before = n.ccmgr().stats().validations;
+  {
+    TxScope tx(n.tx());
+    // Three calls, but the soft constraint is checked once at prepare.
+    n.invoke(tx.id(), ids[0], "emptySoftThreat");
+    n.invoke(tx.id(), ids[0], "emptySoftThreat");
+    n.invoke(tx.id(), ids[0], "emptySoftThreat");
+    EXPECT_EQ(n.ccmgr().stats().validations, before);
+    tx.commit();
+  }
+  EXPECT_EQ(n.ccmgr().stats().validations, before + 1);
+}
+
+TEST_F(CcmgrTest, AsyncConstraintSkipsValidationInDegradedMode) {
+  DedisysNode& n = cluster_.node(0);
+  const auto ids = EvalApp::create_entities(n, 1);
+  cluster_.split({{0, 1}, {2}});
+  const std::size_t validations_before = n.ccmgr().stats().validations;
+  EXPECT_TRUE(EvalApp::run_op(n, ids[0], "emptyAsyncThreat"));
+  // No validation, no negotiation — but a threat was recorded.
+  EXPECT_EQ(n.ccmgr().stats().validations, validations_before);
+  EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+}
+
+TEST_F(CcmgrTest, AsyncConstraintBehavesLikeSoftWhenHealthy) {
+  DedisysNode& n = cluster_.node(0);
+  const auto ids = EvalApp::create_entities(n, 1);
+  const std::size_t before = n.ccmgr().stats().validations;
+  EXPECT_TRUE(EvalApp::run_op(n, ids[0], "emptyAsyncThreat"));
+  EXPECT_EQ(n.ccmgr().stats().validations, before + 1);
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+}
+
+TEST_F(CcmgrTest, StaticNegotiationRespectsConfiguredMinimumDegree) {
+  cluster_.constraints().find("TouchHard").set_min_satisfaction_degree(
+      SatisfactionDegree::PossiblySatisfied);
+  DedisysNode& n = cluster_.node(0);
+  const auto ids = EvalApp::create_entities(n, 1);
+  cluster_.split({{0, 1}, {2}});
+  EXPECT_TRUE(EvalApp::run_op(n, ids[0], "emptyThreat"));
+  EXPECT_EQ(n.ccmgr().stats().threats_accepted, 1u);
+}
+
+TEST_F(CcmgrTest, ApplicationWideDefaultDegreeActsAsFallback) {
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.default_min_degree = SatisfactionDegree::Uncheckable;  // accept all
+  Cluster permissive(cfg);
+  EvalApp::define_classes(permissive.classes());
+  EvalApp::register_constraints(permissive.constraints());
+  DedisysNode& n = permissive.node(0);
+  const auto ids = EvalApp::create_entities(n, 1);
+  permissive.split({{0, 1}, {2}});
+  EXPECT_TRUE(EvalApp::run_op(n, ids[0], "emptyThreat"));
+  EXPECT_EQ(permissive.threats().identity_count(), 1u);
+}
+
+TEST_F(CcmgrTest, SatisfyingBusinessOperationRemovesStoredThreat) {
+  // Use the flight scenario: store a threat during degradation, then fully
+  // satisfy the constraint after healing via a business operation.
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  Cluster cl(cfg);
+  FlightBooking::define_classes(cl.classes());
+  FlightBooking::register_constraints(cl.constraints());
+  DedisysNode& n = cl.node(0);
+  const ObjectId flight = FlightBooking::create_flight(n, 100);
+  cl.split({{0, 1}, {2}});
+  FlightBooking::sell(n, flight, 5);
+  EXPECT_EQ(cl.threats().identity_count(), 1u);
+  cl.heal();
+  // A fully-checkable satisfied validation triggered by business activity
+  // cleans the stored threat (Section 4.4) without running reconciliation.
+  FlightBooking::sell(n, flight, 1);
+  EXPECT_EQ(cl.threats().identity_count(), 0u);
+}
+
+TEST_F(CcmgrTest, ThreatenedObjectsReportsAffectedObjects) {
+  DedisysNode& n = cluster_.node(0);
+  const auto ids = EvalApp::create_entities(n, 2);
+  cluster_.split({{0, 1}, {2}});
+  EXPECT_TRUE(EvalApp::run_op_negotiated(
+      n, ids[0], "emptyThreat", std::make_shared<AcceptAllNegotiation>()));
+  const auto threatened = n.ccmgr().threatened_objects();
+  EXPECT_EQ(threatened.count(ids[0]), 1u);
+  EXPECT_EQ(threatened.count(ids[1]), 0u);
+}
+
+TEST_F(CcmgrTest, NccProducesUncheckableAndCanBeAccepted) {
+  // Restrict the object's replicas to node 2 only, then cut node 2 off:
+  // validation becomes impossible (NCC -> uncheckable).
+  DedisysNode& n2 = cluster_.node(2);
+  TxScope tx(n2.tx());
+  const ObjectId id = n2.replication().create(
+      "TestEntity", tx.id(), std::vector<NodeId>{NodeId{2}});
+  tx.commit();
+
+  cluster_.split({{0, 1}, {2}});
+  DedisysNode& n0 = cluster_.node(0);
+  cluster_.constraints().find("TouchHard").set_min_satisfaction_degree(
+      SatisfactionDegree::Uncheckable);
+  // Invoking on an unreachable object fails at routing already:
+  EXPECT_FALSE(EvalApp::run_op(n0, id, "emptyThreat"));
+}
+
+}  // namespace
+}  // namespace dedisys

@@ -1,0 +1,118 @@
+// Descriptor writer: serialized deployments reload into equivalent
+// repositories (round trip for OCL constraints and metadata).
+#include <gtest/gtest.h>
+
+#include "constraints/config.h"
+#include "constraints/config_writer.h"
+#include "middleware/cluster.h"
+#include "scenarios/flight.h"
+
+namespace dedisys {
+namespace {
+
+TEST(ConfigWriter, OclConstraintRoundTripsCompletely) {
+  ConstraintRepository original;
+  ConstraintFactory empty;
+  load_constraints(R"(<constraints>
+    <constraint name="TicketConstraint" type="HARD" priority="RELAXABLE"
+                contextObject="Y" minSatisfactionDegree="POSSIBLY_SATISFIED"
+                intraObject="Y">
+      <ocl>self.soldTickets &lt;= self.seats</ocl>
+      <context-class>Flight</context-class>
+      <freshness class="Flight" maxAge="3"/>
+      <affected-methods>
+        <affected-method>
+          <context-preparation>
+            <preparation-class>ReferenceIsContextObject</preparation-class>
+            <params><param name="getter" value="getFlight"/></params>
+          </context-preparation>
+          <objectMethod name="setCount">
+            <objectClass>Booking</objectClass>
+            <arguments><argument>int</argument></arguments>
+          </objectMethod>
+        </affected-method>
+      </affected-methods>
+    </constraint>
+  </constraints>)",
+                   empty, original);
+
+  const std::string xml = write_constraints_xml(original);
+  ConstraintRepository reloaded;
+  ASSERT_EQ(load_constraints(xml, empty, reloaded), 1u);
+
+  const ConstraintRegistration* reg = reloaded.registration("TicketConstraint");
+  ASSERT_NE(reg, nullptr);
+  const Constraint& c = *reg->constraint;
+  EXPECT_EQ(c.type(), ConstraintType::HardInvariant);
+  EXPECT_TRUE(c.is_tradeable());
+  EXPECT_TRUE(c.intra_object());
+  EXPECT_EQ(c.min_satisfaction_degree(),
+            SatisfactionDegree::PossiblySatisfied);
+  EXPECT_EQ(c.freshness_criteria().at("Flight"), 3u);
+  EXPECT_EQ(reg->context_class, "Flight");
+  ASSERT_EQ(reg->affected_methods.size(), 1u);
+  EXPECT_EQ(reg->affected_methods[0].preparation.kind,
+            ContextPreparationKind::ReferenceGetter);
+  EXPECT_EQ(reg->affected_methods[0].preparation.getter, "getFlight");
+  EXPECT_EQ(reg->affected_methods[0].method.key(), "setCount(int)");
+
+  const auto* ocl = dynamic_cast<const OclConstraint*>(&c);
+  ASSERT_NE(ocl, nullptr);
+  EXPECT_EQ(ocl->expression(), "self.soldTickets <= self.seats");
+}
+
+TEST(ConfigWriter, ReloadedOclConstraintBehavesIdentically) {
+  // Deploy from XML, serialize the live repository, reload into a second
+  // cluster: enforcement must be equivalent.
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  ConstraintFactory empty;
+
+  Cluster first(cfg);
+  scenarios::FlightBooking::define_classes(first.classes());
+  load_constraints(R"(<constraints>
+    <constraint name="Cap" type="HARD" priority="CRITICAL">
+      <ocl>self.soldTickets &lt;= self.seats</ocl>
+      <context-class>Flight</context-class>
+      <affected-methods>
+        <affected-method>
+          <objectMethod name="sellTickets">
+            <objectClass>Flight</objectClass>
+            <arguments><argument>int</argument></arguments>
+          </objectMethod>
+        </affected-method>
+      </affected-methods>
+    </constraint>
+  </constraints>)",
+                   empty, first.constraints());
+  const std::string snapshot = write_constraints_xml(first.constraints());
+
+  Cluster second(cfg);
+  scenarios::FlightBooking::define_classes(second.classes());
+  load_constraints(snapshot, empty, second.constraints());
+
+  const ObjectId f = scenarios::FlightBooking::create_flight(second.node(0), 5);
+  EXPECT_NO_THROW(scenarios::FlightBooking::sell(second.node(0), f, 5));
+  EXPECT_THROW(scenarios::FlightBooking::sell(second.node(0), f, 1),
+               ConstraintViolation);
+}
+
+TEST(ConfigWriter, EscapesSpecialCharacters) {
+  ConstraintRepository repo;
+  ConstraintFactory empty;
+  load_constraints(R"(<constraints>
+    <constraint name="Weird" type="SOFT">
+      <ocl>self.x &lt; 5 and self.y &gt; 1</ocl>
+      <description>uses &lt;, &gt; &amp; "quotes"</description>
+    </constraint>
+  </constraints>)",
+                   empty, repo);
+  const std::string xml = write_constraints_xml(repo);
+  ConstraintRepository reloaded;
+  ASSERT_EQ(load_constraints(xml, empty, reloaded), 1u);
+  EXPECT_EQ(reloaded.find("Weird").description(),
+            "uses <, > & \"quotes\"");
+}
+
+}  // namespace
+}  // namespace dedisys

@@ -1,0 +1,189 @@
+// The full Fig. 1.3 object model: Flight/Person/Ticket entities with the
+// ticket-constraint counting actual Ticket objects through a query, plus
+// the administration console (Fig. 4.1).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "middleware/admin.h"
+#include "scenarios/flight_full.h"
+
+namespace dedisys {
+namespace {
+
+using scenarios::FlightBookingFull;
+
+class FlightFullTest : public ::testing::Test {
+ protected:
+  FlightFullTest() : cluster_(make_config()) {
+    FlightBookingFull::define_classes(cluster_.classes());
+    FlightBookingFull::register_constraints(cluster_.constraints());
+    flight_ = FlightBookingFull::create_flight(cluster_.node(0), 3);
+    for (int i = 0; i < 8; ++i) {
+      persons_.push_back(FlightBookingFull::create_person(
+          cluster_.node(0), "passenger-" + std::to_string(i)));
+    }
+  }
+
+  static ClusterConfig make_config() {
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    return cfg;
+  }
+
+  Cluster cluster_;
+  ObjectId flight_;
+  std::vector<ObjectId> persons_;
+};
+
+TEST_F(FlightFullTest, BookingCreatesLinkedTicketObjects) {
+  const ObjectId t =
+      FlightBookingFull::book(cluster_.node(0), flight_, persons_[0]);
+  const auto tickets =
+      FlightBookingFull::tickets_of(cluster_, cluster_.node(0), flight_);
+  ASSERT_EQ(tickets.size(), 1u);
+  EXPECT_EQ(tickets[0], t);
+  const Entity& ticket = cluster_.node(1).replication().local_replica(t);
+  EXPECT_EQ(as_object(ticket.get("person")), persons_[0]);
+  EXPECT_EQ(as_object(ticket.get("flight")), flight_);
+}
+
+TEST_F(FlightFullTest, OverbookingAbortsAndDestroysTheTicket) {
+  for (int i = 0; i < 3; ++i) {
+    FlightBookingFull::book(cluster_.node(0), flight_, persons_[i]);
+  }
+  EXPECT_THROW(
+      FlightBookingFull::book(cluster_.node(0), flight_, persons_[3]),
+      ConstraintViolation);
+  // The rolled-back booking left no ticket object behind.
+  EXPECT_EQ(FlightBookingFull::tickets_of(cluster_, cluster_.node(0), flight_)
+                .size(),
+            3u);
+  EXPECT_EQ(cluster_.objects_of("Ticket").size(), 3u);
+}
+
+TEST_F(FlightFullTest, CancellationFreesTheSeat) {
+  std::vector<ObjectId> tickets;
+  for (int i = 0; i < 3; ++i) {
+    tickets.push_back(
+        FlightBookingFull::book(cluster_.node(0), flight_, persons_[i]));
+  }
+  FlightBookingFull::cancel(cluster_.node(0), tickets[1]);
+  EXPECT_NO_THROW(
+      FlightBookingFull::book(cluster_.node(0), flight_, persons_[3]));
+}
+
+TEST_F(FlightFullTest, ShrinkingTheFlightBelowSoldTicketsIsRejected) {
+  FlightBookingFull::book(cluster_.node(0), flight_, persons_[0]);
+  FlightBookingFull::book(cluster_.node(0), flight_, persons_[1]);
+  TxScope tx(cluster_.node(0).tx());
+  EXPECT_THROW(cluster_.node(0).invoke(tx.id(), flight_, "setSeats",
+                                       {Value{std::int64_t{1}}}),
+               ConstraintViolation);
+}
+
+TEST_F(FlightFullTest, PartitionedBookingOverbooksAndReconciles) {
+  FlightBookingFull::book(cluster_.node(0), flight_, persons_[0]);
+  FlightBookingFull::book(cluster_.node(0), flight_, persons_[1]);
+
+  // Tickets created in the other partition are completely unreachable, so
+  // the query-based count degrades to UNCHECKABLE there — the
+  // high-availability deployment accepts even those threats (Section 3.1).
+  cluster_.constraints().find("TicketConstraint").set_min_satisfaction_degree(
+      SatisfactionDegree::Uncheckable);
+
+  cluster_.split({{0, 1}, {2}});
+  // One more booking per partition; globally 4 > 3.
+  EXPECT_NO_THROW(
+      FlightBookingFull::book(cluster_.node(0), flight_, persons_[2]));
+  EXPECT_NO_THROW(
+      FlightBookingFull::book(cluster_.node(2), flight_, persons_[3]));
+  EXPECT_GE(cluster_.threats().identity_count(), 1u);
+
+  cluster_.heal();
+  class Rebook final : public ConstraintReconciliationHandler {
+   public:
+    Rebook(Cluster& c, ObjectId flight) : cluster_(&c), flight_(flight) {}
+    bool reconcile(const ConsistencyThreat&,
+                   ConstraintValidationContext&) override {
+      // Cancel surplus tickets until the flight fits again.
+      DedisysNode& n = cluster_->node(0);
+      auto tickets = FlightBookingFull::tickets_of(*cluster_, n, flight_);
+      const auto seats = static_cast<std::size_t>(as_int(
+          n.replication().local_replica(flight_).get("seats")));
+      while (tickets.size() > seats) {
+        FlightBookingFull::cancel(n, tickets.back());
+        tickets.pop_back();
+        ++cancelled;
+      }
+      return true;
+    }
+    Cluster* cluster_;
+    ObjectId flight_;
+    int cancelled = 0;
+  } rebook(cluster_, flight_);
+
+  const auto report = cluster_.reconcile(nullptr, &rebook);
+  EXPECT_EQ(report.constraints.violations, 1u);
+  EXPECT_EQ(rebook.cancelled, 1);
+  EXPECT_EQ(FlightBookingFull::tickets_of(cluster_, cluster_.node(0), flight_)
+                .size(),
+            3u);
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Administration console (Fig. 4.1)
+// ---------------------------------------------------------------------------
+
+TEST_F(FlightFullTest, AdminListsThreatsAndExportsConstraints) {
+  AdminConsole admin(cluster_);
+  cluster_.split({{0, 1}, {2}});
+  FlightBookingFull::book(cluster_.node(0), flight_, persons_[0]);
+
+  const auto threats = admin.list_threats();
+  ASSERT_EQ(threats.size(), 1u);
+  EXPECT_EQ(threats[0].constraint, "TicketConstraint");
+  EXPECT_EQ(threats[0].degree, SatisfactionDegree::PossiblySatisfied);
+
+  std::ostringstream os;
+  admin.print_threats(os);
+  EXPECT_NE(os.str().find("TicketConstraint"), std::string::npos);
+
+  // Export contains the deployed registration (class-based constraints
+  // serialize their metadata).
+  const std::string xml = admin.export_constraints();
+  EXPECT_NE(xml.find("name=\"TicketConstraint\""), std::string::npos);
+  EXPECT_NE(xml.find("setFlight"), std::string::npos);
+}
+
+TEST_F(FlightFullTest, AdminDisableEnableWithRevalidation) {
+  AdminConsole admin(cluster_);
+  admin.disable_constraint("TicketConstraint");
+  for (int i = 0; i < 5; ++i) {
+    FlightBookingFull::book(cluster_.node(0), flight_, persons_[i]);  // 5 > 3
+  }
+  const auto violating = admin.enable_constraint("TicketConstraint");
+  ASSERT_EQ(violating.size(), 1u);
+  EXPECT_EQ(violating[0], flight_);
+}
+
+TEST_F(FlightFullTest, AdminThreatStateSurvivesRestart) {
+  AdminConsole admin(cluster_);
+  cluster_.split({{0, 1}, {2}});
+  FlightBookingFull::book(cluster_.node(0), flight_, persons_[0]);
+  ASSERT_EQ(cluster_.threats().identity_count(), 1u);
+
+  std::stringstream saved;
+  admin.save_threat_state(saved);
+
+  // Simulated operator error: wipe and restore.
+  cluster_.threats().remove(admin.list_threats()[0].identity);
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+  admin.restore_threat_state(saved);
+  EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+  EXPECT_EQ(admin.list_threats()[0].constraint, "TicketConstraint");
+}
+
+}  // namespace
+}  // namespace dedisys

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "gcs/group_comm.h"
+#include "gcs/membership.h"
+
+namespace dedisys {
+namespace {
+
+class GcsTest : public ::testing::Test {
+ protected:
+  GcsTest() : net_(clock_, CostModel{}), weights_(std::make_shared<NodeWeights>()) {
+    for (std::uint64_t i = 0; i < 3; ++i) net_.add_node(NodeId{i});
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      gms_.push_back(std::make_unique<GroupMembershipService>(net_, NodeId{i},
+                                                              weights_));
+    }
+  }
+
+  SimClock clock_;
+  SimNetwork net_;
+  std::shared_ptr<NodeWeights> weights_;
+  std::vector<std::unique_ptr<GroupMembershipService>> gms_;
+};
+
+TEST_F(GcsTest, InitialViewIsCompleteWithFullWeight) {
+  const View& v = gms_[0]->current_view();
+  EXPECT_TRUE(v.complete);
+  EXPECT_EQ(v.members.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.weight_fraction, 1.0);
+  EXPECT_EQ(v.coordinator(), NodeId{0});
+}
+
+TEST_F(GcsTest, PartitionInstallsSmallerViews) {
+  net_.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}}});
+  EXPECT_EQ(gms_[0]->current_view().members.size(), 2u);
+  EXPECT_FALSE(gms_[0]->current_view().complete);
+  EXPECT_EQ(gms_[2]->current_view().members.size(), 1u);
+  EXPECT_NEAR(gms_[0]->current_view().weight_fraction, 2.0 / 3, 1e-9);
+  EXPECT_NEAR(gms_[2]->current_view().weight_fraction, 1.0 / 3, 1e-9);
+}
+
+TEST_F(GcsTest, WeightedNodesShiftPartitionWeight) {
+  weights_->set(NodeId{2}, 4.0);  // total weight = 1 + 1 + 4 = 6
+  net_.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}}});
+  EXPECT_NEAR(gms_[0]->current_view().weight_fraction, 2.0 / 6, 1e-9);
+  EXPECT_NEAR(gms_[2]->current_view().weight_fraction, 4.0 / 6, 1e-9);
+}
+
+TEST_F(GcsTest, ViewIdsIncreaseAndListenersFire) {
+  struct Recorder : ViewListener {
+    std::vector<std::pair<std::size_t, std::size_t>> transitions;
+    void on_view_installed(const View& installed, const View& prev) override {
+      transitions.emplace_back(prev.members.size(), installed.members.size());
+    }
+  } rec;
+  gms_[0]->subscribe(&rec);
+
+  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}}});
+  net_.heal();
+  ASSERT_EQ(rec.transitions.size(), 2u);
+  EXPECT_EQ(rec.transitions[0], (std::pair<std::size_t, std::size_t>{3, 1}));
+  EXPECT_EQ(rec.transitions[1], (std::pair<std::size_t, std::size_t>{1, 3}));
+}
+
+TEST_F(GcsTest, NoViewChangeWhenMembershipUnchanged) {
+  struct Recorder : ViewListener {
+    int calls = 0;
+    void on_view_installed(const View&, const View&) override { ++calls; }
+  } rec;
+  gms_[0]->subscribe(&rec);
+  // Re-partition into the same membership for node 0.
+  net_.partition({{NodeId{0}, NodeId{1}, NodeId{2}}});
+  EXPECT_EQ(rec.calls, 0);
+}
+
+TEST_F(GcsTest, JoinedSinceDetectsReunifiedNodes) {
+  net_.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}}});
+  const View degraded = gms_[0]->current_view();
+  net_.heal();
+  const View healed = gms_[0]->current_view();
+  const auto joined = healed.joined_since(degraded);
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined[0], NodeId{2});
+}
+
+TEST_F(GcsTest, ViewContainsIsExact) {
+  net_.partition({{NodeId{0}, NodeId{2}}, {NodeId{1}}});
+  const View& v = gms_[0]->current_view();
+  EXPECT_TRUE(v.contains(NodeId{0}));
+  EXPECT_FALSE(v.contains(NodeId{1}));
+  EXPECT_TRUE(v.contains(NodeId{2}));
+}
+
+TEST_F(GcsTest, MulticastDeliversToReachableMembersAndCharges) {
+  GroupCommunication gc(net_);
+  net_.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}}});
+  std::vector<NodeId> delivered;
+  const SimTime t0 = clock_.now();
+  const std::size_t reached = gc.multicast(
+      NodeId{0}, {NodeId{0}, NodeId{1}, NodeId{2}},
+      [&](NodeId n) { delivered.push_back(n); });
+  EXPECT_EQ(reached, 1u);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], NodeId{1});
+  EXPECT_GT(clock_.now(), t0);  // multicast + confirmation charged
+}
+
+TEST_F(GcsTest, MulticastToNobodyIsFree) {
+  GroupCommunication gc(net_);
+  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}}});
+  const SimTime t0 = clock_.now();
+  const std::size_t reached =
+      gc.multicast(NodeId{0}, {NodeId{0}}, [](NodeId) { FAIL(); });
+  EXPECT_EQ(reached, 0u);
+  EXPECT_EQ(clock_.now(), t0);
+}
+
+TEST_F(GcsTest, PointToPointSendRoundTrip) {
+  GroupCommunication gc(net_);
+  bool delivered = false;
+  const SimTime t0 = clock_.now();
+  EXPECT_TRUE(gc.send(NodeId{0}, NodeId{1}, [&] { delivered = true; }));
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(clock_.now() - t0, 2 * CostModel{}.rpc_latency);
+
+  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}}});
+  EXPECT_FALSE(gc.send(NodeId{0}, NodeId{1}, [] { FAIL(); }));
+}
+
+}  // namespace
+}  // namespace dedisys

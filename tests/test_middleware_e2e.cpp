@@ -1,0 +1,225 @@
+// End-to-end integration tests: the flight-booking scenario of Section 1.3
+// driven through the full middleware stack (partition, divergent bookings,
+// threat negotiation, replica + constraint reconciliation).
+#include <gtest/gtest.h>
+
+#include "middleware/cluster.h"
+#include "scenarios/flight.h"
+
+namespace dedisys {
+namespace {
+
+using scenarios::FlightBooking;
+
+class FlightCluster : public ::testing::Test {
+ protected:
+  FlightCluster() : cluster_(make_config()) {
+    FlightBooking::define_classes(cluster_.classes());
+    FlightBooking::register_constraints(cluster_.constraints());
+  }
+
+  static ClusterConfig make_config() {
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    return cfg;
+  }
+
+  Cluster cluster_;
+};
+
+/// Replica handler merging divergent soldTickets counts additively
+/// (each partition's delta relative to the healthy count is applied).
+class AdditiveMerge final : public ReplicaConsistencyHandler {
+ public:
+  explicit AdditiveMerge(std::int64_t healthy_sold)
+      : healthy_sold_(healthy_sold) {}
+
+  EntitySnapshot reconcile_replicas(
+      ObjectId, const std::vector<EntitySnapshot>& candidates) override {
+    std::int64_t total = healthy_sold_;
+    std::uint64_t max_version = 0;
+    for (const EntitySnapshot& c : candidates) {
+      total += as_int(c.attributes.at("soldTickets")) - healthy_sold_;
+      max_version = std::max(max_version, c.version);
+    }
+    EntitySnapshot out = candidates.front();
+    out.attributes["soldTickets"] = Value{total};
+    out.version = max_version + 1;
+    return out;
+  }
+
+ private:
+  std::int64_t healthy_sold_;
+};
+
+/// Constraint reconciliation handler that rebooks surplus passengers
+/// (cancels tickets beyond capacity) — the Section 1.3 clean-up.
+class Rebooker final : public ConstraintReconciliationHandler {
+ public:
+  explicit Rebooker(DedisysNode& node) : node_(&node) {}
+
+  bool reconcile(const ConsistencyThreat& threat,
+                 ConstraintValidationContext&) override {
+    ++calls_;
+    TxScope tx(node_->tx());
+    const ObjectId flight = threat.context_object;
+    const std::int64_t sold =
+        as_int(node_->invoke(tx.id(), flight, "getSoldTickets"));
+    const std::int64_t seats =
+        as_int(node_->invoke(tx.id(), flight, "getSeats"));
+    if (sold > seats) {
+      node_->invoke(tx.id(), flight, "cancelTickets", {Value{sold - seats}});
+      rebooked_ += sold - seats;
+    }
+    tx.commit();
+    return true;  // resolved immediately
+  }
+
+  [[nodiscard]] int calls() const { return calls_; }
+  [[nodiscard]] std::int64_t rebooked() const { return rebooked_; }
+
+ private:
+  DedisysNode* node_;
+  int calls_ = 0;
+  std::int64_t rebooked_ = 0;
+};
+
+TEST_F(FlightCluster, HealthyModeBookingPropagatesToAllReplicas) {
+  DedisysNode& n0 = cluster_.node(0);
+  const ObjectId flight = FlightBooking::create_flight(n0, 80);
+  FlightBooking::sell(n0, flight, 70);
+
+  EXPECT_EQ(FlightBooking::sold(n0, flight), 70);
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    EXPECT_EQ(as_int(cluster_.node(i)
+                         .replication()
+                         .local_replica(flight)
+                         .get("soldTickets")),
+              70)
+        << "replica on node " << i;
+  }
+}
+
+TEST_F(FlightCluster, HealthyModeViolationAbortsTransaction) {
+  DedisysNode& n0 = cluster_.node(0);
+  const ObjectId flight = FlightBooking::create_flight(n0, 10);
+  FlightBooking::sell(n0, flight, 10);
+  EXPECT_THROW(FlightBooking::sell(n0, flight, 1), ConstraintViolation);
+  // The aborted update was rolled back on all replicas.
+  EXPECT_EQ(FlightBooking::sold(n0, flight), 10);
+  EXPECT_EQ(as_int(cluster_.node(2)
+                       .replication()
+                       .local_replica(flight)
+                       .get("soldTickets")),
+            10);
+}
+
+TEST_F(FlightCluster, Section13OverbookingScenario) {
+  DedisysNode& n0 = cluster_.node(0);
+  const ObjectId flight = FlightBooking::create_flight(n0, 80);
+  FlightBooking::sell(n0, flight, 70);
+
+  cluster_.split({{0, 1}, {2}});
+  EXPECT_EQ(n0.mode(), SystemMode::Degraded);
+  EXPECT_EQ(cluster_.node(2).mode(), SystemMode::Degraded);
+
+  // Partition A sells 7 (77 <= 80 holds there), partition B sells 8
+  // (78 <= 80 holds there) — both accepted as possibly-satisfied threats.
+  FlightBooking::sell(cluster_.node(0), flight, 7);
+  FlightBooking::sell(cluster_.node(2), flight, 8);
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(0), flight), 77);
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(2), flight), 78);
+  EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+
+  cluster_.heal();
+  EXPECT_EQ(n0.mode(), SystemMode::Reconciling);
+
+  AdditiveMerge merge(70);
+  Rebooker rebooker(n0);
+  const Cluster::ReconciliationReport report =
+      cluster_.reconcile(&merge, &rebooker);
+
+  EXPECT_EQ(report.replica.conflicts, 1u);
+  EXPECT_EQ(report.constraints.reevaluated, 1u);
+  EXPECT_EQ(report.constraints.violations, 1u);
+  EXPECT_EQ(report.constraints.resolved_immediately, 1u);
+  EXPECT_EQ(rebooker.calls(), 1);
+  EXPECT_EQ(rebooker.rebooked(), 5);
+
+  // 85 bookings reconciled down to capacity; threat removed; healthy mode.
+  EXPECT_EQ(FlightBooking::sold(n0, flight), 80);
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+  EXPECT_EQ(n0.mode(), SystemMode::Healthy);
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    EXPECT_EQ(as_int(cluster_.node(i)
+                         .replication()
+                         .local_replica(flight)
+                         .get("soldTickets")),
+              80);
+  }
+}
+
+TEST_F(FlightCluster, ThreatThatTurnsOutSatisfiedIsSimplyRemoved) {
+  DedisysNode& n0 = cluster_.node(0);
+  const ObjectId flight = FlightBooking::create_flight(n0, 100);
+  FlightBooking::sell(n0, flight, 10);
+
+  cluster_.split({{0, 1}, {2}});
+  FlightBooking::sell(cluster_.node(0), flight, 5);  // only one partition
+  EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+
+  cluster_.heal();
+  const Cluster::ReconciliationReport report = cluster_.reconcile();
+  EXPECT_EQ(report.replica.conflicts, 0u);
+  EXPECT_EQ(report.constraints.removed_satisfied, 1u);
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+  // The single-partition update won and reached every replica.
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(2), flight), 15);
+}
+
+TEST_F(FlightCluster, NonTradeableConstraintRejectsThreatsInDegradedMode) {
+  cluster_.constraints().remove("TicketConstraint");
+  auto strict = std::make_shared<scenarios::TicketConstraint>(
+      "TicketConstraint", ConstraintType::HardInvariant,
+      ConstraintPriority::NonTradeable);
+  ConstraintRegistration reg;
+  reg.constraint = std::move(strict);
+  reg.context_class = "Flight";
+  reg.affected_methods.push_back(AffectedMethod{
+      "Flight", MethodSignature{"sellTickets", {"int"}},
+      ContextPreparation{ContextPreparationKind::CalledObject, ""}});
+  cluster_.constraints().register_constraint(std::move(reg));
+
+  DedisysNode& n0 = cluster_.node(0);
+  const ObjectId flight = FlightBooking::create_flight(n0, 80);
+  FlightBooking::sell(n0, flight, 70);
+
+  cluster_.split({{0, 1}, {2}});
+  EXPECT_THROW(FlightBooking::sell(cluster_.node(0), flight, 1),
+               ConsistencyThreatRejected);
+  // Fallback to conventional behaviour: no progress, no threats stored.
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(0), flight), 70);
+}
+
+TEST_F(FlightCluster, PrimaryBackupBlocksMinorityPartitionWrites) {
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.protocol = ReplicationProtocol::PrimaryBackup;
+  Cluster pb(cfg);
+  FlightBooking::define_classes(pb.classes());
+  FlightBooking::register_constraints(pb.constraints());
+
+  const ObjectId flight = FlightBooking::create_flight(pb.node(0), 80);
+  pb.split({{0, 1}, {2}});
+  // Majority partition writes fine; reads there are reliable.
+  FlightBooking::sell(pb.node(0), flight, 5);
+  EXPECT_EQ(pb.threats().identity_count(), 0u);
+  // Minority partition is blocked for writes.
+  EXPECT_THROW(FlightBooking::sell(pb.node(2), flight, 1), ObjectUnreachable);
+  // ... but can still read (stale) local data.
+  EXPECT_EQ(FlightBooking::sold(pb.node(2), flight), 0);
+}
+
+}  // namespace
+}  // namespace dedisys

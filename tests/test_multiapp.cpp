@@ -1,0 +1,121 @@
+// Multi-application support (Section 5.3): constraint repositories are
+// application-specific; constraint names need only be unique within one
+// application; the CCMgr differentiates applications through invocation
+// context information.
+#include <gtest/gtest.h>
+
+#include "middleware/cluster.h"
+#include "scenarios/flight.h"
+
+namespace dedisys {
+namespace {
+
+class MultiAppTest : public ::testing::Test {
+ protected:
+  MultiAppTest() : cluster_(make_config()) {
+    // Both applications use the same class model but deploy DIFFERENT
+    // constraints under the SAME name: "charter" tolerates 10% overbooking,
+    // "scheduled" does not.
+    scenarios::FlightBooking::define_classes(cluster_.classes());
+
+    auto strict = std::make_shared<FunctionConstraint>(
+        "CapacityRule", ConstraintType::HardInvariant,
+        ConstraintPriority::Tradeable, [](ConstraintValidationContext& ctx) {
+          const Entity& f = ctx.context_entity();
+          return as_int(f.get("soldTickets")) <= as_int(f.get("seats"));
+        });
+    auto lenient = std::make_shared<FunctionConstraint>(
+        "CapacityRule", ConstraintType::HardInvariant,
+        ConstraintPriority::Tradeable, [](ConstraintValidationContext& ctx) {
+          const Entity& f = ctx.context_entity();
+          return 10 * as_int(f.get("soldTickets")) <=
+                 11 * as_int(f.get("seats"));  // +10% overbooking allowed
+        });
+
+    register_for(cluster_.application_constraints("scheduled"),
+                 std::move(strict));
+    register_for(cluster_.application_constraints("charter"),
+                 std::move(lenient));
+  }
+
+  static void register_for(ConstraintRepository& repo, ConstraintPtr c) {
+    ConstraintRegistration reg;
+    reg.constraint = std::move(c);
+    reg.context_class = "Flight";
+    reg.affected_methods.push_back(AffectedMethod{
+        "Flight", MethodSignature{"sellTickets", {"int"}},
+        ContextPreparation{ContextPreparationKind::CalledObject, ""}});
+    repo.register_constraint(std::move(reg));
+  }
+
+  static ClusterConfig make_config() {
+    ClusterConfig cfg;
+    cfg.nodes = 2;
+    return cfg;
+  }
+
+  ObjectId create_flight(const std::string& app, std::int64_t seats) {
+    DedisysNode& n = cluster_.node(0);
+    TxScope tx(n.tx());
+    const ObjectId id = n.create(tx.id(), "Flight", app);
+    n.invoke(tx.id(), id, "setSeats", {Value{seats}});
+    tx.commit();
+    return id;
+  }
+
+  void sell(ObjectId flight, std::int64_t count) {
+    DedisysNode& n = cluster_.node(0);
+    TxScope tx(n.tx());
+    n.invoke(tx.id(), flight, "sellTickets", {Value{count}});
+    tx.commit();
+  }
+
+  Cluster cluster_;
+};
+
+TEST_F(MultiAppTest, SameConstraintNameDifferentSemanticsPerApplication) {
+  const ObjectId scheduled = create_flight("scheduled", 100);
+  const ObjectId charter = create_flight("charter", 100);
+
+  sell(scheduled, 100);
+  EXPECT_THROW(sell(scheduled, 1), ConstraintViolation);  // strict app
+
+  sell(charter, 100);
+  EXPECT_NO_THROW(sell(charter, 10));                     // +10% tolerated
+  EXPECT_THROW(sell(charter, 1), ConstraintViolation);    // beyond 110
+}
+
+TEST_F(MultiAppTest, DefaultApplicationUnaffectedByAppRepositories) {
+  // Objects without an application use the (empty) default repository:
+  // no constraints apply at all.
+  const ObjectId unscoped = create_flight("", 10);
+  EXPECT_NO_THROW(sell(unscoped, 500));
+}
+
+TEST_F(MultiAppTest, ThreatsFromAppConstraintsReconcileAcrossApps) {
+  const ObjectId charter = create_flight("charter", 100);
+  cluster_.application_constraints("charter")
+      .find("CapacityRule")
+      .set_min_satisfaction_degree(SatisfactionDegree::PossiblySatisfied);
+
+  cluster_.split({{0}, {1}});
+  sell(charter, 5);  // possibly-satisfied threat, accepted statically
+  EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+
+  cluster_.heal();
+  // Reconciliation must locate "CapacityRule" in the charter repository.
+  const auto report = cluster_.reconcile();
+  EXPECT_EQ(report.constraints.reevaluated, 1u);
+  EXPECT_EQ(report.constraints.removed_satisfied, 1u);
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+}
+
+TEST_F(MultiAppTest, UnknownApplicationFallsBackToDefaultRepository) {
+  // An object tagged with an application nobody registered behaves like
+  // the default application (no constraints).
+  const ObjectId ghost = create_flight("nonexistent-app", 10);
+  EXPECT_NO_THROW(sell(ghost, 500));
+}
+
+}  // namespace
+}  // namespace dedisys

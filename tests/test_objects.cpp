@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "objects/class_descriptor.h"
+#include "objects/entity.h"
+#include "objects/invocation.h"
+#include "objects/method_context.h"
+#include "objects/naming.h"
+
+namespace dedisys {
+namespace {
+
+TEST(Value, RenderingAndTypeNames) {
+  EXPECT_EQ(to_string(Value{}), "null");
+  EXPECT_EQ(to_string(Value{true}), "true");
+  EXPECT_EQ(to_string(Value{std::int64_t{42}}), "42");
+  EXPECT_EQ(to_string(Value{std::string{"hi"}}), "\"hi\"");
+  EXPECT_EQ(std::string(type_name(Value{std::int64_t{1}})), "int");
+  EXPECT_EQ(std::string(type_name(Value{ObjectId{1}})), "object");
+  EXPECT_TRUE(is_null(Value{}));
+  EXPECT_FALSE(is_null(Value{false}));
+}
+
+TEST(MethodSignature, KeyIncludesParameterTypes) {
+  MethodSignature a{"set", {"int", "string"}};
+  MethodSignature b{"set", {"int"}};
+  EXPECT_EQ(a.key(), "set(int,string)");
+  EXPECT_EQ(b.key(), "set(int)");
+  EXPECT_FALSE(a == b);
+}
+
+class ClassTest : public ::testing::Test {
+ protected:
+  ClassTest() : cls_("Flight") {
+    cls_.define_property("seats", Value{std::int64_t{0}}, "int");
+  }
+
+  ClassDescriptor cls_;
+};
+
+TEST_F(ClassTest, DefinePropertyCreatesAccessors) {
+  const MethodDescriptor* getter = cls_.find_method({"getSeats", {}});
+  const MethodDescriptor* setter = cls_.find_method({"setSeats", {"int"}});
+  ASSERT_NE(getter, nullptr);
+  ASSERT_NE(setter, nullptr);
+  EXPECT_EQ(getter->kind, MethodKind::Getter);
+  EXPECT_EQ(setter->kind, MethodKind::Setter);
+  EXPECT_FALSE(getter->is_write());
+  EXPECT_TRUE(setter->is_write());
+  EXPECT_TRUE(setter->mutates());
+}
+
+TEST_F(ClassTest, EmptyMethodsAreWritesButDoNotMutate) {
+  cls_.define_method({"ping", {}}, MethodKind::Empty, {});
+  const MethodDescriptor& m = cls_.method({"ping", {}});
+  EXPECT_TRUE(m.is_write());
+  EXPECT_FALSE(m.mutates());
+}
+
+TEST_F(ClassTest, DuplicateMethodThrows) {
+  EXPECT_THROW(cls_.define_method({"getSeats", {}}, MethodKind::Getter, {}),
+               ConfigError);
+}
+
+TEST_F(ClassTest, UnknownMethodThrows) {
+  EXPECT_THROW((void)cls_.method({"nope", {}}), ConfigError);
+  EXPECT_EQ(cls_.find_method({"nope", {}}), nullptr);
+}
+
+TEST(ClassRegistry, DefineAndLookup) {
+  ClassRegistry reg;
+  reg.define("A");
+  EXPECT_TRUE(reg.contains("A"));
+  EXPECT_FALSE(reg.contains("B"));
+  EXPECT_THROW(reg.define("A"), ConfigError);
+  EXPECT_THROW((void)reg.get("B"), ConfigError);
+}
+
+class EntityTest : public ::testing::Test {
+ protected:
+  EntityTest() : cls_("C") {
+    cls_.define_attribute("x", Value{std::int64_t{5}});
+    entity_ = std::make_unique<Entity>(ObjectId{1}, cls_);
+  }
+
+  ClassDescriptor cls_;
+  std::unique_ptr<Entity> entity_;
+};
+
+TEST_F(EntityTest, StartsWithClassDefaults) {
+  EXPECT_EQ(as_int(entity_->get("x")), 5);
+  EXPECT_EQ(entity_->version(), 0u);
+}
+
+TEST_F(EntityTest, SetBumpsVersion) {
+  entity_->set("x", Value{std::int64_t{6}});
+  entity_->set("x", Value{std::int64_t{7}});
+  EXPECT_EQ(entity_->version(), 2u);
+  EXPECT_EQ(as_int(entity_->get("x")), 7);
+}
+
+TEST_F(EntityTest, UnknownAttributeThrows) {
+  EXPECT_THROW((void)entity_->get("y"), ConfigError);
+  EXPECT_THROW(entity_->set("y", Value{}), ConfigError);
+}
+
+TEST_F(EntityTest, SnapshotRestoreRoundTrip) {
+  entity_->set("x", Value{std::int64_t{9}});
+  const EntitySnapshot snap = entity_->snapshot();
+  entity_->set("x", Value{std::int64_t{100}});
+  entity_->restore(snap);
+  EXPECT_EQ(as_int(entity_->get("x")), 9);
+  EXPECT_EQ(entity_->version(), snap.version);
+  EXPECT_EQ(snap.class_name, "C");
+}
+
+TEST_F(EntityTest, EstimatedLatestVersionGrowsWithStaleness) {
+  entity_->set_expected_update_period(sim_ms(10));
+  entity_->set("x", Value{std::int64_t{1}});
+  entity_->touch(sim_ms(100));
+  EXPECT_EQ(entity_->estimated_latest_version(sim_ms(100)), 1u);
+  EXPECT_EQ(entity_->estimated_latest_version(sim_ms(130)), 4u);  // missed 3
+  // Without a period, estimation is disabled.
+  entity_->set_expected_update_period(0);
+  EXPECT_EQ(entity_->estimated_latest_version(sim_ms(1000)), 1u);
+}
+
+TEST(NamingService, BindLookupUnbind) {
+  NamingService ns;
+  ns.bind("flights/1", ObjectId{1});
+  EXPECT_EQ(ns.lookup("flights/1"), ObjectId{1});
+  EXPECT_THROW(ns.bind("flights/1", ObjectId{2}), ConfigError);
+  ns.rebind("flights/1", ObjectId{2});
+  EXPECT_EQ(ns.lookup("flights/1"), ObjectId{2});
+  ns.unbind("flights/1");
+  EXPECT_FALSE(ns.bound("flights/1"));
+  EXPECT_THROW((void)ns.lookup("flights/1"), ConfigError);
+}
+
+TEST(NamingService, PrefixListing) {
+  NamingService ns;
+  ns.bind("flights/1", ObjectId{1});
+  ns.bind("flights/2", ObjectId{2});
+  ns.bind("persons/1", ObjectId{3});
+  EXPECT_EQ(ns.list("flights/").size(), 2u);
+  EXPECT_EQ(ns.list("persons/").size(), 1u);
+  EXPECT_TRUE(ns.list("nothing/").empty());
+}
+
+TEST(InterceptorChain, ExecutesInOrderAroundTerminal) {
+  struct Tagger final : Interceptor {
+    std::string tag;
+    std::vector<std::string>* log;
+    Tagger(std::string t, std::vector<std::string>* l)
+        : tag(std::move(t)), log(l) {}
+    Value invoke(Invocation& inv, InterceptorChain& chain) override {
+      log->push_back(tag + ".before");
+      Value r = chain.proceed(inv);
+      log->push_back(tag + ".after");
+      return r;
+    }
+    [[nodiscard]] std::string name() const override { return tag; }
+  };
+
+  std::vector<std::string> log;
+  InterceptorStack stack;
+  stack.add(std::make_shared<Tagger>("outer", &log));
+  stack.add(std::make_shared<Tagger>("inner", &log));
+
+  Invocation inv;
+  const Value result = stack.execute(inv, [&](Invocation&) {
+    log.push_back("terminal");
+    return Value{std::int64_t{42}};
+  });
+  EXPECT_EQ(as_int(result), 42);
+  EXPECT_EQ(log, (std::vector<std::string>{"outer.before", "inner.before",
+                                           "terminal", "inner.after",
+                                           "outer.after"}));
+  EXPECT_EQ(stack.names(),
+            (std::vector<std::string>{"outer", "inner"}));
+}
+
+TEST(InterceptorChain, InterceptorMayAbortByThrowing) {
+  struct Bouncer final : Interceptor {
+    Value invoke(Invocation&, InterceptorChain&) override {
+      throw ConstraintViolation("C");
+    }
+    [[nodiscard]] std::string name() const override { return "bouncer"; }
+  };
+  InterceptorStack stack;
+  stack.add(std::make_shared<Bouncer>());
+  Invocation inv;
+  bool terminal_ran = false;
+  EXPECT_THROW(stack.execute(inv,
+                             [&](Invocation&) {
+                               terminal_ran = true;
+                               return Value{};
+                             }),
+               ConstraintViolation);
+  EXPECT_FALSE(terminal_ran);
+}
+
+}  // namespace
+}  // namespace dedisys

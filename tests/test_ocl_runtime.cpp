@@ -1,0 +1,180 @@
+// Runtime OCL constraints: design-phase expressions (Fig. 1.6) loaded from
+// XML descriptors and enforced by the middleware without hand-written
+// validate() bodies.
+#include <gtest/gtest.h>
+
+#include "constraints/config.h"
+#include "constraints/ocl_constraint.h"
+#include "middleware/cluster.h"
+#include "scenarios/flight.h"
+
+namespace dedisys {
+namespace {
+
+using scenarios::FlightBooking;
+
+constexpr const char* kDescriptor = R"(<constraints>
+  <constraint name="TicketConstraint" type="HARD" priority="RELAXABLE"
+              contextObject="Y" minSatisfactionDegree="POSSIBLY_SATISFIED">
+    <ocl>self.soldTickets &lt;= self.seats</ocl>
+    <context-class>Flight</context-class>
+    <affected-methods>
+      <affected-method>
+        <objectMethod name="sellTickets">
+          <objectClass>Flight</objectClass>
+          <arguments><argument>int</argument></arguments>
+        </objectMethod>
+      </affected-method>
+      <affected-method>
+        <objectMethod name="cancelTickets">
+          <objectClass>Flight</objectClass>
+          <arguments><argument>int</argument></arguments>
+        </objectMethod>
+      </affected-method>
+    </affected-methods>
+  </constraint>
+  <constraint name="SellCountPositive" type="PRE" priority="CRITICAL">
+    <ocl>arg0 &gt; 0</ocl>
+    <affected-methods>
+      <affected-method>
+        <objectMethod name="sellTickets">
+          <objectClass>Flight</objectClass>
+          <arguments><argument>int</argument></arguments>
+        </objectMethod>
+      </affected-method>
+    </affected-methods>
+  </constraint>
+</constraints>)";
+
+class OclRuntimeTest : public ::testing::Test {
+ protected:
+  OclRuntimeTest() : cluster_(make_config()) {
+    FlightBooking::define_classes(cluster_.classes());
+    ConstraintFactory empty_factory;
+    loaded_ = load_constraints(kDescriptor, empty_factory,
+                               cluster_.constraints());
+    flight_ = FlightBooking::create_flight(cluster_.node(0), 80);
+  }
+
+  static ClusterConfig make_config() {
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    return cfg;
+  }
+
+  Cluster cluster_;
+  std::size_t loaded_ = 0;
+  ObjectId flight_;
+};
+
+TEST_F(OclRuntimeTest, DescriptorLoadsWithoutFactoryClasses) {
+  EXPECT_EQ(loaded_, 2u);
+  auto* reg = cluster_.constraints().registration("TicketConstraint");
+  ASSERT_NE(reg, nullptr);
+  auto* ocl = dynamic_cast<OclConstraint*>(reg->constraint.get());
+  ASSERT_NE(ocl, nullptr);
+  EXPECT_EQ(ocl->expression(), "self.soldTickets <= self.seats");
+}
+
+TEST_F(OclRuntimeTest, OclInvariantEnforcedInHealthyMode) {
+  FlightBooking::sell(cluster_.node(0), flight_, 80);
+  EXPECT_THROW(FlightBooking::sell(cluster_.node(0), flight_, 1),
+               ConstraintViolation);
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(0), flight_), 80);
+}
+
+TEST_F(OclRuntimeTest, OclPreconditionChecksArguments) {
+  EXPECT_THROW(FlightBooking::sell(cluster_.node(0), flight_, -1),
+               ConstraintViolation);
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(0), flight_), 0);
+}
+
+TEST_F(OclRuntimeTest, OclConstraintParticipatesInThreatHandling) {
+  FlightBooking::sell(cluster_.node(0), flight_, 70);
+  cluster_.split({{0, 1}, {2}});
+  // Degraded mode: the OCL invariant becomes a possibly-satisfied threat,
+  // accepted by the declared minimum satisfaction degree.
+  EXPECT_NO_THROW(FlightBooking::sell(cluster_.node(0), flight_, 5));
+  EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+  cluster_.heal();
+  const auto report = cluster_.reconcile();
+  EXPECT_EQ(report.constraints.removed_satisfied, 1u);
+}
+
+TEST_F(OclRuntimeTest, MalformedOclRejectedAtDeployment) {
+  ConstraintFactory empty;
+  ConstraintRepository repo;
+  EXPECT_THROW(load_constraints(R"(<constraints>
+      <constraint name="Bad" type="HARD"><ocl>self.</ocl></constraint>
+    </constraints>)",
+                                empty, repo),
+               ConfigError);
+}
+
+TEST_F(OclRuntimeTest, StringAndImpliesExpressionsInDescriptors) {
+  // ATS-style rule expressed purely in OCL: a "Signal" component kind
+  // requires a non-empty affected component.
+  ConstraintFactory empty;
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  Cluster cl(cfg);
+  ClassDescriptor& report = cl.classes().define("Report");
+  report.define_property("componentKind", Value{std::string{}}, "string");
+  report.define_property("affectedComponent", Value{std::string{}}, "string");
+  load_constraints(R"(<constraints>
+      <constraint name="KindNeedsComponent" type="HARD" priority="CRITICAL">
+        <ocl>self.componentKind = "Signal" implies self.affectedComponent &lt;&gt; ""</ocl>
+        <context-class>Report</context-class>
+        <affected-methods>
+          <affected-method>
+            <objectMethod name="setComponentKind">
+              <objectClass>Report</objectClass>
+              <arguments><argument>string</argument></arguments>
+            </objectMethod>
+          </affected-method>
+        </affected-methods>
+      </constraint>
+    </constraints>)",
+                   empty, cl.constraints());
+
+  DedisysNode& n = cl.node(0);
+  TxScope tx(n.tx());
+  const ObjectId r = n.create(tx.id(), "Report");
+  // Kind "Power" needs no component (the implication is vacuous).
+  EXPECT_NO_THROW(n.invoke(tx.id(), r, "setComponentKind",
+                           {Value{std::string{"Power"}}}));
+  // Kind "Signal" without a component violates the rule.
+  EXPECT_THROW(n.invoke(tx.id(), r, "setComponentKind",
+                        {Value{std::string{"Signal"}}}),
+               ConstraintViolation);
+}
+
+TEST(EntityOclEnv, ConvertsScalarsAndRejectsReferences) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  Cluster cluster(cfg);
+  ClassDescriptor& cls = cluster.classes().define("Mixed");
+  cls.define_property("count", Value{std::int64_t{3}}, "int");
+  cls.define_property("rate", Value{2.5}, "double");
+  cls.define_property("label", Value{std::string{"x"}}, "string");
+  cls.define_property("flag", Value{true}, "bool");
+  cls.define_property("ref", Value{ObjectId{1}}, "object");
+
+  DedisysNode& n = cluster.node(0);
+  TxScope tx(n.tx());
+  const ObjectId id = n.create(tx.id(), "Mixed");
+  tx.commit();
+
+  ConstraintValidationContext ctx(n.accessor(), n.id(), TxId{});
+  ctx.set_context_object(id);
+  EntityOclEnv env(ctx);
+  EXPECT_EQ(ocl_num(env.attribute("count")), 3.0);
+  EXPECT_EQ(ocl_num(env.attribute("rate")), 2.5);
+  EXPECT_EQ(ocl_num(env.attribute("flag")), 1.0);
+  EXPECT_EQ(std::get<std::string>(env.attribute("label")), "x");
+  EXPECT_THROW((void)env.attribute("ref"), DedisysError);
+  EXPECT_THROW((void)env.argument(0), DedisysError);
+}
+
+}  // namespace
+}  // namespace dedisys

@@ -1,0 +1,129 @@
+// Persistent-connection push callbacks (Section 6.4) — the XMLBlaster-style
+// alternative to the request/response negotiation bridge.
+#include <gtest/gtest.h>
+
+#include "middleware/cluster.h"
+#include "scenarios/flight.h"
+#include "web/push_channel.h"
+
+namespace dedisys {
+namespace {
+
+using scenarios::FlightBooking;
+using web::HttpRequest;
+using web::HttpResponse;
+using web::PushBusinessServlet;
+using web::PushChunk;
+
+class PushChannelFixture : public ::testing::Test {
+ protected:
+  PushChannelFixture() : cluster_(make_config()) {
+    FlightBooking::define_classes(cluster_.classes());
+    FlightBooking::register_constraints(cluster_.constraints(), false,
+                                        SatisfactionDegree::Satisfied);
+    flight_ = FlightBooking::create_flight(cluster_.node(0), 80);
+    FlightBooking::sell(cluster_.node(0), flight_, 70);
+    cluster_.split({{0, 1}, {2}});
+  }
+
+  static ClusterConfig make_config() {
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    return cfg;
+  }
+
+  std::unique_ptr<PushBusinessServlet> make_servlet() {
+    auto servlet = std::make_unique<PushBusinessServlet>([this] {
+      DedisysNode& n = cluster_.node(0);
+      TxScope tx(n.tx());
+      n.ccmgr().register_negotiation_handler(tx.id(), bridge_);
+      n.invoke(tx.id(), flight_, "sellTickets", {Value{std::int64_t{1}}});
+      tx.commit();
+      return "sold";
+    });
+    bridge_ = servlet->bridge();
+    return servlet;
+  }
+
+  /// Browser-side: poll /result until it stops being 202-pending.
+  static HttpResponse await_result(PushBusinessServlet& servlet) {
+    while (true) {
+      const HttpResponse r = servlet.handle(HttpRequest{"/result", {}});
+      if (r.status != 202) return r;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  Cluster cluster_;
+  ObjectId flight_;
+  std::shared_ptr<web::PushNegotiationBridge> bridge_;
+};
+
+TEST_F(PushChannelFixture, NegotiationArrivesAsPushedChunk) {
+  auto servlet = make_servlet();
+  const HttpResponse r = servlet->handle(HttpRequest{"/business", {}});
+  EXPECT_EQ(r.status, 202);  // immediate acknowledgement
+
+  // The callback is a genuine server push over the held connection.
+  const auto chunk = servlet->channel().poll();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->kind, "negotiation-request");
+  EXPECT_EQ(chunk->fields.at("constraint"), "TicketConstraint");
+  EXPECT_EQ(chunk->fields.at("degree"), "possibly_satisfied");
+
+  EXPECT_EQ(servlet->handle(HttpRequest{"/decision", {{"accept", "true"}}})
+                .kind,
+            "decision-recorded");
+  const HttpResponse result = await_result(*servlet);
+  EXPECT_EQ(result.kind, "business-result");
+  EXPECT_EQ(result.fields.at("result"), "sold");
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(0), flight_), 71);
+}
+
+TEST_F(PushChannelFixture, RejectionAbortsBusinessOperation) {
+  auto servlet = make_servlet();
+  (void)servlet->handle(HttpRequest{"/business", {}});
+  ASSERT_TRUE(servlet->channel().poll().has_value());
+  (void)servlet->handle(HttpRequest{"/decision", {{"accept", "false"}}});
+  const HttpResponse result = await_result(*servlet);
+  EXPECT_EQ(result.status, 500);
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(0), flight_), 70);
+}
+
+TEST_F(PushChannelFixture, TimeoutRejectsWhenBrowserNeverDecides) {
+  auto servlet = make_servlet();
+  servlet->set_negotiation_timeout(std::chrono::milliseconds(30));
+  (void)servlet->handle(HttpRequest{"/business", {}});
+  ASSERT_TRUE(servlet->channel().poll().has_value());
+  const HttpResponse result = await_result(*servlet);
+  EXPECT_EQ(result.status, 500);  // auto-rejected threat aborted the tx
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(0), flight_), 70);
+}
+
+TEST_F(PushChannelFixture, ErrorsOnProtocolMisuse) {
+  auto servlet = make_servlet();
+  EXPECT_EQ(servlet->handle(HttpRequest{"/decision", {{"accept", "true"}}})
+                .status,
+            409);
+  EXPECT_EQ(servlet->handle(HttpRequest{"/nope", {}}).status, 404);
+  // /result without a business op: the last (nonexistent) op is "done".
+  (void)servlet->handle(HttpRequest{"/business", {}});
+  EXPECT_EQ(servlet->handle(HttpRequest{"/business", {}}).status, 409);
+  // clean up: answer the pending negotiation
+  ASSERT_TRUE(servlet->channel().poll().has_value());
+  (void)servlet->handle(HttpRequest{"/decision", {{"accept", "true"}}});
+  (void)await_result(*servlet);
+}
+
+TEST(PushChannelUnit, PollTimesOutWhenNothingPushed) {
+  web::PushChannel channel;
+  EXPECT_FALSE(channel.poll(std::chrono::milliseconds(20)).has_value());
+  channel.push(PushChunk{"x", {}});
+  channel.push(PushChunk{"y", {}});
+  EXPECT_EQ(channel.pending(), 2u);
+  EXPECT_EQ(channel.poll()->kind, "x");  // FIFO
+  EXPECT_EQ(channel.poll()->kind, "y");
+}
+
+}  // namespace
+}  // namespace dedisys

@@ -1,0 +1,92 @@
+// Parallel reconciliation and business operations (Section 3.3): ops on
+// still-threatened objects may proceed, block, or be treated as degraded.
+#include <gtest/gtest.h>
+
+#include "middleware/cluster.h"
+#include "scenarios/flight.h"
+
+namespace dedisys {
+namespace {
+
+using scenarios::FlightBooking;
+
+class PolicyTest : public ::testing::TestWithParam<ReconciliationBusinessPolicy> {
+ protected:
+  PolicyTest() : cluster_(make_config(GetParam())) {
+    FlightBooking::define_classes(cluster_.classes());
+    FlightBooking::register_constraints(
+        cluster_.constraints(), false, SatisfactionDegree::PossiblySatisfied);
+    threatened_ = FlightBooking::create_flight(cluster_.node(0), 1000);
+    untouched_ = FlightBooking::create_flight(cluster_.node(0), 1000);
+    cluster_.split({{0, 1}, {2}});
+    FlightBooking::sell(cluster_.node(0), threatened_, 5);  // stores a threat
+    cluster_.heal();  // mode: Reconciling, reconciliation not yet run
+  }
+
+  static ClusterConfig make_config(ReconciliationBusinessPolicy policy) {
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    cfg.reconciliation_policy = policy;
+    return cfg;
+  }
+
+  Cluster cluster_;
+  ObjectId threatened_;
+  ObjectId untouched_;
+};
+
+TEST_P(PolicyTest, UnthreatenedObjectsContinueInHealthyMode) {
+  ASSERT_EQ(cluster_.node(0).mode(), SystemMode::Reconciling);
+  EXPECT_NO_THROW(FlightBooking::sell(cluster_.node(0), untouched_, 1));
+  // No new threats from the unthreatened object under any policy.
+  EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+}
+
+TEST_P(PolicyTest, PolicyGovernsThreatenedObjects) {
+  switch (GetParam()) {
+    case ReconciliationBusinessPolicy::Proceed: {
+      // The fully-checkable satisfied validation cleans the stored threat.
+      EXPECT_NO_THROW(FlightBooking::sell(cluster_.node(0), threatened_, 1));
+      EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+      break;
+    }
+    case ReconciliationBusinessPolicy::BlockThreatened: {
+      EXPECT_THROW(FlightBooking::sell(cluster_.node(0), threatened_, 1),
+                   ReconciliationBlocked);
+      EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+      break;
+    }
+    case ReconciliationBusinessPolicy::TreatAsDegraded: {
+      // The op succeeds but is validated with degraded semantics: the
+      // threat stays (a new identical occurrence was negotiated).
+      EXPECT_NO_THROW(FlightBooking::sell(cluster_.node(0), threatened_, 1));
+      EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+      break;
+    }
+  }
+}
+
+TEST_P(PolicyTest, AfterReconciliationEverythingIsNormalAgain) {
+  (void)cluster_.reconcile();
+  EXPECT_EQ(cluster_.node(0).mode(), SystemMode::Healthy);
+  EXPECT_NO_THROW(FlightBooking::sell(cluster_.node(0), threatened_, 1));
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyTest,
+    ::testing::Values(ReconciliationBusinessPolicy::Proceed,
+                      ReconciliationBusinessPolicy::BlockThreatened,
+                      ReconciliationBusinessPolicy::TreatAsDegraded),
+    [](const ::testing::TestParamInfo<ReconciliationBusinessPolicy>& info) {
+      switch (info.param) {
+        case ReconciliationBusinessPolicy::Proceed: return "Proceed";
+        case ReconciliationBusinessPolicy::BlockThreatened: return "Block";
+        case ReconciliationBusinessPolicy::TreatAsDegraded:
+          return "TreatAsDegraded";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace dedisys

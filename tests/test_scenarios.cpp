@@ -1,0 +1,236 @@
+// Application scenarios: ATS (Fig. 1.5), constraint descriptor loading,
+// partition-sensitive constraints (Section 5.5.2).
+#include <gtest/gtest.h>
+
+#include "constraints/config.h"
+#include "middleware/cluster.h"
+#include "scenarios/ats.h"
+#include "scenarios/flight.h"
+
+namespace dedisys {
+namespace {
+
+using scenarios::AlarmTracking;
+using scenarios::FlightBooking;
+
+class AtsCluster : public ::testing::Test {
+ protected:
+  AtsCluster() : cluster_(make_config()) {
+    AlarmTracking::define_classes(cluster_.classes());
+    AlarmTracking::register_constraints(cluster_.constraints());
+  }
+
+  static ClusterConfig make_config() {
+    ClusterConfig cfg;
+    cfg.nodes = 2;
+    return cfg;
+  }
+
+  Cluster cluster_;
+};
+
+TEST_F(AtsCluster, ConsistentRepairAccepted) {
+  DedisysNode& n = cluster_.node(0);
+  const auto pair = AlarmTracking::create_linked(n, "Signal");
+  TxScope tx(n.tx());
+  n.invoke(tx.id(), pair.report, "setAffectedComponent",
+           {Value{std::string{"Signal Controller"}}});
+  EXPECT_NO_THROW(tx.commit());
+}
+
+TEST_F(AtsCluster, MismatchedRepairViolatesInHealthyMode) {
+  DedisysNode& n = cluster_.node(0);
+  const auto pair = AlarmTracking::create_linked(n, "Signal");
+  TxScope tx(n.tx());
+  EXPECT_THROW(n.invoke(tx.id(), pair.report, "setAffectedComponent",
+                        {Value{std::string{"Power Supply"}}}),
+               ConstraintViolation);
+}
+
+TEST_F(AtsCluster, AlarmKindChangeTriggersConstraintViaReferenceGetter) {
+  // The constraint's context object is the RepairReport, reached from the
+  // Alarm through getRepairReport (Listing 4.1).
+  DedisysNode& n = cluster_.node(0);
+  const auto pair = AlarmTracking::create_linked(n, "Signal");
+  {
+    TxScope tx(n.tx());
+    n.invoke(tx.id(), pair.report, "setAffectedComponent",
+             {Value{std::string{"Signal Cable"}}});
+    tx.commit();
+  }
+  TxScope tx(n.tx());
+  EXPECT_THROW(n.invoke(tx.id(), pair.alarm, "setAlarmKind",
+                        {Value{std::string{"Power"}}}),
+               ConstraintViolation);
+}
+
+TEST_F(AtsCluster, PossiblyViolatedThreatAcceptedInDegradedMode) {
+  // Section 3.1: for the ATS it is reasonable to accept possibly-violated
+  // threats — the technical operator knows the repaired component better
+  // than the stale Alarm copy.
+  DedisysNode& n0 = cluster_.node(0);
+  const auto pair = AlarmTracking::create_linked(n0, "Signal");
+  cluster_.split({{0}, {1}});
+  DedisysNode& tech = cluster_.node(0);
+  TxScope tx(tech.tx());
+  // "Power Supply" does not match the (possibly stale) alarm kind: the
+  // validation yields possibly_violated, which the configured minimum
+  // degree accepts.
+  EXPECT_NO_THROW(tech.invoke(tx.id(), pair.report, "setAffectedComponent",
+                              {Value{std::string{"Power Supply"}}}));
+  tx.commit();
+  EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+}
+
+TEST_F(AtsCluster, ReconciliationDetectsActualViolationAfterMerge) {
+  DedisysNode& n0 = cluster_.node(0);
+  const auto pair = AlarmTracking::create_linked(n0, "Signal");
+  cluster_.split({{0}, {1}});
+  {
+    TxScope tx(n0.tx());
+    n0.invoke(tx.id(), pair.report, "setAffectedComponent",
+              {Value{std::string{"Power Supply"}}});
+    tx.commit();
+  }
+  cluster_.heal();
+
+  class Recorder final : public ConstraintReconciliationHandler {
+   public:
+    bool reconcile(const ConsistencyThreat& threat,
+                   ConstraintValidationContext&) override {
+      names.push_back(threat.constraint_name);
+      return false;  // deferred (e-mail to the operator)
+    }
+    std::vector<std::string> names;
+  } recorder;
+
+  const auto report = cluster_.reconcile(nullptr, &recorder);
+  EXPECT_EQ(report.constraints.violations, 1u);
+  EXPECT_EQ(report.constraints.deferred, 1u);
+  ASSERT_EQ(recorder.names.size(), 1u);
+  EXPECT_EQ(recorder.names[0], "ComponentKindReferenceConsistency");
+  // Deferred: the threat stays stored until the application cleans up.
+  EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+
+  // The operator fixes the report via a business operation; the satisfied
+  // full check removes the threat (Section 4.4).
+  TxScope tx(n0.tx());
+  n0.invoke(tx.id(), pair.report, "setAffectedComponent",
+            {Value{std::string{"Signal Cable"}}});
+  tx.commit();
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+}
+
+TEST_F(AtsCluster, DescriptorXmlLoadsEquivalentConstraint) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  Cluster fresh(cfg);
+  AlarmTracking::define_classes(fresh.classes());
+
+  ConstraintFactory factory;
+  factory.register_class(
+      "ComponentKindReferenceConstraint",
+      [](const std::string& name, ConstraintType type, ConstraintPriority p) {
+        return std::make_shared<scenarios::ComponentKindReferenceConstraint>(
+            name, type, p);
+      });
+  EXPECT_EQ(load_constraints(AlarmTracking::constraint_descriptor_xml(),
+                             factory, fresh.constraints()),
+            1u);
+
+  // The loaded constraint enforces the same rule.
+  DedisysNode& n = fresh.node(0);
+  const auto pair = AlarmTracking::create_linked(n, "Signal");
+  TxScope tx(n.tx());
+  EXPECT_THROW(n.invoke(tx.id(), pair.report, "setAffectedComponent",
+                        {Value{std::string{"Power Supply"}}}),
+               ConstraintViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Partition-sensitive ticket constraint (Section 5.5.2)
+// ---------------------------------------------------------------------------
+
+class PartitionSensitive : public ::testing::Test {
+ protected:
+  PartitionSensitive() : cluster_(make_config()) {
+    FlightBooking::define_classes(cluster_.classes());
+    FlightBooking::register_constraints(cluster_.constraints(),
+                                        /*partition_sensitive=*/true,
+                                        SatisfactionDegree::PossiblySatisfied);
+  }
+
+  static ClusterConfig make_config() {
+    ClusterConfig cfg;
+    cfg.nodes = 4;
+    return cfg;
+  }
+
+  Cluster cluster_;
+};
+
+TEST_F(PartitionSensitive, TicketsApportionedByPartitionWeight) {
+  DedisysNode& n0 = cluster_.node(0);
+  const ObjectId flight = FlightBooking::create_flight(n0, 80);
+  FlightBooking::sell(n0, flight, 40);  // healthy: 40 sold, 40 remaining
+
+  cluster_.split({{0, 1}, {2, 3}});  // 50% weight each -> 20 tickets each
+
+  // Partition A may sell its 20-ticket quota but not more.
+  EXPECT_NO_THROW(FlightBooking::sell(cluster_.node(0), flight, 20));
+  EXPECT_THROW(FlightBooking::sell(cluster_.node(0), flight, 1),
+               ConsistencyThreatRejected);
+  // Partition B independently sells its quota.
+  EXPECT_NO_THROW(FlightBooking::sell(cluster_.node(2), flight, 20));
+  EXPECT_THROW(FlightBooking::sell(cluster_.node(2), flight, 5),
+               ConsistencyThreatRejected);
+}
+
+TEST_F(PartitionSensitive, NoOverbookingAfterReconciliation) {
+  DedisysNode& n0 = cluster_.node(0);
+  const ObjectId flight = FlightBooking::create_flight(n0, 80);
+  FlightBooking::sell(n0, flight, 40);
+  cluster_.split({{0, 1}, {2, 3}});
+  FlightBooking::sell(cluster_.node(0), flight, 20);
+  FlightBooking::sell(cluster_.node(2), flight, 20);
+  cluster_.heal();
+
+  class AdditiveMerge final : public ReplicaConsistencyHandler {
+   public:
+    EntitySnapshot reconcile_replicas(
+        ObjectId, const std::vector<EntitySnapshot>& c) override {
+      std::int64_t total = 40;
+      std::uint64_t maxv = 0;
+      for (const auto& s : c) {
+        total += as_int(s.attributes.at("soldTickets")) - 40;
+        maxv = std::max(maxv, s.version);
+      }
+      EntitySnapshot out = c.front();
+      out.attributes["soldTickets"] = Value{total};
+      out.version = maxv + 1;
+      return out;
+    }
+  } merge;
+
+  const auto report = cluster_.reconcile(&merge);
+  // The weighted quotas prevented overbooking entirely: the merged total
+  // (40+20+20=80) satisfies the constraint, no violation to clean up.
+  EXPECT_EQ(report.constraints.violations, 0u);
+  EXPECT_EQ(FlightBooking::sold(n0, flight), 80);
+}
+
+TEST_F(PartitionSensitive, UnevenWeightsGiveUnevenQuotas) {
+  cluster_.weights().set(NodeId{0}, 3.0);  // total weight 3+1+1+1 = 6
+  DedisysNode& n0 = cluster_.node(0);
+  const ObjectId flight = FlightBooking::create_flight(n0, 60);
+  // 60 remaining tickets; partition {0} holds weight 3/6 -> quota 30.
+  cluster_.split({{0}, {1, 2, 3}});
+  EXPECT_NO_THROW(FlightBooking::sell(cluster_.node(0), flight, 30));
+  EXPECT_THROW(FlightBooking::sell(cluster_.node(0), flight, 1),
+               ConsistencyThreatRejected);
+  // The other partition gets the complementary quota (30).
+  EXPECT_NO_THROW(FlightBooking::sell(cluster_.node(1), flight, 30));
+}
+
+}  // namespace
+}  // namespace dedisys

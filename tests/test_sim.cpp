@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace dedisys {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(clock_, CostModel{}) {
+    for (std::uint64_t i = 0; i < 4; ++i) net_.add_node(NodeId{i});
+  }
+
+  SimClock clock_;
+  SimNetwork net_;
+};
+
+TEST_F(NetworkTest, InitiallyFullyConnected) {
+  EXPECT_TRUE(net_.fully_connected());
+  for (NodeId a : net_.nodes()) {
+    for (NodeId b : net_.nodes()) {
+      EXPECT_TRUE(net_.reachable(a, b));
+    }
+  }
+}
+
+TEST_F(NetworkTest, PartitionSplitsReachability) {
+  net_.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}, NodeId{3}}});
+  EXPECT_FALSE(net_.fully_connected());
+  EXPECT_TRUE(net_.reachable(NodeId{0}, NodeId{1}));
+  EXPECT_TRUE(net_.reachable(NodeId{2}, NodeId{3}));
+  EXPECT_FALSE(net_.reachable(NodeId{0}, NodeId{2}));
+  EXPECT_FALSE(net_.reachable(NodeId{1}, NodeId{3}));
+}
+
+TEST_F(NetworkTest, HealRestoresFullConnectivity) {
+  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}, NodeId{3}}});
+  net_.heal();
+  EXPECT_TRUE(net_.fully_connected());
+}
+
+TEST_F(NetworkTest, CrashedNodeUnreachableUntilRecovery) {
+  net_.crash(NodeId{2});
+  EXPECT_FALSE(net_.is_alive(NodeId{2}));
+  EXPECT_FALSE(net_.reachable(NodeId{0}, NodeId{2}));
+  EXPECT_FALSE(net_.reachable(NodeId{2}, NodeId{2}));
+  EXPECT_FALSE(net_.fully_connected());
+  net_.recover(NodeId{2});
+  EXPECT_TRUE(net_.reachable(NodeId{0}, NodeId{2}));
+  EXPECT_TRUE(net_.fully_connected());
+}
+
+TEST_F(NetworkTest, ReachableSetReflectsPartition) {
+  net_.partition({{NodeId{0}, NodeId{3}}, {NodeId{1}, NodeId{2}}});
+  const auto set = net_.reachable_set(NodeId{0});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(net_.reachable(NodeId{0}, NodeId{3}));
+}
+
+TEST_F(NetworkTest, RpcChargesLatencyOnlyWhenReachable) {
+  const SimTime before = clock_.now();
+  EXPECT_TRUE(net_.charge_rpc(NodeId{0}, NodeId{1}));
+  EXPECT_EQ(clock_.now() - before, CostModel{}.rpc_latency);
+
+  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}, NodeId{3}}});
+  const SimTime mid = clock_.now();
+  EXPECT_FALSE(net_.charge_rpc(NodeId{0}, NodeId{1}));  // message lost
+  EXPECT_EQ(clock_.now(), mid);
+}
+
+TEST_F(NetworkTest, LocalRpcIsFree) {
+  const SimTime before = clock_.now();
+  EXPECT_TRUE(net_.charge_rpc(NodeId{0}, NodeId{0}));
+  EXPECT_EQ(clock_.now(), before);
+}
+
+TEST_F(NetworkTest, MulticastReachesOnlyPartitionMembers) {
+  net_.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}, NodeId{3}}});
+  const auto reached =
+      net_.charge_multicast(NodeId{0}, {NodeId{0}, NodeId{1}, NodeId{2},
+                                        NodeId{3}});
+  EXPECT_EQ(reached, 1u);  // only node 1
+}
+
+TEST_F(NetworkTest, MulticastCostScalesWithReceivers) {
+  const CostModel cost;
+  SimTime t0 = clock_.now();
+  net_.charge_multicast(NodeId{0}, net_.nodes());
+  const SimDuration three = clock_.now() - t0;
+  EXPECT_EQ(three, cost.multicast_base + 3 * cost.multicast_per_receiver);
+}
+
+TEST_F(NetworkTest, TopologyListenersNotified) {
+  struct Counter : TopologyListener {
+    int calls = 0;
+    void on_topology_changed() override { ++calls; }
+  } counter;
+  net_.subscribe(&counter);
+  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}, NodeId{3}}});
+  net_.heal();
+  net_.crash(NodeId{1});
+  EXPECT_EQ(counter.calls, 3);
+  net_.unsubscribe(&counter);
+  net_.recover(NodeId{1});
+  EXPECT_EQ(counter.calls, 3);
+}
+
+TEST(EventQueue, RunsInTimestampOrder) {
+  SimClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  q.schedule_at(300, [&] { order.push_back(3); });
+  q.schedule_at(100, [&] { order.push_back(1); });
+  q.schedule_at(200, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now(), 300);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  SimClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  SimClock clock;
+  EventQueue q(clock);
+  int ran = 0;
+  q.schedule_at(100, [&] { ++ran; });
+  q.schedule_at(200, [&] { ++ran; });
+  q.run_until(150);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(clock.now(), 150);
+  q.run_all();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  SimClock clock;
+  EventQueue q(clock);
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_in(10, recurse);
+  };
+  q.schedule_in(10, recurse);
+  q.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(clock.now(), 50);
+}
+
+TEST(EventQueue, ScheduleInClampsNegativeDelay) {
+  SimClock clock;
+  clock.advance(100);
+  EventQueue q(clock);
+  bool ran = false;
+  q.schedule_in(-50, [&] { ran = true; });
+  q.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(clock.now(), 100);
+}
+
+}  // namespace
+}  // namespace dedisys

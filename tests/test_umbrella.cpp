@@ -1,0 +1,48 @@
+// The umbrella header exposes the complete public API in one include.
+#include "dedisys.h"
+
+#include <gtest/gtest.h>
+
+namespace dedisys {
+namespace {
+
+TEST(Umbrella, PublicApiAccessibleThroughSingleInclude) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  Cluster cluster(cfg);
+  cluster.classes().define("Thing").define_property(
+      "x", Value{std::int64_t{0}}, "int");
+
+  auto constraint = std::make_shared<OclConstraint>(
+      "XNonNegative", ConstraintType::HardInvariant,
+      ConstraintPriority::Tradeable, "self.x >= 0");
+  ConstraintRegistration reg;
+  reg.constraint = std::move(constraint);
+  reg.context_class = "Thing";
+  reg.affected_methods.push_back(AffectedMethod{
+      "Thing", MethodSignature{"setX", {"int"}},
+      ContextPreparation{ContextPreparationKind::CalledObject, ""}});
+  cluster.constraints().register_constraint(std::move(reg));
+
+  DedisysNode& node = cluster.node(0);
+  ObjectId id;
+  {
+    TxScope tx(node.tx());
+    id = node.create(tx.id(), "Thing");
+    node.invoke(tx.id(), id, "setX", {Value{std::int64_t{5}}});
+    tx.commit();
+  }
+  {
+    // A violation marks the transaction rollback-only; it cannot commit.
+    TxScope tx(node.tx());
+    EXPECT_THROW(node.invoke(tx.id(), id, "setX", {Value{std::int64_t{-1}}}),
+                 ConstraintViolation);
+    EXPECT_THROW(tx.commit(), TxAborted);
+  }
+
+  const ClusterMetrics metrics = collect_metrics(cluster);
+  EXPECT_EQ(metrics.live_objects, 1u);
+}
+
+}  // namespace
+}  // namespace dedisys

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/errors.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+#include "util/strings.h"
+
+namespace dedisys {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(to_string(id), "<invalid>");
+}
+
+TEST(StrongId, ComparesByValue) {
+  EXPECT_EQ(NodeId{3}, NodeId{3});
+  EXPECT_NE(NodeId{3}, NodeId{4});
+  EXPECT_LT(NodeId{3}, NodeId{4});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, ObjectId>);
+  static_assert(!std::is_same_v<TxId, ThreatId>);
+}
+
+TEST(StrongId, HashableInUnorderedContainers) {
+  std::unordered_set<ObjectId> set;
+  set.insert(ObjectId{1});
+  set.insert(ObjectId{2});
+  set.insert(ObjectId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(sim_ms(5));
+  EXPECT_EQ(clock.now(), 5000);
+  clock.advance(-100);  // ignored
+  EXPECT_EQ(clock.now(), 5000);
+  clock.advance_to(4000);  // never backwards
+  EXPECT_EQ(clock.now(), 5000);
+  clock.advance_to(sim_sec(1));
+  EXPECT_EQ(clock.now(), 1000000);
+}
+
+TEST(SimClock, UnitHelpers) {
+  EXPECT_EQ(sim_us(7), 7);
+  EXPECT_EQ(sim_ms(7), 7000);
+  EXPECT_EQ(sim_sec(7), 7000000);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, ","), "a,b,c");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Errors, HierarchyAndMessages) {
+  ConstraintViolation cv("TicketConstraint");
+  EXPECT_EQ(cv.constraint_name(), "TicketConstraint");
+  EXPECT_NE(std::string(cv.what()).find("TicketConstraint"),
+            std::string::npos);
+  const DedisysError& base = cv;
+  EXPECT_NE(std::string(base.what()).find("violated"), std::string::npos);
+
+  ConsistencyThreatRejected rejected("C1");
+  EXPECT_EQ(rejected.constraint_name(), "C1");
+  EXPECT_THROW(throw ObjectUnreachable("x"), DedisysError);
+  EXPECT_THROW(throw TxAborted("x"), DedisysError);
+  EXPECT_THROW(throw ConfigError("x"), DedisysError);
+}
+
+}  // namespace
+}  // namespace dedisys

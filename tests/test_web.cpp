@@ -1,0 +1,154 @@
+// Web negotiation bridge (Section 4.5): request/response matching of
+// negotiation callbacks, decisions, timeouts.
+#include <gtest/gtest.h>
+
+#include "middleware/cluster.h"
+#include "scenarios/flight.h"
+#include "web/bridge.h"
+
+namespace dedisys {
+namespace {
+
+using scenarios::FlightBooking;
+using web::HttpRequest;
+using web::HttpResponse;
+using web::WebBusinessServlet;
+
+/// A servlet selling tickets through a degraded cluster: every sale raises
+/// a consistency threat that must be negotiated via the browser.
+struct WebFlightFixture : ::testing::Test {
+  WebFlightFixture() : cluster_(make_config()) {
+    FlightBooking::define_classes(cluster_.classes());
+    // No static acceptance: the threat decision must come from the Web user.
+    FlightBooking::register_constraints(cluster_.constraints(), false,
+                                        SatisfactionDegree::Satisfied);
+    flight_ = FlightBooking::create_flight(cluster_.node(0), 80);
+    FlightBooking::sell(cluster_.node(0), flight_, 70);
+    cluster_.split({{0, 1}, {2}});
+  }
+
+  static ClusterConfig make_config() {
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    return cfg;
+  }
+
+  std::unique_ptr<WebBusinessServlet> make_servlet() {
+    auto servlet = std::make_unique<WebBusinessServlet>([this] {
+      DedisysNode& n = cluster_.node(0);
+      TxScope tx(n.tx());
+      n.ccmgr().register_negotiation_handler(tx.id(), servlet_bridge_);
+      n.invoke(tx.id(), flight_, "sellTickets", {Value{std::int64_t{1}}});
+      tx.commit();
+      return "ticket sold";
+    });
+    servlet_bridge_ = servlet->bridge();
+    return servlet;
+  }
+
+  Cluster cluster_;
+  ObjectId flight_;
+  std::shared_ptr<web::WebNegotiationBridge> servlet_bridge_;
+};
+
+TEST_F(WebFlightFixture, NegotiationTravelsOverResponsesAndAcceptCommits) {
+  auto servlet = make_servlet();
+
+  // 1. Business request returns the negotiation request, not the result.
+  const HttpResponse r1 = servlet->handle(HttpRequest{"/business", {}});
+  ASSERT_EQ(r1.kind, "negotiation-request");
+  EXPECT_EQ(r1.fields.at("constraint"), "TicketConstraint");
+  EXPECT_EQ(r1.fields.at("degree"), "possibly_satisfied");
+
+  // 2. The decision arrives as a NEW request; the business result rides on
+  //    its response (Fig. 4.8).
+  const HttpResponse r2 =
+      servlet->handle(HttpRequest{"/negotiation-result", {{"accept", "true"}}});
+  ASSERT_EQ(r2.kind, "business-result");
+  EXPECT_EQ(r2.fields.at("result"), "ticket sold");
+
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(0), flight_), 71);
+  EXPECT_EQ(cluster_.threats().identity_count(), 1u);
+}
+
+TEST_F(WebFlightFixture, RejectDecisionAbortsBusinessOperation) {
+  auto servlet = make_servlet();
+  const HttpResponse r1 = servlet->handle(HttpRequest{"/business", {}});
+  ASSERT_EQ(r1.kind, "negotiation-request");
+  const HttpResponse r2 = servlet->handle(
+      HttpRequest{"/negotiation-result", {{"accept", "false"}}});
+  EXPECT_EQ(r2.status, 500);
+  EXPECT_EQ(r2.kind, "error");
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(0), flight_), 70);
+  EXPECT_EQ(cluster_.threats().identity_count(), 0u);
+}
+
+TEST_F(WebFlightFixture, TimeoutAutoRejectsThreat) {
+  auto servlet = make_servlet();
+  servlet->set_negotiation_timeout(std::chrono::milliseconds(50));
+  const HttpResponse r1 = servlet->handle(HttpRequest{"/business", {}});
+  ASSERT_EQ(r1.kind, "negotiation-request");
+  // The user walks away; the worker times out and the operation aborts.
+  while (servlet->business_in_progress()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(0), flight_), 70);
+  // A late decision finds no pending negotiation.
+  const HttpResponse r2 = servlet->handle(
+      HttpRequest{"/negotiation-result", {{"accept", "true"}}});
+  EXPECT_EQ(r2.status, 409);
+}
+
+TEST_F(WebFlightFixture, SequentialBusinessRequestsWork) {
+  auto servlet = make_servlet();
+  for (int i = 0; i < 3; ++i) {
+    const HttpResponse r1 = servlet->handle(HttpRequest{"/business", {}});
+    ASSERT_EQ(r1.kind, "negotiation-request") << "iteration " << i;
+    const HttpResponse r2 = servlet->handle(
+        HttpRequest{"/negotiation-result", {{"accept", "true"}}});
+    ASSERT_EQ(r2.kind, "business-result") << "iteration " << i;
+  }
+  EXPECT_EQ(FlightBooking::sold(cluster_.node(0), flight_), 73);
+}
+
+TEST_F(WebFlightFixture, HealthyModeNeedsNoNegotiationRoundTrip) {
+  cluster_.heal();
+  (void)cluster_.reconcile();
+  auto servlet = make_servlet();
+  const HttpResponse r = servlet->handle(HttpRequest{"/business", {}});
+  EXPECT_EQ(r.kind, "business-result");
+  EXPECT_EQ(r.fields.at("result"), "ticket sold");
+}
+
+TEST_F(WebFlightFixture, UnknownPathYields404) {
+  auto servlet = make_servlet();
+  const HttpResponse r = servlet->handle(HttpRequest{"/nope", {}});
+  EXPECT_EQ(r.status, 404);
+}
+
+TEST_F(WebFlightFixture, DecisionWithoutPendingNegotiationIsConflict) {
+  auto servlet = make_servlet();
+  const HttpResponse r = servlet->handle(
+      HttpRequest{"/negotiation-result", {{"accept", "true"}}});
+  EXPECT_EQ(r.status, 409);
+}
+
+TEST(WebBridge, WithoutServletThreatsAreRejected) {
+  web::WebNegotiationBridge bridge;
+  ConsistencyThreat threat;
+  // A context is required by the signature but unused on this path.
+  struct NullAccessor final : ObjectAccessor {
+    const Entity& read(ObjectId) override {
+      throw ObjectUnreachable("null accessor");
+    }
+    Value invoke(ObjectId, const MethodSignature&,
+                 std::vector<Value>) override {
+      throw ObjectUnreachable("null accessor");
+    }
+  } accessor;
+  ConstraintValidationContext ctx(accessor, NodeId{0}, TxId{});
+  EXPECT_FALSE(bridge.negotiate(threat, ctx).accepted);
+}
+
+}  // namespace
+}  // namespace dedisys
