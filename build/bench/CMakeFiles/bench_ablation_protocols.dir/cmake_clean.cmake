@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_protocols.dir/bench_ablation_protocols.cpp.o"
+  "CMakeFiles/bench_ablation_protocols.dir/bench_ablation_protocols.cpp.o.d"
+  "bench_ablation_protocols"
+  "bench_ablation_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

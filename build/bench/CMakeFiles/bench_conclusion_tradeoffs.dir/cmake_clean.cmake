@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conclusion_tradeoffs.dir/bench_conclusion_tradeoffs.cpp.o"
+  "CMakeFiles/bench_conclusion_tradeoffs.dir/bench_conclusion_tradeoffs.cpp.o.d"
+  "bench_conclusion_tradeoffs"
+  "bench_conclusion_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conclusion_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

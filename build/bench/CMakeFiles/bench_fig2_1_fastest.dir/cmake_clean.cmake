@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_1_fastest.dir/bench_fig2_1_fastest.cpp.o"
+  "CMakeFiles/bench_fig2_1_fastest.dir/bench_fig2_1_fastest.cpp.o.d"
+  "bench_fig2_1_fastest"
+  "bench_fig2_1_fastest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_1_fastest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_2_slowest.dir/bench_fig2_2_slowest.cpp.o"
+  "CMakeFiles/bench_fig2_2_slowest.dir/bench_fig2_2_slowest.cpp.o.d"
+  "bench_fig2_2_slowest"
+  "bench_fig2_2_slowest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_2_slowest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_5_interception.dir/bench_fig2_5_interception.cpp.o"
+  "CMakeFiles/bench_fig2_5_interception.dir/bench_fig2_5_interception.cpp.o.d"
+  "bench_fig2_5_interception"
+  "bench_fig2_5_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_5_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_6_param_extract.dir/bench_fig2_6_param_extract.cpp.o"
+  "CMakeFiles/bench_fig2_6_param_extract.dir/bench_fig2_6_param_extract.cpp.o.d"
+  "bench_fig2_6_param_extract"
+  "bench_fig2_6_param_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_6_param_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2_6_param_extract.
+# This may be replaced when dependencies are built.

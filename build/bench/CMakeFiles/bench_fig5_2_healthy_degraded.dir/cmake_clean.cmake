@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_2_healthy_degraded.dir/bench_fig5_2_healthy_degraded.cpp.o"
+  "CMakeFiles/bench_fig5_2_healthy_degraded.dir/bench_fig5_2_healthy_degraded.cpp.o.d"
+  "bench_fig5_2_healthy_degraded"
+  "bench_fig5_2_healthy_degraded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_2_healthy_degraded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

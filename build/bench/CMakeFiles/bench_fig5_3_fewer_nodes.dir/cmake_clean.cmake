@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_3_fewer_nodes.dir/bench_fig5_3_fewer_nodes.cpp.o"
+  "CMakeFiles/bench_fig5_3_fewer_nodes.dir/bench_fig5_3_fewer_nodes.cpp.o.d"
+  "bench_fig5_3_fewer_nodes"
+  "bench_fig5_3_fewer_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_3_fewer_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_6_reconciliation.dir/bench_fig5_6_reconciliation.cpp.o"
+  "CMakeFiles/bench_fig5_6_reconciliation.dir/bench_fig5_6_reconciliation.cpp.o.d"
+  "bench_fig5_6_reconciliation"
+  "bench_fig5_6_reconciliation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_6_reconciliation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_8_reduced_history.dir/bench_fig5_8_reduced_history.cpp.o"
+  "CMakeFiles/bench_fig5_8_reduced_history.dir/bench_fig5_8_reduced_history.cpp.o.d"
+  "bench_fig5_8_reduced_history"
+  "bench_fig5_8_reduced_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_8_reduced_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

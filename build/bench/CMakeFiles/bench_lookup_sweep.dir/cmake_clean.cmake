@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lookup_sweep.dir/bench_lookup_sweep.cpp.o"
+  "CMakeFiles/bench_lookup_sweep.dir/bench_lookup_sweep.cpp.o.d"
+  "bench_lookup_sweep"
+  "bench_lookup_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lookup_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_duration.dir/bench_partition_duration.cpp.o"
+  "CMakeFiles/bench_partition_duration.dir/bench_partition_duration.cpp.o.d"
+  "bench_partition_duration"
+  "bench_partition_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

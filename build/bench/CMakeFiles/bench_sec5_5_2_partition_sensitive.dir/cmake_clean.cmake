@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_5_2_partition_sensitive.dir/bench_sec5_5_2_partition_sensitive.cpp.o"
+  "CMakeFiles/bench_sec5_5_2_partition_sensitive.dir/bench_sec5_5_2_partition_sensitive.cpp.o.d"
+  "bench_sec5_5_2_partition_sensitive"
+  "bench_sec5_5_2_partition_sensitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_5_2_partition_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

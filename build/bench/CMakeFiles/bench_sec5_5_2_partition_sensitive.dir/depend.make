@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec5_5_2_partition_sensitive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_5_3_async_constraints.dir/bench_sec5_5_3_async_constraints.cpp.o"
+  "CMakeFiles/bench_sec5_5_3_async_constraints.dir/bench_sec5_5_3_async_constraints.cpp.o.d"
+  "bench_sec5_5_3_async_constraints"
+  "bench_sec5_5_3_async_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_5_3_async_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

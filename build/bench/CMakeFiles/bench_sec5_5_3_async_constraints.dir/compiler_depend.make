@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec5_5_3_async_constraints.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_availability.dir/bench_sim_availability.cpp.o"
+  "CMakeFiles/bench_sim_availability.dir/bench_sim_availability.cpp.o.d"
+  "bench_sim_availability"
+  "bench_sim_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

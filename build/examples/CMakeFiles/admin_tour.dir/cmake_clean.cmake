@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_tour.dir/admin_tour.cpp.o"
+  "CMakeFiles/admin_tour.dir/admin_tour.cpp.o.d"
+  "admin_tour"
+  "admin_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alarm_tracking.dir/alarm_tracking.cpp.o"
+  "CMakeFiles/alarm_tracking.dir/alarm_tracking.cpp.o.d"
+  "alarm_tracking"
+  "alarm_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alarm_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

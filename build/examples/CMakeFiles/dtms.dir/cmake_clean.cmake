@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtms.dir/dtms.cpp.o"
+  "CMakeFiles/dtms.dir/dtms.cpp.o.d"
+  "dtms"
+  "dtms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

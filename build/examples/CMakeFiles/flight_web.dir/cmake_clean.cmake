@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_web.dir/flight_web.cpp.o"
+  "CMakeFiles/flight_web.dir/flight_web.cpp.o.d"
+  "flight_web"
+  "flight_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

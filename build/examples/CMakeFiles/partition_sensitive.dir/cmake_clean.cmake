@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_sensitive.dir/partition_sensitive.cpp.o"
+  "CMakeFiles/partition_sensitive.dir/partition_sensitive.cpp.o.d"
+  "partition_sensitive"
+  "partition_sensitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/run_script.cpp" "examples/CMakeFiles/run_script.dir/run_script.cpp.o" "gcc" "examples/CMakeFiles/run_script.dir/run_script.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/dedisys_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/dedisys_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/dedisys_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/dedisys_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/dedisys_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/dedisys_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/dedisys_ocl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

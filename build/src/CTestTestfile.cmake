@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("ocl")
+subdirs("sim")
+subdirs("gcs")
+subdirs("persist")
+subdirs("tx")
+subdirs("objects")
+subdirs("constraints")
+subdirs("replication")
+subdirs("middleware")
+subdirs("validation")
+subdirs("web")
+subdirs("scenarios")

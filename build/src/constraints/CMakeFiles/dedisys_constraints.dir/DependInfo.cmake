@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/ccmgr.cpp" "src/constraints/CMakeFiles/dedisys_constraints.dir/ccmgr.cpp.o" "gcc" "src/constraints/CMakeFiles/dedisys_constraints.dir/ccmgr.cpp.o.d"
+  "/root/repo/src/constraints/config.cpp" "src/constraints/CMakeFiles/dedisys_constraints.dir/config.cpp.o" "gcc" "src/constraints/CMakeFiles/dedisys_constraints.dir/config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ocl/CMakeFiles/dedisys_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/dedisys_objects.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedisys_constraints.dir/ccmgr.cpp.o"
+  "CMakeFiles/dedisys_constraints.dir/ccmgr.cpp.o.d"
+  "CMakeFiles/dedisys_constraints.dir/config.cpp.o"
+  "CMakeFiles/dedisys_constraints.dir/config.cpp.o.d"
+  "libdedisys_constraints.a"
+  "libdedisys_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedisys_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

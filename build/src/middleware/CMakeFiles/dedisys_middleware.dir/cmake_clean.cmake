@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedisys_middleware.dir/cluster.cpp.o"
+  "CMakeFiles/dedisys_middleware.dir/cluster.cpp.o.d"
+  "CMakeFiles/dedisys_middleware.dir/node.cpp.o"
+  "CMakeFiles/dedisys_middleware.dir/node.cpp.o.d"
+  "libdedisys_middleware.a"
+  "libdedisys_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedisys_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

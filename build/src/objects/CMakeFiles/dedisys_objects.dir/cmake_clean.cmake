@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedisys_objects.dir/class_descriptor.cpp.o"
+  "CMakeFiles/dedisys_objects.dir/class_descriptor.cpp.o.d"
+  "libdedisys_objects.a"
+  "libdedisys_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedisys_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

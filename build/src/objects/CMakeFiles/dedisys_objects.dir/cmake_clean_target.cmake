@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdedisys_objects.a"
+)

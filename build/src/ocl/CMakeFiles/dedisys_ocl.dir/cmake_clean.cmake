@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedisys_ocl.dir/ocl.cpp.o"
+  "CMakeFiles/dedisys_ocl.dir/ocl.cpp.o.d"
+  "libdedisys_ocl.a"
+  "libdedisys_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedisys_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedisys_replication.dir/manager.cpp.o"
+  "CMakeFiles/dedisys_replication.dir/manager.cpp.o.d"
+  "CMakeFiles/dedisys_replication.dir/reconciler.cpp.o"
+  "CMakeFiles/dedisys_replication.dir/reconciler.cpp.o.d"
+  "libdedisys_replication.a"
+  "libdedisys_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedisys_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

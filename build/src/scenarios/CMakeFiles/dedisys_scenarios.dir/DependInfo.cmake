@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenarios/ats.cpp" "src/scenarios/CMakeFiles/dedisys_scenarios.dir/ats.cpp.o" "gcc" "src/scenarios/CMakeFiles/dedisys_scenarios.dir/ats.cpp.o.d"
+  "/root/repo/src/scenarios/dtms.cpp" "src/scenarios/CMakeFiles/dedisys_scenarios.dir/dtms.cpp.o" "gcc" "src/scenarios/CMakeFiles/dedisys_scenarios.dir/dtms.cpp.o.d"
+  "/root/repo/src/scenarios/evalapp.cpp" "src/scenarios/CMakeFiles/dedisys_scenarios.dir/evalapp.cpp.o" "gcc" "src/scenarios/CMakeFiles/dedisys_scenarios.dir/evalapp.cpp.o.d"
+  "/root/repo/src/scenarios/flight.cpp" "src/scenarios/CMakeFiles/dedisys_scenarios.dir/flight.cpp.o" "gcc" "src/scenarios/CMakeFiles/dedisys_scenarios.dir/flight.cpp.o.d"
+  "/root/repo/src/scenarios/flight_full.cpp" "src/scenarios/CMakeFiles/dedisys_scenarios.dir/flight_full.cpp.o" "gcc" "src/scenarios/CMakeFiles/dedisys_scenarios.dir/flight_full.cpp.o.d"
+  "/root/repo/src/scenarios/script.cpp" "src/scenarios/CMakeFiles/dedisys_scenarios.dir/script.cpp.o" "gcc" "src/scenarios/CMakeFiles/dedisys_scenarios.dir/script.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/middleware/CMakeFiles/dedisys_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/dedisys_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/dedisys_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/dedisys_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/dedisys_objects.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedisys_scenarios.dir/ats.cpp.o"
+  "CMakeFiles/dedisys_scenarios.dir/ats.cpp.o.d"
+  "CMakeFiles/dedisys_scenarios.dir/dtms.cpp.o"
+  "CMakeFiles/dedisys_scenarios.dir/dtms.cpp.o.d"
+  "CMakeFiles/dedisys_scenarios.dir/evalapp.cpp.o"
+  "CMakeFiles/dedisys_scenarios.dir/evalapp.cpp.o.d"
+  "CMakeFiles/dedisys_scenarios.dir/flight.cpp.o"
+  "CMakeFiles/dedisys_scenarios.dir/flight.cpp.o.d"
+  "CMakeFiles/dedisys_scenarios.dir/flight_full.cpp.o"
+  "CMakeFiles/dedisys_scenarios.dir/flight_full.cpp.o.d"
+  "CMakeFiles/dedisys_scenarios.dir/script.cpp.o"
+  "CMakeFiles/dedisys_scenarios.dir/script.cpp.o.d"
+  "libdedisys_scenarios.a"
+  "libdedisys_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedisys_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validation/constraints_set.cpp" "src/validation/CMakeFiles/dedisys_validation.dir/constraints_set.cpp.o" "gcc" "src/validation/CMakeFiles/dedisys_validation.dir/constraints_set.cpp.o.d"
+  "/root/repo/src/validation/harness.cpp" "src/validation/CMakeFiles/dedisys_validation.dir/harness.cpp.o" "gcc" "src/validation/CMakeFiles/dedisys_validation.dir/harness.cpp.o.d"
+  "/root/repo/src/validation/reflection.cpp" "src/validation/CMakeFiles/dedisys_validation.dir/reflection.cpp.o" "gcc" "src/validation/CMakeFiles/dedisys_validation.dir/reflection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ocl/CMakeFiles/dedisys_ocl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedisys_validation.dir/constraints_set.cpp.o"
+  "CMakeFiles/dedisys_validation.dir/constraints_set.cpp.o.d"
+  "CMakeFiles/dedisys_validation.dir/harness.cpp.o"
+  "CMakeFiles/dedisys_validation.dir/harness.cpp.o.d"
+  "CMakeFiles/dedisys_validation.dir/reflection.cpp.o"
+  "CMakeFiles/dedisys_validation.dir/reflection.cpp.o.d"
+  "libdedisys_validation.a"
+  "libdedisys_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedisys_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedisys_web.dir/bridge.cpp.o"
+  "CMakeFiles/dedisys_web.dir/bridge.cpp.o.d"
+  "CMakeFiles/dedisys_web.dir/push_channel.cpp.o"
+  "CMakeFiles/dedisys_web.dir/push_channel.cpp.o.d"
+  "libdedisys_web.a"
+  "libdedisys_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedisys_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adapt_monitors.dir/test_adapt_monitors.cpp.o"
+  "CMakeFiles/test_adapt_monitors.dir/test_adapt_monitors.cpp.o.d"
+  "test_adapt_monitors"
+  "test_adapt_monitors.pdb"
+  "test_adapt_monitors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adapt_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

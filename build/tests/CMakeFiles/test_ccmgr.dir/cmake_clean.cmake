@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccmgr.dir/test_ccmgr.cpp.o"
+  "CMakeFiles/test_ccmgr.dir/test_ccmgr.cpp.o.d"
+  "test_ccmgr"
+  "test_ccmgr.pdb"
+  "test_ccmgr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

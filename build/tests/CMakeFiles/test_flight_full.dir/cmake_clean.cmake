@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flight_full.dir/test_flight_full.cpp.o"
+  "CMakeFiles/test_flight_full.dir/test_flight_full.cpp.o.d"
+  "test_flight_full"
+  "test_flight_full.pdb"
+  "test_flight_full[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flight_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

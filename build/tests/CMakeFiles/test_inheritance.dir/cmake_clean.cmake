@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inheritance.dir/test_inheritance.cpp.o"
+  "CMakeFiles/test_inheritance.dir/test_inheritance.cpp.o.d"
+  "test_inheritance"
+  "test_inheritance.pdb"
+  "test_inheritance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

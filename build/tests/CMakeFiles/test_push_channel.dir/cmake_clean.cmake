@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_push_channel.dir/test_push_channel.cpp.o"
+  "CMakeFiles/test_push_channel.dir/test_push_channel.cpp.o.d"
+  "test_push_channel"
+  "test_push_channel.pdb"
+  "test_push_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_push_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

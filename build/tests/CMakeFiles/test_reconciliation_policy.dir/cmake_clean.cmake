@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconciliation_policy.dir/test_reconciliation_policy.cpp.o"
+  "CMakeFiles/test_reconciliation_policy.dir/test_reconciliation_policy.cpp.o.d"
+  "test_reconciliation_policy"
+  "test_reconciliation_policy.pdb"
+  "test_reconciliation_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconciliation_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
