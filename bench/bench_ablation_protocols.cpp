@@ -66,7 +66,8 @@ Result run(dedisys::ReplicationProtocol protocol) {
 }  // namespace
 }  // namespace dedisys::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::bench;
   using dedisys::ReplicationProtocol;
   print_title("Ablation — replication protocols");

@@ -12,44 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "bench/session.h"
 #include "middleware/cluster.h"
 #include "scenarios/evalapp.h"
 
 namespace dedisys::bench {
-
-// ---------------------------------------------------------------------------
-// Table printing
-// ---------------------------------------------------------------------------
-
-inline void print_title(const std::string& title) {
-  std::printf("\n=== %s ===\n", title.c_str());
-}
-
-inline void print_header(const std::vector<std::string>& columns) {
-  for (std::size_t i = 0; i < columns.size(); ++i) {
-    std::printf(i == 0 ? "%-34s" : "%16s", columns[i].c_str());
-  }
-  std::printf("\n");
-  for (std::size_t i = 0; i < columns.size(); ++i) {
-    std::printf(i == 0 ? "%-34s" : "%16s", i == 0 ? "----" : "----");
-  }
-  std::printf("\n");
-}
-
-inline void print_row(const std::string& label,
-                      const std::vector<double>& values,
-                      const char* fmt = "%16.1f") {
-  std::printf("%-34s", label.c_str());
-  for (double v : values) std::printf(fmt, v);
-  std::printf("\n");
-}
-
-inline void print_row_text(const std::string& label,
-                           const std::vector<std::string>& values) {
-  std::printf("%-34s", label.c_str());
-  for (const auto& v : values) std::printf("%16s", v.c_str());
-  std::printf("\n");
-}
 
 // ---------------------------------------------------------------------------
 // Simulated-time throughput measurement

@@ -53,7 +53,8 @@ double capacity(const OpCosts& c, double r, std::size_t nodes) {
 }  // namespace
 }  // namespace dedisys::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::bench;
   print_title(
       "Conclusion sweep — aggregate capacity: DeDiSys vs single-node "

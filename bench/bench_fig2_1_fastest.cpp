@@ -7,9 +7,11 @@
 // and AspectJ-style (costly reflective parameter extraction) dearest.
 #include <cstdio>
 
+#include "bench/session.h"
 #include "validation/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::validation;
   std::printf("\n=== Figure 2.1 — fastest approaches (overhead vs handcrafted) ===\n");
   const double base = measure_approach(Approach::Handcrafted);
@@ -30,6 +32,8 @@ int main() {
 
   std::printf("%-24s%14s%12s%12s\n", "approach", "ns/run", "measured",
               "paper");
+  dedisys::bench::report_table("Figure 2.1 — fastest approaches",
+                               {"approach", "ns/run", "measured", "paper"});
   for (const Entry& e : entries) {
     // The baseline row reuses the baseline measurement (ratio exactly 1).
     const double t = e.approach == Approach::Handcrafted
@@ -42,6 +46,8 @@ int main() {
       std::printf("%-24s%14.0f%11.2fx%12s\n", to_string(e.approach).c_str(),
                   t, t / base, "-");
     }
+    dedisys::bench::report_row(to_string(e.approach),
+                               {t, t / base, e.paper});
   }
   std::printf(
       "\nNote: absolute factors differ from the paper because the plain-C++\n"

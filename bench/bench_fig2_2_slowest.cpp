@@ -7,9 +7,11 @@
 // else (paper: ~406x handcrafted).
 #include <cstdio>
 
+#include "bench/session.h"
 #include "validation/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::validation;
   std::printf("\n=== Figure 2.2 — slowest approaches (overhead vs handcrafted) ===\n");
   const double base = measure_approach(Approach::Handcrafted);
@@ -26,10 +28,14 @@ int main() {
 
   std::printf("%-24s%14s%12s%12s\n", "approach", "ns/run", "measured",
               "paper");
+  dedisys::bench::report_table("Figure 2.2 — slowest approaches",
+                               {"approach", "ns/run", "measured", "paper"});
   for (const Entry& e : entries) {
     const double t = measure_approach(e.approach);
     std::printf("%-24s%14.0f%11.2fx%11.2fx\n", to_string(e.approach).c_str(),
                 t, t / base, e.paper);
+    dedisys::bench::report_row(to_string(e.approach),
+                               {t, t / base, e.paper});
   }
   std::printf(
       "\nKnown deviation: in the paper JBoss-AOP-naive was the slowest\n"

@@ -6,9 +6,11 @@
 // checks — measured by differencing the staged pipeline runs.
 #include <cstdio>
 
+#include "bench/session.h"
 #include "validation/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::validation;
   std::printf("\n=== Figure 2.3 — runtime slices per mechanism (ns/run, opt repo) ===\n");
 
@@ -25,6 +27,9 @@ int main() {
 
   std::printf("%-12s%12s%12s%12s%12s%12s%12s\n", "mechanism", "R1", "R2",
               "R3", "R4", "R5", "total");
+  dedisys::bench::report_table(
+      "Figure 2.3 — runtime slices per mechanism (ns/run)",
+      {"mechanism", "R1", "R2", "R3", "R4", "R5", "total"});
   for (const Entry& e : entries) {
     const double r12 =
         measure_repo_staged(e.mech, true, RepoStage::InterceptOnly);
@@ -33,6 +38,8 @@ int main() {
     const double total = measure_repo_staged(e.mech, true, RepoStage::Check);
     std::printf("%-12s%12.0f%12.0f%12.0f%12.0f%12.0f%12.0f\n", e.name, r1,
                 r12 - r1, r123 - r12, r1234 - r123, total - r1234, total);
+    dedisys::bench::report_row(e.name, {r1, r12 - r1, r123 - r12,
+                                        r1234 - r123, total - r1234, total});
   }
   std::printf(
       "\nShape to hold: R2 is largest for the proxy (reflective dispatch)\n"

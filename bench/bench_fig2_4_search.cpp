@@ -7,9 +7,11 @@
 // factor for every interception mechanism (paper: 13.6x-48.2x).
 #include <cstdio>
 
+#include "bench/session.h"
 #include "validation/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::validation;
   std::printf("\n=== Figure 2.4 — search overhead (R1+R2+R3+R4)/R1 ===\n");
   const double r1 = measure_approach(Approach::NoChecks);
@@ -28,6 +30,9 @@ int main() {
 
   std::printf("%-14s%14s%14s%12s%14s%14s\n", "mechanism", "opt vs R1",
               "naive vs R1", "improvement", "paper opt", "paper naive");
+  dedisys::bench::report_table("Figure 2.4 — search overhead",
+                               {"mechanism", "opt vs R1", "naive vs R1",
+                                "improvement", "paper opt", "paper naive"});
   for (const Entry& e : entries) {
     const double opt =
         measure_repo_staged(e.mech, true, RepoStage::Search) / r1;
@@ -35,6 +40,8 @@ int main() {
         measure_repo_staged(e.mech, false, RepoStage::Search) / r1;
     std::printf("%-14s%13.1fx%13.1fx%11.1fx%13.1fx%13.1fx\n", e.name, opt,
                 naive, naive / opt, e.paper_opt, e.paper_naive);
+    dedisys::bench::report_row(
+        e.name, {opt, naive, naive / opt, e.paper_opt, e.paper_naive});
   }
   // Formula (2.2): lookup time = (total with lookups - total without) /
   // number of lookups.  Paper: 0.18-0.43 us per cached lookup depending on

@@ -7,9 +7,11 @@
 // dispatch) is the most expensive (paper: 2.38 / 9.25 / 28.13).
 #include <cstdio>
 
+#include "bench/session.h"
 #include "validation/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::validation;
   std::printf("\n=== Figure 2.5 — interception overhead (R1+R2)/R1 ===\n");
   const double r1 = measure_approach(Approach::NoChecks);
@@ -26,10 +28,13 @@ int main() {
   };
 
   std::printf("%-14s%14s%12s\n", "mechanism", "measured", "paper");
+  dedisys::bench::report_table("Figure 2.5 — interception overhead",
+                               {"mechanism", "measured", "paper"});
   for (const Entry& e : entries) {
     const double f =
         measure_repo_staged(e.mech, true, RepoStage::InterceptOnly) / r1;
     std::printf("%-14s%13.1fx%11.2fx\n", e.name, f, e.paper);
+    dedisys::bench::report_row(e.name, {f, e.paper});
   }
   std::printf("\nShape to hold: AspectJ < JBoss AOP < Java proxy.\n");
   return 0;

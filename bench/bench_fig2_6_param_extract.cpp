@@ -7,9 +7,11 @@
 // their invocation representation (paper: 19.50 / 36.62 / 98.26).
 #include <cstdio>
 
+#include "bench/session.h"
 #include "validation/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::validation;
   std::printf(
       "\n=== Figure 2.6 — interception + parameter extraction (R1+R2+R3)/R1 ===\n");
@@ -27,10 +29,14 @@ int main() {
   };
 
   std::printf("%-14s%14s%12s\n", "mechanism", "measured", "paper");
+  dedisys::bench::report_table(
+      "Figure 2.6 — interception + parameter extraction",
+      {"mechanism", "measured", "paper"});
   for (const Entry& e : entries) {
     const double f =
         measure_repo_staged(e.mech, true, RepoStage::Extract) / r1;
     std::printf("%-14s%13.1fx%11.2fx\n", e.name, f, e.paper);
+    dedisys::bench::report_row(e.name, {f, e.paper});
   }
   std::printf(
       "\nShape to hold: JBoss AOP < Java proxy < AspectJ once parameter\n"

@@ -42,7 +42,8 @@ Rates measure(bool with_ccm) {
 }  // namespace
 }  // namespace dedisys::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::bench;
   print_title("Figure 5.1 — overhead of explicit constraint consistency management");
   const Rates with = measure(true);

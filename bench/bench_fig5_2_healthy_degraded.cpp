@@ -9,7 +9,8 @@
 // paper).
 #include "bench/fig5_workload.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::bench;
   using dedisys::ClusterConfig;
   constexpr std::size_t kN = 400;
@@ -23,8 +24,10 @@ int main() {
     cfg.with_ccm = false;
     cfg.with_replication = false;
     auto cluster = make_eval_cluster(cfg);
+    session.observe(*cluster);
     print_full_rates("No DeDiSys (single node)",
                      measure_full(*cluster, 0, kN, false), false);
+    session.capture(*cluster, "no_dedisys");
     // Deterministic simulation: every node performs identically, so the
     // three-node average equals the single-node rate.
     print_full_rates("No DeDiSys (avg of 3 nodes)",
@@ -35,17 +38,21 @@ int main() {
     ClusterConfig cfg;
     cfg.nodes = 3;
     auto cluster = make_eval_cluster(cfg);
+    session.observe(*cluster);
     print_full_rates("DeDiSys healthy (3 nodes)",
                      measure_full(*cluster, 0, kN, false), false);
+    session.capture(*cluster, "healthy");
   }
 
   {  // DeDiSys degraded with 3 nodes still together (4th node cut off).
     ClusterConfig cfg;
     cfg.nodes = 4;
     auto cluster = make_eval_cluster(cfg);
+    session.observe(*cluster);
     cluster->split({{0, 1, 2}, {3}});
     print_full_rates("DeDiSys degraded (3 in partition)",
                      measure_full(*cluster, 0, kN, true), true);
+    session.capture(*cluster, "degraded");
   }
 
   std::printf(

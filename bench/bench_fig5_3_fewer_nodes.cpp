@@ -7,7 +7,8 @@
 // capacity shrinks with the partition.
 #include "bench/fig5_workload.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::bench;
   using dedisys::ClusterConfig;
   constexpr std::size_t kN = 400;

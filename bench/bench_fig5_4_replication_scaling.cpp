@@ -27,7 +27,8 @@ double multicast_tx_ceiling(Cluster& cluster, std::size_t n) {
 }  // namespace
 }  // namespace dedisys::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::bench;
   using dedisys::ClusterConfig;
   using dedisys::ObjectId;

@@ -48,7 +48,8 @@ Times run(dedisys::ThreatHistoryPolicy policy) {
 }  // namespace
 }  // namespace dedisys::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::bench;
   print_title("Figure 5.6 — reconciliation time (simulated minutes)");
 

@@ -36,7 +36,8 @@ std::vector<double> run(dedisys::ThreatHistoryPolicy policy) {
 }  // namespace
 }  // namespace dedisys::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::bench;
   print_title("Figure 5.8 — identical-threat improvement (ops/sim-s)");
 

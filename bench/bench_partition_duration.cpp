@@ -64,7 +64,8 @@ Sweep run(std::size_t degraded_ops) {
 }  // namespace
 }  // namespace dedisys::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::bench;
   print_title("Partition-duration sweep — when reconciliation pays off");
   print_header({"degraded ops", "gained ops", "reconcile ms",

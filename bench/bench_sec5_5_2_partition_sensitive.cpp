@@ -76,7 +76,8 @@ Outcome run(bool partition_sensitive, std::uint64_t seed) {
 }  // namespace
 }  // namespace dedisys::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::bench;
   print_title("Section 5.5.2 — partition-sensitive ticket constraint");
   print_header({"configuration", "sold degr.", "rejected", "overbooked",

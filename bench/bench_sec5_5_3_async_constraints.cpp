@@ -35,7 +35,8 @@ double run(const std::string& method, bool dynamic_negotiation) {
 }  // namespace
 }  // namespace dedisys::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::bench;
   print_title("Section 5.5.3 — asynchronous constraints (degraded ops/sim-s)");
 

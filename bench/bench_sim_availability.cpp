@@ -93,7 +93,8 @@ Result run(dedisys::ReplicationProtocol protocol, bool tradeable,
 }  // namespace
 }  // namespace dedisys::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
   using namespace dedisys::bench;
   using dedisys::ReplicationProtocol;
   print_title("Simulation study — availability under recurring partitions");

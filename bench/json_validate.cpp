@@ -1,0 +1,108 @@
+// Validates a BENCH_*.json result file written by bench::Session --json.
+//
+// Parses the file with the same obs::Json code that produced it and checks
+// the document shape: a "bench" name, a "tables" array of
+// {title, columns, rows:[{label, values}]} and a "latencies" object whose
+// summaries carry count/p50_us/p95_us/p99_us.  With --require-latencies the
+// file must contain at least one latency summary (used by scripts/check.sh
+// to assert that percentile export actually happened).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "util/errors.h"
+
+namespace {
+
+using dedisys::obs::Json;
+
+int fail(const std::string& path, const std::string& reason) {
+  std::fprintf(stderr, "%s: %s\n", path.c_str(), reason.c_str());
+  return 1;
+}
+
+bool is_number(const Json& j) {
+  return j.type() == Json::Type::Int || j.type() == Json::Type::Double;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool require_latencies = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-latencies") == 0) {
+      require_latencies = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: json_validate [--require-latencies] <file>\n");
+    return 2;
+  }
+
+  std::ifstream is(path);
+  if (!is) return fail(path, "cannot open");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+
+  Json doc;
+  try {
+    doc = Json::parse(buf.str());
+  } catch (const dedisys::ConfigError& e) {
+    return fail(path, std::string("parse error: ") + e.what());
+  }
+
+  if (!doc.contains("bench") ||
+      doc.at("bench").type() != Json::Type::String) {
+    return fail(path, "missing string field \"bench\"");
+  }
+  if (!doc.contains("tables") ||
+      doc.at("tables").type() != Json::Type::Array) {
+    return fail(path, "missing array field \"tables\"");
+  }
+  for (const Json& table : doc.at("tables").items()) {
+    if (!table.contains("title") || !table.contains("columns") ||
+        !table.contains("rows")) {
+      return fail(path, "table missing title/columns/rows");
+    }
+    for (const Json& row : table.at("rows").items()) {
+      if (!row.contains("label") || !row.contains("values")) {
+        return fail(path, "row missing label/values");
+      }
+    }
+  }
+
+  std::size_t summaries = 0;
+  if (doc.contains("latencies")) {
+    if (doc.at("latencies").type() != Json::Type::Object) {
+      return fail(path, "\"latencies\" is not an object");
+    }
+    for (const auto& [label, registry] : doc.at("latencies").members()) {
+      if (registry.type() != Json::Type::Object) {
+        return fail(path, "latency block \"" + label + "\" is not an object");
+      }
+      for (const auto& [key, summary] : registry.members()) {
+        for (const char* field : {"count", "p50_us", "p95_us", "p99_us"}) {
+          if (!summary.contains(field) || !is_number(summary.at(field))) {
+            return fail(path, "latency \"" + label + "/" + key +
+                                  "\" missing numeric " + field);
+          }
+        }
+        ++summaries;
+      }
+    }
+  }
+  if (require_latencies && summaries == 0) {
+    return fail(path, "no latency summaries present");
+  }
+
+  std::printf("%s: ok (bench=%s tables=%zu latency summaries=%zu)\n",
+              path.c_str(), doc.at("bench").as_string().c_str(),
+              doc.at("tables").size(), summaries);
+  return 0;
+}

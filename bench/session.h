@@ -1,0 +1,182 @@
+// Shared bench-result report and the --json command-line session.
+//
+// Every benchmark binary constructs a bench::Session first; the print_*
+// helpers of bench_common.h funnel each console table into the session's
+// report, and `--json <path>` writes the accumulated report as a
+// BENCH_*.json document on exit.  Kept free of middleware includes so the
+// Chapter-2 wall-clock benches can use it without the cluster stack.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace dedisys::bench {
+
+struct Report {
+  struct Row {
+    std::string label;
+    obs::Json values = obs::Json::array();
+  };
+  struct Table {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<Row> rows;
+  };
+
+  std::string bench;
+  std::string json_path;
+  std::vector<Table> tables;
+  obs::Json latencies = obs::Json::object();
+
+  Table& current_table() {
+    if (tables.empty()) tables.emplace_back();
+    return tables.back();
+  }
+
+  [[nodiscard]] obs::Json to_json() const {
+    obs::Json tables_json = obs::Json::array();
+    for (const Table& t : tables) {
+      obs::Json columns = obs::Json::array();
+      for (const std::string& c : t.columns) columns.push_back(c);
+      obs::Json rows = obs::Json::array();
+      for (const Row& r : t.rows) {
+        obs::Json row = obs::Json::object();
+        row.set("label", r.label);
+        row.set("values", r.values);
+        rows.push_back(std::move(row));
+      }
+      obs::Json table = obs::Json::object();
+      table.set("title", t.title);
+      table.set("columns", std::move(columns));
+      table.set("rows", std::move(rows));
+      tables_json.push_back(std::move(table));
+    }
+    obs::Json out = obs::Json::object();
+    out.set("bench", bench);
+    out.set("tables", std::move(tables_json));
+    out.set("latencies", latencies);
+    return out;
+  }
+};
+
+inline Report& report() {
+  static Report r;
+  return r;
+}
+
+/// RAII harness every bench main constructs first: parses `--json <path>`
+/// and writes the accumulated report there on exit.
+class Session {
+ public:
+  Session(int argc, char** argv) {
+    std::string name = argc > 0 ? argv[0] : "bench";
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name.erase(0, slash + 1);
+    report().bench = name;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        report().json_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      }
+    }
+  }
+
+  ~Session() {
+    if (report().json_path.empty()) return;
+    std::ofstream os(report().json_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", report().json_path.c_str());
+      return;
+    }
+    os << report().to_json().dump(2) << '\n';
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Enables the cluster's trace recorder and latency registry; recording
+  /// costs zero simulated time, so observed runs report identical rates.
+  template <typename ClusterT>
+  void observe(ClusterT& cluster, std::size_t trace_capacity = 4096) {
+    cluster.obs().enable(trace_capacity);
+  }
+
+  /// Snapshots the cluster's latency summaries (p50/p95/p99 per operation
+  /// kind) into the report under `label`.
+  template <typename ClusterT>
+  void capture(ClusterT& cluster, const std::string& label) {
+    report().latencies.set(label, obs::to_json(cluster.obs().latencies()));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Report-only recording, for benches that render their own console layout
+// ---------------------------------------------------------------------------
+
+inline void report_table(const std::string& title,
+                         const std::vector<std::string>& columns) {
+  report().tables.emplace_back();
+  report().tables.back().title = title;
+  report().tables.back().columns = columns;
+}
+
+inline void report_row(const std::string& label,
+                       const std::vector<double>& values) {
+  Report::Row row;
+  row.label = label;
+  for (double v : values) row.values.push_back(v);
+  report().current_table().rows.push_back(std::move(row));
+}
+
+// ---------------------------------------------------------------------------
+// Table printing (console + the session's --json report)
+// ---------------------------------------------------------------------------
+
+inline void print_title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  report().tables.emplace_back();
+  report().tables.back().title = title;
+}
+
+inline void print_header(const std::vector<std::string>& columns) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::printf(i == 0 ? "%-34s" : "%16s", columns[i].c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::printf(i == 0 ? "%-34s" : "%16s", i == 0 ? "----" : "----");
+  }
+  std::printf("\n");
+  report().current_table().columns = columns;
+}
+
+inline void print_row(const std::string& label,
+                      const std::vector<double>& values,
+                      const char* fmt = "%16.1f") {
+  std::printf("%-34s", label.c_str());
+  for (double v : values) std::printf(fmt, v);
+  std::printf("\n");
+  Report::Row row;
+  row.label = label;
+  for (double v : values) row.values.push_back(v);
+  report().current_table().rows.push_back(std::move(row));
+}
+
+inline void print_row_text(const std::string& label,
+                           const std::vector<std::string>& values) {
+  std::printf("%-34s", label.c_str());
+  for (const auto& v : values) std::printf("%16s", v.c_str());
+  std::printf("\n");
+  Report::Row row;
+  row.label = label;
+  for (const auto& v : values) row.values.push_back(v);
+  report().current_table().rows.push_back(std::move(row));
+}
+
+}  // namespace dedisys::bench

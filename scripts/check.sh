@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus one observability smoke run.
+#
+#   1. configure + build everything
+#   2. run the unit/integration test suite
+#   3. run one bench binary with --json and assert the result file parses
+#      and carries latency percentile summaries (p50/p95/p99)
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="${JOBS:-2}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+# Observability smoke: a traced bench run must export parseable JSON with
+# latency percentiles.
+OUT="$(mktemp /tmp/BENCH_smoke_XXXXXX.json)"
+trap 'rm -f "$OUT"' EXIT
+"$BUILD_DIR/bench/bench_fig5_2_healthy_degraded" --json "$OUT" > /dev/null
+"$BUILD_DIR/bench/json_validate" --require-latencies "$OUT"
+
+echo "check.sh: all green"

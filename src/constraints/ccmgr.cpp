@@ -287,25 +287,38 @@ SatisfactionDegree ConstraintConsistencyManager::evaluate(
     Constraint& constraint, ConstraintValidationContext& ctx) {
   ++stats_.validations;
   clock_.advance(cost_.constraint_validate);
-  bool ok;
+  bool ok = false;
+  bool uncheckable = false;
   {
     ValidationGuard guard(in_validation_);
     try {
       ok = constraint.validate(ctx);
     } catch (const ObjectUnreachable&) {
-      return SatisfactionDegree::Uncheckable;  // NCC
+      uncheckable = true;  // NCC
     }
   }
-  if ((degraded_ || !forced_stale_.empty()) && !constraint.intra_object()) {
-    for (ObjectId id : ctx.accessed_objects()) {
-      if ((degraded_ && oracle_->possibly_stale(id)) ||
-          forced_stale_.count(id) != 0) {
-        return ok ? SatisfactionDegree::PossiblySatisfied
-                  : SatisfactionDegree::PossiblyViolated;  // LCC
+  SatisfactionDegree degree;
+  if (uncheckable) {
+    degree = SatisfactionDegree::Uncheckable;
+  } else {
+    degree = ok ? SatisfactionDegree::Satisfied : SatisfactionDegree::Violated;
+    if ((degraded_ || !forced_stale_.empty()) && !constraint.intra_object()) {
+      for (ObjectId id : ctx.accessed_objects()) {
+        if ((degraded_ && oracle_->possibly_stale(id)) ||
+            forced_stale_.count(id) != 0) {
+          degree = ok ? SatisfactionDegree::PossiblySatisfied
+                      : SatisfactionDegree::PossiblyViolated;  // LCC
+          break;
+        }
       }
     }
   }
-  return ok ? SatisfactionDegree::Satisfied : SatisfactionDegree::Violated;
+  if (obs::on(obs_)) {
+    obs_->event(clock_.now(), obs::TraceEventKind::Validation, self_,
+                ctx.context_object(), {}, constraint.name(),
+                to_string(degree));
+  }
+  return degree;
 }
 
 void ConstraintConsistencyManager::check(Constraint& constraint,
@@ -349,9 +362,19 @@ void ConstraintConsistencyManager::handle_threat(
     ConstraintValidationContext& ctx, TxId tx) {
   ++stats_.threats_detected;
   clock_.advance(cost_.threat_detection);
+  if (obs::on(obs_)) {
+    obs_->event(clock_.now(), obs::TraceEventKind::ThreatDetected, self_,
+                ctx.context_object(), tx, constraint.name(),
+                to_string(degree));
+  }
 
   if (!constraint.is_tradeable()) {
     ++stats_.threats_rejected;
+    if (obs::on(obs_)) {
+      obs_->event(clock_.now(), obs::TraceEventKind::ThreatRejected, self_,
+                  ctx.context_object(), tx, constraint.name(),
+                  "not tradeable");
+    }
     if (tx.valid() && tm_.exists(tx)) tm_.set_rollback_only(tx);
     throw ConsistencyThreatRejected(constraint.name());
   }
@@ -383,9 +406,11 @@ void ConstraintConsistencyManager::negotiate_threat(
     ConstraintValidationContext& ctx, TxId tx) {
   const SatisfactionDegree degree = threat.degree;
   bool accepted;
+  bool dynamic = false;
   auto st = tx.valid() ? tx_state_.find(tx) : tx_state_.end();
   if (st != tx_state_.end() && st->second.negotiation != nullptr) {
     // Dynamic (algorithmic) negotiation.
+    dynamic = true;
     clock_.advance(cost_.negotiation_callback);
     NegotiationOutcome outcome =
         st->second.negotiation->negotiate(threat, ctx);
@@ -399,14 +424,29 @@ void ConstraintConsistencyManager::negotiate_threat(
     accepted = static_negotiation_accepts(constraint, effective_min, degree,
                                           ctx, *oracle_, clock_.now());
   }
+  if (obs::on(obs_)) {
+    obs_->event(clock_.now(), obs::TraceEventKind::ThreatNegotiated, self_,
+                threat.context_object, tx, constraint.name(),
+                dynamic ? "dynamic" : "static");
+  }
 
   if (!accepted) {
     ++stats_.threats_rejected;
+    if (obs::on(obs_)) {
+      obs_->event(clock_.now(), obs::TraceEventKind::ThreatRejected, self_,
+                  threat.context_object, tx, constraint.name(),
+                  to_string(degree));
+    }
     if (tx.valid() && tm_.exists(tx)) tm_.set_rollback_only(tx);
     throw ConsistencyThreatRejected(constraint.name());
   }
 
   ++stats_.threats_accepted;
+  if (obs::on(obs_)) {
+    obs_->event(clock_.now(), obs::TraceEventKind::ThreatAccepted, self_,
+                threat.context_object, tx, constraint.name(),
+                to_string(degree));
+  }
   if (tx.valid() && tm_.exists(tx)) {
     tx_state(tx).staged.push_back(std::move(threat));
     tm_.enlist(tx, this);
@@ -544,6 +584,12 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
   if (objects_ == nullptr) {
     throw ConfigError("CCMgr has no object accessor configured");
   }
+  auto trace_outcome = [&](const ConsistencyThreat& t, const char* outcome) {
+    if (obs::on(obs_)) {
+      obs_->event(clock_.now(), obs::TraceEventKind::ThreatReconciled, self_,
+                  t.context_object, {}, t.constraint_name, outcome);
+    }
+  };
 
   for (StoredThreat& st : threats_.load_all()) {
     ConsistencyThreat& threat = st.threat;
@@ -566,6 +612,7 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
     if (degree == SatisfactionDegree::Satisfied) {
       threats_.remove(threat.identity());
       ++out.removed_satisfied;
+      trace_outcome(threat, "satisfied");
       if (handler != nullptr && threat.instructions.notify_on_replica_conflict &&
           had_conflict) {
         const bool conflicted = std::any_of(
@@ -583,6 +630,7 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
       // Some affected object still unavailable/stale: another partition
       // remains; postpone re-evaluation (Section 3.3).
       ++out.postponed;
+      trace_outcome(threat, "postponed");
       continue;
     }
 
@@ -595,12 +643,14 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
       if (evaluate(constraint, recheck) == SatisfactionDegree::Satisfied) {
         threats_.remove(threat.identity());
         ++out.resolved_by_rollback;
+        trace_outcome(threat, "rolled-back");
         continue;
       }
     }
 
     if (handler == nullptr) {
       ++out.deferred;
+      trace_outcome(threat, "deferred");
       continue;
     }
 
@@ -620,10 +670,12 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
     if (resolved) {
       threats_.remove(threat.identity());
       ++out.resolved_immediately;
+      trace_outcome(threat, "resolved");
     } else {
       // Deferred: the application cleans up later; the threat stays until a
       // business operation satisfies the constraint (Section 4.4).
       ++out.deferred;
+      trace_outcome(threat, "deferred");
     }
   }
   return out;

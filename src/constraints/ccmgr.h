@@ -35,6 +35,7 @@
 #include "constraints/threats.h"
 #include "objects/invocation.h"
 #include "objects/method_context.h"
+#include "obs/observability.h"
 #include "sim/cost_model.h"
 #include "tx/tx_manager.h"
 #include "util/ids.h"
@@ -76,6 +77,11 @@ class ConstraintConsistencyManager final : public TransactionalResource {
   }
   /// Application-wide fallback minimum satisfaction degree.
   void set_default_min_degree(SatisfactionDegree d) { default_min_ = d; }
+
+  /// Wires the cluster's observability hub; validations and the threat
+  /// lifecycle (detected/negotiated/accepted/rejected/reconciled) are then
+  /// recorded as trace events.
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
 
   /// Query used by constraints without a context object ("validation
   /// starts from a set of objects obtained by a query", Section 3.2.2).
@@ -282,6 +288,7 @@ class ConstraintConsistencyManager final : public TransactionalResource {
   NodeId self_;
 
   const StalenessOracle* oracle_;
+  obs::Observability* obs_ = nullptr;
   ObjectAccessor* objects_ = nullptr;
   std::function<void(const ConsistencyThreat&)> replicate_threat_;
   SatisfactionDegree default_min_ = SatisfactionDegree::Satisfied;

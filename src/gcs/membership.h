@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gcs/view.h"
+#include "obs/observability.h"
 #include "sim/network.h"
 #include "util/ids.h"
 
@@ -59,6 +60,10 @@ class GroupMembershipService : public TopologyListener {
 
   void subscribe(ViewListener* listener) { listeners_.push_back(listener); }
 
+  /// Wires the cluster's observability hub; installed views are then
+  /// recorded as view.change trace events.
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
+
   void on_topology_changed() override { recompute(/*force=*/false); }
 
  private:
@@ -74,6 +79,17 @@ class GroupMembershipService : public TopologyListener {
     const double total = weights_->total(net_.nodes());
     view_.weight_fraction =
         total > 0 ? weights_->total(view_.members) / total : 1.0;
+    if (obs::on(obs_)) {
+      std::string members;
+      for (NodeId m : view_.members) {
+        if (!members.empty()) members += ',';
+        members += to_string(m);
+      }
+      obs_->event(net_.clock().now(), obs::TraceEventKind::ViewChange, self_,
+                  {}, {}, "view " + to_string(view_.id),
+                  "members={" + members + "} complete=" +
+                      (view_.complete ? "true" : "false"));
+    }
     if (!force) {
       for (auto* l : listeners_) l->on_view_installed(view_, previous);
     }
@@ -82,6 +98,7 @@ class GroupMembershipService : public TopologyListener {
   SimNetwork& net_;
   NodeId self_;
   std::shared_ptr<NodeWeights> weights_;
+  obs::Observability* obs_ = nullptr;
   View view_;
   std::uint64_t next_view_id_ = 1;
   std::vector<ViewListener*> listeners_;

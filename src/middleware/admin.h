@@ -16,6 +16,7 @@
 #include "constraints/config_writer.h"
 #include "middleware/cluster.h"
 #include "middleware/metrics.h"
+#include "middleware/obs_export.h"
 #include "persist/snapshot.h"
 
 namespace dedisys {
@@ -94,6 +95,21 @@ class AdminConsole {
   }
 
   [[nodiscard]] ClusterMetrics metrics() { return collect_metrics(*cluster_); }
+
+  // -- observability ----------------------------------------------------------
+
+  /// Full observability export (metrics + latency summaries + trace) as a
+  /// JSON document; pretty-printed when `indent` >= 0.
+  [[nodiscard]] std::string metrics_json(int indent = 2) {
+    return obs::export_cluster_json(*cluster_).dump(indent);
+  }
+
+  /// Human-readable rendering of the recorded trace, in SimTime order.
+  [[nodiscard]] std::string timeline() {
+    return obs::render_timeline(cluster_->obs().trace());
+  }
+
+  void print_timeline(std::ostream& os) { os << timeline(); }
 
   // -- durable state ---------------------------------------------------------------
 

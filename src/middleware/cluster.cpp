@@ -8,8 +8,10 @@
 namespace dedisys {
 
 Cluster::Cluster(ClusterConfig config) : config_(config) {
+  if (config_.observability) obs_.enable(config_.trace_capacity);
   network_ = std::make_unique<SimNetwork>(clock_, config_.cost);
   tm_ = std::make_unique<TransactionManager>(clock_, network_->cost());
+  tm_->set_observability(&obs_);
   gc_ = std::make_unique<GroupCommunication>(*network_);
   events_ = std::make_unique<EventQueue>(clock_);
   weights_ = std::make_shared<NodeWeights>();
@@ -81,16 +83,42 @@ void Cluster::split(const std::vector<std::vector<std::size_t>>& groups) {
     node_groups.push_back(std::move(ids));
   }
   last_partition_groups_ = node_groups;
+  if (obs_.enabled()) {
+    std::string detail;
+    for (const auto& g : node_groups) {
+      detail += detail.empty() ? "{" : " {";
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        if (i > 0) detail += ',';
+        detail += to_string(g[i]);
+      }
+      detail += '}';
+    }
+    obs_.event(clock_.now(), obs::TraceEventKind::NetworkSplit, {}, {}, {},
+               "partition", detail);
+  }
   network_->partition(node_groups);
 }
 
-void Cluster::heal() { network_->heal(); }
+void Cluster::heal() {
+  if (obs_.enabled()) {
+    obs_.event(clock_.now(), obs::TraceEventKind::NetworkHeal, {}, {}, {},
+               "heal");
+  }
+  network_->heal();
+}
 
 Cluster::ReconciliationReport Cluster::reconcile(
     ReplicaConsistencyHandler* replica_handler,
     ConstraintReconciliationHandler* constraint_handler,
     std::size_t coordinator) {
   ReconciliationReport report;
+  const SimTime reconcile_start = clock_.now();
+  if (obs_.enabled()) {
+    obs_.event(reconcile_start, obs::TraceEventKind::ReconcileStart,
+               node(coordinator).id(), {}, {}, "reconcile",
+               "threat identities=" +
+                   std::to_string(threat_store_->identity_count()));
+  }
 
   std::vector<ReplicationManager*> managers;
   managers.reserve(nodes_.size());
@@ -166,6 +194,19 @@ Cluster::ReconciliationReport Cluster::reconcile(
   reconciler.finish();
   for (auto& n : nodes_) n->set_mode(SystemMode::Healthy);
   last_partition_groups_.clear();
+  if (obs_.enabled()) {
+    obs_.latency("reconcile.replica", report.replica_time);
+    obs_.latency("reconcile.constraints", report.constraint_time);
+    obs_.latency("reconcile.total", clock_.now() - reconcile_start);
+    obs_.event(clock_.now(), obs::TraceEventKind::ReconcileEnd,
+               node(coordinator).id(), {}, {}, "reconcile",
+               "reevaluated=" + std::to_string(report.constraints.reevaluated) +
+                   " removed=" +
+                   std::to_string(report.constraints.removed_satisfied) +
+                   " violations=" +
+                   std::to_string(report.constraints.violations) +
+                   " conflicts=" + std::to_string(report.replica.conflicts));
+  }
   return report;
 }
 

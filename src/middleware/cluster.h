@@ -13,6 +13,7 @@
 #include "gcs/group_comm.h"
 #include "gcs/membership.h"
 #include "middleware/node.h"
+#include "obs/observability.h"
 #include "persist/record_store.h"
 #include "replication/protocol.h"
 #include "replication/reconciler.h"
@@ -39,6 +40,12 @@ struct ClusterConfig {
   /// Business operations on threatened objects during reconciliation.
   ReconciliationBusinessPolicy reconciliation_policy =
       ReconciliationBusinessPolicy::Proceed;
+  /// Structured event tracing + latency histograms (src/obs).  Off by
+  /// default: instrumented hot paths then cost a single branch.  Can also
+  /// be enabled later via cluster.obs().enable().
+  bool observability = false;
+  /// Ring-buffer capacity of the trace recorder when observability is on.
+  std::size_t trace_capacity = 4096;
 };
 
 class Cluster {
@@ -70,6 +77,10 @@ class Cluster {
   std::shared_ptr<NodeWeights> weights_ptr() { return weights_; }
   std::shared_ptr<ObjectDirectory> directory() { return directory_; }
   const ClusterConfig& config() const { return config_; }
+
+  /// Observability hub shared by every service of this cluster (trace
+  /// recorder + latency histograms); disabled unless configured/enabled.
+  obs::Observability& obs() { return obs_; }
 
   // -- nodes -------------------------------------------------------------------
 
@@ -112,6 +123,7 @@ class Cluster {
  private:
   ClusterConfig config_;
   SimClock clock_;
+  obs::Observability obs_;
   std::unique_ptr<SimNetwork> network_;
   std::unique_ptr<TransactionManager> tm_;
   std::unique_ptr<GroupCommunication> gc_;

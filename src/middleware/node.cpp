@@ -106,23 +106,26 @@ Value NodeObjectAccessor::invoke(ObjectId id, const MethodSignature& method,
 
 DedisysNode::DedisysNode(Cluster& cluster, NodeId id,
                          const NodeOptions& options)
-    : cluster_(&cluster), id_(id), options_(options) {
+    : cluster_(&cluster), id_(id), options_(options), obs_(&cluster.obs()) {
   SimNetwork& net = cluster.network();
   db_ = std::make_unique<RecordStore>(cluster.clock(), net.cost());
   history_ = std::make_unique<ReplicaHistoryStore>(cluster.clock(), net.cost());
   tm_ = &cluster.tx();
   gms_ = std::make_unique<GroupMembershipService>(net, id,
                                                   cluster.weights_ptr());
+  gms_->set_observability(obs_);
   gms_->subscribe(this);
   repl_ = std::make_unique<ReplicationManager>(
       id, cluster.classes(), cluster.gc(), *gms_, *db_, *history_,
       cluster.directory(), options.protocol);
+  repl_->set_observability(obs_);
   repl_->set_keep_history(options.keep_history);
   repl_->set_replication_enabled(options.with_replication);
 
   ccmgr_ = std::make_unique<ConstraintConsistencyManager>(
       cluster.constraints(), cluster.threats(), *tm_, cluster.clock(),
       net.cost(), id);
+  ccmgr_->set_observability(obs_);
   accessor_ = std::make_unique<NodeObjectAccessor>(*this);
   ccmgr_->set_staleness_oracle(repl_.get());
   ccmgr_->set_object_accessor(accessor_.get());
@@ -146,16 +149,26 @@ DedisysNode::DedisysNode(Cluster& cluster, NodeId id,
   server_chain_.add(std::make_shared<ReplicationInterceptor>(*this));
 }
 
+void DedisysNode::change_mode(SystemMode m) {
+  if (m == mode_) return;
+  const SystemMode previous = mode_;
+  mode_ = m;
+  if (obs::on(obs_)) {
+    obs_->event(cluster_->clock().now(), obs::TraceEventKind::ModeTransition,
+                id_, {}, {}, to_string(m), "from " + to_string(previous));
+  }
+}
+
 void DedisysNode::on_view_installed(const View& installed,
                                     const View& /*previous*/) {
   if (!options_.with_replication) return;  // independent node: always healthy
   if (!installed.complete) {
-    mode_ = SystemMode::Degraded;
+    change_mode(SystemMode::Degraded);
     repl_->set_degraded(true);
     ccmgr_->set_degraded(true, installed.weight_fraction);
   } else {
     if (mode_ == SystemMode::Degraded) {
-      mode_ = SystemMode::Reconciling;
+      change_mode(SystemMode::Reconciling);
       if (options_.reconciliation_policy !=
           ReconciliationBusinessPolicy::Proceed) {
         threatened_cache_ = ccmgr_->threatened_objects();
@@ -191,9 +204,13 @@ bool DedisysNode::apply_reconciliation_policy(ObjectId target) {
 
 ObjectId DedisysNode::create(TxId tx, const std::string& class_name,
                              const std::string& application) {
+  const SimTime start = cluster_->clock().now();
   cluster_->clock().advance(cluster_->network().cost().invocation_overhead);
   const ObjectId id = repl_->create(class_name, tx, std::nullopt, application);
   db_->put("entities", to_string(id), repl_->local_replica(id).attributes());
+  if (obs::on(obs_)) {
+    obs_->latency("create", cluster_->clock().now() - start);
+  }
   notify_created(id, class_name);
   if (tx.valid()) {
     tm_->lock(tx, id);
@@ -206,10 +223,14 @@ ObjectId DedisysNode::create(TxId tx, const std::string& class_name,
 }
 
 void DedisysNode::destroy(TxId tx, ObjectId id) {
+  const SimTime start = cluster_->clock().now();
   cluster_->clock().advance(cluster_->network().cost().invocation_overhead);
   if (tx.valid()) tm_->lock(tx, id);
   db_->erase("entities", to_string(id));
   repl_->destroy(id, tx);
+  if (obs::on(obs_)) {
+    obs_->latency("destroy", cluster_->clock().now() - start);
+  }
   notify_deleted(id);
 }
 
@@ -247,6 +268,13 @@ Value DedisysNode::invoke(TxId tx, ObjectId target,
     inv.context["application"] = entry.application;
   }
 
+  const SimTime invoke_start = cluster_->clock().now();
+  const std::string span = entry.class_name + "::" + method_name;
+  if (obs::on(obs_)) {
+    obs_->event(invoke_start, obs::TraceEventKind::InvocationStart, id_,
+                target, tx, span, inv.is_write ? "write" : "read");
+  }
+
   NodeId exec = repl_->execution_node(target, inv.is_write);
   if (client_monitor_ != nullptr && !inv.is_write) {
     // ADAPT client-side component monitor: reads may be redirected to any
@@ -272,23 +300,38 @@ Value DedisysNode::invoke(TxId tx, ObjectId target,
   if (exec != id_) cluster_->network().charge_rpc(id_, exec);
   cluster_->clock().advance(cluster_->network().cost().invocation_overhead);
   Value result;
-  if (treat_degraded) {
-    // Section 3.3: treat the operation as if the partition were still in
-    // place — validations run with degraded semantics and may introduce
-    // new threats.
-    server->ccmgr().set_degraded(true,
-                                 server->gms().current_view().weight_fraction);
-    try {
-      result = server->execute_server(inv);
-    } catch (...) {
+  try {
+    if (treat_degraded) {
+      // Section 3.3: treat the operation as if the partition were still in
+      // place — validations run with degraded semantics and may introduce
+      // new threats.
+      server->ccmgr().set_degraded(
+          true, server->gms().current_view().weight_fraction);
+      try {
+        result = server->execute_server(inv);
+      } catch (...) {
+        server->ccmgr().set_degraded(false, 1.0);
+        throw;
+      }
       server->ccmgr().set_degraded(false, 1.0);
-      throw;
+    } else {
+      result = server->execute_server(inv);
     }
-    server->ccmgr().set_degraded(false, 1.0);
-  } else {
-    result = server->execute_server(inv);
+  } catch (...) {
+    if (obs::on(obs_)) {
+      obs_->event(cluster_->clock().now(), obs::TraceEventKind::InvocationEnd,
+                  id_, target, tx, span, "failed");
+    }
+    throw;
   }
   if (exec != id_) cluster_->network().charge_rpc(exec, id_);
+  if (obs::on(obs_)) {
+    const SimTime end = cluster_->clock().now();
+    obs_->event(end, obs::TraceEventKind::InvocationEnd, id_, target, tx,
+                span);
+    obs_->latency(inv.is_write ? "invoke.write" : "invoke.read",
+                  end - invoke_start);
+  }
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "gcs/membership.h"
 #include "middleware/mode.h"
 #include "objects/invocation.h"
+#include "obs/observability.h"
 #include "objects/method_context.h"
 #include "objects/naming.h"
 #include "persist/history_store.h"
@@ -97,7 +98,7 @@ class DedisysNode final : public ViewListener {
 
   [[nodiscard]] SystemMode mode() const { return mode_; }
   void set_mode(SystemMode m) {
-    mode_ = m;
+    change_mode(m);
     if (m != SystemMode::Reconciling) {
       threatened_cache_.clear();
       ccmgr_->clear_forced_stale();
@@ -156,6 +157,9 @@ class DedisysNode final : public ViewListener {
  private:
   friend class NodeObjectAccessor;
 
+  /// Assigns the mode, recording a mode.transition trace event on change.
+  void change_mode(SystemMode m);
+
   /// Runs the server-side chain on THIS node (the execution node).
   Value execute_server(Invocation& inv);
 
@@ -168,6 +172,7 @@ class DedisysNode final : public ViewListener {
   Cluster* cluster_;
   NodeId id_;
   NodeOptions options_;
+  obs::Observability* obs_ = nullptr;
 
   std::unique_ptr<RecordStore> db_;
   std::unique_ptr<ReplicaHistoryStore> history_;

@@ -1,0 +1,49 @@
+// Cluster-level observability export: the JSON document served by the
+// AdminConsole and the web /metrics endpoint.  Lives above the middleware
+// layer (obs itself must not depend on the cluster).
+#pragma once
+
+#include "middleware/metrics.h"
+#include "obs/export.h"
+
+namespace dedisys::obs {
+
+[[nodiscard]] inline Json to_json(const ClusterMetrics& m) {
+  Json nodes = Json::array();
+  for (const NodeMetrics& n : m.nodes) {
+    Json node = Json::object();
+    node.set("node", n.node.value());
+    node.set("mode", to_string(n.mode));
+    node.set("db_reads", n.db_reads);
+    node.set("db_writes", n.db_writes);
+    node.set("db_deletes", n.db_deletes);
+    node.set("updates_propagated", n.updates_propagated);
+    node.set("backups_applied", n.backups_applied);
+    node.set("history_records", n.history_records);
+    node.set("validations", n.validations);
+    node.set("threats_detected", n.threats_detected);
+    node.set("threats_accepted", n.threats_accepted);
+    node.set("threats_rejected", n.threats_rejected);
+    node.set("violations", n.violations);
+    nodes.push_back(std::move(node));
+  }
+  Json out = Json::object();
+  out.set("sim_time_us", m.sim_time);
+  out.set("stored_threat_identities", m.stored_threat_identities);
+  out.set("stored_threat_occurrences", m.stored_threat_occurrences);
+  out.set("live_objects", m.live_objects);
+  out.set("nodes", std::move(nodes));
+  return out;
+}
+
+/// The full observability document of a cluster: counters snapshot,
+/// latency percentiles and the retained event trace.
+[[nodiscard]] inline Json export_cluster_json(Cluster& cluster) {
+  Json out = Json::object();
+  out.set("metrics", to_json(collect_metrics(cluster)));
+  out.set("latencies", to_json(cluster.obs().latencies()));
+  out.set("trace", to_json(cluster.obs().trace()));
+  return out;
+}
+
+}  // namespace dedisys::obs

@@ -1,0 +1,91 @@
+// Exporters: JSON renderings of latency summaries and traces, plus the
+// human-readable event timeline.
+//
+// Two consumers share these renderings: the AdminConsole / web bridge
+// (operator inspection of a live cluster; see middleware/obs_export.h for
+// the cluster-level document) and the benchmark harness (machine-readable
+// BENCH_*.json result files).  Everything funnels through obs::Json so the
+// output is parseable by the same code that verifies it in the tests.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/observability.h"
+
+namespace dedisys::obs {
+
+[[nodiscard]] inline Json to_json(const LatencySummary& s) {
+  Json out = Json::object();
+  out.set("count", s.count);
+  out.set("mean_us", s.mean);
+  out.set("p50_us", s.p50);
+  out.set("p95_us", s.p95);
+  out.set("p99_us", s.p99);
+  out.set("min_us", s.min);
+  out.set("max_us", s.max);
+  return out;
+}
+
+[[nodiscard]] inline Json to_json(const LatencyRegistry& registry) {
+  Json out = Json::object();
+  for (const auto& [key, histogram] : registry.all()) {
+    out.set(key, to_json(summarize(histogram)));
+  }
+  return out;
+}
+
+[[nodiscard]] inline Json to_json(const TraceEvent& e) {
+  Json out = Json::object();
+  out.set("seq", e.seq);
+  out.set("at_us", e.at);
+  out.set("kind", to_string(e.kind));
+  if (e.node.valid()) out.set("node", e.node.value());
+  if (e.object.valid()) out.set("object", e.object.value());
+  if (e.tx.valid()) out.set("tx", e.tx.value());
+  if (!e.label.empty()) out.set("label", e.label);
+  if (!e.detail.empty()) out.set("detail", e.detail);
+  return out;
+}
+
+[[nodiscard]] inline Json to_json(const TraceRecorder& trace) {
+  Json events = Json::array();
+  for (const TraceEvent& e : trace.events()) events.push_back(to_json(e));
+  Json out = Json::object();
+  out.set("capacity", trace.capacity());
+  out.set("recorded", trace.recorded());
+  out.set("dropped", trace.dropped());
+  out.set("events", std::move(events));
+  return out;
+}
+
+/// Human-readable timeline of the retained trace, one event per line:
+///   [      1234 us] node 0  invocation.start   setValue  obj=3 tx=7
+[[nodiscard]] inline std::string render_timeline(const TraceRecorder& trace) {
+  std::string out;
+  for (const TraceEvent& e : trace.events()) {
+    char prefix[48];
+    std::snprintf(prefix, sizeof(prefix), "[%10lld us] ",
+                  static_cast<long long>(e.at));
+    out += prefix;
+    if (e.node.valid()) {
+      out += "node " + std::to_string(e.node.value()) + "  ";
+    }
+    std::string kind = to_string(e.kind);
+    kind.resize(kind.size() < 18 ? 18 : kind.size(), ' ');
+    out += kind;
+    if (!e.label.empty()) out += " " + e.label;
+    if (e.object.valid()) out += " obj=" + std::to_string(e.object.value());
+    if (e.tx.valid()) out += " tx=" + std::to_string(e.tx.value());
+    if (!e.detail.empty()) out += " (" + e.detail + ")";
+    out += '\n';
+  }
+  if (trace.dropped() > 0) {
+    out += "(+" + std::to_string(trace.dropped()) +
+           " older events dropped by the ring buffer)\n";
+  }
+  return out;
+}
+
+}  // namespace dedisys::obs

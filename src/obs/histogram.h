@@ -1,0 +1,143 @@
+// Fixed-bucket latency histograms over simulated time.
+//
+// The Chapter-5 evaluation reports throughput and cost distributions of
+// middleware operations.  Operations are timed with SimClock deltas and
+// recorded into log-spaced fixed buckets (1 µs … 50 s), which keeps
+// recording O(log #buckets) with zero allocation on the hot path and
+// makes percentile estimation (p50/p95/p99) a single cumulative walk with
+// linear interpolation inside the winning bucket.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "util/sim_clock.h"
+
+namespace dedisys::obs {
+
+/// Upper bucket boundaries in simulated microseconds (1-2-5 ladder); the
+/// last bucket is open-ended.
+inline constexpr std::array<SimDuration, 24> kLatencyBucketBounds = {
+    1,      2,      5,      10,      20,      50,      100,      200,
+    500,    1000,   2000,   5000,    10000,   20000,   50000,    100000,
+    200000, 500000, 1000000, 2000000, 5000000, 10000000, 20000000, 50000000};
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = kLatencyBucketBounds.size() + 1;
+
+  void record(SimDuration d) {
+    if (d < 0) d = 0;
+    const auto* it = std::lower_bound(kLatencyBucketBounds.begin(),
+                                      kLatencyBucketBounds.end(), d);
+    ++counts_[static_cast<std::size_t>(it - kLatencyBucketBounds.begin())];
+    ++count_;
+    sum_ += d;
+    if (count_ == 1 || d < min_) min_ = d;
+    if (d > max_) max_ = d;
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] SimDuration min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] SimDuration max() const { return max_; }
+  [[nodiscard]] SimDuration sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] std::size_t bucket_count(std::size_t i) const {
+    return counts_.at(i);
+  }
+
+  /// Percentile estimate in simulated microseconds, `p` in (0, 100].
+  /// Interpolates linearly inside the bucket holding the target rank and
+  /// clamps to the observed min/max so estimates never leave the data range.
+  [[nodiscard]] double percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(count_);
+    std::size_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts_[i] == 0) continue;
+      const std::size_t before = cumulative;
+      cumulative += counts_[i];
+      if (static_cast<double>(cumulative) < rank) continue;
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(kLatencyBucketBounds[i - 1]);
+      const double upper = i < kLatencyBucketBounds.size()
+                               ? static_cast<double>(kLatencyBucketBounds[i])
+                               : static_cast<double>(max_);
+      const double within =
+          (rank - static_cast<double>(before)) / static_cast<double>(counts_[i]);
+      const double estimate = lower + within * (upper - lower);
+      return std::clamp(estimate, static_cast<double>(min()),
+                        static_cast<double>(max_));
+    }
+    return static_cast<double>(max_);
+  }
+
+  void reset() {
+    counts_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  std::array<std::size_t, kBuckets> counts_{};
+  std::size_t count_ = 0;
+  SimDuration sum_ = 0;
+  SimDuration min_ = 0;
+  SimDuration max_ = 0;
+};
+
+/// The percentile summary exported for one operation kind.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  SimDuration min = 0;
+  SimDuration max = 0;
+};
+
+[[nodiscard]] inline LatencySummary summarize(const LatencyHistogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  s.mean = h.mean();
+  s.p50 = h.percentile(50);
+  s.p95 = h.percentile(95);
+  s.p99 = h.percentile(99);
+  s.min = h.min();
+  s.max = h.max();
+  return s;
+}
+
+/// Histograms keyed by operation kind ("invoke.write", "tx.commit", ...).
+class LatencyRegistry {
+ public:
+  void record(const std::string& key, SimDuration d) {
+    histograms_[key].record(d);
+  }
+
+  [[nodiscard]] const LatencyHistogram* find(const std::string& key) const {
+    auto it = histograms_.find(key);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, LatencyHistogram>& all() const {
+    return histograms_;
+  }
+
+  [[nodiscard]] bool empty() const { return histograms_.empty(); }
+  void clear() { histograms_.clear(); }
+
+ private:
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace dedisys::obs

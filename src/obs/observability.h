@@ -1,0 +1,72 @@
+// The per-cluster observability hub: trace recorder + latency registry.
+//
+// One Observability instance is owned by the Cluster and wired (as a raw
+// pointer) into every service that emits events: the node kernel, the
+// CCMgr, the transaction manager, the replication manager and the GMS.
+// It is disabled by default so the hot paths pay exactly one predictable
+// branch (`obs::on(obs_)`); enabling it costs no simulated time, so traced
+// and untraced runs produce identical Chapter-5 numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "obs/histogram.h"
+#include "obs/trace.h"
+#include "util/ids.h"
+#include "util/sim_clock.h"
+
+namespace dedisys::obs {
+
+class Observability {
+ public:
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void enable(std::size_t trace_capacity = 4096) {
+    enabled_ = true;
+    if (trace_.capacity() != trace_capacity) {
+      trace_ = TraceRecorder(trace_capacity);
+    }
+  }
+
+  void disable() { enabled_ = false; }
+
+  [[nodiscard]] TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+  [[nodiscard]] LatencyRegistry& latencies() { return latencies_; }
+  [[nodiscard]] const LatencyRegistry& latencies() const { return latencies_; }
+
+  /// Convenience recorder; callers must have checked enabled() already
+  /// (via obs::on) so disabled clusters never build the strings below.
+  void event(SimTime at, TraceEventKind kind, NodeId node = {},
+             ObjectId object = {}, TxId tx = {}, std::string label = {},
+             std::string detail = {}) {
+    TraceEvent e;
+    e.at = at;
+    e.kind = kind;
+    e.node = node;
+    e.object = object;
+    e.tx = tx;
+    e.label = std::move(label);
+    e.detail = std::move(detail);
+    trace_.record(std::move(e));
+  }
+
+  void latency(const std::string& key, SimDuration d) {
+    latencies_.record(key, d);
+  }
+
+ private:
+  bool enabled_ = false;
+  TraceRecorder trace_;
+  LatencyRegistry latencies_;
+};
+
+/// The single-branch guard instrumentation sites use:
+///   if (obs::on(obs_)) obs_->event(...);
+[[nodiscard]] inline bool on(const Observability* o) {
+  return o != nullptr && o->enabled();
+}
+
+}  // namespace dedisys::obs

@@ -1,0 +1,137 @@
+// Structured event tracing: a bounded ring buffer of middleware events.
+//
+// Every layer of the invocation/threat/reconciliation pipeline can stamp
+// events with the simulated clock: invocation spans through the
+// interceptor chains, constraint validations with their satisfaction
+// degree, the threat lifecycle (detected → negotiated → accepted/rejected
+// → reconciled), 2PC prepare/commit/abort, view changes and mode
+// transitions.  The recorder is a fixed-capacity ring buffer so tracing a
+// long run costs constant memory; when full, the oldest events are
+// overwritten and counted as dropped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/sim_clock.h"
+
+namespace dedisys::obs {
+
+enum class TraceEventKind {
+  InvocationStart,   ///< a reified call enters the interceptor chain
+  InvocationEnd,     ///< the call returned (or threw; see detail)
+  Validation,        ///< one constraint validate() with its degree
+  ThreatDetected,    ///< a threat arose (LCC/NCC outcome)
+  ThreatNegotiated,  ///< negotiation ran (dynamic handler or static rule)
+  ThreatAccepted,    ///< negotiation accepted the threat
+  ThreatRejected,    ///< negotiation rejected; tx marked rollback-only
+  ThreatReconciled,  ///< reconciliation re-evaluated a stored threat
+  TxPrepare,         ///< 2PC phase 1 entered
+  TxCommit,          ///< 2PC phase 2 completed
+  TxAbort,           ///< transaction rolled back
+  ViewChange,        ///< GMS installed a new view
+  ModeTransition,    ///< node changed healthy/degraded/reconciling mode
+  ReplicaPropagate,  ///< primary pushed an update to its backups
+  ReconcileStart,    ///< cluster reconciliation began
+  ReconcileEnd,      ///< cluster reconciliation finished
+  NetworkSplit,      ///< partition injected
+  NetworkHeal,       ///< all link failures repaired
+};
+
+[[nodiscard]] inline const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::InvocationStart: return "invocation.start";
+    case TraceEventKind::InvocationEnd: return "invocation.end";
+    case TraceEventKind::Validation: return "validation";
+    case TraceEventKind::ThreatDetected: return "threat.detected";
+    case TraceEventKind::ThreatNegotiated: return "threat.negotiated";
+    case TraceEventKind::ThreatAccepted: return "threat.accepted";
+    case TraceEventKind::ThreatRejected: return "threat.rejected";
+    case TraceEventKind::ThreatReconciled: return "threat.reconciled";
+    case TraceEventKind::TxPrepare: return "tx.prepare";
+    case TraceEventKind::TxCommit: return "tx.commit";
+    case TraceEventKind::TxAbort: return "tx.abort";
+    case TraceEventKind::ViewChange: return "view.change";
+    case TraceEventKind::ModeTransition: return "mode.transition";
+    case TraceEventKind::ReplicaPropagate: return "replica.propagate";
+    case TraceEventKind::ReconcileStart: return "reconcile.start";
+    case TraceEventKind::ReconcileEnd: return "reconcile.end";
+    case TraceEventKind::NetworkSplit: return "network.split";
+    case TraceEventKind::NetworkHeal: return "network.heal";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  ///< monotonically increasing record number
+  SimTime at = 0;         ///< simulated timestamp
+  TraceEventKind kind = TraceEventKind::InvocationStart;
+  NodeId node;            ///< node the event happened on (if any)
+  ObjectId object;        ///< affected logical object (if any)
+  TxId tx;                ///< surrounding transaction (if any)
+  std::string label;      ///< method / constraint / view identifier
+  std::string detail;     ///< outcome, degree, member list, ...
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    buffer_.reserve(capacity_);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  /// Total events ever recorded (including dropped ones).
+  [[nodiscard]] std::uint64_t recorded() const { return next_seq_; }
+
+  void record(TraceEvent event) {
+    event.seq = next_seq_++;
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(std::move(event));
+      return;
+    }
+    buffer_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  /// The retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(buffer_.size());
+    for (std::size_t i = 0; i < buffer_.size(); ++i) {
+      out.push_back(buffer_[(head_ + i) % buffer_.size()]);
+    }
+    return out;
+  }
+
+  /// The retained events of one kind, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events_of(TraceEventKind kind) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events()) {
+      if (e.kind == kind) out.push_back(e);
+    }
+    return out;
+  }
+
+  void clear() {
+    buffer_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> buffer_;
+  std::size_t head_ = 0;  ///< index of the oldest event once the ring is full
+  std::size_t dropped_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dedisys::obs

@@ -175,6 +175,7 @@ void ReplicationManager::propagate_update(ObjectId id, TxId tx) {
   Entity& primary_copy = local_replica(id);
   SimClock& clock = gc_.network().clock();
   const CostModel& cost = gc_.network().cost();
+  const SimTime propagate_start = clock.now();
 
   // Persist per-replica version metadata for this update.
   db_.put("replica_versions", to_string(id),
@@ -198,6 +199,11 @@ void ReplicationManager::propagate_update(ObjectId id, TxId tx) {
     clock.advance(cost.backup_apply);
   }
   ++stats_.updates_propagated;
+  if (obs::on(obs_)) {
+    obs_->event(clock.now(), obs::TraceEventKind::ReplicaPropagate, self_, id,
+                tx, "update", std::to_string(reached) + " backups");
+    obs_->latency("replica.propagate", clock.now() - propagate_start);
+  }
 
   if (degraded_) {
     degraded_updates_.insert(id);

@@ -22,6 +22,7 @@
 #include "gcs/group_comm.h"
 #include "gcs/membership.h"
 #include "objects/entity.h"
+#include "obs/observability.h"
 #include "persist/history_store.h"
 #include "persist/record_store.h"
 #include "replication/protocol.h"
@@ -40,6 +41,10 @@ class ReplicationManager final : public StalenessOracle {
 
   /// Wires the in-process peer managers (delivery targets for multicasts).
   void connect_peers(std::vector<ReplicationManager*> peers);
+
+  /// Wires the cluster's observability hub; update propagations are then
+  /// recorded as replica.propagate trace events with a propagate latency.
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
 
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] ReplicationProtocol protocol() const { return protocol_; }
@@ -164,6 +169,7 @@ class ReplicationManager final : public StalenessOracle {
 
   std::unordered_map<ObjectId, std::unique_ptr<Entity>> replicas_;
   std::unordered_map<NodeId, ReplicationManager*> peers_;
+  obs::Observability* obs_ = nullptr;
 
   bool degraded_ = false;
   bool keep_history_ = true;

@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/observability.h"
 #include "sim/cost_model.h"
 #include "tx/resource.h"
 #include "util/errors.h"
@@ -61,6 +62,10 @@ class TransactionManager {
  public:
   TransactionManager(SimClock& clock, const CostModel& cost)
       : clock_(&clock), cost_(&cost) {}
+
+  /// Wires the cluster's observability hub (2PC trace events + commit
+  /// latency histograms).  Optional; null leaves the manager untraced.
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
 
   // -- lifecycle ------------------------------------------------------------
 
@@ -142,7 +147,12 @@ class TransactionManager {
       throw TxAborted("transaction marked rollback-only");
     }
 
+    const SimTime commit_start = clock_->now();
     // Phase 1: prepare.
+    if (obs::on(obs_)) {
+      obs_->event(clock_->now(), obs::TraceEventKind::TxPrepare, {}, {}, id,
+                  "2pc", std::to_string(tx.resources_.size()) + " resources");
+    }
     for (auto* r : tx.resources_) {
       clock_->advance(cost_->tx_commit_per_resource);
       if (r->prepare(id) == Vote::Rollback ||
@@ -163,6 +173,11 @@ class TransactionManager {
     auto actions = std::move(tx.post_commit_actions_);
     tx.post_commit_actions_.clear();
     for (auto& a : actions) a();
+    if (obs::on(obs_)) {
+      obs_->event(clock_->now(), obs::TraceEventKind::TxCommit, {}, {}, id,
+                  "2pc");
+      obs_->latency("tx.commit", clock_->now() - commit_start);
+    }
   }
 
   void rollback(TxId id) {
@@ -181,6 +196,10 @@ class TransactionManager {
     tx.undo_actions_.clear();
     tx.status_ = TxStatus::RolledBack;
     release_locks(tx);
+    if (obs::on(obs_)) {
+      obs_->event(clock_->now(), obs::TraceEventKind::TxAbort, {}, {}, tx.id_,
+                  "2pc");
+    }
   }
 
   void release_locks(Transaction& tx) {
@@ -195,6 +214,7 @@ class TransactionManager {
 
   SimClock* clock_;
   const CostModel* cost_;
+  obs::Observability* obs_ = nullptr;
   std::uint64_t next_id_ = 1;
   std::unordered_map<TxId, std::unique_ptr<Transaction>> txs_;
   std::unordered_map<ObjectId, TxId> lock_table_;

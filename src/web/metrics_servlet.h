@@ -1,0 +1,54 @@
+// Observability endpoint for the web tier (Section 4.5 infrastructure).
+//
+// Exposes the cluster's observability hub over the same strict
+// request/response HTTP model the negotiation bridge uses:
+//   /metrics   — the full JSON observability document (counters snapshot,
+//                latency percentiles, retained trace); param "pretty" =
+//                "true" switches to indented output
+//   /timeline  — the human-readable event timeline, one event per line
+// Unknown paths yield a 404 error response.
+#pragma once
+
+#include <string>
+
+#include "middleware/cluster.h"
+#include "middleware/obs_export.h"
+#include "web/http.h"
+
+namespace dedisys::web {
+
+class MetricsServlet {
+ public:
+  explicit MetricsServlet(Cluster& cluster) : cluster_(&cluster) {}
+
+  [[nodiscard]] bool handles(const std::string& path) const {
+    return path == "/metrics" || path == "/timeline";
+  }
+
+  HttpResponse handle(const HttpRequest& request) {
+    HttpResponse response;
+    if (request.path == "/metrics") {
+      const auto pretty = request.params.find("pretty");
+      const int indent =
+          pretty != request.params.end() && pretty->second == "true" ? 2 : -1;
+      response.kind = "metrics";
+      response.fields["content-type"] = "application/json";
+      response.fields["body"] =
+          obs::export_cluster_json(*cluster_).dump(indent);
+    } else if (request.path == "/timeline") {
+      response.kind = "timeline";
+      response.fields["content-type"] = "text/plain";
+      response.fields["body"] = obs::render_timeline(cluster_->obs().trace());
+    } else {
+      response.status = 404;
+      response.kind = "error";
+      response.fields["message"] = "unknown path: " + request.path;
+    }
+    return response;
+  }
+
+ private:
+  Cluster* cluster_;
+};
+
+}  // namespace dedisys::web

@@ -1,7 +1,9 @@
 // Cluster metrics snapshots and multi-threat Web negotiation sequences.
 #include <gtest/gtest.h>
 
+#include "middleware/admin.h"
 #include "middleware/metrics.h"
+#include "middleware/obs_export.h"
 #include "scenarios/evalapp.h"
 #include "scenarios/flight.h"
 #include "web/bridge.h"
@@ -65,6 +67,46 @@ TEST(Metrics, DegradedModeVisibleInSnapshot) {
   const std::string text = render_metrics(m);
   EXPECT_NE(text.find("threats: 1"), std::string::npos);
   EXPECT_NE(text.find("degraded"), std::string::npos);
+}
+
+TEST(Metrics, JsonExportMatchesSnapshot) {
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.observability = true;
+  Cluster cluster(cfg);
+  EvalApp::define_classes(cluster.classes());
+  EvalApp::register_constraints(cluster.constraints());
+  const auto ids = EvalApp::create_entities(cluster.node(0), 2);
+  cluster.split({{0, 1}, {2}});
+  EvalApp::run_op_negotiated(cluster.node(0), ids[0], "emptyThreat",
+                             std::make_shared<AcceptAllNegotiation>());
+
+  const ClusterMetrics m = collect_metrics(cluster);
+  AdminConsole admin(cluster);
+  const obs::Json doc = obs::Json::parse(admin.metrics_json());
+  const obs::Json& metrics = doc.at("metrics");
+  EXPECT_EQ(static_cast<std::size_t>(metrics.at("sim_time_us").as_int()),
+            static_cast<std::size_t>(m.sim_time));
+  EXPECT_EQ(static_cast<std::size_t>(metrics.at("live_objects").as_int()),
+            m.live_objects);
+  EXPECT_EQ(
+      static_cast<std::size_t>(metrics.at("stored_threat_identities").as_int()),
+      m.stored_threat_identities);
+  ASSERT_EQ(metrics.at("nodes").size(), m.nodes.size());
+  for (std::size_t i = 0; i < m.nodes.size(); ++i) {
+    const obs::Json& node = metrics.at("nodes").at(i);
+    EXPECT_EQ(node.at("mode").as_string(), to_string(m.nodes[i].mode));
+    EXPECT_EQ(static_cast<std::size_t>(node.at("validations").as_int()),
+              m.nodes[i].validations);
+    EXPECT_EQ(static_cast<std::size_t>(node.at("threats_accepted").as_int()),
+              m.nodes[i].threats_accepted);
+  }
+  // The degraded-mode threat left its lifecycle in the exported trace.
+  bool saw_accept = false;
+  for (const obs::Json& e : doc.at("trace").at("events").items()) {
+    if (e.at("kind").as_string() == "threat.accepted") saw_accept = true;
+  }
+  EXPECT_TRUE(saw_accept);
 }
 
 TEST(WebMultiThreat, TwoNegotiationRoundTripsInOneBusinessRequest) {

@@ -1,0 +1,404 @@
+// Observability subsystem: histogram percentiles, trace ring buffer, JSON
+// round-trips and the full threat-lifecycle trace of a partition →
+// reconcile scenario.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "middleware/admin.h"
+#include "middleware/obs_export.h"
+#include "obs/histogram.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "scenarios/evalapp.h"
+#include "web/metrics_servlet.h"
+
+namespace dedisys {
+namespace {
+
+using obs::Json;
+using obs::LatencyHistogram;
+using obs::TraceEvent;
+using obs::TraceEventKind;
+using obs::TraceRecorder;
+using scenarios::AcceptAllNegotiation;
+using scenarios::EvalApp;
+
+// ---------------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(LatencyHistogram, SingleValueCollapsesAllPercentiles) {
+  LatencyHistogram h;
+  h.record(150);
+  // Clamping to [min, max] pins every percentile to the only observation.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 150.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 150.0);
+  EXPECT_EQ(h.min(), 150);
+  EXPECT_EQ(h.max(), 150);
+}
+
+TEST(LatencyHistogram, PercentilesOrderedAndWithinRange) {
+  LatencyHistogram h;
+  // 100 samples spread over two decades: 1..100 us.
+  for (SimDuration d = 1; d <= 100; ++d) h.record(d);
+  const double p50 = h.percentile(50);
+  const double p95 = h.percentile(95);
+  const double p99 = h.percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 100.0);
+  // The median of 1..100 lies in the (50, 100] bucket.
+  EXPECT_GT(p50, 20.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(LatencyHistogram, NegativeDurationsClampToZero) {
+  LatencyHistogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(LatencyHistogram, OverflowBucketUsesObservedMax) {
+  LatencyHistogram h;
+  // Beyond the last bound (50 s): lands in the open-ended bucket.
+  h.record(sim_sec(60));
+  h.record(sim_sec(80));
+  const double p99 = h.percentile(99);
+  EXPECT_GE(p99, static_cast<double>(sim_sec(60)));
+  EXPECT_LE(p99, static_cast<double>(sim_sec(80)));
+}
+
+TEST(LatencyHistogram, SummaryMatchesDirectQueries) {
+  LatencyHistogram h;
+  for (SimDuration d : {10, 20, 30, 40, 50}) h.record(d);
+  const obs::LatencySummary s = obs::summarize(h);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 30.0);
+  EXPECT_DOUBLE_EQ(s.p50, h.percentile(50));
+  EXPECT_DOUBLE_EQ(s.p99, h.percentile(99));
+  EXPECT_EQ(s.min, 10);
+  EXPECT_EQ(s.max, 50);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring buffer
+// ---------------------------------------------------------------------------
+
+TraceEvent make_event(SimTime at, TraceEventKind kind) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = kind;
+  return e;
+}
+
+TEST(TraceRecorder, RecordsUpToCapacityWithoutDropping) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 4; ++i) {
+    rec.record(make_event(i, TraceEventKind::Validation));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.recorded(), 4u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_EQ(events[i].at, static_cast<SimTime>(i));
+  }
+}
+
+TEST(TraceRecorder, WraparoundKeepsNewestEventsOldestFirst) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 7; ++i) {
+    rec.record(make_event(100 + i, TraceEventKind::Validation));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 3u);
+  EXPECT_EQ(rec.recorded(), 7u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Events 0..2 were overwritten; 3..6 remain, oldest first.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 3);
+    EXPECT_EQ(events[i].at, static_cast<SimTime>(103 + i));
+  }
+}
+
+TEST(TraceRecorder, EventsOfFiltersByKind) {
+  TraceRecorder rec(8);
+  rec.record(make_event(1, TraceEventKind::InvocationStart));
+  rec.record(make_event(2, TraceEventKind::Validation));
+  rec.record(make_event(3, TraceEventKind::InvocationEnd));
+  EXPECT_EQ(rec.events_of(TraceEventKind::Validation).size(), 1u);
+  EXPECT_EQ(rec.events_of(TraceEventKind::TxAbort).size(), 0u);
+}
+
+TEST(TraceRecorder, ClearResetsRetainedEventsButNotSeq) {
+  TraceRecorder rec(4);
+  for (int i = 0; i < 6; ++i) {
+    rec.record(make_event(i, TraceEventKind::Validation));
+  }
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  rec.record(make_event(99, TraceEventKind::Validation));
+  EXPECT_EQ(rec.events().front().seq, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip
+// ---------------------------------------------------------------------------
+
+TEST(ObsJson, RoundTripsNestedDocument) {
+  Json doc = Json::object();
+  doc.set("name", "bench");
+  doc.set("count", std::int64_t{42});
+  doc.set("ratio", 2.5);
+  doc.set("flag", true);
+  doc.set("missing", nullptr);
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  doc.set("items", std::move(arr));
+
+  for (int indent : {-1, 2}) {
+    const Json parsed = Json::parse(doc.dump(indent));
+    EXPECT_EQ(parsed.at("name").as_string(), "bench");
+    EXPECT_EQ(parsed.at("count").as_int(), 42);
+    EXPECT_DOUBLE_EQ(parsed.at("ratio").as_double(), 2.5);
+    EXPECT_TRUE(parsed.at("flag").as_bool());
+    EXPECT_TRUE(parsed.at("missing").is_null());
+    EXPECT_EQ(parsed.at("items").size(), 2u);
+    EXPECT_EQ(parsed.at("items").at(0).as_int(), 1);
+    EXPECT_EQ(parsed.at("items").at(1).as_string(), "two");
+  }
+}
+
+TEST(ObsJson, PreservesInsertionOrderAndEscapes) {
+  Json doc = Json::object();
+  doc.set("z", 1);
+  doc.set("a", 2);
+  doc.set("text", "line\n\"quoted\"\tend");
+  const std::string compact = doc.dump();
+  EXPECT_LT(compact.find("\"z\""), compact.find("\"a\""));
+  const Json parsed = Json::parse(compact);
+  EXPECT_EQ(parsed.at("text").as_string(), "line\n\"quoted\"\tend");
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), ConfigError);
+  EXPECT_THROW(Json::parse("[1,]"), ConfigError);
+  EXPECT_THROW(Json::parse("{} trailing"), ConfigError);
+  EXPECT_THROW(Json::parse("nope"), ConfigError);
+}
+
+TEST(ObsJson, LatencySummaryExportRoundTrips) {
+  LatencyHistogram h;
+  for (SimDuration d : {10, 20, 30}) h.record(d);
+  const Json parsed = Json::parse(obs::to_json(obs::summarize(h)).dump());
+  EXPECT_EQ(parsed.at("count").as_int(), 3);
+  EXPECT_DOUBLE_EQ(parsed.at("mean_us").as_double(), 20.0);
+  EXPECT_GT(parsed.at("p95_us").as_double(), 0.0);
+  EXPECT_EQ(parsed.at("min_us").as_int(), 10);
+  EXPECT_EQ(parsed.at("max_us").as_int(), 30);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: partition → threat → heal → reconcile, fully traced
+// ---------------------------------------------------------------------------
+
+class TracedClusterTest : public ::testing::Test {
+ protected:
+  TracedClusterTest() {
+    cfg_.nodes = 3;
+    cfg_.observability = true;
+    cluster_ = std::make_unique<Cluster>(cfg_);
+    EvalApp::define_classes(cluster_->classes());
+    EvalApp::register_constraints(cluster_->constraints());
+  }
+
+  ClusterConfig cfg_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(TracedClusterTest, ThreatLifecycleAppearsInSimTimeOrder) {
+  const auto ids = EvalApp::create_entities(cluster_->node(0), 2);
+  EvalApp::run_op(cluster_->node(0), ids[0], "emptySatisfied");
+  EvalApp::run_op(cluster_->node(0), ids[0], "setValue",
+                  {Value{std::string{"x"}}});
+
+  cluster_->split({{0, 1}, {2}});
+  EvalApp::run_op_negotiated(cluster_->node(0), ids[0], "emptyThreat",
+                             std::make_shared<AcceptAllNegotiation>());
+  cluster_->heal();
+  cluster_->reconcile();
+
+  const TraceRecorder& trace = cluster_->obs().trace();
+  EXPECT_EQ(trace.dropped(), 0u);
+
+  // Every stage of the pipeline left events.
+  for (TraceEventKind kind :
+       {TraceEventKind::InvocationStart, TraceEventKind::InvocationEnd,
+        TraceEventKind::Validation, TraceEventKind::ThreatDetected,
+        TraceEventKind::ThreatNegotiated, TraceEventKind::ThreatAccepted,
+        TraceEventKind::ThreatReconciled, TraceEventKind::TxPrepare,
+        TraceEventKind::TxCommit, TraceEventKind::ViewChange,
+        TraceEventKind::ModeTransition, TraceEventKind::ReplicaPropagate,
+        TraceEventKind::ReconcileStart, TraceEventKind::ReconcileEnd,
+        TraceEventKind::NetworkSplit, TraceEventKind::NetworkHeal}) {
+    EXPECT_FALSE(trace.events_of(kind).empty())
+        << "no event of kind " << obs::to_string(kind);
+  }
+
+  // Events are retained in recording order with non-decreasing SimTime.
+  const auto events = trace.events();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+    EXPECT_GE(events[i].at, events[i - 1].at);
+  }
+
+  // Lifecycle ordering for the accepted threat.
+  const auto detected = trace.events_of(TraceEventKind::ThreatDetected);
+  const auto negotiated = trace.events_of(TraceEventKind::ThreatNegotiated);
+  const auto accepted = trace.events_of(TraceEventKind::ThreatAccepted);
+  const auto reconciled = trace.events_of(TraceEventKind::ThreatReconciled);
+  ASSERT_FALSE(detected.empty());
+  ASSERT_FALSE(accepted.empty());
+  ASSERT_FALSE(reconciled.empty());
+  EXPECT_LT(detected.front().seq, negotiated.front().seq);
+  EXPECT_LT(negotiated.front().seq, accepted.front().seq);
+  EXPECT_LT(accepted.front().seq, reconciled.front().seq);
+  EXPECT_EQ(detected.front().label, "TouchHard");
+  EXPECT_EQ(reconciled.front().detail, "satisfied");
+
+  // Latencies were recorded for the instrumented operations.
+  const obs::LatencyRegistry& lat = cluster_->obs().latencies();
+  for (const char* key : {"create", "invoke.write", "tx.commit",
+                          "reconcile.total"}) {
+    const LatencyHistogram* h = lat.find(key);
+    ASSERT_NE(h, nullptr) << key;
+    EXPECT_GT(h->count(), 0u) << key;
+  }
+}
+
+TEST_F(TracedClusterTest, TimelineRendersLifecycle) {
+  const auto ids = EvalApp::create_entities(cluster_->node(0), 1);
+  cluster_->split({{0, 1}, {2}});
+  EvalApp::run_op_negotiated(cluster_->node(0), ids[0], "emptyThreat",
+                             std::make_shared<AcceptAllNegotiation>());
+  cluster_->heal();
+  cluster_->reconcile();
+
+  AdminConsole admin(*cluster_);
+  const std::string timeline = admin.timeline();
+  // The acceptance scenario's milestones, rendered human-readably.
+  for (const char* needle :
+       {"invocation.start", "validation", "threat.accepted", "view.change",
+        "reconcile.end", "mode.transition"}) {
+    EXPECT_NE(timeline.find(needle), std::string::npos) << needle;
+  }
+  // SimTime stamps appear in order because events do.
+  EXPECT_LT(timeline.find("network.split"), timeline.find("network.heal"));
+}
+
+TEST_F(TracedClusterTest, ClusterJsonExportRoundTrips) {
+  const auto ids = EvalApp::create_entities(cluster_->node(0), 1);
+  EvalApp::run_op(cluster_->node(0), ids[0], "setValue",
+                  {Value{std::string{"x"}}});
+
+  AdminConsole admin(*cluster_);
+  const Json doc = Json::parse(admin.metrics_json());
+  EXPECT_EQ(doc.at("metrics").at("nodes").size(), 3u);
+  EXPECT_GT(doc.at("metrics").at("sim_time_us").as_int(), 0);
+  EXPECT_TRUE(doc.at("latencies").contains("invoke.write"));
+  EXPECT_GT(doc.at("trace").at("events").size(), 0u);
+  const Json& first = doc.at("trace").at("events").at(0);
+  EXPECT_TRUE(first.contains("seq"));
+  EXPECT_TRUE(first.contains("at_us"));
+  EXPECT_TRUE(first.contains("kind"));
+}
+
+TEST_F(TracedClusterTest, MetricsServletServesJsonAndTimeline) {
+  const auto ids = EvalApp::create_entities(cluster_->node(0), 1);
+  EvalApp::run_op(cluster_->node(0), ids[0], "emptySatisfied");
+
+  web::MetricsServlet servlet(*cluster_);
+  EXPECT_TRUE(servlet.handles("/metrics"));
+  EXPECT_TRUE(servlet.handles("/timeline"));
+  EXPECT_FALSE(servlet.handles("/business"));
+
+  const web::HttpResponse metrics =
+      servlet.handle(web::HttpRequest{"/metrics", {}});
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.kind, "metrics");
+  const Json doc = Json::parse(metrics.fields.at("body"));
+  EXPECT_TRUE(doc.contains("metrics"));
+  EXPECT_TRUE(doc.contains("trace"));
+
+  const web::HttpResponse timeline =
+      servlet.handle(web::HttpRequest{"/timeline", {}});
+  EXPECT_EQ(timeline.kind, "timeline");
+  EXPECT_NE(timeline.fields.at("body").find("invocation.start"),
+            std::string::npos);
+
+  const web::HttpResponse missing =
+      servlet.handle(web::HttpRequest{"/nope", {}});
+  EXPECT_EQ(missing.status, 404);
+}
+
+TEST(TraceDisabled, DisabledClusterRecordsNothing) {
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  Cluster cluster(cfg);
+  EvalApp::define_classes(cluster.classes());
+  EvalApp::register_constraints(cluster.constraints());
+  const auto ids = EvalApp::create_entities(cluster.node(0), 1);
+  EvalApp::run_op(cluster.node(0), ids[0], "emptySatisfied");
+
+  EXPECT_FALSE(cluster.obs().enabled());
+  EXPECT_EQ(cluster.obs().trace().size(), 0u);
+  EXPECT_TRUE(cluster.obs().latencies().empty());
+}
+
+TEST(TraceDisabled, TracingDoesNotChangeSimulatedTime) {
+  const auto run = [](bool observability) {
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    cfg.observability = observability;
+    Cluster cluster(cfg);
+    EvalApp::define_classes(cluster.classes());
+    EvalApp::register_constraints(cluster.constraints());
+    const auto ids = EvalApp::create_entities(cluster.node(0), 3);
+    for (int i = 0; i < 5; ++i) {
+      EvalApp::run_op(cluster.node(0), ids[i % ids.size()], "setValue",
+                      {Value{std::string{"x"}}});
+    }
+    cluster.split({{0, 1}, {2}});
+    EvalApp::run_op_negotiated(cluster.node(0), ids[0], "emptyThreat",
+                               std::make_shared<AcceptAllNegotiation>());
+    cluster.heal();
+    cluster.reconcile();
+    return cluster.clock().now();
+  };
+  // Deterministic simulation: recording costs zero simulated time.
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace dedisys
