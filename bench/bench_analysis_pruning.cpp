@@ -1,0 +1,121 @@
+// Read-set pruning benchmark (PR 3).
+//
+// A "Wide" entity class carries several independent integer attributes,
+// each guarded by its own OCL hard invariant that is registered as
+// affected by EVERY setter (the conservative registration an application
+// writes when it does not want to reason about write-sets itself).
+// Exhaustive validation therefore evaluates all invariants on every
+// setter call; the static analyzer's read-sets let CCMgr skip all but the
+// one invariant that actually reads the written attribute.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "bench/bench_common.h"
+#include "constraints/ocl_constraint.h"
+
+namespace dedisys {
+namespace {
+
+constexpr int kFields = 8;
+constexpr std::size_t kEntities = 16;
+constexpr std::size_t kOps = 4000;
+
+std::unique_ptr<Cluster> make_wide_cluster(bool pruning) {
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  auto cluster = std::make_unique<Cluster>(cfg);
+
+  ClassDescriptor& wide = cluster->classes().define("Wide");
+  for (int k = 0; k < kFields; ++k) {
+    wide.define_property("f" + std::to_string(k), Value{std::int64_t{0}},
+                         "int");
+  }
+
+  std::vector<AffectedMethod> setters;
+  setters.reserve(kFields);
+  for (int k = 0; k < kFields; ++k) {
+    setters.push_back(AffectedMethod{
+        "Wide", MethodSignature{"setF" + std::to_string(k), {"int"}},
+        ContextPreparation{}});
+  }
+  for (int k = 0; k < kFields; ++k) {
+    ConstraintRegistration reg;
+    reg.constraint = std::make_shared<OclConstraint>(
+        "inv" + std::to_string(k), ConstraintType::HardInvariant,
+        ConstraintPriority::Tradeable,
+        "self.f" + std::to_string(k) + " >= 0");
+    reg.context_class = "Wide";
+    reg.affected_methods = setters;
+    cluster->constraints().register_constraint(std::move(reg));
+  }
+  analysis::analyze_repository(cluster->constraints(), &cluster->classes());
+
+  if (!pruning) {
+    for (std::size_t n = 0; n < cfg.nodes; ++n) {
+      cluster->node(n).ccmgr().set_pruning(false);
+    }
+  }
+  return cluster;
+}
+
+double run_setter_workload(Cluster& cluster) {
+  DedisysNode& node = cluster.node(0);
+  std::vector<ObjectId> ids;
+  ids.reserve(kEntities);
+  for (std::size_t i = 0; i < kEntities; ++i) {
+    TxScope tx(node.tx());
+    ids.push_back(node.create(tx.id(), "Wide"));
+    tx.commit();
+  }
+  const SimTime start = cluster.clock().now();
+  for (std::size_t i = 0; i < kOps; ++i) {
+    TxScope tx(node.tx());
+    node.invoke(tx.id(), ids[i % ids.size()],
+                "setF" + std::to_string(i % kFields),
+                {Value{static_cast<std::int64_t>(i)}});
+    tx.commit();
+  }
+  const SimTime elapsed = cluster.clock().now() - start;
+  if (elapsed <= 0) return 0;
+  return static_cast<double>(kOps) * 1e6 / static_cast<double>(elapsed);
+}
+
+}  // namespace
+}  // namespace dedisys
+
+int main(int argc, char** argv) {
+  using namespace dedisys;
+  bench::Session session(argc, argv);
+
+  auto exhaustive = make_wide_cluster(false);
+  auto pruned = make_wide_cluster(true);
+  const double rate_off = run_setter_workload(*exhaustive);
+  const double rate_on = run_setter_workload(*pruned);
+
+  const auto& stats_off = exhaustive->node(0).ccmgr().stats();
+  const auto& stats_on = pruned->node(0).ccmgr().stats();
+
+  bench::print_title(
+      "Read-set pruning: " + std::to_string(kFields) +
+      " invariants registered on every setter of a " +
+      std::to_string(kFields) + "-attribute entity");
+  bench::print_header({"configuration", "setter ops/s(sim)", "validations",
+                       "evals skipped"});
+  bench::print_row("pruning off (exhaustive)",
+                   {rate_off, static_cast<double>(stats_off.validations),
+                    static_cast<double>(stats_off.evaluations_skipped)});
+  bench::print_row("pruning on (read-set)",
+                   {rate_on, static_cast<double>(stats_on.validations),
+                    static_cast<double>(stats_on.evaluations_skipped)});
+  if (rate_off > 0) {
+    std::printf("\nthroughput ratio on/off: %.2fx, evaluations avoided: %zu"
+                " of %zu\n",
+                rate_on / rate_off, stats_on.evaluations_skipped,
+                stats_off.validations);
+  }
+  return 0;
+}

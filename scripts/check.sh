@@ -1,22 +1,70 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus one observability smoke run.
+# Tier-1 verification plus lint and observability smoke runs.
 #
-#   1. configure + build everything
+# Default mode:
+#   1. configure + build everything (warnings are errors)
 #   2. run the unit/integration test suite
-#   3. run one bench binary with --json and assert the result file parses
+#   3. run dedisys_lint over the shipped descriptors: the good ones must
+#      pass, the seeded-bad one must fail
+#   4. run one bench binary with --json and assert the result file parses
 #      and carries latency percentile summaries (p50/p95/p99)
 #
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Modes:
+#   scripts/check.sh [build-dir]     default tier-1 pass (build dir: build)
+#   scripts/check.sh --asan          rebuild in build-asan with
+#                                    DEDISYS_SANITIZE=address;undefined and
+#                                    run the test suite under ASan+UBSan
+#   scripts/check.sh --tidy          clang-tidy over src/ (skipped with a
+#                                    message when clang-tidy is missing)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
 JOBS="${JOBS:-2}"
+
+MODE="default"
+BUILD_DIR="build"
+case "${1:-}" in
+  --asan) MODE="asan" ;;
+  --tidy) MODE="tidy" ;;
+  "") ;;
+  *) BUILD_DIR="$1" ;;
+esac
+
+if [ "$MODE" = "asan" ]; then
+  BUILD_DIR="build-asan"
+  cmake -B "$BUILD_DIR" -S . -DDEDISYS_SANITIZE="address;undefined"
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+  echo "check.sh --asan: all green"
+  exit 0
+fi
+
+if [ "$MODE" = "tidy" ]; then
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "check.sh --tidy: clang-tidy not installed, skipping"
+    exit 0
+  fi
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  mapfile -t SOURCES < <(find src tools -name '*.cpp' | sort)
+  clang-tidy -p "$BUILD_DIR" "${SOURCES[@]}"
+  echo "check.sh --tidy: all green"
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+# Constraint lint: clean descriptors must pass, the seeded-bad descriptor
+# (unknown attribute + division by zero) must be rejected.
+"$BUILD_DIR/tools/dedisys_lint" --classes examples/descriptors/classes.xml \
+  examples/descriptors/good_flight.xml
+if "$BUILD_DIR/tools/dedisys_lint" --classes examples/descriptors/classes.xml \
+  examples/descriptors/bad_unknown_attr.xml > /dev/null; then
+  echo "check.sh: dedisys_lint accepted the seeded-bad descriptor" >&2
+  exit 1
+fi
 
 # Observability smoke: a traced bench run must export parseable JSON with
 # latency percentiles.

@@ -1,0 +1,430 @@
+#include "analysis/analyzer.h"
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "constraints/config.h"
+#include "constraints/ocl_constraint.h"
+#include "objects/value.h"
+#include "util/errors.h"
+
+// GCC 12 reports spurious -Wmaybe-uninitialized for copies of
+// std::optional<std::variant<..., std::string>> under -O2; the folding
+// stack's Abs values are exactly that shape.  The flow is a plain
+// push/pop stack with no uninitialized reads.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace dedisys::analysis {
+
+namespace {
+
+/// Statically known value kind of an operand.
+enum class Kind { Number, Str, Unknown };
+
+/// Abstract value on the folding stack: an optional compile-time constant
+/// plus the operand's kind.
+struct Abs {
+  std::optional<OclValue> constant;
+  Kind kind = Kind::Unknown;
+};
+
+std::optional<bool> truth(const OclValue& v) {
+  if (std::holds_alternative<double>(v)) return std::get<double>(v) != 0;
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return std::get<std::int64_t>(v) != 0;
+  }
+  return std::nullopt;  // strings have no truth value
+}
+
+bool is_zero(const OclValue& v) {
+  if (std::holds_alternative<double>(v)) return std::get<double>(v) == 0;
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return std::get<std::int64_t>(v) == 0;
+  }
+  return false;
+}
+
+Kind kind_of_value(const Value& v) {
+  if (std::holds_alternative<bool>(v) ||
+      std::holds_alternative<std::int64_t>(v) ||
+      std::holds_alternative<double>(v)) {
+    return Kind::Number;
+  }
+  if (std::holds_alternative<std::string>(v)) return Kind::Str;
+  return Kind::Unknown;  // references and null defaults
+}
+
+Kind kind_of_type(const std::string& type_name) {
+  if (type_name == "int" || type_name == "long" || type_name == "double" ||
+      type_name == "float" || type_name == "bool") {
+    return Kind::Number;
+  }
+  if (type_name == "string") return Kind::Str;
+  return Kind::Unknown;
+}
+
+/// Post-order stack machine over the expression tree: collects the
+/// read-set, folds constants, flags dead sub-expressions and emits the
+/// expression-level diagnostics.
+class FoldVisitor final : public OclVisitor {
+ public:
+  using AttrKindFn = std::function<Kind(const std::string&)>;
+  using ArgKindFn = std::function<Kind(std::size_t)>;
+
+  FoldVisitor(AnalysisReport& report, AttrKindFn attr_kind,
+              ArgKindFn arg_kind)
+      : report_(report),
+        attr_kind_(std::move(attr_kind)),
+        arg_kind_(std::move(arg_kind)) {}
+
+  [[nodiscard]] Abs result() const {
+    return stack_.size() == 1 ? stack_.back() : Abs{};
+  }
+
+  void on_number(double v) override {
+    stack_.push_back(Abs{OclValue{v}, Kind::Number});
+  }
+
+  void on_string(const std::string& s) override {
+    stack_.push_back(Abs{OclValue{s}, Kind::Str});
+  }
+
+  void on_attribute(const std::string& name) override {
+    report_.read_set.attributes.insert(name);
+    stack_.push_back(Abs{std::nullopt, attr_kind_(name)});
+  }
+
+  void on_argument(std::size_t index) override {
+    report_.read_set.arguments.insert(index);
+    stack_.push_back(Abs{std::nullopt, arg_kind_(index)});
+  }
+
+  void leave_binary(OclBinOp op) override {
+    const Abs rhs = pop();
+    const Abs lhs = pop();
+    diagnose(op, lhs, rhs);
+    // Every operator yields a numeric result.
+    stack_.push_back(Abs{fold_binary(op, lhs, rhs), Kind::Number});
+  }
+
+  void leave_not() override {
+    const Abs inner = pop();
+    if (inner.kind == Kind::Str) error("'not' applied to a string operand");
+    stack_.push_back(Abs{fold_not(inner), Kind::Number});
+  }
+
+ private:
+  Abs pop() {
+    Abs a = stack_.back();  // parser guarantees well-formed trees
+    stack_.pop_back();
+    return a;
+  }
+
+  void error(std::string msg) {
+    report_.diagnostics.push_back(
+        Diagnostic{Diagnostic::Severity::Error, std::move(msg)});
+  }
+
+  void diagnose(OclBinOp op, const Abs& lhs, const Abs& rhs) {
+    if (op == OclBinOp::Eq || op == OclBinOp::Ne) {
+      if ((lhs.kind == Kind::Str && rhs.kind == Kind::Number) ||
+          (lhs.kind == Kind::Number && rhs.kind == Kind::Str)) {
+        error(std::string("comparison '") + to_string(op) +
+              "' between string and numeric operands always fails");
+      }
+    } else if (lhs.kind == Kind::Str || rhs.kind == Kind::Str) {
+      error(std::string("string operand in numeric operator '") +
+            to_string(op) + "'");
+    }
+    if (op == OclBinOp::Div && rhs.constant && is_zero(*rhs.constant)) {
+      error("guaranteed division by zero");
+    }
+  }
+
+  std::optional<OclValue> fold_binary(OclBinOp op, const Abs& lhs,
+                                      const Abs& rhs) {
+    if (lhs.constant && rhs.constant) {
+      try {
+        return ocl_apply(op, *lhs.constant, *rhs.constant);
+      } catch (const DedisysError&) {
+        return std::nullopt;  // mixed-kind constants — already diagnosed
+      }
+    }
+    if (op == OclBinOp::And || op == OclBinOp::Or ||
+        op == OclBinOp::Implies) {
+      return fold_logic(op, lhs, rhs);
+    }
+    return std::nullopt;
+  }
+
+  static std::optional<OclValue> fold_not(const Abs& inner) {
+    if (!inner.constant) return std::nullopt;
+    const std::optional<bool> t = truth(*inner.constant);
+    if (!t) return std::nullopt;
+    return OclValue{static_cast<double>(!*t)};
+  }
+
+  /// And/Or/Implies where one side is an absorbing constant: the result
+  /// is forced and the non-constant side is dead code (`x and false`).
+  /// OCL expressions have no side effects and BinaryNode evaluates both
+  /// operands eagerly, so folding either side is sound.
+  std::optional<OclValue> fold_logic(OclBinOp op, const Abs& lhs,
+                                     const Abs& rhs) {
+    const std::optional<bool> lt =
+        lhs.constant ? truth(*lhs.constant) : std::nullopt;
+    const std::optional<bool> rt =
+        rhs.constant ? truth(*rhs.constant) : std::nullopt;
+    if (op == OclBinOp::And && ((lt && !*lt) || (rt && !*rt))) {
+      report_.has_dead_code = true;
+      return OclValue{0.0};
+    }
+    if (op == OclBinOp::Or && ((lt && *lt) || (rt && *rt))) {
+      report_.has_dead_code = true;
+      return OclValue{1.0};
+    }
+    if (op == OclBinOp::Implies && ((lt && !*lt) || (rt && *rt))) {
+      report_.has_dead_code = true;
+      return OclValue{1.0};
+    }
+    return std::nullopt;
+  }
+
+  AnalysisReport& report_;
+  AttrKindFn attr_kind_;
+  ArgKindFn arg_kind_;
+  std::vector<Abs> stack_;
+};
+
+void finish_triviality(AnalysisReport& report, const Abs& whole) {
+  if (!whole.constant) return;
+  const std::optional<bool> t = truth(*whole.constant);
+  if (!t) return;
+  if (*t) {
+    report.triviality = Triviality::AlwaysTrue;
+    report.diagnostics.push_back(Diagnostic{
+        Diagnostic::Severity::Warning,
+        "constraint is statically always true — it can never be violated"});
+  } else {
+    report.triviality = Triviality::AlwaysFalse;
+    report.diagnostics.push_back(Diagnostic{
+        Diagnostic::Severity::Error,
+        "constraint is statically always false — every affected invocation "
+        "would be rejected"});
+  }
+}
+
+void finish_prunable(AnalysisReport& report) {
+  // An invariant may be skipped by read-set disjointness only when its
+  // value cannot depend on the invocation itself (no arg<N> reads) and it
+  // is not a guaranteed violation; a statically-true constraint is always
+  // skippable.  CCMgr adds the runtime gates (healthy mode, called-object
+  // preparation, no stored threat) on top.
+  report.prunable =
+      !report.has_errors() &&
+      (report.triviality == Triviality::AlwaysTrue ||
+       (report.read_set.arguments.empty() &&
+        report.triviality != Triviality::AlwaysFalse));
+}
+
+/// Walks the ancestry of `class_name` looking for a declared default of
+/// `attr`.  Returns nullptr when no ancestor declares it.
+const Value* find_attribute(const ClassRegistry& classes,
+                            const std::string& class_name,
+                            const std::string& attr) {
+  for (const std::string& cls : classes.ancestry(class_name)) {
+    if (!classes.contains(cls)) continue;
+    const AttributeMap& defaults = classes.get(cls).default_attributes();
+    auto it = defaults.find(attr);
+    if (it != defaults.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+Value default_for_type(const std::string& type_name) {
+  if (type_name == "int" || type_name == "long") {
+    return Value{std::int64_t{0}};
+  }
+  if (type_name == "double" || type_name == "float") return Value{0.0};
+  if (type_name == "bool") return Value{false};
+  if (type_name == "string") return Value{std::string{}};
+  if (type_name == "object") return Value{ObjectId{}};
+  return Value{};  // unknown type: null default, kind Unknown
+}
+
+}  // namespace
+
+AnalysisReport analyze_expression(const OclExpr& expr) {
+  AnalysisReport report;
+  report.opaque = false;
+  FoldVisitor fold(
+      report, [](const std::string&) { return Kind::Unknown; },
+      [](std::size_t) { return Kind::Unknown; });
+  expr->accept(fold);
+  finish_triviality(report, fold.result());
+  finish_prunable(report);
+  return report;
+}
+
+AnalysisReport analyze_registration(const ConstraintRegistration& reg,
+                                    const ClassRegistry* classes) {
+  AnalysisReport report;  // opaque defaults
+  const auto* ocl = dynamic_cast<const OclConstraint*>(reg.constraint.get());
+  if (ocl == nullptr) return report;
+
+  report.opaque = false;
+  const OclExpr expr = parse_ocl(ocl->expression());
+
+  // Attribute metadata source: the declared context class, else the
+  // common class of the called-object preparations.
+  std::string context_class = reg.context_class;
+  if (context_class.empty()) {
+    for (const AffectedMethod& am : reg.affected_methods) {
+      if (am.preparation.kind != ContextPreparationKind::CalledObject) {
+        continue;
+      }
+      if (context_class.empty()) {
+        context_class = am.class_name;
+      } else if (context_class != am.class_name) {
+        context_class.clear();  // ambiguous: skip attribute checks
+        break;
+      }
+    }
+  }
+  const bool class_known = classes != nullptr && !context_class.empty() &&
+                           classes->contains(context_class);
+  if (classes != nullptr && !context_class.empty() && !class_known) {
+    report.diagnostics.push_back(Diagnostic{
+        Diagnostic::Severity::Warning,
+        "context class '" + context_class +
+            "' has no class metadata — attribute checks skipped"});
+  }
+
+  FoldVisitor fold(
+      report,
+      [&](const std::string& attr) {
+        if (!class_known) return Kind::Unknown;
+        const Value* v = find_attribute(*classes, context_class, attr);
+        if (v == nullptr) {
+          report.diagnostics.push_back(Diagnostic{
+              Diagnostic::Severity::Error,
+              "unknown attribute '" + attr + "' on class '" + context_class +
+                  "'"});
+          return Kind::Unknown;
+        }
+        return kind_of_value(*v);
+      },
+      [&](std::size_t index) {
+        Kind kind = Kind::Unknown;
+        bool first = true;
+        for (const AffectedMethod& am : reg.affected_methods) {
+          if (index >= am.method.param_types.size()) continue;
+          const Kind k = kind_of_type(am.method.param_types[index]);
+          if (first) {
+            kind = k;
+            first = false;
+          } else if (kind != k) {
+            kind = Kind::Unknown;  // affected methods disagree
+          }
+        }
+        return kind;
+      });
+  expr->accept(fold);
+  finish_triviality(report, fold.result());
+
+  // arg<N> indices must be in range for every affected method — an
+  // out-of-range read is a guaranteed runtime failure on that method.
+  for (std::size_t index : report.read_set.arguments) {
+    for (const AffectedMethod& am : reg.affected_methods) {
+      if (index >= am.method.param_types.size()) {
+        report.diagnostics.push_back(Diagnostic{
+            Diagnostic::Severity::Error,
+            "arg" + std::to_string(index) +
+                " is out of range for affected method " + am.method.key()});
+      }
+    }
+  }
+
+  // Locality: with only called-object preparations the read-set is
+  // confined to the target object, so the constraint is locally checkable
+  // in any partition (LCC); a reference-derived context object may be
+  // unreachable (NCC -> Uncheckable).
+  bool cross_object = false;
+  bool no_context = false;
+  for (const AffectedMethod& am : reg.affected_methods) {
+    if (am.preparation.kind == ContextPreparationKind::ReferenceGetter) {
+      cross_object = true;
+    }
+    if (am.preparation.kind == ContextPreparationKind::None) {
+      no_context = true;
+    }
+  }
+  report.locality = cross_object ? Locality::CrossObject : Locality::Local;
+  if (no_context && !report.read_set.attributes.empty()) {
+    report.diagnostics.push_back(Diagnostic{
+        Diagnostic::Severity::Error,
+        "constraint reads self.* but a NoContextObject preparation is "
+        "configured"});
+  }
+
+  finish_prunable(report);
+  return report;
+}
+
+std::size_t analyze_repository(ConstraintRepository& repository,
+                               const ClassRegistry* classes) {
+  std::size_t analyzed = 0;
+  for (const ConstraintRegistration& reg : repository.registrations()) {
+    if (reg.analysis != nullptr) continue;
+    auto report = std::make_shared<AnalysisReport>(
+        analyze_registration(reg, classes));
+    if (!report->opaque && report->locality == Locality::Local) {
+      // Structurally single-object: LCC validations may report plain
+      // satisfied/violated (Section 3.1).
+      reg.constraint->set_intra_object(true);
+    }
+    repository.set_analysis(reg.constraint->name(), std::move(report));
+    ++analyzed;
+  }
+  return analyzed;
+}
+
+std::size_t load_classes_xml(std::string_view xml_text,
+                             ClassRegistry& registry) {
+  const XmlNode root = parse_xml(xml_text);
+  if (root.tag != "classes") {
+    throw ConfigError("class metadata root must be <classes>, found <" +
+                      root.tag + ">");
+  }
+  std::size_t loaded = 0;
+  for (const XmlNode* cls : root.children_named("class")) {
+    ClassDescriptor& descriptor = registry.define(cls->require_attr("name"));
+    const std::string super = cls->attr("super");
+    if (!super.empty()) descriptor.set_super(super);
+    for (const XmlNode* attr : cls->children_named("attribute")) {
+      descriptor.define_attribute(attr->require_attr("name"),
+                                  default_for_type(attr->attr("type", "int")));
+    }
+    ++loaded;
+  }
+  return loaded;
+}
+
+std::string render_diagnostics(const std::string& constraint,
+                               const AnalysisReport& report) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += constraint;
+    out += ": ";
+    out += to_string(d.severity);
+    out += ": ";
+    out += d.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dedisys::analysis

@@ -1,0 +1,53 @@
+// Static analysis over parsed OCL constraint ASTs (PR 3).
+//
+// Runs once at registration time (AdminConsole::deploy_constraints, or
+// explicitly via analyze_repository) and produces one AnalysisReport per
+// constraint: read-set, constant folding / triviality, locality
+// classification for the LCC-vs-NCC decision, and diagnostics against the
+// deployed ClassDescriptors.  tools/dedisys_lint drives the same pass
+// from the command line for CI.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "analysis/report.h"
+#include "constraints/repository.h"
+#include "objects/class_descriptor.h"
+#include "ocl/ocl.h"
+
+namespace dedisys::analysis {
+
+/// Analyzes one parsed OCL expression in isolation: read-set, folding,
+/// expression-level diagnostics.  Locality and class/method checks need
+/// the registration context — use analyze_registration for those.
+[[nodiscard]] AnalysisReport analyze_expression(const OclExpr& expr);
+
+/// Full analysis of one registered constraint.  `classes` may be null
+/// (attribute existence/kind diagnostics are then skipped).  Constraints
+/// whose body is not an OclConstraint yield an opaque report.
+[[nodiscard]] AnalysisReport analyze_registration(
+    const ConstraintRegistration& reg, const ClassRegistry* classes);
+
+/// Analyzes every registration that has no report yet, attaches the
+/// reports to the repository and auto-classifies structurally local
+/// constraints as intra-object (Section 3.1: LCC validations of them
+/// report plain satisfied/violated).  Returns the number of constraints
+/// newly analyzed.
+std::size_t analyze_repository(ConstraintRepository& repository,
+                               const ClassRegistry* classes);
+
+/// Loads class metadata from the lint side-format:
+///   <classes><class name="Flight"><attribute name="seats" type="int"/>
+///   </class></classes>
+/// Attribute types: int|long|double|float|bool|string|object.
+std::size_t load_classes_xml(std::string_view xml_text,
+                             ClassRegistry& registry);
+
+/// One-line rendering "severity: message" per diagnostic, prefixed with
+/// the constraint name — the lint CLI's output format.
+[[nodiscard]] std::string render_diagnostics(const std::string& constraint,
+                                             const AnalysisReport& report);
+
+}  // namespace dedisys::analysis

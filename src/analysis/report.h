@@ -1,0 +1,118 @@
+// Per-constraint static-analysis results (PR 3).
+//
+// An AnalysisReport is produced once at registration time by the analyzer
+// (src/analysis/analyzer.h) and attached to the constraint's registration
+// in the ConstraintRepository.  CCMgr consults it on the hot validation
+// path to skip constraints whose read-set is provably disjoint from an
+// invocation's write-set; AdminConsole and /metrics expose it for
+// operators; tools/dedisys_lint prints its diagnostics in CI.
+//
+// Header-only so that src/constraints can carry reports without linking
+// against the analyzer library (constraints <- analysis would otherwise
+// be a dependency cycle: the analyzer inspects OclConstraint).
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dedisys::analysis {
+
+/// Everything an OCL expression can read from its environment:
+/// `self.<attr>` attributes of the context object and `arg<N>` indices of
+/// the intercepted invocation.
+struct ReadSet {
+  std::set<std::string> attributes;
+  std::set<std::size_t> arguments;
+
+  [[nodiscard]] bool empty() const {
+    return attributes.empty() && arguments.empty();
+  }
+};
+
+/// Result of constant folding over the whole expression.
+enum class Triviality {
+  None,        ///< Value depends on the environment.
+  AlwaysTrue,  ///< Statically satisfied — validation can never fail.
+  AlwaysFalse, ///< Statically violated — almost certainly a spec bug.
+};
+
+/// Whether the read-set is confined to the target object, so the
+/// constraint is locally checkable inside a partition (LCC) or needs
+/// other objects / replicas (NCC -> may degrade to Uncheckable).
+enum class Locality {
+  Local,       ///< Reads only the called object — checkable in any partition.
+  CrossObject, ///< Context derived via a reference getter — needs reachability.
+  Opaque,      ///< Not statically analyzable (e.g. FunctionConstraint).
+};
+
+struct Diagnostic {
+  enum class Severity { Warning, Error };
+  Severity severity = Severity::Warning;
+  std::string message;
+};
+
+struct AnalysisReport {
+  /// True when the constraint body is not an OCL expression the analyzer
+  /// can see through (FunctionConstraint & friends).  Opaque constraints
+  /// are never pruned.
+  bool opaque = true;
+  ReadSet read_set;
+  Triviality triviality = Triviality::None;
+  /// A sub-expression was folded away (e.g. `x and false`): the author
+  /// probably did not mean to write dead code.
+  bool has_dead_code = false;
+  Locality locality = Locality::Opaque;
+  std::vector<Diagnostic> diagnostics;
+  /// Whether CCMgr may legally skip validation when the invocation's
+  /// write-set is disjoint from `read_set` (see docs/static_analysis.md
+  /// for the soundness argument).  Set by the analyzer; never true for
+  /// opaque or error-carrying reports.
+  bool prunable = false;
+
+  [[nodiscard]] bool has_errors() const {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity == Diagnostic::Severity::Error) return true;
+    }
+    return false;
+  }
+};
+
+inline const char* to_string(Triviality t) {
+  switch (t) {
+    case Triviality::None: return "none";
+    case Triviality::AlwaysTrue: return "always_true";
+    case Triviality::AlwaysFalse: return "always_false";
+  }
+  return "?";
+}
+
+inline const char* to_string(Locality l) {
+  switch (l) {
+    case Locality::Local: return "local";
+    case Locality::CrossObject: return "cross_object";
+    case Locality::Opaque: return "opaque";
+  }
+  return "?";
+}
+
+inline const char* to_string(Diagnostic::Severity s) {
+  return s == Diagnostic::Severity::Error ? "error" : "warning";
+}
+
+/// Maps an EJB-style setter name to the attribute it writes:
+/// "setValue" -> "value".  Empty string when `method_name` is not a
+/// setter-shaped name (write-set unknown -> caller must not prune).
+inline std::string setter_attribute(const std::string& method_name) {
+  if (method_name.size() < 4 || method_name.compare(0, 3, "set") != 0) {
+    return {};
+  }
+  const char head = method_name[3];
+  if (head < 'A' || head > 'Z') return {};
+  std::string attr = method_name.substr(3);
+  attr[0] = static_cast<char>(attr[0] - 'A' + 'a');
+  return attr;
+}
+
+}  // namespace dedisys::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "analysis/report.h"
 #include "objects/entity.h"
 #include "util/errors.h"
 #include "util/logging.h"
@@ -223,6 +224,7 @@ void ConstraintConsistencyManager::after_invocation(const Invocation& inv,
        collect_matches(repository, inv, ConstraintType::HardInvariant)) {
     const ObjectId ctx_obj =
         prepare_context_object(inv, *match.preparation, objects);
+    if (should_skip(match, inv, ctx_obj)) continue;
     check(*match.constraint, inv, ctx_obj, objects);
   }
 
@@ -230,6 +232,7 @@ void ConstraintConsistencyManager::after_invocation(const Invocation& inv,
        collect_matches(repository, inv, ConstraintType::SoftInvariant)) {
     const ObjectId ctx_obj =
         prepare_context_object(inv, *match.preparation, objects);
+    if (should_skip(match, inv, ctx_obj)) continue;
     record_pending(inv.tx, *match.constraint, ctx_obj, inv.target);
   }
 
@@ -239,12 +242,65 @@ void ConstraintConsistencyManager::after_invocation(const Invocation& inv,
         prepare_context_object(inv, *match.preparation, objects);
     if (degraded_) {
       // Section 5.5.3: no validation, no negotiation — only record the
-      // threat for re-evaluation during reconciliation.
+      // threat for re-evaluation during reconciliation.  Pruning never
+      // applies in degraded mode.
       store_async_threat(inv.tx, *match.constraint, ctx_obj);
     } else {
+      if (should_skip(match, inv, ctx_obj)) continue;
       record_pending(inv.tx, *match.constraint, ctx_obj, inv.target);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Read-set pruning (PR 3)
+// ---------------------------------------------------------------------------
+
+bool ConstraintConsistencyManager::should_skip(
+    const ConstraintRepository::Match& match, const Invocation& inv,
+    ObjectId context_object) {
+  if (!pruning_) return false;
+  const analysis::AnalysisReport* report = match.analysis;
+  if (report == nullptr || !report->prunable) return false;
+  // Skipping relies on the induction "the invariant held after the last
+  // validated operation and nothing it reads changed since".  In degraded
+  // mode (or with forced-stale objects) a validation additionally derives
+  // threat bookkeeping from staleness, which a skip would suppress.
+  if (degraded_ || !forced_stale_.empty()) return false;
+  // Only the called-object preparation pins the context object to the
+  // invocation target: a reference-derived context can be *changed* by a
+  // write to the reference attribute, making the newly-referenced
+  // object's state unvalidated even though the read-set looks disjoint.
+  if (match.preparation == nullptr ||
+      match.preparation->kind != ContextPreparationKind::CalledObject) {
+    return false;
+  }
+  // A Satisfied outcome removes a matching stored threat (Section 3.3);
+  // skipping must not suppress that removal.
+  if (threats_.has(threat_identity(match.constraint->name(),
+                                   context_object))) {
+    return false;
+  }
+  bool skip = false;
+  if (report->triviality == analysis::Triviality::AlwaysTrue) {
+    skip = true;  // cannot be violated regardless of state
+  } else if (!inv.mutates) {
+    skip = true;  // the invocation cannot change entity state at all
+  } else {
+    const std::string written = analysis::setter_attribute(inv.method.name);
+    // Non-setter mutators have an unknown write-set: validate.
+    skip = !written.empty() &&
+           report->read_set.attributes.count(written) == 0;
+  }
+  if (skip) {
+    ++stats_.evaluations_skipped;
+    if (obs::on(obs_)) {
+      obs_->event(clock_.now(), obs::TraceEventKind::ValidationSkipped, self_,
+                  context_object, inv.tx, match.constraint->name(),
+                  "read-set disjoint");
+    }
+  }
+  return skip;
 }
 
 // ---------------------------------------------------------------------------

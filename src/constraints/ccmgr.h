@@ -118,6 +118,13 @@ class ConstraintConsistencyManager final : public TransactionalResource {
   void set_degraded(bool degraded, double partition_weight);
   [[nodiscard]] bool degraded() const { return degraded_; }
 
+  /// Read-set pruning (PR 3): invariants whose statically-computed
+  /// read-set is disjoint from the invocation's write-set are skipped.
+  /// Only constraints carrying a prunable AnalysisReport are affected;
+  /// without analysis, validation is exhaustive as before.
+  void set_pruning(bool on) { pruning_ = on; }
+  [[nodiscard]] bool pruning() const { return pruning_; }
+
   /// Objects treated as possibly stale regardless of the replication
   /// oracle — used by the TreatAsDegraded reconciliation policy
   /// (Section 3.3): until their threats are re-evaluated, validations on
@@ -187,6 +194,8 @@ class ConstraintConsistencyManager final : public TransactionalResource {
     std::size_t threats_accepted = 0;
     std::size_t threats_rejected = 0;
     std::size_t violations = 0;
+    /// Invariant evaluations avoided by read-set pruning.
+    std::size_t evaluations_skipped = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -244,6 +253,12 @@ class ConstraintConsistencyManager final : public TransactionalResource {
   /// Finds a constraint registration across all applications.
   const ConstraintRegistration* find_registration(const std::string& name);
 
+  /// Whether an invariant validation may be skipped because the
+  /// invocation provably cannot change anything the constraint reads
+  /// (see docs/static_analysis.md for the soundness argument).
+  bool should_skip(const ConstraintRepository::Match& match,
+                   const Invocation& inv, ObjectId context_object);
+
   ObjectId prepare_context_object(const Invocation& inv,
                                   const ContextPreparation& prep,
                                   ObjectAccessor& objects) const;
@@ -298,6 +313,7 @@ class ConstraintConsistencyManager final : public TransactionalResource {
 
   bool degraded_ = false;
   double partition_weight_ = 1.0;
+  bool pruning_ = true;
   bool in_validation_ = false;
   std::unordered_set<ObjectId> forced_stale_;
 

@@ -12,10 +12,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "analysis/report.h"
 #include "constraints/constraint.h"
 #include "objects/class_descriptor.h"
 #include "util/errors.h"
@@ -47,6 +50,10 @@ struct ConstraintRegistration {
   /// Context class for invariant constraints (may be empty).
   std::string context_class;
   std::vector<AffectedMethod> affected_methods;
+  /// Static-analysis report produced at registration time (PR 3); null
+  /// until the analyzer runs.  Null means "no static knowledge": the
+  /// CCMgr then validates exhaustively, exactly as before.
+  std::shared_ptr<const analysis::AnalysisReport> analysis;
 };
 
 class ConstraintRepository {
@@ -54,6 +61,8 @@ class ConstraintRepository {
   struct Match {
     Constraint* constraint;
     const ContextPreparation* preparation;
+    /// Null when the constraint was never analyzed.
+    const analysis::AnalysisReport* analysis;
   };
 
   // -- runtime management ---------------------------------------------------
@@ -97,6 +106,17 @@ class ConstraintRepository {
       const std::string& name) const {
     auto it = by_name_.find(name);
     return it == by_name_.end() ? nullptr : &registrations_[it->second];
+  }
+
+  /// Attaches a static-analysis report to a registered constraint.
+  /// Cached Match vectors carry raw report pointers, so the query cache
+  /// is invalidated.
+  void set_analysis(const std::string& name,
+                    std::shared_ptr<const analysis::AnalysisReport> report) {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) throw ConfigError("unknown constraint: " + name);
+    registrations_[it->second].analysis = std::move(report);
+    invalidate_cache();
   }
 
   [[nodiscard]] const std::vector<ConstraintRegistration>& registrations()
@@ -148,7 +168,7 @@ class ConstraintRepository {
       if (!c.enabled() || c.type() != type) continue;
       for (const auto& am : reg.affected_methods) {
         if (am.class_name == class_name && am.method.key() == method_key) {
-          out.push_back(Match{&c, &am.preparation});
+          out.push_back(Match{&c, &am.preparation, reg.analysis.get()});
           break;
         }
       }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "constraints/config.h"
 #include "constraints/config_writer.h"
 #include "middleware/cluster.h"
@@ -28,10 +29,32 @@ class AdminConsole {
   // -- deployment ------------------------------------------------------------
 
   /// Deploys a constraint descriptor (Listing 4.1) into the default
-  /// repository; returns the number of constraints registered.
+  /// repository and runs the static analyzer over the new registrations
+  /// (read-sets, triviality, locality — PR 3); returns the number of
+  /// constraints registered.
   std::size_t deploy_constraints(const std::string& xml,
                                  const ConstraintFactory& factory = {}) {
-    return load_constraints(xml, factory, cluster_->constraints());
+    const std::size_t loaded =
+        load_constraints(xml, factory, cluster_->constraints());
+    analysis::analyze_repository(cluster_->constraints(),
+                                 &cluster_->classes());
+    return loaded;
+  }
+
+  /// Static-analysis report of one deployed constraint (null until the
+  /// analyzer ran over its registration).
+  [[nodiscard]] const analysis::AnalysisReport* analysis_report(
+      const std::string& name) const {
+    const ConstraintRegistration* reg =
+        cluster_->constraints().registration(name);
+    return reg == nullptr ? nullptr : reg->analysis.get();
+  }
+
+  /// Re-runs the analyzer over registrations added outside of
+  /// deploy_constraints; returns the number newly analyzed.
+  std::size_t analyze_constraints() {
+    return analysis::analyze_repository(cluster_->constraints(),
+                                        &cluster_->classes());
   }
 
   /// Serializes the currently deployed default repository.

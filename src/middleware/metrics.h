@@ -24,6 +24,7 @@ struct NodeMetrics {
   std::size_t backups_applied = 0;
   std::size_t history_records = 0;
   std::size_t validations = 0;
+  std::size_t evaluations_skipped = 0;
   std::size_t threats_detected = 0;
   std::size_t threats_accepted = 0;
   std::size_t threats_rejected = 0;
@@ -65,6 +66,7 @@ inline ClusterMetrics collect_metrics(Cluster& cluster) {
     m.backups_applied = node.replication().stats().backups_applied;
     m.history_records = node.replication().stats().history_records;
     m.validations = node.ccmgr().stats().validations;
+    m.evaluations_skipped = node.ccmgr().stats().evaluations_skipped;
     m.threats_detected = node.ccmgr().stats().threats_detected;
     m.threats_accepted = node.ccmgr().stats().threats_accepted;
     m.threats_rejected = node.ccmgr().stats().threats_rejected;

@@ -3,10 +3,53 @@
 // layer (obs itself must not depend on the cluster).
 #pragma once
 
+#include "analysis/report.h"
+#include "constraints/repository.h"
 #include "middleware/metrics.h"
 #include "obs/export.h"
 
 namespace dedisys::obs {
+
+[[nodiscard]] inline Json to_json(const analysis::AnalysisReport& r) {
+  Json out = Json::object();
+  out.set("opaque", r.opaque);
+  out.set("locality", to_string(r.locality));
+  out.set("triviality", to_string(r.triviality));
+  out.set("dead_code", r.has_dead_code);
+  out.set("prunable", r.prunable);
+  Json attributes = Json::array();
+  for (const std::string& a : r.read_set.attributes) attributes.push_back(a);
+  Json arguments = Json::array();
+  for (std::size_t i : r.read_set.arguments) arguments.push_back(i);
+  Json read_set = Json::object();
+  read_set.set("attributes", std::move(attributes));
+  read_set.set("arguments", std::move(arguments));
+  out.set("read_set", std::move(read_set));
+  Json diagnostics = Json::array();
+  for (const analysis::Diagnostic& d : r.diagnostics) {
+    Json diag = Json::object();
+    diag.set("severity", to_string(d.severity));
+    diag.set("message", d.message);
+    diagnostics.push_back(std::move(diag));
+  }
+  out.set("diagnostics", std::move(diagnostics));
+  return out;
+}
+
+/// Static-analysis reports of every registered constraint (null entries
+/// for constraints that were never analyzed).
+[[nodiscard]] inline Json analysis_to_json(
+    const ConstraintRepository& repository) {
+  Json out = Json::array();
+  for (const ConstraintRegistration& reg : repository.registrations()) {
+    Json entry = Json::object();
+    entry.set("name", reg.constraint->name());
+    entry.set("analysis",
+              reg.analysis != nullptr ? to_json(*reg.analysis) : Json());
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
 
 [[nodiscard]] inline Json to_json(const ClusterMetrics& m) {
   Json nodes = Json::array();
@@ -21,6 +64,7 @@ namespace dedisys::obs {
     node.set("backups_applied", n.backups_applied);
     node.set("history_records", n.history_records);
     node.set("validations", n.validations);
+    node.set("evaluations_skipped", n.evaluations_skipped);
     node.set("threats_detected", n.threats_detected);
     node.set("threats_accepted", n.threats_accepted);
     node.set("threats_rejected", n.threats_rejected);
@@ -41,6 +85,7 @@ namespace dedisys::obs {
 [[nodiscard]] inline Json export_cluster_json(Cluster& cluster) {
   Json out = Json::object();
   out.set("metrics", to_json(collect_metrics(cluster)));
+  out.set("constraints", analysis_to_json(cluster.constraints()));
   out.set("latencies", to_json(cluster.obs().latencies()));
   out.set("trace", to_json(cluster.obs().trace()));
   return out;

@@ -24,6 +24,7 @@ enum class TraceEventKind {
   InvocationStart,   ///< a reified call enters the interceptor chain
   InvocationEnd,     ///< the call returned (or threw; see detail)
   Validation,        ///< one constraint validate() with its degree
+  ValidationSkipped, ///< invariant skipped by static read-set pruning
   ThreatDetected,    ///< a threat arose (LCC/NCC outcome)
   ThreatNegotiated,  ///< negotiation ran (dynamic handler or static rule)
   ThreatAccepted,    ///< negotiation accepted the threat
@@ -46,6 +47,7 @@ enum class TraceEventKind {
     case TraceEventKind::InvocationStart: return "invocation.start";
     case TraceEventKind::InvocationEnd: return "invocation.end";
     case TraceEventKind::Validation: return "validation";
+    case TraceEventKind::ValidationSkipped: return "validation.skipped";
     case TraceEventKind::ThreatDetected: return "threat.detected";
     case TraceEventKind::ThreatNegotiated: return "threat.negotiated";
     case TraceEventKind::ThreatAccepted: return "threat.accepted";

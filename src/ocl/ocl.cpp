@@ -6,12 +6,63 @@
 
 namespace dedisys {
 
+const char* to_string(OclBinOp op) {
+  switch (op) {
+    case OclBinOp::Add: return "+";
+    case OclBinOp::Sub: return "-";
+    case OclBinOp::Mul: return "*";
+    case OclBinOp::Div: return "/";
+    case OclBinOp::Lt: return "<";
+    case OclBinOp::Le: return "<=";
+    case OclBinOp::Gt: return ">";
+    case OclBinOp::Ge: return ">=";
+    case OclBinOp::Eq: return "=";
+    case OclBinOp::Ne: return "<>";
+    case OclBinOp::And: return "and";
+    case OclBinOp::Or: return "or";
+    case OclBinOp::Implies: return "implies";
+  }
+  return "?";
+}
+
+OclValue ocl_apply(OclBinOp op, const OclValue& lhs, const OclValue& rhs) {
+  // String equality/inequality (e.g. self.alarmKind = "Signal").
+  if ((op == OclBinOp::Eq || op == OclBinOp::Ne) &&
+      std::holds_alternative<std::string>(lhs) &&
+      std::holds_alternative<std::string>(rhs)) {
+    const bool eq = std::get<std::string>(lhs) == std::get<std::string>(rhs);
+    return OclValue{static_cast<double>(op == OclBinOp::Eq ? eq : !eq)};
+  }
+  const double a = ocl_num(lhs);
+  const double b = ocl_num(rhs);
+  switch (op) {
+    case OclBinOp::Add: return OclValue{a + b};
+    case OclBinOp::Sub: return OclValue{a - b};
+    case OclBinOp::Mul: return OclValue{a * b};
+    case OclBinOp::Div: return OclValue{a / b};
+    case OclBinOp::Lt: return OclValue{static_cast<double>(a < b)};
+    case OclBinOp::Le: return OclValue{static_cast<double>(a <= b)};
+    case OclBinOp::Gt: return OclValue{static_cast<double>(a > b)};
+    case OclBinOp::Ge: return OclValue{static_cast<double>(a >= b)};
+    case OclBinOp::Eq: return OclValue{static_cast<double>(a == b)};
+    case OclBinOp::Ne: return OclValue{static_cast<double>(a != b)};
+    case OclBinOp::And: return OclValue{static_cast<double>(a != 0 && b != 0)};
+    case OclBinOp::Or: return OclValue{static_cast<double>(a != 0 || b != 0)};
+    case OclBinOp::Implies:
+      return OclValue{static_cast<double>(a == 0 || b != 0)};
+  }
+  throw DedisysError("bad OCL operator");
+}
+
 namespace {
 
 class NumberNode final : public OclNode {
  public:
   explicit NumberNode(double v) : value_(v) {}
   OclValue eval(const OclEnv&) const override { return OclValue{value_}; }
+  void accept(OclVisitor& visitor) const override {
+    visitor.on_number(value_);
+  }
 
  private:
   double value_;
@@ -21,6 +72,9 @@ class StringNode final : public OclNode {
  public:
   explicit StringNode(std::string v) : value_(std::move(v)) {}
   OclValue eval(const OclEnv&) const override { return OclValue{value_}; }
+  void accept(OclVisitor& visitor) const override {
+    visitor.on_string(value_);
+  }
 
  private:
   std::string value_;
@@ -31,6 +85,9 @@ class AttrNode final : public OclNode {
   explicit AttrNode(std::string name) : name_(std::move(name)) {}
   OclValue eval(const OclEnv& env) const override {
     return env.attribute(name_);  // reflective string-keyed access
+  }
+  void accept(OclVisitor& visitor) const override {
+    visitor.on_attribute(name_);
   }
 
  private:
@@ -43,52 +100,32 @@ class ArgNode final : public OclNode {
   OclValue eval(const OclEnv& env) const override {
     return env.argument(index_);
   }
+  void accept(OclVisitor& visitor) const override {
+    visitor.on_argument(index_);
+  }
 
  private:
   std::size_t index_;
 };
 
-enum class BinOp { Add, Sub, Mul, Div, Lt, Le, Gt, Ge, Eq, Ne, And, Or,
-                   Implies };
-
 class BinaryNode final : public OclNode {
  public:
-  BinaryNode(BinOp op, OclExpr lhs, OclExpr rhs)
+  BinaryNode(OclBinOp op, OclExpr lhs, OclExpr rhs)
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
   OclValue eval(const OclEnv& env) const override {
-    const OclValue lv = lhs_->eval(env);
-    const OclValue rv = rhs_->eval(env);
-    // String equality/inequality (e.g. self.alarmKind = "Signal").
-    if ((op_ == BinOp::Eq || op_ == BinOp::Ne) &&
-        std::holds_alternative<std::string>(lv) &&
-        std::holds_alternative<std::string>(rv)) {
-      const bool eq = std::get<std::string>(lv) == std::get<std::string>(rv);
-      return OclValue{static_cast<double>(op_ == BinOp::Eq ? eq : !eq)};
-    }
-    const double a = ocl_num(lv);
-    const double b = ocl_num(rv);
-    switch (op_) {
-      case BinOp::Add: return OclValue{a + b};
-      case BinOp::Sub: return OclValue{a - b};
-      case BinOp::Mul: return OclValue{a * b};
-      case BinOp::Div: return OclValue{a / b};
-      case BinOp::Lt: return OclValue{static_cast<double>(a < b)};
-      case BinOp::Le: return OclValue{static_cast<double>(a <= b)};
-      case BinOp::Gt: return OclValue{static_cast<double>(a > b)};
-      case BinOp::Ge: return OclValue{static_cast<double>(a >= b)};
-      case BinOp::Eq: return OclValue{static_cast<double>(a == b)};
-      case BinOp::Ne: return OclValue{static_cast<double>(a != b)};
-      case BinOp::And: return OclValue{static_cast<double>(a != 0 && b != 0)};
-      case BinOp::Or: return OclValue{static_cast<double>(a != 0 || b != 0)};
-      case BinOp::Implies:
-        return OclValue{static_cast<double>(a == 0 || b != 0)};
-    }
-    throw DedisysError("bad OCL operator");
+    return ocl_apply(op_, lhs_->eval(env), rhs_->eval(env));
+  }
+
+  void accept(OclVisitor& visitor) const override {
+    visitor.enter_binary(op_);
+    lhs_->accept(visitor);
+    rhs_->accept(visitor);
+    visitor.leave_binary(op_);
   }
 
  private:
-  BinOp op_;
+  OclBinOp op_;
   OclExpr lhs_;
   OclExpr rhs_;
 };
@@ -98,6 +135,11 @@ class NotNode final : public OclNode {
   explicit NotNode(OclExpr inner) : inner_(std::move(inner)) {}
   OclValue eval(const OclEnv& env) const override {
     return OclValue{static_cast<double>(ocl_num(inner_->eval(env)) == 0)};
+  }
+  void accept(OclVisitor& visitor) const override {
+    visitor.enter_not();
+    inner_->accept(visitor);
+    visitor.leave_not();
   }
 
  private:
@@ -148,7 +190,7 @@ class Parser {
   OclExpr parse_implies() {
     OclExpr lhs = parse_or();
     while (eat_word("implies")) {
-      lhs = std::make_shared<BinaryNode>(BinOp::Implies, lhs, parse_or());
+      lhs = std::make_shared<BinaryNode>(OclBinOp::Implies, lhs, parse_or());
     }
     return lhs;
   }
@@ -156,7 +198,7 @@ class Parser {
   OclExpr parse_or() {
     OclExpr lhs = parse_and();
     while (eat_word("or")) {
-      lhs = std::make_shared<BinaryNode>(BinOp::Or, lhs, parse_and());
+      lhs = std::make_shared<BinaryNode>(OclBinOp::Or, lhs, parse_and());
     }
     return lhs;
   }
@@ -164,7 +206,7 @@ class Parser {
   OclExpr parse_and() {
     OclExpr lhs = parse_unary();
     while (eat_word("and")) {
-      lhs = std::make_shared<BinaryNode>(BinOp::And, lhs, parse_unary());
+      lhs = std::make_shared<BinaryNode>(OclBinOp::And, lhs, parse_unary());
     }
     return lhs;
   }
@@ -177,9 +219,9 @@ class Parser {
   OclExpr parse_cmp() {
     OclExpr lhs = parse_add();
     skip_ws();
-    static constexpr std::pair<const char*, BinOp> kOps[] = {
-        {"<=", BinOp::Le}, {">=", BinOp::Ge}, {"<>", BinOp::Ne},
-        {"<", BinOp::Lt},  {">", BinOp::Gt},  {"=", BinOp::Eq},
+    static constexpr std::pair<const char*, OclBinOp> kOps[] = {
+        {"<=", OclBinOp::Le}, {">=", OclBinOp::Ge}, {"<>", OclBinOp::Ne},
+        {"<", OclBinOp::Lt},  {">", OclBinOp::Gt},  {"=", OclBinOp::Eq},
     };
     for (const auto& [tok, op] : kOps) {
       if (eat(tok)) {
@@ -193,9 +235,9 @@ class Parser {
     OclExpr lhs = parse_mul();
     while (true) {
       if (eat("+")) {
-        lhs = std::make_shared<BinaryNode>(BinOp::Add, lhs, parse_mul());
+        lhs = std::make_shared<BinaryNode>(OclBinOp::Add, lhs, parse_mul());
       } else if (eat("-")) {
-        lhs = std::make_shared<BinaryNode>(BinOp::Sub, lhs, parse_mul());
+        lhs = std::make_shared<BinaryNode>(OclBinOp::Sub, lhs, parse_mul());
       } else {
         return lhs;
       }
@@ -206,9 +248,9 @@ class Parser {
     OclExpr lhs = parse_prim();
     while (true) {
       if (eat("*")) {
-        lhs = std::make_shared<BinaryNode>(BinOp::Mul, lhs, parse_prim());
+        lhs = std::make_shared<BinaryNode>(OclBinOp::Mul, lhs, parse_prim());
       } else if (eat("/")) {
-        lhs = std::make_shared<BinaryNode>(BinOp::Div, lhs, parse_prim());
+        lhs = std::make_shared<BinaryNode>(OclBinOp::Div, lhs, parse_prim());
       } else {
         return lhs;
       }

@@ -45,10 +45,44 @@ class OclEnv {
 class OclNode;
 using OclExpr = std::shared_ptr<const OclNode>;
 
+/// Binary operators of the expression grammar, public so structural
+/// analyses can reason about parsed constraints.
+enum class OclBinOp {
+  Add, Sub, Mul, Div, Lt, Le, Gt, Ge, Eq, Ne, And, Or, Implies,
+};
+
+[[nodiscard]] const char* to_string(OclBinOp op);
+
+/// Applies one binary operator to already-evaluated operands — the single
+/// semantics shared by runtime evaluation and static constant folding.
+/// Division by zero follows IEEE double semantics (inf/nan).
+[[nodiscard]] OclValue ocl_apply(OclBinOp op, const OclValue& lhs,
+                                 const OclValue& rhs);
+
+/// Structural visitor over a parsed expression tree.  Traversal is
+/// depth-first; composite nodes bracket their operands with enter/leave
+/// callbacks so post-order (stack machine) analyses and pre-order scans
+/// can both be written against the same interface.
+class OclVisitor {
+ public:
+  virtual ~OclVisitor() = default;
+  virtual void on_number(double) {}
+  virtual void on_string(const std::string&) {}
+  virtual void on_attribute(const std::string& /*name*/) {}
+  virtual void on_argument(std::size_t /*index*/) {}
+  virtual void enter_binary(OclBinOp) {}
+  virtual void leave_binary(OclBinOp) {}
+  virtual void enter_not() {}
+  virtual void leave_not() {}
+};
+
 class OclNode {
  public:
   virtual ~OclNode() = default;
   [[nodiscard]] virtual OclValue eval(const OclEnv& env) const = 0;
+  /// Structural introspection (read-set extraction, constant folding,
+  /// diagnostics) without evaluating against an environment.
+  virtual void accept(OclVisitor& visitor) const = 0;
 };
 
 /// Parses one OCL boolean expression; throws ConfigError on bad syntax.

@@ -1,0 +1,460 @@
+// Static analysis of OCL constraints (PR 3): read-set extraction,
+// constant folding, locality classification, descriptor diagnostics and
+// the read-set pruning equivalence property.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/report.h"
+#include "constraints/constraint.h"
+#include "constraints/ocl_constraint.h"
+#include "constraints/repository.h"
+#include "middleware/admin.h"
+#include "middleware/cluster.h"
+#include "middleware/metrics.h"
+#include "obs/json.h"
+#include "ocl/ocl.h"
+
+namespace dedisys {
+namespace {
+
+using analysis::AnalysisReport;
+using analysis::Diagnostic;
+using analysis::Locality;
+using analysis::Triviality;
+
+bool has_error_containing(const AnalysisReport& report,
+                          const std::string& needle) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity == Diagnostic::Severity::Error &&
+        d.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// -- expression-level analysis ----------------------------------------------
+
+TEST(Analysis, ReadSetExtraction) {
+  const AnalysisReport r =
+      analysis::analyze_expression(parse_ocl("self.a + arg0 > self.b * 2"));
+  EXPECT_FALSE(r.opaque);
+  EXPECT_EQ(r.read_set.attributes, (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(r.read_set.arguments, (std::set<std::size_t>{0}));
+  EXPECT_EQ(r.triviality, Triviality::None);
+  // arg-reading invariants depend on the invocation itself: never pruned.
+  EXPECT_FALSE(r.prunable);
+}
+
+TEST(Analysis, AttributeOnlyReadSetIsPrunable) {
+  const AnalysisReport r =
+      analysis::analyze_expression(parse_ocl("self.x >= 0"));
+  EXPECT_EQ(r.read_set.attributes, (std::set<std::string>{"x"}));
+  EXPECT_TRUE(r.read_set.arguments.empty());
+  EXPECT_TRUE(r.prunable);
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Analysis, ConstantFoldingAlwaysTrue) {
+  const AnalysisReport r = analysis::analyze_expression(parse_ocl("1 <= 2"));
+  EXPECT_EQ(r.triviality, Triviality::AlwaysTrue);
+  EXPECT_TRUE(r.prunable);
+  EXPECT_FALSE(r.has_errors());  // warning only
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].severity, Diagnostic::Severity::Warning);
+}
+
+TEST(Analysis, ConstantFoldingAlwaysFalse) {
+  const AnalysisReport r = analysis::analyze_expression(parse_ocl("1 > 2"));
+  EXPECT_EQ(r.triviality, Triviality::AlwaysFalse);
+  EXPECT_FALSE(r.prunable);
+  EXPECT_TRUE(has_error_containing(r, "always false"));
+}
+
+TEST(Analysis, FoldingThroughNot) {
+  const AnalysisReport r =
+      analysis::analyze_expression(parse_ocl("not (1 > 2)"));
+  EXPECT_EQ(r.triviality, Triviality::AlwaysTrue);
+}
+
+TEST(Analysis, DeadCodeAbsorbingAnd) {
+  const AnalysisReport r =
+      analysis::analyze_expression(parse_ocl("self.x >= 0 and false"));
+  EXPECT_TRUE(r.has_dead_code);
+  EXPECT_EQ(r.triviality, Triviality::AlwaysFalse);
+  EXPECT_FALSE(r.prunable);
+}
+
+TEST(Analysis, DeadCodeAbsorbingOr) {
+  const AnalysisReport r =
+      analysis::analyze_expression(parse_ocl("true or self.x > 0"));
+  EXPECT_TRUE(r.has_dead_code);
+  EXPECT_EQ(r.triviality, Triviality::AlwaysTrue);
+  EXPECT_TRUE(r.prunable);
+}
+
+TEST(Analysis, NonAbsorbingLogicIsNotDeadCode) {
+  const AnalysisReport r =
+      analysis::analyze_expression(parse_ocl("self.x >= 0 and true"));
+  EXPECT_FALSE(r.has_dead_code);
+  EXPECT_EQ(r.triviality, Triviality::None);
+}
+
+TEST(Analysis, DivisionByConstantZero) {
+  const AnalysisReport r =
+      analysis::analyze_expression(parse_ocl("self.x / 0 <= 1"));
+  EXPECT_TRUE(has_error_containing(r, "division by zero"));
+  EXPECT_FALSE(r.prunable);
+}
+
+TEST(Analysis, SetterAttributeMapping) {
+  EXPECT_EQ(analysis::setter_attribute("setValue"), "value");
+  EXPECT_EQ(analysis::setter_attribute("setSoldTickets"), "soldTickets");
+  EXPECT_EQ(analysis::setter_attribute("setX"), "x");
+  EXPECT_EQ(analysis::setter_attribute("set"), "");
+  EXPECT_EQ(analysis::setter_attribute("getValue"), "");
+  EXPECT_EQ(analysis::setter_attribute("settle"), "");
+}
+
+TEST(Analysis, OclApplySharedWithInterpreter) {
+  const OclValue sum =
+      ocl_apply(OclBinOp::Add, OclValue{2.0}, OclValue{3.0});
+  EXPECT_DOUBLE_EQ(std::get<double>(sum), 5.0);
+  const OclValue eq = ocl_apply(OclBinOp::Eq, OclValue{std::string{"a"}},
+                                OclValue{std::string{"a"}});
+  EXPECT_NE(std::get<double>(eq), 0.0);
+  EXPECT_STREQ(to_string(OclBinOp::Implies), "implies");
+}
+
+// -- registration-level analysis --------------------------------------------
+
+ConstraintRegistration make_reg(
+    const std::string& name, const std::string& expr,
+    const std::string& context_class,
+    std::vector<AffectedMethod> methods) {
+  ConstraintRegistration reg;
+  reg.constraint = std::make_shared<OclConstraint>(
+      name, ConstraintType::HardInvariant, ConstraintPriority::NonTradeable,
+      expr);
+  reg.context_class = context_class;
+  reg.affected_methods = std::move(methods);
+  return reg;
+}
+
+AffectedMethod setter(const std::string& cls, const std::string& name,
+                      ContextPreparationKind kind =
+                          ContextPreparationKind::CalledObject) {
+  ContextPreparation prep;
+  prep.kind = kind;
+  if (kind == ContextPreparationKind::ReferenceGetter) {
+    prep.getter = "getRef";
+  }
+  return AffectedMethod{cls, MethodSignature{name, {"int"}}, prep};
+}
+
+ClassRegistry flight_classes() {
+  ClassRegistry classes;
+  ClassDescriptor& flight = classes.define("Flight");
+  flight.define_attribute("seats", Value{std::int64_t{100}});
+  flight.define_attribute("soldTickets", Value{std::int64_t{0}});
+  flight.define_attribute("status", Value{std::string{"open"}});
+  return classes;
+}
+
+TEST(Analysis, UnknownAttributeDiagnostic) {
+  const ClassRegistry classes = flight_classes();
+  const ConstraintRegistration reg =
+      make_reg("typo", "self.soldTickets <= self.seatz", "Flight",
+               {setter("Flight", "setSoldTickets")});
+  const AnalysisReport r = analysis::analyze_registration(reg, &classes);
+  EXPECT_TRUE(has_error_containing(r, "seatz"));
+  EXPECT_FALSE(r.prunable);
+}
+
+TEST(Analysis, UnknownContextClassOnlyWarns) {
+  const ClassRegistry classes = flight_classes();
+  const ConstraintRegistration reg =
+      make_reg("ghost", "self.anything >= 0", "Cargo",
+               {setter("Cargo", "setAnything")});
+  const AnalysisReport r = analysis::analyze_registration(reg, &classes);
+  EXPECT_FALSE(r.has_errors());
+  ASSERT_FALSE(r.diagnostics.empty());
+  EXPECT_NE(r.diagnostics[0].message.find("no class metadata"),
+            std::string::npos);
+  EXPECT_TRUE(r.prunable);  // no proven error, attribute-only read-set
+}
+
+TEST(Analysis, StringNumericComparisonDiagnostics) {
+  const ClassRegistry classes = flight_classes();
+  const AnalysisReport eq = analysis::analyze_registration(
+      make_reg("kind_eq", "self.status = 1", "Flight",
+               {setter("Flight", "setStatus")}),
+      &classes);
+  EXPECT_TRUE(has_error_containing(eq, "string and numeric"));
+
+  const AnalysisReport arith = analysis::analyze_registration(
+      make_reg("kind_arith", "self.status + 1 > 0", "Flight",
+               {setter("Flight", "setStatus")}),
+      &classes);
+  EXPECT_TRUE(has_error_containing(arith, "string operand"));
+}
+
+TEST(Analysis, ArgumentOutOfRangeDiagnostic) {
+  const ClassRegistry classes = flight_classes();
+  const ConstraintRegistration reg =
+      make_reg("argrange", "arg1 >= 0", "Flight",
+               {setter("Flight", "setSeats")});
+  const AnalysisReport r = analysis::analyze_registration(reg, &classes);
+  EXPECT_TRUE(has_error_containing(r, "arg1 is out of range"));
+}
+
+TEST(Analysis, LocalityClassification) {
+  const ClassRegistry classes = flight_classes();
+  const AnalysisReport local = analysis::analyze_registration(
+      make_reg("local", "self.seats >= 0", "Flight",
+               {setter("Flight", "setSeats")}),
+      &classes);
+  EXPECT_EQ(local.locality, Locality::Local);
+
+  const AnalysisReport cross = analysis::analyze_registration(
+      make_reg("cross", "self.seats >= 0", "Flight",
+               {setter("Flight", "setSeats"),
+                setter("Booking", "setFlight",
+                       ContextPreparationKind::ReferenceGetter)}),
+      &classes);
+  EXPECT_EQ(cross.locality, Locality::CrossObject);
+
+  ConstraintRegistration fn;
+  fn.constraint = std::make_shared<FunctionConstraint>(
+      "opaque", ConstraintType::HardInvariant, ConstraintPriority::Tradeable,
+      [](ConstraintValidationContext&) { return true; });
+  const AnalysisReport opaque = analysis::analyze_registration(fn, &classes);
+  EXPECT_TRUE(opaque.opaque);
+  EXPECT_EQ(opaque.locality, Locality::Opaque);
+  EXPECT_FALSE(opaque.prunable);
+}
+
+TEST(Analysis, RepositoryAnalysisAttachesReportsOnce) {
+  ClassRegistry classes = flight_classes();
+  ConstraintRepository repo;
+  repo.register_constraint(make_reg("inv", "self.seats >= 0", "Flight",
+                                    {setter("Flight", "setSeats")}));
+  EXPECT_EQ(analysis::analyze_repository(repo, &classes), 1u);
+  const ConstraintRegistration* reg = repo.registration("inv");
+  ASSERT_NE(reg, nullptr);
+  ASSERT_NE(reg->analysis, nullptr);
+  EXPECT_TRUE(reg->analysis->prunable);
+  // Structurally local constraints become intra-object (Section 3.1).
+  EXPECT_TRUE(reg->constraint->intra_object());
+  // Idempotent: already-analyzed registrations are left alone.
+  EXPECT_EQ(analysis::analyze_repository(repo, &classes), 0u);
+}
+
+TEST(Analysis, LoadClassesXml) {
+  ClassRegistry classes;
+  const std::size_t n = analysis::load_classes_xml(
+      "<classes>"
+      "  <class name=\"Base\"><attribute name=\"id\" type=\"long\"/></class>"
+      "  <class name=\"Derived\" super=\"Base\">"
+      "    <attribute name=\"label\" type=\"string\"/>"
+      "  </class>"
+      "</classes>",
+      classes);
+  EXPECT_EQ(n, 2u);
+  ASSERT_TRUE(classes.contains("Derived"));
+  EXPECT_EQ(classes.get("Derived").super(), "Base");
+  // Inherited attributes resolve through the ancestry walk.
+  const ConstraintRegistration reg =
+      make_reg("inherit", "self.id >= 0 and self.label = self.label",
+               "Derived", {setter("Derived", "setLabel")});
+  const AnalysisReport r = analysis::analyze_registration(reg, &classes);
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(Analysis, RenderDiagnosticsFormat) {
+  AnalysisReport r;
+  r.diagnostics.push_back(
+      Diagnostic{Diagnostic::Severity::Error, "boom"});
+  EXPECT_EQ(analysis::render_diagnostics("C1", r), "C1: error: boom\n");
+}
+
+// -- cluster wiring ----------------------------------------------------------
+
+void define_wide_class(ClassRegistry& classes) {
+  ClassDescriptor& wide = classes.define("Wide");
+  for (int k = 0; k < 4; ++k) {
+    wide.define_property("f" + std::to_string(k), Value{std::int64_t{0}},
+                         "int");
+  }
+}
+
+std::vector<AffectedMethod> all_wide_setters() {
+  std::vector<AffectedMethod> out;
+  out.reserve(4);
+  for (int k = 0; k < 4; ++k) {
+    out.push_back(setter("Wide", "setF" + std::to_string(k)));
+  }
+  return out;
+}
+
+void register_wide_constraints(ConstraintRepository& repo) {
+  for (int k = 0; k < 4; ++k) {
+    repo.register_constraint(
+        make_reg("inv" + std::to_string(k),
+                 "self.f" + std::to_string(k) + " >= 0", "Wide",
+                 all_wide_setters()));
+  }
+  ConstraintRegistration triv = make_reg("triv", "1 <= 2", "Wide",
+                                         all_wide_setters());
+  repo.register_constraint(std::move(triv));
+  ConstraintRegistration soft =
+      make_reg("soft0", "self.f0 >= 0 - 1000", "Wide", all_wide_setters());
+  soft.constraint = std::make_shared<OclConstraint>(
+      "soft0", ConstraintType::SoftInvariant, ConstraintPriority::Tradeable,
+      "self.f0 >= 0 - 1000");
+  repo.register_constraint(std::move(soft));
+}
+
+/// Deterministic xorshift so the "randomized" workload is reproducible.
+struct Rng {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  int below(int n) { return static_cast<int>(next() % n); }
+};
+
+std::string run_wide_workload(Cluster& cluster) {
+  DedisysNode& node = cluster.node(0);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 3; ++i) {
+    TxScope tx(node.tx());
+    ids.push_back(node.create(tx.id(), "Wide"));
+    tx.commit();
+  }
+  Rng rng;
+  std::string digest;
+  for (int i = 0; i < 160; ++i) {
+    const ObjectId target = ids[static_cast<std::size_t>(rng.below(3))];
+    const int field = rng.below(4);
+    // ~25% of writes are negative -> hard-invariant violations + rollback.
+    const std::int64_t value = rng.below(16) - 4;
+    try {
+      TxScope tx(node.tx());
+      node.invoke(tx.id(), target, "setF" + std::to_string(field),
+                  {Value{value}});
+      tx.commit();
+      digest += "ok;";
+    } catch (const DedisysError&) {
+      digest += "viol;";
+    }
+  }
+  // Final state must match too: pruning may not change any outcome.
+  for (const ObjectId id : ids) {
+    for (int k = 0; k < 4; ++k) {
+      TxScope tx(node.tx());
+      const Value v =
+          node.invoke(tx.id(), id, "getF" + std::to_string(k), {});
+      tx.commit();
+      digest += std::to_string(std::get<std::int64_t>(v)) + ",";
+    }
+  }
+  return digest;
+}
+
+/// Pinned equivalence property: read-set pruning must not change a single
+/// invocation outcome or any final attribute value, while provably
+/// skipping work.
+TEST(Analysis, PruningEquivalentToExhaustiveValidation) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+
+  Cluster pruned(cfg);
+  define_wide_class(pruned.classes());
+  register_wide_constraints(pruned.constraints());
+  analysis::analyze_repository(pruned.constraints(), &pruned.classes());
+  ASSERT_TRUE(pruned.node(0).ccmgr().pruning());  // default on
+
+  Cluster exhaustive(cfg);
+  define_wide_class(exhaustive.classes());
+  register_wide_constraints(exhaustive.constraints());
+  analysis::analyze_repository(exhaustive.constraints(),
+                               &exhaustive.classes());
+  for (std::size_t n = 0; n < cfg.nodes; ++n) {
+    exhaustive.node(n).ccmgr().set_pruning(false);
+  }
+
+  const std::string pruned_digest = run_wide_workload(pruned);
+  const std::string exhaustive_digest = run_wide_workload(exhaustive);
+  EXPECT_EQ(pruned_digest, exhaustive_digest);
+  // The workload contains both outcomes, so the digest is discriminating.
+  EXPECT_NE(pruned_digest.find("ok;"), std::string::npos);
+  EXPECT_NE(pruned_digest.find("viol;"), std::string::npos);
+
+  const auto& ps = pruned.node(0).ccmgr().stats();
+  const auto& es = exhaustive.node(0).ccmgr().stats();
+  EXPECT_GT(ps.evaluations_skipped, 0u);
+  EXPECT_EQ(es.evaluations_skipped, 0u);
+  EXPECT_LT(ps.validations, es.validations);
+  EXPECT_EQ(ps.violations, es.violations);
+
+  // The saved work is visible to operators through the metrics snapshot.
+  const ClusterMetrics m = collect_metrics(pruned);
+  EXPECT_EQ(m.nodes[0].evaluations_skipped, ps.evaluations_skipped);
+}
+
+TEST(Analysis, AdminDeployAnalyzesAndExportsReports) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  Cluster cluster(cfg);
+  ClassDescriptor& flight = cluster.classes().define("Flight");
+  flight.define_property("seats", Value{std::int64_t{100}}, "int");
+  flight.define_property("soldTickets", Value{std::int64_t{0}}, "int");
+
+  AdminConsole admin(cluster);
+  const std::size_t loaded = admin.deploy_constraints(
+      "<constraints>"
+      "  <constraint name=\"SeatLimit\" type=\"HARD\" priority=\"CRITICAL\">"
+      "    <ocl>self.soldTickets &lt;= self.seats</ocl>"
+      "    <context-class>Flight</context-class>"
+      "    <affected-methods>"
+      "      <affected-method>"
+      "        <objectMethod name=\"setSoldTickets\">"
+      "          <objectClass>Flight</objectClass>"
+      "          <arguments><argument>int</argument></arguments>"
+      "        </objectMethod>"
+      "      </affected-method>"
+      "    </affected-methods>"
+      "  </constraint>"
+      "</constraints>");
+  EXPECT_EQ(loaded, 1u);
+
+  const AnalysisReport* r = admin.analysis_report("SeatLimit");
+  ASSERT_NE(r, nullptr);
+  EXPECT_FALSE(r->opaque);
+  EXPECT_EQ(r->locality, Locality::Local);
+  EXPECT_TRUE(r->prunable);
+  EXPECT_EQ(r->read_set.attributes,
+            (std::set<std::string>{"seats", "soldTickets"}));
+  EXPECT_EQ(admin.analysis_report("NoSuch"), nullptr);
+
+  // The reports ride along in the JSON export for /metrics consumers.
+  const obs::Json doc = obs::Json::parse(admin.metrics_json());
+  const obs::Json& constraints = doc.at("constraints");
+  ASSERT_EQ(constraints.size(), 1u);
+  const obs::Json& entry = constraints.at(0);
+  EXPECT_EQ(entry.at("name").as_string(), "SeatLimit");
+  EXPECT_EQ(entry.at("analysis").at("locality").as_string(), "local");
+  EXPECT_EQ(entry.at("analysis").at("prunable").as_bool(), true);
+}
+
+}  // namespace
+}  // namespace dedisys

@@ -6,6 +6,25 @@
 #include "validation/harness.h"
 #include "validation/ocl.h"
 
+// The PerformanceShape tests assert wall-clock cost orderings; sanitizer
+// instrumentation (redzones, shadow memory) distorts the per-mechanism
+// ratios enough to flip close orderings, so they are skipped under
+// ASan/TSan builds (DEDISYS_SANITIZE).
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define DEDISYS_TIMING_TESTS_UNRELIABLE 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DEDISYS_TIMING_TESTS_UNRELIABLE 1
+#endif
+#ifdef DEDISYS_TIMING_TESTS_UNRELIABLE
+#define DEDISYS_SKIP_UNDER_SANITIZERS() \
+  GTEST_SKIP() << "wall-clock shape assertions are skipped under sanitizers"
+#else
+#define DEDISYS_SKIP_UNDER_SANITIZERS() (void)0
+#endif
+
 namespace dedisys::validation {
 namespace {
 
@@ -94,6 +113,7 @@ TEST(ApproachBehaviour, StagedPipelineCountsAreMonotone) {
 // ---------------------------------------------------------------------------
 
 TEST(PerformanceShape, InlineAspectsCostAboutTheSameAsHandcrafted) {
+  DEDISYS_SKIP_UNDER_SANITIZERS();
   const double hand = measure_approach(Approach::Handcrafted, 5, 9);
   const double aspect = measure_approach(Approach::AspectInline, 5, 9);
   EXPECT_LT(aspect, 2.0 * hand);
@@ -101,12 +121,14 @@ TEST(PerformanceShape, InlineAspectsCostAboutTheSameAsHandcrafted) {
 }
 
 TEST(PerformanceShape, OptimizedRepositoryBeatsNaiveRepository) {
+  DEDISYS_SKIP_UNDER_SANITIZERS();
   const double opt = measure_approach(Approach::ProxyRepoOpt, 5, 9);
   const double naive = measure_approach(Approach::ProxyRepo, 5, 9);
   EXPECT_LT(2.0 * opt, naive);
 }
 
 TEST(PerformanceShape, InterpretedOclIsTheSlowestApproach) {
+  DEDISYS_SKIP_UNDER_SANITIZERS();
   const double ocl = measure_approach(Approach::DresdenOcl, 5, 9);
   for (Approach a : {Approach::Handcrafted, Approach::JmlStyle,
                      Approach::AopRepo, Approach::ProxyRepo}) {
@@ -115,6 +137,7 @@ TEST(PerformanceShape, InterpretedOclIsTheSlowestApproach) {
 }
 
 TEST(PerformanceShape, InterceptionCostOrderingMatchesFig25) {
+  DEDISYS_SKIP_UNDER_SANITIZERS();
   // aspect < aop < proxy for pure interception (Fig. 2.5).
   const double aspect =
       measure_repo_staged(MechKind::Aspect, true, RepoStage::InterceptOnly, 5, 9);
@@ -127,6 +150,7 @@ TEST(PerformanceShape, InterceptionCostOrderingMatchesFig25) {
 }
 
 TEST(PerformanceShape, ExtractionFlipsTheOrderingMatchesFig26) {
+  DEDISYS_SKIP_UNDER_SANITIZERS();
   // aop < proxy < aspect once parameter extraction is included (Fig. 2.6).
   const double aspect =
       measure_repo_staged(MechKind::Aspect, true, RepoStage::Extract, 5, 9);
