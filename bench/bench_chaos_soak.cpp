@@ -1,0 +1,106 @@
+// Chaos soak driver: runs one seeded fault plan against a random workload
+// and checks the dependability invariants (see scenarios/chaos.h).
+//
+// Usage:
+//   bench_chaos_soak [--seed N] [--nodes N] [--objects N] [--ops N]
+//                    [--events N] [--horizon-ms N] [--protocol pp|pb|av]
+//                    [--json] [--timeline]
+//
+// Exits 0 when every invariant holds, 1 otherwise.  With --timeline the
+// rendered trace goes to stdout — two runs with identical arguments must
+// produce byte-identical output (check.sh --chaos diffs them).
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "scenarios/chaos.h"
+
+namespace {
+
+std::uint64_t parse_u64(const char* text) {
+  return std::strtoull(text, nullptr, 10);
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--seed N] [--nodes N] [--objects N] [--ops N] [--events N]"
+               " [--horizon-ms N] [--protocol pp|pb|av] [--json] [--timeline]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dedisys::ReplicationProtocol;
+  dedisys::scenarios::ChaosOptions options;
+  bool print_json = false;
+  bool print_timeline = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--seed") == 0) {
+      options.seed = parse_u64(value());
+    } else if (std::strcmp(arg, "--nodes") == 0) {
+      options.nodes = static_cast<std::size_t>(parse_u64(value()));
+    } else if (std::strcmp(arg, "--objects") == 0) {
+      options.objects = static_cast<std::size_t>(parse_u64(value()));
+    } else if (std::strcmp(arg, "--ops") == 0) {
+      options.ops = static_cast<std::size_t>(parse_u64(value()));
+    } else if (std::strcmp(arg, "--events") == 0) {
+      options.fault_events = static_cast<std::size_t>(parse_u64(value()));
+    } else if (std::strcmp(arg, "--horizon-ms") == 0) {
+      options.horizon = dedisys::sim_ms(parse_u64(value()));
+    } else if (std::strcmp(arg, "--protocol") == 0) {
+      const std::string p = value();
+      if (p == "pp") {
+        options.protocol = ReplicationProtocol::PrimaryPartition;
+      } else if (p == "pb") {
+        options.protocol = ReplicationProtocol::PrimaryBackup;
+      } else if (p == "av") {
+        options.protocol = ReplicationProtocol::AdaptiveVoting;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--json") == 0) {
+      print_json = true;
+    } else if (std::strcmp(arg, "--timeline") == 0) {
+      print_timeline = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const dedisys::scenarios::ChaosResult result =
+      dedisys::scenarios::run_chaos(options);
+
+  if (print_timeline) std::cout << result.timeline;
+  if (print_json) std::cout << result.metrics_json << '\n';
+
+  std::cerr << "chaos seed=" << options.seed
+            << " committed=" << result.committed
+            << " aborted=" << result.aborted
+            << " skipped=" << result.skipped_node_down
+            << " faults=" << result.faults_applied
+            << " reconciles=" << result.reconciles
+            << " conflicts=" << result.conflicts
+            << " reevaluated=" << result.threats_reevaluated << '\n';
+  if (!result.invariants_ok()) {
+    std::cerr << "INVARIANT VIOLATION:"
+              << " lost_threats=" << result.lost_threats
+              << " threats_remaining=" << result.threats_remaining
+              << " primary_violations=" << result.primary_violations
+              << " divergent_objects=" << result.divergent_objects
+              << " model_mismatches=" << result.model_mismatches << '\n';
+    return 1;
+  }
+  std::cerr << "all invariants hold\n";
+  return 0;
+}

@@ -58,11 +58,10 @@ int main() {
   std::printf("\nduring the partition, the middleware recorded:\n");
   admin.print_threats(std::cout);
 
-  // The administrator snapshots the durable threat state...
-  std::stringstream backup;
-  admin.save_threat_state(backup);
-  std::printf("threat state snapshot taken (%zu bytes)\n",
-              backup.str().size());
+  // The administrator snapshots the durable cluster state...
+  const ClusterSnapshot backup = admin.take_snapshot();
+  std::printf("cluster snapshot taken (%zu node stores, %zu threat bytes)\n",
+              backup.node_states.size(), backup.threat_state.size());
 
   // ...heals and reconciles...
   cluster.heal();

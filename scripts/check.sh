@@ -10,10 +10,16 @@
 #      and carries latency percentile summaries (p50/p95/p99)
 #
 # Modes:
-#   scripts/check.sh [build-dir]     default tier-1 pass (build dir: build)
+#   scripts/check.sh [build-dir]     default tier-1 pass (build dir: build);
+#                                    includes the chaos smoke and the
+#                                    --asan tier
 #   scripts/check.sh --asan          rebuild in build-asan with
 #                                    DEDISYS_SANITIZE=address;undefined and
 #                                    run the test suite under ASan+UBSan
+#   scripts/check.sh --chaos         chaos smoke only: 3 seeded fault
+#                                    plans, each run twice; invariants must
+#                                    hold and the trace timelines must be
+#                                    byte-identical per seed
 #   scripts/check.sh --tidy          clang-tidy over src/ (skipped with a
 #                                    message when clang-tidy is missing)
 set -euo pipefail
@@ -25,10 +31,34 @@ MODE="default"
 BUILD_DIR="build"
 case "${1:-}" in
   --asan) MODE="asan" ;;
+  --chaos) MODE="chaos" ;;
   --tidy) MODE="tidy" ;;
   "") ;;
   *) BUILD_DIR="$1" ;;
 esac
+
+# Chaos smoke: seeded fault plans against the random workload.  Each seed
+# runs twice — the soak binary exits nonzero on any invariant violation,
+# and the two trace timelines must match byte for byte (determinism).
+chaos_smoke() {
+  local soak="$1/bench/bench_chaos_soak"
+  local a b
+  a="$(mktemp /tmp/chaos_a_XXXXXX.txt)"
+  b="$(mktemp /tmp/chaos_b_XXXXXX.txt)"
+  for seed in 1 2 3; do
+    "$soak" --seed "$seed" --ops 40 --events 8 --horizon-ms 250 \
+      --timeline > "$a" 2> /dev/null
+    "$soak" --seed "$seed" --ops 40 --events 8 --horizon-ms 250 \
+      --timeline > "$b" 2> /dev/null
+    if ! cmp -s "$a" "$b"; then
+      echo "check.sh: chaos seed $seed is not deterministic" >&2
+      rm -f "$a" "$b"
+      exit 1
+    fi
+    echo "chaos smoke: seed $seed ok ($(wc -l < "$a") trace lines)"
+  done
+  rm -f "$a" "$b"
+}
 
 if [ "$MODE" = "asan" ]; then
   BUILD_DIR="build-asan"
@@ -36,6 +66,14 @@ if [ "$MODE" = "asan" ]; then
   cmake --build "$BUILD_DIR" -j "$JOBS"
   (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
   echo "check.sh --asan: all green"
+  exit 0
+fi
+
+if [ "$MODE" = "chaos" ]; then
+  cmake -B "$BUILD_DIR" -S . > /dev/null
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_chaos_soak
+  chaos_smoke "$BUILD_DIR"
+  echo "check.sh --chaos: all green"
   exit 0
 fi
 
@@ -72,5 +110,10 @@ OUT="$(mktemp /tmp/BENCH_smoke_XXXXXX.json)"
 trap 'rm -f "$OUT"' EXIT
 "$BUILD_DIR/bench/bench_fig5_2_healthy_degraded" --json "$OUT" > /dev/null
 "$BUILD_DIR/bench/json_validate" --require-latencies "$OUT"
+
+# Fault-tolerance gates: chaos smoke on this build, then the sanitizer
+# tier (its own build dir, ASan+UBSan over the full test suite).
+chaos_smoke "$BUILD_DIR"
+"$0" --asan
 
 echo "check.sh: all green"

@@ -5,50 +5,200 @@
 // confirmations (Section 4.3).  Because the whole cluster lives in one
 // process, "delivery" is a direct call per receiver; this class contributes
 // the cost accounting and the reachability filtering.
+//
+// On fair-lossy links (Section 1.1) messages may be dropped, delayed or
+// duplicated, so the primitives implement timeout/retry with exponential
+// backoff and idempotent delivery: every logical message carries an id, a
+// lost request or lost acknowledgement triggers a retransmission (charged
+// as a point-to-point round plus backoff), and duplicate deliveries —
+// whether from in-flight duplication or from an ack-loss retransmission —
+// are suppressed before reaching the handler.  With no link faults
+// configured the fast path charges exactly the fault-free costs.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "obs/observability.h"
 #include "sim/network.h"
 #include "util/ids.h"
+#include "util/sim_clock.h"
 
 namespace dedisys {
 
 class GroupCommunication {
  public:
+  /// Retransmission policy for lost messages and lost acknowledgements.
+  struct RetryPolicy {
+    std::size_t max_attempts = 4;         ///< total tries per receiver
+    SimDuration base_backoff = sim_us(500);
+    double multiplier = 2.0;              ///< exponential backoff factor
+  };
+
+  struct Stats {
+    std::uint64_t sends = 0;
+    std::uint64_t multicasts = 0;
+    std::uint64_t retries = 0;                 ///< retransmissions issued
+    std::uint64_t gave_up = 0;                 ///< receivers abandoned
+    std::uint64_t duplicates_suppressed = 0;   ///< idempotent-delivery hits
+    std::uint64_t reordered = 0;               ///< multicasts shuffled
+  };
+
   explicit GroupCommunication(SimNetwork& net) : net_(net) {}
+
+  /// Wires the cluster's observability hub (msg.retried / msg.deduped).
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
+
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
   /// Synchronous acked multicast: invokes `deliver(node)` for every
   /// reachable member other than `from`, charging multicast plus one
-  /// aggregate confirmation round.  Returns the number of nodes reached.
+  /// aggregate confirmation round.  Lost per-receiver deliveries are
+  /// retransmitted point-to-point.  Returns the number of nodes that
+  /// ultimately received the message.
   std::size_t multicast(NodeId from, const std::vector<NodeId>& members,
                         const std::function<void(NodeId)>& deliver) {
+    ++stats_.multicasts;
     const std::size_t reached = net_.charge_multicast(from, members);
+    std::vector<NodeId> targets;
     for (NodeId m : members) {
-      if (m != from && net_.reachable(from, m)) deliver(m);
+      if (m != from && net_.reachable(from, m)) targets.push_back(m);
+    }
+    maybe_reorder(from, targets);
+    const std::uint64_t msg = next_msg_id_++;
+    std::unordered_set<std::uint64_t> seen;
+    std::size_t delivered = 0;
+    for (NodeId m : targets) {
+      if (deliver_with_retry(from, m, msg, seen,
+                             /*first_attempt_charged=*/true,
+                             [&] { deliver(m); })) {
+        ++delivered;
+      }
     }
     if (reached > 0) {
       // Confirmation messages from the backups travel back to the primary
       // in parallel; charge a single response latency.
       net_.clock().advance(net_.cost().rpc_latency);
     }
-    return reached;
+    return delivered;
   }
 
-  /// Synchronous point-to-point request; returns false when unreachable.
+  /// Synchronous point-to-point request; returns false when unreachable
+  /// (a partition is not retried — only message loss on live links is).
   bool send(NodeId from, NodeId to, const std::function<void()>& deliver) {
-    if (!net_.charge_rpc(from, to)) return false;
-    deliver();
-    if (from != to) net_.clock().advance(net_.cost().rpc_latency);  // reply
-    return true;
+    ++stats_.sends;
+    if (!net_.reachable(from, to)) return false;
+    if (from == to) {
+      deliver();
+      return true;
+    }
+    const std::uint64_t msg = next_msg_id_++;
+    std::unordered_set<std::uint64_t> seen;
+    return deliver_with_retry(from, to, msg, seen,
+                              /*first_attempt_charged=*/false, deliver);
   }
 
   SimNetwork& network() { return net_; }
 
  private:
+  /// Delivers one logical message to one receiver with retransmission on
+  /// request or acknowledgement loss.  `first_attempt_charged` marks the
+  /// first request leg as already paid for (multicast base cost); every
+  /// retransmission is charged as a point-to-point round plus backoff.
+  /// Returns true when the payload reached the receiver at least once.
+  bool deliver_with_retry(NodeId from, NodeId to, std::uint64_t msg,
+                          std::unordered_set<std::uint64_t>& seen,
+                          bool first_attempt_charged,
+                          const std::function<void()>& deliver) {
+    bool delivered_any = false;
+    for (std::size_t attempt = 1;; ++attempt) {
+      const bool charged = first_attempt_charged && attempt == 1;
+      SimNetwork::Delivery request = net_.delivery_verdict(from, to);
+      if (!charged) {
+        net_.clock().advance(net_.cost().rpc_latency + request.extra_delay);
+      } else if (request.extra_delay > 0) {
+        net_.clock().advance(request.extra_delay);
+      }
+      if (request.delivered) {
+        for (std::size_t c = 0; c < request.copies; ++c) {
+          deliver_once(msg, to, seen, deliver);
+        }
+        delivered_any = true;
+        SimNetwork::Delivery ack = net_.delivery_verdict(to, from);
+        if (!charged) {
+          net_.clock().advance(net_.cost().rpc_latency + ack.extra_delay);
+        } else if (ack.extra_delay > 0) {
+          net_.clock().advance(ack.extra_delay);
+        }
+        if (ack.delivered) return true;
+        // Lost acknowledgement: the sender cannot distinguish this from a
+        // lost request and retransmits; dedup makes the retry idempotent.
+      }
+      if (attempt >= retry_.max_attempts) {
+        ++stats_.gave_up;
+        return delivered_any;
+      }
+      ++stats_.retries;
+      if (obs::on(obs_)) {
+        obs_->event(net_.clock().now(), obs::TraceEventKind::MsgRetried, from,
+                    {}, {}, "gc",
+                    "msg " + std::to_string(msg) + " -> node " + to_string(to) +
+                        " attempt " + std::to_string(attempt + 1));
+      }
+      net_.clock().advance(backoff_delay(attempt));
+    }
+  }
+
+  void deliver_once(std::uint64_t msg, NodeId to,
+                    std::unordered_set<std::uint64_t>& seen,
+                    const std::function<void()>& deliver) {
+    if (!seen.insert(to.value()).second) {
+      ++stats_.duplicates_suppressed;
+      if (obs::on(obs_)) {
+        obs_->event(net_.clock().now(), obs::TraceEventKind::MsgDeduped, to,
+                    {}, {}, "gc", "msg " + std::to_string(msg));
+      }
+      return;
+    }
+    deliver();
+  }
+
+  /// Shuffles the receiver order of a multicast when a reorder fault is
+  /// active on any outgoing link (fair-lossy links do not guarantee FIFO
+  /// across receivers).  Draws randomness only while faults are active.
+  void maybe_reorder(NodeId from, std::vector<NodeId>& targets) {
+    if (!net_.faults_active() || targets.size() < 2) return;
+    double p = 0.0;
+    for (NodeId t : targets) {
+      const LinkFaults& f = net_.effective_faults(from, t);
+      if (f.reorder > p) p = f.reorder;
+    }
+    if (p <= 0.0) return;
+    Rng& rng = net_.fault_rng();
+    if (!rng.chance(p)) return;
+    for (std::size_t i = targets.size(); i > 1; --i) {
+      std::swap(targets[i - 1], targets[rng.below(i)]);
+    }
+    ++stats_.reordered;
+  }
+
+  [[nodiscard]] SimDuration backoff_delay(std::size_t attempt) const {
+    double d = static_cast<double>(retry_.base_backoff);
+    for (std::size_t i = 1; i < attempt; ++i) d *= retry_.multiplier;
+    return static_cast<SimDuration>(d);
+  }
+
   SimNetwork& net_;
+  obs::Observability* obs_ = nullptr;
+  RetryPolicy retry_;
+  Stats stats_;
+  std::uint64_t next_msg_id_ = 1;
 };
 
 }  // namespace dedisys

@@ -8,7 +8,9 @@
 // threats, and snapshotting/restoring durable state.
 #pragma once
 
+#include <algorithm>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,16 @@
 #include "persist/snapshot.h"
 
 namespace dedisys {
+
+/// Value-typed snapshot of all durable cluster state: one serialized
+/// record-store image per node plus the shared threat database.  Produced
+/// by AdminConsole::take_snapshot and consumed by AdminConsole::restore —
+/// the crash-restart recovery path of the fault engine, and the
+/// administrator's backup format.
+struct ClusterSnapshot {
+  std::vector<std::string> node_states;  ///< node index -> serialized store
+  std::string threat_state;              ///< serialized threat database
+};
 
 class AdminConsole {
  public:
@@ -136,20 +148,55 @@ class AdminConsole {
 
   // -- durable state ---------------------------------------------------------------
 
-  /// Saves a node's durable store (entities, replica metadata, threats on
-  /// the shared store live in the threat DB, saved separately).
+  /// Captures every node's durable store plus the shared threat database
+  /// as one value (the administrator's backup; also the state a restarted
+  /// node recovers from).
+  [[nodiscard]] ClusterSnapshot take_snapshot() {
+    ClusterSnapshot snap;
+    snap.node_states.reserve(cluster_->size());
+    for (std::size_t i = 0; i < cluster_->size(); ++i) {
+      std::ostringstream os;
+      save_snapshot(cluster_->node(i).db(), os);
+      snap.node_states.push_back(os.str());
+    }
+    std::ostringstream os;
+    save_snapshot(cluster_->threat_db(), os);
+    snap.threat_state = os.str();
+    return snap;
+  }
+
+  /// Restores a snapshot taken with take_snapshot: every node's durable
+  /// store, the threat database, and the threat index rebuilt over it.
+  void restore(const ClusterSnapshot& snap) {
+    const std::size_t count =
+        std::min(snap.node_states.size(), cluster_->size());
+    for (std::size_t i = 0; i < count; ++i) {
+      std::istringstream is(snap.node_states[i]);
+      load_snapshot(cluster_->node(i).db(), is);
+    }
+    std::istringstream is(snap.threat_state);
+    load_snapshot(cluster_->threat_db(), is);
+    cluster_->threats().rebuild_index();
+  }
+
+  // -- durable state (deprecated stream API) ----------------------------------
+
+  /// Deprecated: use take_snapshot()/restore(ClusterSnapshot) instead.
   void save_node_state(std::size_t node, std::ostream& os) {
     save_snapshot(cluster_->node(node).db(), os);
   }
 
+  /// Deprecated: use take_snapshot()/restore(ClusterSnapshot) instead.
   void restore_node_state(std::size_t node, std::istream& is) {
     load_snapshot(cluster_->node(node).db(), is);
   }
 
+  /// Deprecated: use take_snapshot()/restore(ClusterSnapshot) instead.
   void save_threat_state(std::ostream& os) {
     save_snapshot(cluster_->threat_db(), os);
   }
 
+  /// Deprecated: use take_snapshot()/restore(ClusterSnapshot) instead.
   void restore_threat_state(std::istream& is) {
     load_snapshot(cluster_->threat_db(), is);
     cluster_->threats().rebuild_index();

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
+#include "sim/fault_engine.h"
 #include "util/errors.h"
 
 namespace dedisys {
@@ -13,6 +15,7 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   tm_ = std::make_unique<TransactionManager>(clock_, network_->cost());
   tm_->set_observability(&obs_);
   gc_ = std::make_unique<GroupCommunication>(*network_);
+  gc_->set_observability(&obs_);
   events_ = std::make_unique<EventQueue>(clock_);
   weights_ = std::make_shared<NodeWeights>();
   directory_ = std::make_shared<ObjectDirectory>();
@@ -82,6 +85,10 @@ void Cluster::split(const std::vector<std::vector<std::size_t>>& groups) {
     for (std::size_t idx : g) ids.push_back(node(idx).id());
     node_groups.push_back(std::move(ids));
   }
+  split_ids(std::move(node_groups));
+}
+
+void Cluster::split_ids(std::vector<std::vector<NodeId>> node_groups) {
   last_partition_groups_ = node_groups;
   if (obs_.enabled()) {
     std::string detail;
@@ -96,7 +103,7 @@ void Cluster::split(const std::vector<std::vector<std::size_t>>& groups) {
     obs_.event(clock_.now(), obs::TraceEventKind::NetworkSplit, {}, {}, {},
                "partition", detail);
   }
-  network_->partition(node_groups);
+  network_->apply(fault::Partition{std::move(node_groups)});
 }
 
 void Cluster::heal() {
@@ -104,7 +111,106 @@ void Cluster::heal() {
     obs_.event(clock_.now(), obs::TraceEventKind::NetworkHeal, {}, {}, {},
                "heal");
   }
-  network_->heal();
+  network_->apply(fault::Heal{});
+}
+
+void Cluster::crash_node(std::size_t index) {
+  DedisysNode& n = node(index);
+  // The pause-crash wipes the node's volatile state (in-memory replicas);
+  // the durable record store survives for restart recovery.
+  n.replication().drop_volatile();
+  network_->apply(fault::Crash{n.id()});
+}
+
+std::size_t Cluster::restart_node(std::size_t index) {
+  DedisysNode& n = node(index);
+  network_->apply(fault::Restart{n.id()});
+
+  // Coordinator recovery first: any transaction left in doubt by a crash
+  // between prepare and commit is presumed aborted, releasing its locks
+  // and prepared resources before new work arrives (Section 1.1).
+  const std::size_t presumed = tm_->recover_in_doubt();
+
+  // Replica rebuild, in object-id order for determinism: prefer the
+  // freshest reachable peer copy; fall back to this node's own durable
+  // entity table (last flushed attribute state).
+  std::size_t rebuilt = 0;
+  std::vector<ObjectId> ids = directory_->all_objects();
+  std::sort(ids.begin(), ids.end());
+  for (ObjectId id : ids) {
+    const ObjectDirectory::Entry& entry = directory_->get(id);
+    if (std::find(entry.replicas.begin(), entry.replicas.end(), n.id()) ==
+        entry.replicas.end()) {
+      continue;
+    }
+    if (n.replication().has_local_replica(id)) continue;
+    std::optional<EntitySnapshot> best;
+    for (NodeId peer : network_->reachable_set(n.id())) {
+      if (peer == n.id()) continue;
+      DedisysNode* p = node_by_id(peer);
+      if (p == nullptr || !p->replication().has_local_replica(id)) continue;
+      // State transfer: extract and ship the peer's copy.
+      clock_.advance(config_.cost.state_extraction + config_.cost.rpc_latency);
+      const Entity& e = p->replication().local_replica(id);
+      if (!best || e.version() > best->version) best = e.snapshot();
+    }
+    if (!best) {
+      auto record = n.db().get("entities", to_string(id));
+      if (record) {
+        EntitySnapshot snap;
+        snap.id = id;
+        snap.class_name = entry.class_name;
+        snap.attributes = *record;
+        auto version = n.db().get("replica_versions", to_string(id));
+        if (version) {
+          auto it = version->find("version");
+          if (it != version->end()) {
+            snap.version = static_cast<std::uint64_t>(as_int(it->second));
+          }
+        }
+        best = std::move(snap);
+      }
+    }
+    if (best) {
+      clock_.advance(config_.cost.backup_apply);
+      n.replication().adopt_replica(*best);
+      ++rebuilt;
+    }
+  }
+  if (obs_.enabled()) {
+    obs_.event(clock_.now(), obs::TraceEventKind::NodeRestarted, n.id(), {},
+               {}, "restart",
+               "replicas=" + std::to_string(rebuilt) +
+                   " presumed_aborts=" + std::to_string(presumed));
+  }
+  return rebuilt;
+}
+
+void Cluster::adopt_fault_engine(FaultEngine& engine) {
+  engine.set_observability(&obs_);
+  engine.set_crash_handler([this](NodeId id) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i]->id() == id) {
+        crash_node(i);
+        return;
+      }
+    }
+    network_->apply(fault::Crash{id});
+  });
+  engine.set_restart_handler([this](NodeId id) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i]->id() == id) {
+        restart_node(i);
+        return;
+      }
+    }
+    network_->apply(fault::Restart{id});
+  });
+  engine.set_partition_handler(
+      [this](const std::vector<std::vector<NodeId>>& groups) {
+        split_ids(groups);
+      });
+  engine.set_heal_handler([this] { heal(); });
 }
 
 Cluster::ReconciliationReport Cluster::reconcile(

@@ -24,6 +24,8 @@
 
 namespace dedisys {
 
+class FaultEngine;
+
 struct ClusterConfig {
   std::size_t nodes = 3;
   CostModel cost{};
@@ -99,8 +101,29 @@ class Cluster {
   /// Splits the cluster into partitions of node indices, e.g. {{0,1},{2}}.
   void split(const std::vector<std::vector<std::size_t>>& groups);
 
+  /// Same, with node ids (fault-engine partition actions route here so the
+  /// groups are recorded for reconciliation and traced).
+  void split_ids(std::vector<std::vector<NodeId>> node_groups);
+
   /// Repairs all link failures; nodes transition to Reconciling mode.
   void heal();
+
+  /// Pause-crash of one node: network-level crash plus loss of the node's
+  /// volatile replica state.  Durable storage (record store, replica
+  /// versions, degraded-update marks) survives for recovery.
+  void crash_node(std::size_t index);
+
+  /// Restarts a crashed node: network rejoin (GMS installs new views),
+  /// presumed-abort recovery of in-doubt transactions, and replica
+  /// rebuild — preferring the freshest reachable peer copy, falling back
+  /// to the node's own durable entity table.  Returns the number of
+  /// replicas rebuilt.
+  std::size_t restart_node(std::size_t index);
+
+  /// Wires a fault engine to this cluster: its crash/restart actions
+  /// route through crash_node/restart_node (index resolved from NodeId)
+  /// and its trace events land in this cluster's observability hub.
+  void adopt_fault_engine(FaultEngine& engine);
 
   // -- reconciliation (Section 4.4) -------------------------------------------------
 

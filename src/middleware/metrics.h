@@ -23,6 +23,7 @@ struct NodeMetrics {
   std::size_t updates_propagated = 0;
   std::size_t backups_applied = 0;
   std::size_t history_records = 0;
+  std::size_t stale_skipped = 0;
   std::size_t validations = 0;
   std::size_t evaluations_skipped = 0;
   std::size_t threats_detected = 0;
@@ -31,11 +32,30 @@ struct NodeMetrics {
   std::size_t violations = 0;
 };
 
+/// Cluster-wide fault-tolerance counters: the per-message fault outcomes
+/// of the network, the GCS retry/dedup machinery and 2PC recovery.
+struct FaultToleranceMetrics {
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t gc_retries = 0;
+  std::uint64_t gc_gave_up = 0;
+  std::uint64_t gc_duplicates_suppressed = 0;
+  std::uint64_t gc_reordered = 0;
+  std::uint64_t tx_commits = 0;
+  std::uint64_t tx_aborts = 0;
+  std::uint64_t tx_presumed_aborts = 0;
+  std::uint64_t tx_in_doubt = 0;
+};
+
 struct ClusterMetrics {
   SimTime sim_time = 0;
   std::size_t stored_threat_identities = 0;
   std::size_t stored_threat_occurrences = 0;
   std::size_t live_objects = 0;
+  FaultToleranceMetrics faults;
   std::vector<NodeMetrics> nodes;
 
   /// Sums a per-node counter across the cluster.
@@ -54,6 +74,24 @@ inline ClusterMetrics collect_metrics(Cluster& cluster) {
   out.stored_threat_identities = cluster.threats().identity_count();
   out.stored_threat_occurrences = cluster.threats().total_occurrences();
   out.live_objects = cluster.directory()->size();
+  {
+    const SimNetwork::FaultStats& net = cluster.network().fault_stats();
+    const GroupCommunication::Stats& gc = cluster.gc().stats();
+    const TransactionManager::Stats& tx = cluster.tx().stats();
+    out.faults.messages_dropped = net.messages_dropped;
+    out.faults.messages_duplicated = net.messages_duplicated;
+    out.faults.messages_delayed = net.messages_delayed;
+    out.faults.crashes = net.crashes;
+    out.faults.restarts = net.restarts;
+    out.faults.gc_retries = gc.retries;
+    out.faults.gc_gave_up = gc.gave_up;
+    out.faults.gc_duplicates_suppressed = gc.duplicates_suppressed;
+    out.faults.gc_reordered = gc.reordered;
+    out.faults.tx_commits = tx.commits;
+    out.faults.tx_aborts = tx.aborts;
+    out.faults.tx_presumed_aborts = tx.presumed_aborts;
+    out.faults.tx_in_doubt = cluster.tx().in_doubt_count();
+  }
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     DedisysNode& node = cluster.node(i);
     NodeMetrics m;
@@ -65,6 +103,7 @@ inline ClusterMetrics collect_metrics(Cluster& cluster) {
     m.updates_propagated = node.replication().stats().updates_propagated;
     m.backups_applied = node.replication().stats().backups_applied;
     m.history_records = node.replication().stats().history_records;
+    m.stale_skipped = node.replication().stats().stale_skipped;
     m.validations = node.ccmgr().stats().validations;
     m.evaluations_skipped = node.ccmgr().stats().evaluations_skipped;
     m.threats_detected = node.ccmgr().stats().threats_detected;

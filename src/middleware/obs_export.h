@@ -63,6 +63,7 @@ namespace dedisys::obs {
     node.set("updates_propagated", n.updates_propagated);
     node.set("backups_applied", n.backups_applied);
     node.set("history_records", n.history_records);
+    node.set("stale_skipped", n.stale_skipped);
     node.set("validations", n.validations);
     node.set("evaluations_skipped", n.evaluations_skipped);
     node.set("threats_detected", n.threats_detected);
@@ -71,11 +72,26 @@ namespace dedisys::obs {
     node.set("violations", n.violations);
     nodes.push_back(std::move(node));
   }
+  Json faults = Json::object();
+  faults.set("messages_dropped", m.faults.messages_dropped);
+  faults.set("messages_duplicated", m.faults.messages_duplicated);
+  faults.set("messages_delayed", m.faults.messages_delayed);
+  faults.set("crashes", m.faults.crashes);
+  faults.set("restarts", m.faults.restarts);
+  faults.set("gc_retries", m.faults.gc_retries);
+  faults.set("gc_gave_up", m.faults.gc_gave_up);
+  faults.set("gc_duplicates_suppressed", m.faults.gc_duplicates_suppressed);
+  faults.set("gc_reordered", m.faults.gc_reordered);
+  faults.set("tx_commits", m.faults.tx_commits);
+  faults.set("tx_aborts", m.faults.tx_aborts);
+  faults.set("tx_presumed_aborts", m.faults.tx_presumed_aborts);
+  faults.set("tx_in_doubt", m.faults.tx_in_doubt);
   Json out = Json::object();
   out.set("sim_time_us", m.sim_time);
   out.set("stored_threat_identities", m.stored_threat_identities);
   out.set("stored_threat_occurrences", m.stored_threat_occurrences);
   out.set("live_objects", m.live_objects);
+  out.set("faults", std::move(faults));
   out.set("nodes", std::move(nodes));
   return out;
 }

@@ -40,6 +40,10 @@ enum class TraceEventKind {
   ReconcileEnd,      ///< cluster reconciliation finished
   NetworkSplit,      ///< partition injected
   NetworkHeal,       ///< all link failures repaired
+  FaultInjected,     ///< the fault engine applied a scheduled fault action
+  MsgRetried,        ///< GCS retransmitted a message after loss/ack loss
+  MsgDeduped,        ///< a duplicate delivery was suppressed (idempotence)
+  NodeRestarted,     ///< a crashed node rejoined and recovered its state
 };
 
 [[nodiscard]] inline const char* to_string(TraceEventKind k) {
@@ -63,6 +67,10 @@ enum class TraceEventKind {
     case TraceEventKind::ReconcileEnd: return "reconcile.end";
     case TraceEventKind::NetworkSplit: return "network.split";
     case TraceEventKind::NetworkHeal: return "network.heal";
+    case TraceEventKind::FaultInjected: return "fault.injected";
+    case TraceEventKind::MsgRetried: return "msg.retried";
+    case TraceEventKind::MsgDeduped: return "msg.deduped";
+    case TraceEventKind::NodeRestarted: return "node.restarted";
   }
   return "?";
 }

@@ -190,9 +190,14 @@ void ReplicationManager::propagate_update(ObjectId id, TxId tx) {
     clock.advance(cost.rpc_latency * 2);
   }
 
-  const std::size_t reached =
-      gc_.multicast(self_, reachable_replicas(directory_->get(id)),
-                    [&](NodeId n) { peer(n)->apply_propagated(snap, tx); });
+  const std::vector<NodeId> targets =
+      reachable_replicas(directory_->get(id));
+  std::size_t backups = 0;
+  for (NodeId n : targets) {
+    if (n != self_) ++backups;
+  }
+  const std::size_t reached = gc_.multicast(
+      self_, targets, [&](NodeId n) { peer(n)->apply_propagated(snap, tx); });
   if (reached > 0) {
     // Backups apply the update in parallel; the primary waits for the
     // slowest confirmation (Section 5.1).
@@ -205,9 +210,12 @@ void ReplicationManager::propagate_update(ObjectId id, TxId tx) {
     obs_->latency("replica.propagate", clock.now() - propagate_start);
   }
 
-  if (degraded_) {
+  // Mark the object for reconciliation when degraded, and also when link
+  // faults made the propagation incomplete (retries exhausted on some
+  // backup): the reconciler then redelivers the latest state after heal.
+  if (degraded_ || reached < backups) {
     degraded_updates_.insert(id);
-    if (keep_history_) {
+    if (degraded_ && keep_history_) {
       history_->append(snap);
       ++stats_.history_records;
     }
@@ -239,14 +247,14 @@ void ReplicationManager::propagate_restore(ObjectId id) {
 }
 
 void ReplicationManager::replicate_threat_record() {
-  static std::uint64_t counter = 0;
   const View& view = gms_.current_view();
   gc_.multicast(self_, view.members, [&](NodeId n) {
     ReplicationManager* p = peer(n);
     if (p != nullptr) {
       // Each partition member durably stores the same three records as
       // the originating node (threat row + associated-object rows).
-      const std::string key = std::to_string(++counter);
+      const std::string key = to_string(self_) + "/" +
+                              std::to_string(++threat_replica_counter_);
       p->db_.put("threat_replicas", key, {});
       p->db_.put("threat_replicas", key + "/objects", {});
       p->db_.put("threat_replicas", key + "/appdata", {});
@@ -258,9 +266,24 @@ void ReplicationManager::apply_propagated(const EntitySnapshot& snap,
                                           TxId /*tx*/) {
   SimClock& clock = gc_.network().clock();
   auto it = replicas_.find(snap.id);
-  if (it == replicas_.end()) {
+  const bool created = it == replicas_.end();
+  if (created) {
     apply_created(snap);
     it = replicas_.find(snap.id);
+  }
+  // Idempotent application: every update carries the entity version, so a
+  // duplicated or retransmitted propagation (same or older version than
+  // the local copy) is a no-op.  Distinct updates of one object always
+  // carry distinct versions, hence this never masks real state.
+  if (!created && it->second->version() >= snap.version) {
+    ++stats_.stale_skipped;
+    if (obs::on(obs_)) {
+      obs_->event(clock.now(), obs::TraceEventKind::MsgDeduped, self_, snap.id,
+                  {}, "replication",
+                  "stale propagation v" + std::to_string(snap.version) +
+                      " <= local v" + std::to_string(it->second->version()));
+    }
+    return;
   }
   it->second->restore(snap);
   it->second->touch(clock.now());

@@ -135,11 +135,23 @@ class ReplicationManager final : public StalenessOracle {
 
   [[nodiscard]] ReplicaHistoryStore& history() { return *history_; }
 
+  /// Crash support: drops the volatile replica copies (the in-memory
+  /// entity state lost in a pause-crash).  Durable bookkeeping — the
+  /// node's record store, replica-version metadata and degraded-update
+  /// marks — survives, so a later restart can rebuild the replicas from
+  /// peers or from the durable entity table.
+  void drop_volatile() { replicas_.clear(); }
+
+  /// Restart support: re-adopts a replica rebuilt from a peer snapshot or
+  /// from durable state (no propagation, no degraded bookkeeping).
+  void adopt_replica(const EntitySnapshot& snap) { apply_snapshot(snap); }
+
   // -- statistics -------------------------------------------------------------------
   struct Stats {
     std::size_t updates_propagated = 0;
     std::size_t backups_applied = 0;
     std::size_t history_records = 0;
+    std::size_t stale_skipped = 0;  ///< duplicate/stale propagations ignored
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -174,6 +186,7 @@ class ReplicationManager final : public StalenessOracle {
   bool degraded_ = false;
   bool keep_history_ = true;
   bool replication_enabled_ = true;
+  std::uint64_t threat_replica_counter_ = 0;  ///< per-instance, deterministic
   std::unordered_set<ObjectId> degraded_updates_;
   std::vector<NodeId> degraded_view_members_;
   Stats stats_;

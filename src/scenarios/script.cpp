@@ -171,12 +171,12 @@ void ScriptRunner::execute(const std::vector<std::string>& words,
     cluster_->heal();
   } else if (cmd == "crash") {
     need(1);
-    cluster_->network().crash(
-        cluster_->node(to_count(words[1], line)).id());
+    cluster_->network().apply(
+        fault::Crash{cluster_->node(to_count(words[1], line)).id()});
   } else if (cmd == "recover") {
     need(1);
-    cluster_->network().recover(
-        cluster_->node(to_count(words[1], line)).id());
+    cluster_->network().apply(
+        fault::Restart{cluster_->node(to_count(words[1], line)).id()});
   } else if (cmd == "reconcile") {
     (void)cluster_->reconcile();
   } else if (cmd == "expect-threats") {
@@ -241,7 +241,7 @@ FailureSchedule& FailureSchedule::heal_at(SimTime when) {
 FailureSchedule& FailureSchedule::crash_at(SimTime when, std::size_t node) {
   Cluster* cluster = cluster_;
   cluster_->events().schedule_at(when, [cluster, node] {
-    cluster->network().crash(cluster->node(node).id());
+    cluster->network().apply(fault::Crash{cluster->node(node).id()});
   });
   return *this;
 }
@@ -249,7 +249,7 @@ FailureSchedule& FailureSchedule::crash_at(SimTime when, std::size_t node) {
 FailureSchedule& FailureSchedule::recover_at(SimTime when, std::size_t node) {
   Cluster* cluster = cluster_;
   cluster_->events().schedule_at(when, [cluster, node] {
-    cluster->network().recover(cluster->node(node).id());
+    cluster->network().apply(fault::Restart{cluster->node(node).id()});
   });
   return *this;
 }

@@ -1,0 +1,260 @@
+#include "sim/fault_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "util/rng.h"
+
+namespace dedisys {
+
+void FaultPlan::sort() {
+  std::stable_sort(
+      actions.begin(), actions.end(),
+      [](const TimedFault& a, const TimedFault& b) { return a.at < b.at; });
+}
+
+namespace fault {
+
+namespace {
+
+std::string format_prob(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+std::string format_faults(const LinkFaults& f) {
+  if (!f.any()) return "clear";
+  std::string out;
+  if (f.drop > 0.0) out += "drop=" + format_prob(f.drop);
+  if (f.duplicate > 0.0) {
+    out += (out.empty() ? "" : " ") + ("dup=" + format_prob(f.duplicate));
+  }
+  if (f.delay_prob > 0.0 && f.delay > 0) {
+    out += (out.empty() ? "" : " ") +
+           ("delay=" + format_prob(f.delay_prob) + "x" +
+            std::to_string(f.delay) + "us");
+  }
+  if (f.reorder > 0.0) {
+    out += (out.empty() ? "" : " ") + ("reorder=" + format_prob(f.reorder));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string describe(const Op& op) {
+  struct Describer {
+    std::string operator()(const Partition& p) const {
+      std::string out = "groups";
+      for (const auto& g : p.groups) {
+        out += " {";
+        for (std::size_t i = 0; i < g.size(); ++i) {
+          if (i > 0) out += ',';
+          out += to_string(g[i]);
+        }
+        out += '}';
+      }
+      return out;
+    }
+    std::string operator()(const Crash& c) const {
+      return "node " + to_string(c.node);
+    }
+    std::string operator()(const Restart& r) const {
+      return "node " + to_string(r.node);
+    }
+    std::string operator()(const Heal&) const { return "all links repaired"; }
+    std::string operator()(const SetLinkFaults& s) const {
+      return format_faults(s.faults);
+    }
+    std::string operator()(const SetLinkFaultsOn& s) const {
+      return to_string(s.from) + "->" + to_string(s.to) + " " +
+             format_faults(s.faults);
+    }
+  };
+  return std::visit(Describer{}, op);
+}
+
+}  // namespace fault
+
+// ---------------------------------------------------------------------------
+// Random plan generation
+// ---------------------------------------------------------------------------
+
+FaultPlan random_fault_plan(std::uint64_t seed,
+                            const RandomPlanOptions& options) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (options.nodes.size() < 2 || options.events == 0 ||
+      options.horizon <= 0) {
+    return plan;
+  }
+  // A distinct stream from the per-message generator (which the network
+  // seeds with plan.seed), so plan shape and message fates are decoupled.
+  Rng rng(seed ^ 0xFA17B17E5C4EDULL);
+
+  std::vector<SimTime> times;
+  times.reserve(options.events);
+  for (std::size_t i = 0; i < options.events; ++i) {
+    times.push_back(static_cast<SimTime>(
+        rng.below(static_cast<std::uint64_t>(options.horizon))));
+  }
+  std::sort(times.begin(), times.end());
+
+  NodeId crashed{};  // invalid while every node is up
+  bool partitioned = false;
+  for (SimTime t : times) {
+    switch (rng.below(6)) {
+      case 0: {  // partition flap: split into two random groups
+        std::vector<NodeId> shuffled = options.nodes;
+        for (std::size_t i = shuffled.size(); i > 1; --i) {
+          std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+        }
+        const std::size_t cut =
+            1 + static_cast<std::size_t>(rng.below(shuffled.size() - 1));
+        std::vector<std::vector<NodeId>> groups{
+            {shuffled.begin(), shuffled.begin() + cut},
+            {shuffled.begin() + cut, shuffled.end()}};
+        for (auto& g : groups) std::sort(g.begin(), g.end());
+        plan.add(t, fault::Partition{std::move(groups)});
+        partitioned = true;
+        break;
+      }
+      case 1:
+        if (partitioned) {
+          plan.add(t, fault::Heal{});
+          partitioned = false;
+        } else {
+          plan.add(t, fault::SetLinkFaults{});  // reset link faults
+        }
+        break;
+      case 2:
+      case 3:  // crash/restart pair: at most one node down at a time
+        if (crashed.valid()) {
+          plan.add(t, fault::Restart{crashed});
+          crashed = NodeId{};
+        } else {
+          crashed = options.nodes[rng.below(options.nodes.size())];
+          plan.add(t, fault::Crash{crashed});
+        }
+        break;
+      default: {  // link-fault episode
+        LinkFaults f;
+        f.drop = rng.uniform01() * options.max_drop;
+        f.duplicate = rng.uniform01() * options.max_duplicate;
+        f.delay_prob = rng.uniform01() * options.max_delay_prob;
+        f.delay = options.max_delay > 0
+                      ? static_cast<SimDuration>(rng.below(
+                            static_cast<std::uint64_t>(options.max_delay) + 1))
+                      : 0;
+        f.reorder = rng.uniform01() * options.max_reorder;
+        plan.add(t, fault::SetLinkFaults{f});
+        break;
+      }
+    }
+  }
+
+  // Close the plan just past the horizon: every node up, links healed and
+  // perfect, so a harness can reconcile and check convergence afterwards.
+  if (crashed.valid()) plan.add(options.horizon, fault::Restart{crashed});
+  plan.add(options.horizon + 1, fault::Heal{});
+  plan.add(options.horizon + 2, fault::SetLinkFaults{});
+  plan.sort();
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// FaultEngine
+// ---------------------------------------------------------------------------
+
+FaultEngine::FaultEngine(SimNetwork& net, FaultPlan plan)
+    : net_(net), plan_(std::move(plan)) {
+  plan_.sort();
+  net_.seed_faults(plan_.seed);
+}
+
+std::size_t FaultEngine::poll() {
+  std::size_t applied = 0;
+  while (next_ < plan_.actions.size() &&
+         plan_.actions[next_].at <= net_.clock().now()) {
+    apply_one(plan_.actions[next_]);
+    ++next_;
+    ++applied;
+  }
+  return applied;
+}
+
+std::size_t FaultEngine::advance_to(SimTime when) {
+  std::size_t applied = 0;
+  while (next_ < plan_.actions.size() && plan_.actions[next_].at <= when) {
+    if (plan_.actions[next_].at > net_.clock().now()) {
+      net_.clock().advance_to(plan_.actions[next_].at);
+    }
+    apply_one(plan_.actions[next_]);
+    ++next_;
+    ++applied;
+  }
+  if (when > net_.clock().now()) net_.clock().advance_to(when);
+  return applied;
+}
+
+SimTime FaultEngine::next_at() const {
+  return done() ? std::numeric_limits<SimTime>::max()
+                : plan_.actions[next_].at;
+}
+
+void FaultEngine::apply_one(const TimedFault& action) {
+  ++stats_.applied;
+  struct Applier {
+    FaultEngine* e;
+    void operator()(const fault::Partition& op) {
+      ++e->stats_.partitions;
+      if (e->partition_handler_) {
+        e->partition_handler_(op.groups);
+      } else {
+        e->net_.apply(op);
+      }
+    }
+    void operator()(const fault::Heal& op) {
+      ++e->stats_.heals;
+      if (e->heal_handler_) {
+        e->heal_handler_();
+      } else {
+        e->net_.apply(op);
+      }
+    }
+    void operator()(const fault::Crash& op) {
+      ++e->stats_.crashes;
+      if (e->crash_handler_) {
+        e->crash_handler_(op.node);
+      } else {
+        e->net_.apply(op);
+      }
+    }
+    void operator()(const fault::Restart& op) {
+      ++e->stats_.restarts;
+      if (e->restart_handler_) {
+        e->restart_handler_(op.node);
+      } else {
+        e->net_.apply(op);
+      }
+    }
+    void operator()(const fault::SetLinkFaults& op) {
+      ++e->stats_.link_changes;
+      e->net_.apply(op);
+    }
+    void operator()(const fault::SetLinkFaultsOn& op) {
+      ++e->stats_.link_changes;
+      e->net_.apply(op);
+    }
+  };
+  std::visit(Applier{this}, action.op);
+  if (obs::on(obs_)) {
+    obs_->event(net_.clock().now(), obs::TraceEventKind::FaultInjected, {}, {},
+                {}, fault::op_name(action.op), fault::describe(action.op));
+  }
+}
+
+}  // namespace dedisys

@@ -1,0 +1,103 @@
+// Deterministic fault-injection engine.
+//
+// Drives a `FaultPlan` against a `SimNetwork`: as the simulated clock
+// advances, `poll()` applies every fault action whose scheduled time has
+// been reached, in plan order.  Crash and restart actions can be routed
+// through caller-supplied handlers (the cluster wires these so a restart
+// performs GMS rejoin plus durable-state recovery); all other actions go
+// straight to the network.  Each applied action is recorded as a
+// `fault.injected` trace event when an observability hub is attached.
+//
+// Determinism: the engine seeds the network's per-message fault generator
+// from the plan's seed on construction, and the plan itself is applied at
+// fixed virtual times, so the same (seed, plan, workload) triple always
+// produces a byte-identical event schedule.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "obs/observability.h"
+#include "sim/fault_plan.h"
+#include "sim/network.h"
+#include "util/ids.h"
+#include "util/sim_clock.h"
+
+namespace dedisys {
+
+class FaultEngine {
+ public:
+  struct Stats {
+    std::size_t applied = 0;
+    std::size_t partitions = 0;
+    std::size_t heals = 0;
+    std::size_t crashes = 0;
+    std::size_t restarts = 0;
+    std::size_t link_changes = 0;
+  };
+
+  /// Takes the plan by value (it is consumed action by action) and seeds
+  /// the network's fault generator from `plan.seed`.  The plan is sorted
+  /// by scheduled time on entry.
+  FaultEngine(SimNetwork& net, FaultPlan plan);
+
+  /// Wires the observability hub for fault.injected trace events.
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
+
+  /// Routes `fault::Crash` actions through `handler` instead of applying
+  /// them directly (the cluster drops the node's volatile state too).
+  void set_crash_handler(std::function<void(NodeId)> handler) {
+    crash_handler_ = std::move(handler);
+  }
+
+  /// Routes `fault::Restart` actions through `handler` (the cluster
+  /// performs GMS rejoin and durable-state recovery).
+  void set_restart_handler(std::function<void(NodeId)> handler) {
+    restart_handler_ = std::move(handler);
+  }
+
+  /// Routes `fault::Partition` actions through `handler` (the cluster
+  /// records the groups for reconciliation and traces the split).
+  void set_partition_handler(
+      std::function<void(const std::vector<std::vector<NodeId>>&)> handler) {
+    partition_handler_ = std::move(handler);
+  }
+
+  /// Routes `fault::Heal` actions through `handler`.
+  void set_heal_handler(std::function<void()> handler) {
+    heal_handler_ = std::move(handler);
+  }
+
+  /// Applies every action scheduled at or before the current virtual time;
+  /// returns the number applied.  Call between workload steps.
+  std::size_t poll();
+
+  /// Advances the clock to `when`, applying due actions along the way so
+  /// each fires at exactly its scheduled time.
+  std::size_t advance_to(SimTime when);
+
+  [[nodiscard]] bool done() const { return next_ >= plan_.actions.size(); }
+
+  /// Scheduled time of the next pending action (or SimTime max when done).
+  [[nodiscard]] SimTime next_at() const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  SimNetwork& network() { return net_; }
+
+ private:
+  void apply_one(const TimedFault& action);
+
+  SimNetwork& net_;
+  FaultPlan plan_;
+  std::size_t next_ = 0;
+  obs::Observability* obs_ = nullptr;
+  std::function<void(NodeId)> crash_handler_;
+  std::function<void(NodeId)> restart_handler_;
+  std::function<void(const std::vector<std::vector<NodeId>>&)>
+      partition_handler_;
+  std::function<void()> heal_handler_;
+  Stats stats_;
+};
+
+}  // namespace dedisys

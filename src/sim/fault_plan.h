@@ -1,0 +1,142 @@
+// Typed fault operations and time-scheduled fault plans.
+//
+// The paper's failure model (Section 1.1) assumes pause-crash nodes and
+// fair-lossy links: messages may be lost, delayed, duplicated or
+// reordered, but are never corrupted, and a message resent forever is
+// eventually delivered.  A `FaultPlan` makes that model executable: a
+// seeded, time-ordered schedule of fault operations — partitions, node
+// crashes and restarts, per-link loss/delay/duplication/reorder
+// probabilities — that the `FaultEngine` applies against the `SimNetwork`
+// as virtual time advances.  The same seed and plan always yield a
+// byte-identical event schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/sim_clock.h"
+
+namespace dedisys {
+
+/// Per-link message fault probabilities (fair-lossy link model).  All
+/// probabilities are per message; `delay` is the extra latency charged when
+/// a delay fires.  A default-constructed value means a perfect link.
+struct LinkFaults {
+  double drop = 0.0;        ///< message silently lost
+  double duplicate = 0.0;   ///< message delivered twice
+  double delay_prob = 0.0;  ///< message delayed by `delay`
+  SimDuration delay = 0;    ///< extra latency when a delay fires
+  double reorder = 0.0;     ///< multicast receiver order shuffled
+
+  [[nodiscard]] bool any() const {
+    return drop > 0.0 || duplicate > 0.0 || (delay_prob > 0.0 && delay > 0) ||
+           reorder > 0.0;
+  }
+};
+
+namespace fault {
+
+/// Split the cluster into the given groups (nodes not mentioned keep their
+/// previous group), exactly like the legacy SimNetwork::partition.
+struct Partition {
+  std::vector<std::vector<NodeId>> groups;
+};
+
+/// Pause-crash of a server node: unreachable until restarted.
+struct Crash {
+  NodeId node;
+};
+
+/// Restart of a previously crashed node; it rejoins via the GMS and (when
+/// routed through the cluster's restart handler) recovers durable state.
+struct Restart {
+  NodeId node;
+};
+
+/// Repair all link failures: every alive node is mutually reachable.
+struct Heal {};
+
+/// Set the cluster-wide default link fault probabilities.
+struct SetLinkFaults {
+  LinkFaults faults;
+};
+
+/// Override the fault probabilities of one directed link.
+struct SetLinkFaultsOn {
+  NodeId from;
+  NodeId to;
+  LinkFaults faults;
+};
+
+using Op =
+    std::variant<Partition, Crash, Restart, Heal, SetLinkFaults,
+                 SetLinkFaultsOn>;
+
+[[nodiscard]] inline const char* op_name(const Op& op) {
+  struct Namer {
+    const char* operator()(const Partition&) const { return "partition"; }
+    const char* operator()(const Crash&) const { return "crash"; }
+    const char* operator()(const Restart&) const { return "restart"; }
+    const char* operator()(const Heal&) const { return "heal"; }
+    const char* operator()(const SetLinkFaults&) const { return "link-faults"; }
+    const char* operator()(const SetLinkFaultsOn&) const {
+      return "link-faults-on";
+    }
+  };
+  return std::visit(Namer{}, op);
+}
+
+/// Human-readable one-line description (trace event detail).
+[[nodiscard]] std::string describe(const Op& op);
+
+}  // namespace fault
+
+/// One scheduled fault: apply `op` once simulated time reaches `at`.
+struct TimedFault {
+  SimTime at = 0;
+  fault::Op op;
+};
+
+/// A deterministic schedule of fault operations.  `seed` drives every
+/// probabilistic per-message decision taken while the plan is active.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<TimedFault> actions;
+
+  FaultPlan& add(SimTime at, fault::Op op) {
+    actions.push_back(TimedFault{at, std::move(op)});
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const { return actions.empty(); }
+  [[nodiscard]] std::size_t size() const { return actions.size(); }
+
+  /// Orders the schedule by time (stable, so equal-time actions keep their
+  /// insertion order).  The engine requires a sorted plan.
+  void sort();
+};
+
+/// Knobs for `random_fault_plan`.
+struct RandomPlanOptions {
+  std::vector<NodeId> nodes;        ///< cluster membership (required)
+  SimTime horizon = sim_ms(500);    ///< faults are scheduled in [0, horizon)
+  std::size_t events = 8;           ///< number of scheduled fault actions
+  double max_drop = 0.25;
+  double max_duplicate = 0.20;
+  double max_delay_prob = 0.25;
+  SimDuration max_delay = sim_us(2000);
+  double max_reorder = 0.25;
+};
+
+/// Generates a seeded random fault plan over the given nodes: partition
+/// flapping, crash/restart pairs (at most one node down at a time) and
+/// link-fault episodes.  The plan always ends — just past the horizon —
+/// with a restart of any still-crashed node, a heal, and a reset of all
+/// link faults, so a harness can reconcile afterwards.
+[[nodiscard]] FaultPlan random_fault_plan(std::uint64_t seed,
+                                          const RandomPlanOptions& options);
+
+}  // namespace dedisys

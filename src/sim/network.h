@@ -1,21 +1,36 @@
-// Simulated cluster network with partition and crash injection.
+// Simulated cluster network with typed fault injection.
 //
 // Nodes communicate only through this class, which decides reachability
 // from the current partition layout and advances the shared virtual clock
-// by the configured message costs.  Link failures "lose" messages between
-// partitions but never corrupt or duplicate them, matching the failure
-// model of Section 1.1 (crash nodes, fair-lossy links).
+// by the configured message costs.  Faults follow the model of Section 1.1
+// (pause-crash nodes, fair-lossy links): beyond clean partitions and
+// crashes, seeded per-link probabilities can drop, delay or duplicate
+// individual messages at delivery time.  All randomness flows through one
+// seeded generator, so the same seed and fault schedule reproduce a
+// byte-identical run; with no link faults configured the generator is
+// never consulted and behaviour matches the fault-free network exactly.
+//
+// Fault operations are typed values (`fault::Partition`, `fault::Crash`,
+// `fault::Restart`, `fault::Heal`, `fault::SetLinkFaults[On]`) applied via
+// `apply()`, which returns the previous `Topology` so callers can restore
+// it.  The legacy `partition()/heal()/crash()/recover()` methods remain as
+// thin shims over `apply()`.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/cost_model.h"
+#include "sim/fault_plan.h"
 #include "util/ids.h"
+#include "util/rng.h"
 #include "util/sim_clock.h"
 
 namespace dedisys {
@@ -27,8 +42,34 @@ class TopologyListener {
   virtual void on_topology_changed() = 0;
 };
 
+/// Value snapshot of the connectivity state: partition-group assignment and
+/// the set of alive nodes.  `apply()` returns the previous topology so a
+/// fault can be undone by applying the returned value.
+struct Topology {
+  std::unordered_map<NodeId, int> group_of;
+  std::unordered_set<NodeId> alive;
+};
+
 class SimNetwork {
  public:
+  /// Per-message delivery decision for one directed link.
+  struct Delivery {
+    bool delivered = true;      ///< false: the message is lost this attempt
+    std::size_t copies = 1;     ///< >1: duplicated in flight
+    SimDuration extra_delay = 0;///< added to the nominal link latency
+  };
+
+  /// Counters of injected faults and per-message fault outcomes.
+  struct FaultStats {
+    std::uint64_t messages_dropped = 0;
+    std::uint64_t messages_duplicated = 0;
+    std::uint64_t messages_delayed = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t heals = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+  };
+
   SimNetwork(SimClock& clock, CostModel cost) : clock_(clock), cost_(cost) {}
 
   SimClock& clock() { return clock_; }
@@ -49,36 +90,155 @@ class SimNetwork {
     return alive_.count(node) != 0;
   }
 
-  // -- failure injection ----------------------------------------------------
+  // -- typed fault API ------------------------------------------------------
 
   /// Splits the cluster into the given groups.  Nodes not mentioned keep
   /// their previous group.  Notifies topology listeners.
-  void partition(const std::vector<std::vector<NodeId>>& groups) {
+  Topology apply(const fault::Partition& op) {
+    Topology previous = topology();
     int next_group = 1;
-    for (const auto& g : groups) {
+    for (const auto& g : op.groups) {
       for (NodeId n : g) group_of_[n] = next_group;
       ++next_group;
     }
+    ++fault_stats_.partitions;
     notify();
+    return previous;
   }
 
   /// Repairs all link failures: every alive node is mutually reachable.
-  void heal() {
+  Topology apply(const fault::Heal& /*op*/) {
+    Topology previous = topology();
     for (auto& [node, group] : group_of_) group = 0;
+    ++fault_stats_.heals;
     notify();
+    return previous;
   }
 
-  /// Pause-crash of a server node (Section 1.1): unreachable until recovery.
-  void crash(NodeId node) {
-    alive_.erase(node);
+  /// Pause-crash of a server node (Section 1.1): unreachable until restart.
+  Topology apply(const fault::Crash& op) {
+    Topology previous = topology();
+    alive_.erase(op.node);
+    ++fault_stats_.crashes;
     notify();
+    return previous;
   }
 
-  /// Recovers a previously crashed node.
-  void recover(NodeId node) {
-    alive_.insert(node);
+  /// Brings a crashed node back; it rejoins its partition group.  State
+  /// recovery is the caller's concern (Cluster::restart_node wires it).
+  Topology apply(const fault::Restart& op) {
+    Topology previous = topology();
+    alive_.insert(op.node);
+    ++fault_stats_.restarts;
     notify();
+    return previous;
   }
+
+  /// Sets the cluster-wide default link fault probabilities.
+  Topology apply(const fault::SetLinkFaults& op) {
+    Topology previous = topology();
+    default_faults_ = op.faults;
+    refresh_faults_active();
+    return previous;
+  }
+
+  /// Overrides one directed link's fault probabilities.
+  Topology apply(const fault::SetLinkFaultsOn& op) {
+    Topology previous = topology();
+    link_faults_[{op.from.value(), op.to.value()}] = op.faults;
+    refresh_faults_active();
+    return previous;
+  }
+
+  /// Applies any typed fault operation.
+  Topology apply(const fault::Op& op) {
+    return std::visit([this](const auto& concrete) { return apply(concrete); },
+                      op);
+  }
+
+  /// Restores a previously returned topology snapshot.
+  Topology apply(const Topology& target) {
+    Topology previous = topology();
+    group_of_ = target.group_of;
+    alive_ = target.alive;
+    notify();
+    return previous;
+  }
+
+  /// Current connectivity snapshot.
+  [[nodiscard]] Topology topology() const { return {group_of_, alive_}; }
+
+  /// Clears every configured link fault (default and per-link overrides).
+  void clear_link_faults() {
+    default_faults_ = LinkFaults{};
+    link_faults_.clear();
+    refresh_faults_active();
+  }
+
+  // -- legacy fault API (shims over apply) ----------------------------------
+
+  /// Deprecated: use `apply(fault::Partition{groups})`.
+  void partition(const std::vector<std::vector<NodeId>>& groups) {
+    apply(fault::Partition{groups});
+  }
+
+  /// Deprecated: use `apply(fault::Heal{})`.
+  void heal() { apply(fault::Heal{}); }
+
+  /// Deprecated: use `apply(fault::Crash{node})`.
+  void crash(NodeId node) { apply(fault::Crash{node}); }
+
+  /// Deprecated: use `apply(fault::Restart{node})`.
+  void recover(NodeId node) { apply(fault::Restart{node}); }
+
+  // -- seeded per-message faults --------------------------------------------
+
+  /// Seeds the generator behind every probabilistic delivery decision.
+  void seed_faults(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  /// True when any link carries non-zero fault probabilities.  The fast
+  /// path through delivery_verdict consults no randomness while false, so
+  /// fault-free runs are bit-identical to the plain network.
+  [[nodiscard]] bool faults_active() const { return faults_active_; }
+
+  /// Effective fault probabilities of the directed link `from -> to`
+  /// (per-link override when present, else the cluster-wide default).
+  [[nodiscard]] const LinkFaults& effective_faults(NodeId from,
+                                                   NodeId to) const {
+    auto it = link_faults_.find({from.value(), to.value()});
+    return it == link_faults_.end() ? default_faults_ : it->second;
+  }
+
+  /// Draws this message's fate on the directed link `from -> to`.  Local
+  /// delivery (from == to) is never faulted.  Consumes randomness only
+  /// while faults are active.
+  Delivery delivery_verdict(NodeId from, NodeId to) {
+    if (!faults_active_ || from == to) return Delivery{};
+    const LinkFaults& f = effective_faults(from, to);
+    if (!f.any()) return Delivery{};
+    Delivery verdict;
+    if (f.drop > 0.0 && rng_.chance(f.drop)) {
+      verdict.delivered = false;
+      verdict.copies = 0;
+      ++fault_stats_.messages_dropped;
+      return verdict;
+    }
+    if (f.duplicate > 0.0 && rng_.chance(f.duplicate)) {
+      verdict.copies = 2;
+      ++fault_stats_.messages_duplicated;
+    }
+    if (f.delay_prob > 0.0 && f.delay > 0 && rng_.chance(f.delay_prob)) {
+      verdict.extra_delay = f.delay;
+      ++fault_stats_.messages_delayed;
+    }
+    return verdict;
+  }
+
+  /// Shared generator for fault-related decisions outside this class
+  /// (e.g. multicast receiver reordering in the GCS).
+  Rng& fault_rng() { return rng_; }
+
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
 
   // -- reachability -------------------------------------------------------
 
@@ -144,12 +304,27 @@ class SimNetwork {
     for (auto* l : listeners_) l->on_topology_changed();
   }
 
+  void refresh_faults_active() {
+    faults_active_ = default_faults_.any();
+    for (const auto& [link, f] : link_faults_) {
+      if (faults_active_) break;
+      faults_active_ = f.any();
+    }
+  }
+
   SimClock& clock_;
   CostModel cost_;
   std::vector<NodeId> nodes_;
   std::unordered_map<NodeId, int> group_of_;
   std::unordered_set<NodeId> alive_;
   std::vector<TopologyListener*> listeners_;
+
+  Rng rng_{0x5DEDC0DEULL};
+  bool faults_active_ = false;
+  LinkFaults default_faults_;
+  /// Directed-link overrides, ordered so iteration is deterministic.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, LinkFaults> link_faults_;
+  FaultStats fault_stats_;
 };
 
 }  // namespace dedisys

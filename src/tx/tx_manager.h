@@ -13,6 +13,7 @@
 // transactions (Fig. 1.2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -35,6 +36,10 @@ enum class TxStatus {
   RollbackOnly,
   Committed,
   RolledBack,
+  /// The coordinator crashed after phase 1: resources are prepared, locks
+  /// are held, the decision is lost.  Resolved by recover_in_doubt()
+  /// running the presumed-abort protocol.
+  InDoubt,
 };
 
 class Transaction {
@@ -66,6 +71,56 @@ class TransactionManager {
   /// Wires the cluster's observability hub (2PC trace events + commit
   /// latency histograms).  Optional; null leaves the manager untraced.
   void set_observability(obs::Observability* obs) { obs_ = obs; }
+
+  struct Stats {
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t presumed_aborts = 0;  ///< in-doubt txs resolved by recovery
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Fault-injection hook: consulted between 2PC phase 1 and phase 2.
+  /// Returning true simulates a coordinator crash at the most dangerous
+  /// point — all resources prepared, decision not yet announced.  The
+  /// transaction is left InDoubt (locks held, resources prepared) and
+  /// commit() throws CoordinatorCrashed.
+  void set_crash_point(std::function<bool(TxId)> crash_point) {
+    crash_point_ = std::move(crash_point);
+  }
+
+  /// Coordinator recovery (presumed abort, the JBoss TS default): without a
+  /// durable commit record, every in-doubt transaction is rolled back —
+  /// prepared resources are released and locks dropped, so a client retry
+  /// can succeed.  Returns the number of transactions resolved.
+  std::size_t recover_in_doubt() {
+    std::vector<TxId> pending;
+    for (auto& [id, tx] : txs_) {
+      if (tx->status_ == TxStatus::InDoubt) pending.push_back(id);
+    }
+    std::sort(pending.begin(), pending.end());
+    for (TxId id : pending) {
+      Transaction& tx = *txs_.at(id);
+      do_rollback(tx);
+      ++stats_.presumed_aborts;
+      if (obs::on(obs_)) {
+        obs_->event(clock_->now(), obs::TraceEventKind::TxAbort, {}, {}, id,
+                    "2pc", "presumed abort after coordinator restart");
+      }
+    }
+    return pending.size();
+  }
+
+  [[nodiscard]] std::size_t in_doubt_count() const {
+    std::size_t n = 0;
+    for (const auto& [id, tx] : txs_) {
+      if (tx->status_ == TxStatus::InDoubt) ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] bool holds_locks(TxId id) {
+    return !get(id).locks_.empty();
+  }
 
   // -- lifecycle ------------------------------------------------------------
 
@@ -163,12 +218,20 @@ class TransactionManager {
                         " vetoed commit");
       }
     }
+    // Coordinator crash window: every participant is prepared but the
+    // commit decision has not been announced (Section 1.1 pause-crash).
+    if (crash_point_ && crash_point_(id)) {
+      tx.status_ = TxStatus::InDoubt;
+      throw CoordinatorCrashed("coordinator crashed after prepare of tx " +
+                               to_string(id));
+    }
     // Phase 2: commit.
     for (auto* r : tx.resources_) {
       clock_->advance(cost_->tx_commit_per_resource);
       r->commit(id);
     }
     tx.status_ = TxStatus::Committed;
+    ++stats_.commits;
     release_locks(tx);
     auto actions = std::move(tx.post_commit_actions_);
     tx.post_commit_actions_.clear();
@@ -195,6 +258,7 @@ class TransactionManager {
     }
     tx.undo_actions_.clear();
     tx.status_ = TxStatus::RolledBack;
+    ++stats_.aborts;
     release_locks(tx);
     if (obs::on(obs_)) {
       obs_->event(clock_->now(), obs::TraceEventKind::TxAbort, {}, {}, tx.id_,
@@ -215,6 +279,8 @@ class TransactionManager {
   SimClock* clock_;
   const CostModel* cost_;
   obs::Observability* obs_ = nullptr;
+  std::function<bool(TxId)> crash_point_;
+  Stats stats_;
   std::uint64_t next_id_ = 1;
   std::unordered_map<TxId, std::unique_ptr<Transaction>> txs_;
   std::unordered_map<ObjectId, TxId> lock_table_;

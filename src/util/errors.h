@@ -64,6 +64,14 @@ class TxAborted : public DedisysError {
   using DedisysError::DedisysError;
 };
 
+/// The 2PC coordinator crashed between prepare and commit: the outcome of
+/// the transaction is unknown (in doubt) until recovery runs the
+/// presumed-abort protocol.
+class CoordinatorCrashed : public DedisysError {
+ public:
+  using DedisysError::DedisysError;
+};
+
 /// Malformed configuration input (constraint descriptor files etc.).
 class ConfigError : public DedisysError {
  public:

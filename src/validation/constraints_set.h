@@ -14,7 +14,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "validation/ocl.h"
 #include "validation/reflection.h"
 
 namespace dedisys::validation {

@@ -85,4 +85,42 @@ struct ObjectRefl {
   }
 };
 
+// -- OCL over reflection ------------------------------------------------------
+//
+// The study's interpreted approach evaluates the same OCL ASTs as the
+// runtime CCMgr: the parser/visitor core lives in ocl/ocl.h (shared), and
+// this adaptor merely binds `self`/arguments to the reflection layer.
+
+using dedisys::OclExpr;
+using dedisys::OclNode;
+using dedisys::parse_ocl;
+
+/// OCL environment over a reflective study object plus boxed arguments.
+class ReflOclEnv final : public OclEnv {
+ public:
+  ReflOclEnv(const ObjectRefl& self, const std::vector<Boxed>& args)
+      : self_(&self), args_(&args) {}
+
+  [[nodiscard]] OclValue attribute(const std::string& name) const override {
+    return self_->get(name);
+  }
+
+  [[nodiscard]] OclValue argument(std::size_t index) const override {
+    if (index >= args_->size()) {
+      throw DedisysError("OCL arg index out of range");
+    }
+    return (*args_)[index];
+  }
+
+ private:
+  const ObjectRefl* self_;
+  const std::vector<Boxed>* args_;
+};
+
+/// Evaluates a parsed constraint against a study object (legacy helper).
+[[nodiscard]] inline bool ocl_check(const OclExpr& expr, const ObjectRefl& self,
+                                    const std::vector<Boxed>& args) {
+  return dedisys::ocl_check(expr, ReflOclEnv(self, args));
+}
+
 }  // namespace dedisys::validation

@@ -174,13 +174,12 @@ TEST_F(FlightFullTest, AdminThreatStateSurvivesRestart) {
   FlightBookingFull::book(cluster_.node(0), flight_, persons_[0]);
   ASSERT_EQ(cluster_.threats().identity_count(), 1u);
 
-  std::stringstream saved;
-  admin.save_threat_state(saved);
+  const ClusterSnapshot saved = admin.take_snapshot();
 
   // Simulated operator error: wipe and restore.
   cluster_.threats().remove(admin.list_threats()[0].identity);
   EXPECT_EQ(cluster_.threats().identity_count(), 0u);
-  admin.restore_threat_state(saved);
+  admin.restore(saved);
   EXPECT_EQ(cluster_.threats().identity_count(), 1u);
   EXPECT_EQ(admin.list_threats()[0].constraint, "TicketConstraint");
 }

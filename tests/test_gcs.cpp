@@ -31,7 +31,7 @@ TEST_F(GcsTest, InitialViewIsCompleteWithFullWeight) {
 }
 
 TEST_F(GcsTest, PartitionInstallsSmallerViews) {
-  net_.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}}});
+  net_.apply(fault::Partition{{{NodeId{0}, NodeId{1}}, {NodeId{2}}}});
   EXPECT_EQ(gms_[0]->current_view().members.size(), 2u);
   EXPECT_FALSE(gms_[0]->current_view().complete);
   EXPECT_EQ(gms_[2]->current_view().members.size(), 1u);
@@ -41,7 +41,7 @@ TEST_F(GcsTest, PartitionInstallsSmallerViews) {
 
 TEST_F(GcsTest, WeightedNodesShiftPartitionWeight) {
   weights_->set(NodeId{2}, 4.0);  // total weight = 1 + 1 + 4 = 6
-  net_.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}}});
+  net_.apply(fault::Partition{{{NodeId{0}, NodeId{1}}, {NodeId{2}}}});
   EXPECT_NEAR(gms_[0]->current_view().weight_fraction, 2.0 / 6, 1e-9);
   EXPECT_NEAR(gms_[2]->current_view().weight_fraction, 4.0 / 6, 1e-9);
 }
@@ -55,8 +55,8 @@ TEST_F(GcsTest, ViewIdsIncreaseAndListenersFire) {
   } rec;
   gms_[0]->subscribe(&rec);
 
-  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}}});
-  net_.heal();
+  net_.apply(fault::Partition{{{NodeId{0}}, {NodeId{1}, NodeId{2}}}});
+  net_.apply(fault::Heal{});
   ASSERT_EQ(rec.transitions.size(), 2u);
   EXPECT_EQ(rec.transitions[0], (std::pair<std::size_t, std::size_t>{3, 1}));
   EXPECT_EQ(rec.transitions[1], (std::pair<std::size_t, std::size_t>{1, 3}));
@@ -69,14 +69,14 @@ TEST_F(GcsTest, NoViewChangeWhenMembershipUnchanged) {
   } rec;
   gms_[0]->subscribe(&rec);
   // Re-partition into the same membership for node 0.
-  net_.partition({{NodeId{0}, NodeId{1}, NodeId{2}}});
+  net_.apply(fault::Partition{{{NodeId{0}, NodeId{1}, NodeId{2}}}});
   EXPECT_EQ(rec.calls, 0);
 }
 
 TEST_F(GcsTest, JoinedSinceDetectsReunifiedNodes) {
-  net_.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}}});
+  net_.apply(fault::Partition{{{NodeId{0}, NodeId{1}}, {NodeId{2}}}});
   const View degraded = gms_[0]->current_view();
-  net_.heal();
+  net_.apply(fault::Heal{});
   const View healed = gms_[0]->current_view();
   const auto joined = healed.joined_since(degraded);
   ASSERT_EQ(joined.size(), 1u);
@@ -84,7 +84,7 @@ TEST_F(GcsTest, JoinedSinceDetectsReunifiedNodes) {
 }
 
 TEST_F(GcsTest, ViewContainsIsExact) {
-  net_.partition({{NodeId{0}, NodeId{2}}, {NodeId{1}}});
+  net_.apply(fault::Partition{{{NodeId{0}, NodeId{2}}, {NodeId{1}}}});
   const View& v = gms_[0]->current_view();
   EXPECT_TRUE(v.contains(NodeId{0}));
   EXPECT_FALSE(v.contains(NodeId{1}));
@@ -93,7 +93,7 @@ TEST_F(GcsTest, ViewContainsIsExact) {
 
 TEST_F(GcsTest, MulticastDeliversToReachableMembersAndCharges) {
   GroupCommunication gc(net_);
-  net_.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}}});
+  net_.apply(fault::Partition{{{NodeId{0}, NodeId{1}}, {NodeId{2}}}});
   std::vector<NodeId> delivered;
   const SimTime t0 = clock_.now();
   const std::size_t reached = gc.multicast(
@@ -107,7 +107,7 @@ TEST_F(GcsTest, MulticastDeliversToReachableMembersAndCharges) {
 
 TEST_F(GcsTest, MulticastToNobodyIsFree) {
   GroupCommunication gc(net_);
-  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}}});
+  net_.apply(fault::Partition{{{NodeId{0}}, {NodeId{1}, NodeId{2}}}});
   const SimTime t0 = clock_.now();
   const std::size_t reached =
       gc.multicast(NodeId{0}, {NodeId{0}}, [](NodeId) { FAIL(); });
@@ -123,7 +123,7 @@ TEST_F(GcsTest, PointToPointSendRoundTrip) {
   EXPECT_TRUE(delivered);
   EXPECT_EQ(clock_.now() - t0, 2 * CostModel{}.rpc_latency);
 
-  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}}});
+  net_.apply(fault::Partition{{{NodeId{0}}, {NodeId{1}, NodeId{2}}}});
   EXPECT_FALSE(gc.send(NodeId{0}, NodeId{1}, [] { FAIL(); }));
 }
 

@@ -26,7 +26,7 @@ TEST_F(NetworkTest, InitiallyFullyConnected) {
 }
 
 TEST_F(NetworkTest, PartitionSplitsReachability) {
-  net_.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}, NodeId{3}}});
+  net_.apply(fault::Partition{{{NodeId{0}, NodeId{1}}, {NodeId{2}, NodeId{3}}}});
   EXPECT_FALSE(net_.fully_connected());
   EXPECT_TRUE(net_.reachable(NodeId{0}, NodeId{1}));
   EXPECT_TRUE(net_.reachable(NodeId{2}, NodeId{3}));
@@ -35,24 +35,24 @@ TEST_F(NetworkTest, PartitionSplitsReachability) {
 }
 
 TEST_F(NetworkTest, HealRestoresFullConnectivity) {
-  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}, NodeId{3}}});
-  net_.heal();
+  net_.apply(fault::Partition{{{NodeId{0}}, {NodeId{1}, NodeId{2}, NodeId{3}}}});
+  net_.apply(fault::Heal{});
   EXPECT_TRUE(net_.fully_connected());
 }
 
 TEST_F(NetworkTest, CrashedNodeUnreachableUntilRecovery) {
-  net_.crash(NodeId{2});
+  net_.apply(fault::Crash{NodeId{2}});
   EXPECT_FALSE(net_.is_alive(NodeId{2}));
   EXPECT_FALSE(net_.reachable(NodeId{0}, NodeId{2}));
   EXPECT_FALSE(net_.reachable(NodeId{2}, NodeId{2}));
   EXPECT_FALSE(net_.fully_connected());
-  net_.recover(NodeId{2});
+  net_.apply(fault::Restart{NodeId{2}});
   EXPECT_TRUE(net_.reachable(NodeId{0}, NodeId{2}));
   EXPECT_TRUE(net_.fully_connected());
 }
 
 TEST_F(NetworkTest, ReachableSetReflectsPartition) {
-  net_.partition({{NodeId{0}, NodeId{3}}, {NodeId{1}, NodeId{2}}});
+  net_.apply(fault::Partition{{{NodeId{0}, NodeId{3}}, {NodeId{1}, NodeId{2}}}});
   const auto set = net_.reachable_set(NodeId{0});
   EXPECT_EQ(set.size(), 2u);
   EXPECT_TRUE(net_.reachable(NodeId{0}, NodeId{3}));
@@ -63,7 +63,7 @@ TEST_F(NetworkTest, RpcChargesLatencyOnlyWhenReachable) {
   EXPECT_TRUE(net_.charge_rpc(NodeId{0}, NodeId{1}));
   EXPECT_EQ(clock_.now() - before, CostModel{}.rpc_latency);
 
-  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}, NodeId{3}}});
+  net_.apply(fault::Partition{{{NodeId{0}}, {NodeId{1}, NodeId{2}, NodeId{3}}}});
   const SimTime mid = clock_.now();
   EXPECT_FALSE(net_.charge_rpc(NodeId{0}, NodeId{1}));  // message lost
   EXPECT_EQ(clock_.now(), mid);
@@ -76,7 +76,7 @@ TEST_F(NetworkTest, LocalRpcIsFree) {
 }
 
 TEST_F(NetworkTest, MulticastReachesOnlyPartitionMembers) {
-  net_.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}, NodeId{3}}});
+  net_.apply(fault::Partition{{{NodeId{0}, NodeId{1}}, {NodeId{2}, NodeId{3}}}});
   const auto reached =
       net_.charge_multicast(NodeId{0}, {NodeId{0}, NodeId{1}, NodeId{2},
                                         NodeId{3}});
@@ -97,12 +97,12 @@ TEST_F(NetworkTest, TopologyListenersNotified) {
     void on_topology_changed() override { ++calls; }
   } counter;
   net_.subscribe(&counter);
-  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}, NodeId{3}}});
-  net_.heal();
-  net_.crash(NodeId{1});
+  net_.apply(fault::Partition{{{NodeId{0}}, {NodeId{1}, NodeId{2}, NodeId{3}}}});
+  net_.apply(fault::Heal{});
+  net_.apply(fault::Crash{NodeId{1}});
   EXPECT_EQ(counter.calls, 3);
   net_.unsubscribe(&counter);
-  net_.recover(NodeId{1});
+  net_.apply(fault::Restart{NodeId{1}});
   EXPECT_EQ(counter.calls, 3);
 }
 

@@ -186,5 +186,63 @@ TEST_F(TxTest, ResourceVetoDuringPrepareStillRunsUndoActions) {
   EXPECT_TRUE(undone);
 }
 
+// -- coordinator crash between prepare and commit (presumed abort) -----------
+
+TEST_F(TxTest, CoordinatorCrashAfterPrepareLeavesTxInDoubt) {
+  RecordingResource r("r");
+  const TxId tx = tm_.begin();
+  tm_.enlist(tx, &r);
+  tm_.lock(tx, ObjectId{7});
+  tm_.set_crash_point([tx](TxId id) { return id == tx; });
+  EXPECT_THROW(tm_.commit(tx), CoordinatorCrashed);
+  // Phase 1 completed, phase 2 never ran: the resource is prepared but saw
+  // neither commit nor rollback, and the lock is still held.
+  EXPECT_EQ(r.events, (std::vector<std::string>{"r.prepare"}));
+  EXPECT_EQ(tm_.get(tx).status(), TxStatus::InDoubt);
+  EXPECT_EQ(tm_.in_doubt_count(), 1u);
+  const TxId other = tm_.begin();
+  EXPECT_THROW(tm_.lock(other, ObjectId{7}), TxAborted);
+}
+
+TEST_F(TxTest, RecoverInDoubtPresumesAbortAndReleasesEverything) {
+  RecordingResource r("r");
+  bool undone = false;
+  const TxId tx = tm_.begin();
+  tm_.enlist(tx, &r);
+  tm_.lock(tx, ObjectId{7});
+  tm_.on_rollback(tx, [&] { undone = true; });
+  tm_.set_crash_point([tx](TxId id) { return id == tx; });
+  EXPECT_THROW(tm_.commit(tx), CoordinatorCrashed);
+  tm_.set_crash_point(nullptr);  // the restarted coordinator doesn't crash
+
+  EXPECT_EQ(tm_.recover_in_doubt(), 1u);
+  EXPECT_EQ(tm_.in_doubt_count(), 0u);
+  EXPECT_EQ(tm_.get(tx).status(), TxStatus::RolledBack);
+  EXPECT_EQ(tm_.stats().presumed_aborts, 1u);
+  // No dangling prepared resource: the presumed abort rolled it back and
+  // ran the undo actions.
+  EXPECT_EQ(r.events, (std::vector<std::string>{"r.prepare", "r.rollback"}));
+  EXPECT_TRUE(undone);
+
+  // The retried transaction acquires the same lock and commits.
+  RecordingResource retry("retry");
+  const TxId tx2 = tm_.begin();
+  tm_.enlist(tx2, &retry);
+  EXPECT_NO_THROW(tm_.lock(tx2, ObjectId{7}));
+  tm_.commit(tx2);
+  EXPECT_EQ(tm_.get(tx2).status(), TxStatus::Committed);
+  EXPECT_EQ(retry.events,
+            (std::vector<std::string>{"retry.prepare", "retry.commit"}));
+}
+
+TEST_F(TxTest, RecoverInDoubtIgnoresHealthyTransactions) {
+  const TxId committed = tm_.begin();
+  tm_.commit(committed);
+  const TxId open = tm_.begin();
+  EXPECT_EQ(tm_.recover_in_doubt(), 0u);
+  EXPECT_EQ(tm_.get(committed).status(), TxStatus::Committed);
+  EXPECT_EQ(tm_.get(open).status(), TxStatus::Active);
+}
+
 }  // namespace
 }  // namespace dedisys

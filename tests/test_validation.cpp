@@ -4,7 +4,6 @@
 #include <gtest/gtest.h>
 
 #include "validation/harness.h"
-#include "validation/ocl.h"
 
 // The PerformanceShape tests assert wall-clock cost orderings; sanitizer
 // instrumentation (redzones, shadow memory) distorts the per-mechanism
