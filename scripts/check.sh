@@ -20,6 +20,10 @@
 #                                    plans, each run twice; invariants must
 #                                    hold and the trace timelines must be
 #                                    byte-identical per seed
+#   scripts/check.sh --memo          validation-memo smoke only: run the
+#                                    self-asserting bench_memo_validation
+#                                    (memo-on outcomes must equal memo-off,
+#                                    with cache hits and lower cost)
 #   scripts/check.sh --tidy          clang-tidy over src/ (skipped with a
 #                                    message when clang-tidy is missing)
 set -euo pipefail
@@ -32,6 +36,7 @@ BUILD_DIR="build"
 case "${1:-}" in
   --asan) MODE="asan" ;;
   --chaos) MODE="chaos" ;;
+  --memo) MODE="memo" ;;
   --tidy) MODE="tidy" ;;
   "") ;;
   *) BUILD_DIR="$1" ;;
@@ -60,6 +65,14 @@ chaos_smoke() {
   rm -f "$a" "$b"
 }
 
+# Memo smoke: bench_memo_validation asserts its own acceptance criteria
+# (memo-on outcomes identical to memo-off, cache hits recorded, strictly
+# less simulated time) and exits nonzero on any failure.
+memo_smoke() {
+  "$1/bench/bench_memo_validation" > /dev/null
+  echo "memo smoke: memo-on/off equivalence and speedup ok"
+}
+
 if [ "$MODE" = "asan" ]; then
   BUILD_DIR="build-asan"
   cmake -B "$BUILD_DIR" -S . -DDEDISYS_SANITIZE="address;undefined"
@@ -74,6 +87,14 @@ if [ "$MODE" = "chaos" ]; then
   cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_chaos_soak
   chaos_smoke "$BUILD_DIR"
   echo "check.sh --chaos: all green"
+  exit 0
+fi
+
+if [ "$MODE" = "memo" ]; then
+  cmake -B "$BUILD_DIR" -S . > /dev/null
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_memo_validation
+  memo_smoke "$BUILD_DIR"
+  echo "check.sh --memo: all green"
   exit 0
 fi
 
@@ -111,9 +132,11 @@ trap 'rm -f "$OUT"' EXIT
 "$BUILD_DIR/bench/bench_fig5_2_healthy_degraded" --json "$OUT" > /dev/null
 "$BUILD_DIR/bench/json_validate" --require-latencies "$OUT"
 
-# Fault-tolerance gates: chaos smoke on this build, then the sanitizer
-# tier (its own build dir, ASan+UBSan over the full test suite).
+# Fault-tolerance gates: chaos smoke and the validation-memo smoke on this
+# build, then the sanitizer tier (its own build dir, ASan+UBSan over the
+# full test suite).
 chaos_smoke "$BUILD_DIR"
+memo_smoke "$BUILD_DIR"
 "$0" --asan
 
 echo "check.sh: all green"

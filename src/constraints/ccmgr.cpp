@@ -159,7 +159,7 @@ void ConstraintConsistencyManager::check_preconditions(
         continue;  // reference still null: constraint does not apply
       }
       ConstraintValidationContext ctx = make_context(inv, ctx_obj, objects);
-      const SatisfactionDegree d = evaluate(*match.constraint, ctx);
+      const SatisfactionDegree d = evaluate_cached(*match.constraint, ctx);
       if (static_cast<int>(d) < static_cast<int>(level)) {
         level = d;  // conjunction within one hierarchy level
         level_constraint = match.constraint;
@@ -339,6 +339,76 @@ ConstraintValidationContext ConstraintConsistencyManager::make_context(
   return ctx;
 }
 
+bool ConstraintConsistencyManager::memo_fingerprint(
+    const Constraint& constraint, ConstraintValidationContext& ctx,
+    std::uint64_t* out) {
+  if (!memo_enabled_) return false;
+  // LCC/NCC bypass: in degraded mode (or with forced-stale objects) the
+  // satisfaction degree additionally depends on per-object staleness and
+  // partition state that the fingerprint cannot see.
+  if (degraded_ || !forced_stale_.empty()) return false;
+  // Query-based contexts enumerate objects at validation time; there is
+  // no bounded read-set to stamp.
+  if (!ctx.context_object().valid()) return false;
+  const ConstraintRegistration* reg = find_registration(constraint.name());
+  if (reg == nullptr || reg->analysis == nullptr) return false;
+  const analysis::AnalysisReport& report = *reg->analysis;
+  // Opaque bodies (FunctionConstraint & friends) and error-carrying
+  // reports have an unknown/untrusted read-set; argument reads make the
+  // outcome depend on per-invocation values the key does not cover.
+  if (report.opaque || report.has_errors()) return false;
+  if (!report.read_set.arguments.empty()) return false;
+  // The analyzed read-set of a non-opaque constraint is confined to
+  // attributes of the context entity (the OCL grammar only reads
+  // `self.<attr>` and `arg<N>`), so one (id, write stamp) pair pins the
+  // entire state the outcome depends on.  Reference-derived contexts are
+  // covered too: a write to the reference attribute changes which entity
+  // becomes the context object, and with it the cache key.
+  validation::FingerprintBuilder fp;
+  try {
+    const Entity& entity = ctx.read(ctx.context_object());
+    fp.mix(entity.id(), entity.write_stamp());
+  } catch (const ObjectUnreachable&) {
+    return false;  // NCC: let evaluate() derive Uncheckable
+  }
+  *out = fp.value();
+  return true;
+}
+
+SatisfactionDegree ConstraintConsistencyManager::evaluate_cached(
+    Constraint& constraint, ConstraintValidationContext& ctx, bool* hit) {
+  if (hit != nullptr) *hit = false;
+  std::uint64_t fingerprint = 0;
+  if (!memo_fingerprint(constraint, ctx, &fingerprint)) {
+    return evaluate(constraint, ctx);
+  }
+  const validation::ValidationMemo::Lookup looked =
+      memo_.lookup(constraint.name(), ctx.context_object(), fingerprint);
+  if (looked.outcome == validation::ValidationMemo::Outcome::Hit) {
+    if (hit != nullptr) *hit = true;
+    if (obs::on(obs_)) {
+      obs_->event(clock_.now(), obs::TraceEventKind::ValidationMemoHit, self_,
+                  ctx.context_object(), ctx.tx(), constraint.name(),
+                  to_string(looked.degree));
+    }
+    return looked.degree;
+  }
+  if (looked.outcome == validation::ValidationMemo::Outcome::MissStale &&
+      obs::on(obs_)) {
+    obs_->event(clock_.now(), obs::TraceEventKind::ValidationMemoInvalidate,
+                self_, ctx.context_object(), ctx.tx(), constraint.name(),
+                "read-set write stamp changed");
+  }
+  const SatisfactionDegree degree = evaluate(constraint, ctx);
+  // Threat degrees (LCC/NCC) are partition-dependent; only definite
+  // outcomes are a pure function of the fingerprinted state.
+  if (degree == SatisfactionDegree::Satisfied ||
+      degree == SatisfactionDegree::Violated) {
+    memo_.store(constraint.name(), ctx.context_object(), fingerprint, degree);
+  }
+  return degree;
+}
+
 SatisfactionDegree ConstraintConsistencyManager::evaluate(
     Constraint& constraint, ConstraintValidationContext& ctx) {
   ++stats_.validations;
@@ -385,7 +455,7 @@ void ConstraintConsistencyManager::check(Constraint& constraint,
   // the reference that would provide it is still null.
   if (constraint.context_object_needed() && !context_object.valid()) return;
   ConstraintValidationContext ctx = make_context(inv, context_object, objects);
-  const SatisfactionDegree degree = evaluate(constraint, ctx);
+  const SatisfactionDegree degree = evaluate_cached(constraint, ctx);
   handle_outcome(constraint, degree, ctx, inv.tx);
 }
 
@@ -647,6 +717,14 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
     }
   };
 
+  // Batched revalidation: threats arrive grouped by constraint (load_all
+  // returns identities sorted as "<constraint>@<object>", so the grouping
+  // is inherent) and each distinct (constraint, fingerprint) pair is
+  // evaluated at most once — the validation memo caches the first
+  // evaluation's definite outcome and fans it out to every later threat
+  // with the same key, within this pass and across repeated reconciliation
+  // rounds over postponed threats.  With the memo off, every threat is
+  // re-evaluated exactly as before, in the same order.
   for (StoredThreat& st : threats_.load_all()) {
     ConsistencyThreat& threat = st.threat;
     ++out.reevaluated;
@@ -663,7 +741,9 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
     Invocation pseudo;
     ConstraintValidationContext ctx =
         make_context(pseudo, threat.context_object, *objects_);
-    SatisfactionDegree degree = evaluate(constraint, ctx);
+    bool batched = false;
+    SatisfactionDegree degree = evaluate_cached(constraint, ctx, &batched);
+    if (batched) ++out.batched;
 
     if (degree == SatisfactionDegree::Satisfied) {
       threats_.remove(threat.identity());
@@ -696,7 +776,8 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
         try_rollback(threat)) {
       ConstraintValidationContext recheck =
           make_context(pseudo, threat.context_object, *objects_);
-      if (evaluate(constraint, recheck) == SatisfactionDegree::Satisfied) {
+      if (evaluate_cached(constraint, recheck) ==
+          SatisfactionDegree::Satisfied) {
         threats_.remove(threat.identity());
         ++out.resolved_by_rollback;
         trace_outcome(threat, "rolled-back");
@@ -718,7 +799,8 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
       if (!claims_solved) break;  // deferred reconciliation
       ConstraintValidationContext recheck =
           make_context(pseudo, threat.context_object, *objects_);
-      if (evaluate(constraint, recheck) == SatisfactionDegree::Satisfied) {
+      if (evaluate_cached(constraint, recheck) ==
+          SatisfactionDegree::Satisfied) {
         resolved = true;
         break;
       }
@@ -748,7 +830,7 @@ std::vector<ObjectId> ConstraintConsistencyManager::revalidate_for_objects(
   for (ObjectId id : context_objects) {
     Invocation pseudo;
     ConstraintValidationContext ctx = make_context(pseudo, id, *objects_);
-    if (evaluate(constraint, ctx) == SatisfactionDegree::Violated) {
+    if (evaluate_cached(constraint, ctx) == SatisfactionDegree::Violated) {
       violating.push_back(id);
     }
   }

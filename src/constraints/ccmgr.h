@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -40,8 +41,35 @@
 #include "tx/tx_manager.h"
 #include "util/ids.h"
 #include "util/sim_clock.h"
+#include "validation/memo.h"
 
 namespace dedisys {
+
+/// Value-typed wiring of the CCMgr's collaborators, passed at construction
+/// (or through one wire() call) instead of six order-sensitive set_*
+/// calls.  Every field has a safe default: a default-constructed wiring
+/// yields the same standalone CCMgr as the plain constructor.
+struct CcmgrWiring {
+  /// Staleness/reachability oracle; null means "always fresh"
+  /// (single-node / healthy deployments).
+  const StalenessOracle* oracle = nullptr;
+  /// Accessor used for prepare-time and reconciliation-time validations.
+  ObjectAccessor* objects = nullptr;
+  /// Hook replicating an accepted threat to partition members.
+  std::function<void(const ConsistencyThreat&)> threat_replicator;
+  /// Application-wide fallback minimum satisfaction degree.
+  SatisfactionDegree default_min = SatisfactionDegree::Satisfied;
+  /// Observability hub; validations and the threat lifecycle are then
+  /// recorded as trace events.
+  obs::Observability* obs = nullptr;
+  /// Query used by constraints without a context object ("validation
+  /// starts from a set of objects obtained by a query", Section 3.2.2).
+  ConstraintValidationContext::ObjectQuery object_query;
+  /// Version-stamped validation memoization (docs/validation_memo.md).
+  /// Off by default: memo-off runs are byte-identical to an un-memoized
+  /// build.
+  bool memo = false;
+};
 
 /// Application callback invoked for violated constraints detected during
 /// the reconciliation phase (Section 4.4).  Returning true means the
@@ -64,27 +92,55 @@ class ConstraintConsistencyManager final : public TransactionalResource {
                                SimClock& clock, const CostModel& cost,
                                NodeId self);
 
+  /// Constructs and wires in one step (the preferred form).
+  ConstraintConsistencyManager(ConstraintRepository& repository,
+                               ThreatStore& threats, TransactionManager& tm,
+                               SimClock& clock, const CostModel& cost,
+                               NodeId self, CcmgrWiring wiring)
+      : ConstraintConsistencyManager(repository, threats, tm, clock, cost,
+                                     self) {
+    wire(std::move(wiring));
+  }
+
   // -- wiring ----------------------------------------------------------------
 
+  /// Applies a complete wiring in one call; replaces whatever was wired
+  /// before (a null oracle reverts to the built-in always-fresh one).
+  void wire(CcmgrWiring wiring) {
+    oracle_ = wiring.oracle != nullptr ? wiring.oracle : &kFreshOracle;
+    objects_ = wiring.objects;
+    replicate_threat_ = std::move(wiring.threat_replicator);
+    default_min_ = wiring.default_min;
+    obs_ = wiring.obs;
+    object_query_ = std::move(wiring.object_query);
+    memo_enabled_ = wiring.memo;
+  }
+
+  [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
   void set_staleness_oracle(const StalenessOracle* oracle) {
-    oracle_ = oracle;
+    oracle_ = oracle != nullptr ? oracle : &kFreshOracle;
   }
   /// Accessor used for prepare-time and reconciliation-time validations.
+  [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
   void set_object_accessor(ObjectAccessor* objects) { objects_ = objects; }
   /// Hook replicating an accepted threat to partition members.
+  [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
   void set_threat_replicator(std::function<void(const ConsistencyThreat&)> f) {
     replicate_threat_ = std::move(f);
   }
   /// Application-wide fallback minimum satisfaction degree.
+  [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
   void set_default_min_degree(SatisfactionDegree d) { default_min_ = d; }
 
   /// Wires the cluster's observability hub; validations and the threat
   /// lifecycle (detected/negotiated/accepted/rejected/reconciled) are then
   /// recorded as trace events.
+  [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
   void set_observability(obs::Observability* obs) { obs_ = obs; }
 
   /// Query used by constraints without a context object ("validation
   /// starts from a set of objects obtained by a query", Section 3.2.2).
+  [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
   void set_object_query(ConstraintValidationContext::ObjectQuery query) {
     object_query_ = std::move(query);
   }
@@ -125,6 +181,27 @@ class ConstraintConsistencyManager final : public TransactionalResource {
   void set_pruning(bool on) { pruning_ = on; }
   [[nodiscard]] bool pruning() const { return pruning_; }
 
+  /// Version-stamped validation memoization (this PR): definite outcomes
+  /// of analyzable constraints are cached keyed by (constraint, context
+  /// object, fingerprint of read-set entity write stamps) and reused while
+  /// no read-set entity is written.  Off by default — memo-off runs are
+  /// byte-identical to an un-memoized build (see docs/validation_memo.md).
+  void set_validation_memo(bool on) {
+    memo_enabled_ = on;
+    if (!on) memo_.clear();
+  }
+  [[nodiscard]] bool validation_memo() const { return memo_enabled_; }
+  [[nodiscard]] const validation::ValidationMemo::Stats& memo_stats() const {
+    return memo_.stats();
+  }
+  /// Drops cached results whose context object is `id` (entity destroyed).
+  void invalidate_memo_object(ObjectId id) { memo_.invalidate_object(id); }
+  /// Drops cached results of one constraint — required when a constraint
+  /// name is re-registered with a different body at runtime.
+  void invalidate_memo_constraint(const std::string& name) {
+    memo_.invalidate_constraint(name);
+  }
+
   /// Objects treated as possibly stale regardless of the replication
   /// oracle — used by the TreatAsDegraded reconciliation policy
   /// (Section 3.3): until their threats are re-evaluated, validations on
@@ -162,6 +239,9 @@ class ConstraintConsistencyManager final : public TransactionalResource {
     std::size_t deferred = 0;
     std::size_t postponed = 0;
     std::size_t conflict_notifications = 0;
+    /// Batched revalidation (memo on): threats whose (constraint,
+    /// fingerprint) was already evaluated and took the cached result.
+    std::size_t batched = 0;
   };
 
   /// Attempts rollback-based resolution of a violated threat; provided by
@@ -272,6 +352,23 @@ class ConstraintConsistencyManager final : public TransactionalResource {
   SatisfactionDegree evaluate(Constraint& constraint,
                               ConstraintValidationContext& ctx);
 
+  /// Memo-aware evaluate: on a fingerprint match the cached degree is
+  /// reused (no validate(), no constraint_validate cost); otherwise
+  /// evaluates and caches definite outcomes.  Falls through to evaluate()
+  /// whenever the memo is off or the constraint is ineligible, so memo-off
+  /// behavior is byte-identical.  `hit` (optional) reports a cache hit.
+  SatisfactionDegree evaluate_cached(Constraint& constraint,
+                                     ConstraintValidationContext& ctx,
+                                     bool* hit = nullptr);
+
+  /// Memo eligibility gate + cache-key computation.  Returns false (no
+  /// fingerprint) for opaque/unanalyzed constraints, read-sets that reach
+  /// beyond the context entity's attributes (arguments), query-based
+  /// contexts, unreachable context objects, and any validation under
+  /// LCC/NCC semantics (degraded mode or forced-stale objects).
+  bool memo_fingerprint(const Constraint& constraint,
+                        ConstraintValidationContext& ctx, std::uint64_t* out);
+
   /// Full handling of one constraint check within a business operation.
   void check(Constraint& constraint, const Invocation& inv,
              ObjectId context_object, ObjectAccessor& objects);
@@ -315,6 +412,8 @@ class ConstraintConsistencyManager final : public TransactionalResource {
   double partition_weight_ = 1.0;
   bool pruning_ = true;
   bool in_validation_ = false;
+  bool memo_enabled_ = false;
+  validation::ValidationMemo memo_;
   std::unordered_set<ObjectId> forced_stale_;
 
   std::unordered_map<TxId, TxState> tx_state_;

@@ -129,7 +129,9 @@ class ConstraintRepository {
   // -- search ----------------------------------------------------------------
 
   /// Enables/disables the query cache (the "optimized repository").
+  /// Idempotent: re-asserting the current mode keeps the warm cache.
   void set_caching(bool on) {
+    if (on == caching_) return;
     caching_ = on;
     invalidate_cache();
   }
@@ -148,12 +150,19 @@ class ConstraintRepository {
         class_name + '#' + method.key() + '#' +
         std::to_string(static_cast<int>(type));
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+    ++cache_misses_;
     auto [ins, _] = cache_.emplace(key, search(class_name, method, type));
     return ins->second;
   }
 
   [[nodiscard]] std::size_t search_count() const { return searches_; }
+  /// Query-cache hit/miss counters (only move while caching is on).
+  [[nodiscard]] std::size_t cache_hit_count() const { return cache_hits_; }
+  [[nodiscard]] std::size_t cache_miss_count() const { return cache_misses_; }
 
  private:
   /// Linear scan over every registration and affected method — the
@@ -184,6 +193,8 @@ class ConstraintRepository {
   std::unordered_map<std::string, std::vector<Match>> cache_;
   std::vector<Match> scratch_;
   std::size_t searches_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
 };
 
 }  // namespace dedisys

@@ -179,29 +179,6 @@ class AdminConsole {
     cluster_->threats().rebuild_index();
   }
 
-  // -- durable state (deprecated stream API) ----------------------------------
-
-  /// Deprecated: use take_snapshot()/restore(ClusterSnapshot) instead.
-  void save_node_state(std::size_t node, std::ostream& os) {
-    save_snapshot(cluster_->node(node).db(), os);
-  }
-
-  /// Deprecated: use take_snapshot()/restore(ClusterSnapshot) instead.
-  void restore_node_state(std::size_t node, std::istream& is) {
-    load_snapshot(cluster_->node(node).db(), is);
-  }
-
-  /// Deprecated: use take_snapshot()/restore(ClusterSnapshot) instead.
-  void save_threat_state(std::ostream& os) {
-    save_snapshot(cluster_->threat_db(), os);
-  }
-
-  /// Deprecated: use take_snapshot()/restore(ClusterSnapshot) instead.
-  void restore_threat_state(std::istream& is) {
-    load_snapshot(cluster_->threat_db(), is);
-    cluster_->threats().rebuild_index();
-  }
-
  private:
   Cluster* cluster_;
 };

@@ -34,6 +34,7 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   options.keep_history = config_.keep_history;
   options.default_min_degree = config_.default_min_degree;
   options.reconciliation_policy = config_.reconciliation_policy;
+  options.validation_memo = config_.validation_memo;
   for (std::size_t i = 0; i < config_.nodes; ++i) {
     nodes_.push_back(std::make_unique<DedisysNode>(*this, NodeId{i}, options));
   }

@@ -48,6 +48,10 @@ struct ClusterConfig {
   bool observability = false;
   /// Ring-buffer capacity of the trace recorder when observability is on.
   std::size_t trace_capacity = 4096;
+  /// Version-stamped validation memoization: cache definite constraint
+  /// outcomes keyed by the read-set entities' write stamps.  Off by
+  /// default — memo-off runs are byte-identical to builds without it.
+  bool validation_memo = false;
 };
 
 class Cluster {

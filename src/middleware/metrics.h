@@ -30,6 +30,10 @@ struct NodeMetrics {
   std::size_t threats_accepted = 0;
   std::size_t threats_rejected = 0;
   std::size_t violations = 0;
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
+  std::size_t memo_stores = 0;
+  std::size_t memo_invalidated = 0;
 };
 
 /// Cluster-wide fault-tolerance counters: the per-message fault outcomes
@@ -55,6 +59,11 @@ struct ClusterMetrics {
   std::size_t stored_threat_identities = 0;
   std::size_t stored_threat_occurrences = 0;
   std::size_t live_objects = 0;
+  /// Shared constraint-repository query-cache counters (Section 2.2.1),
+  /// reported side by side with the validation memo.
+  std::size_t lookup_searches = 0;
+  std::size_t lookup_cache_hits = 0;
+  std::size_t lookup_cache_misses = 0;
   FaultToleranceMetrics faults;
   std::vector<NodeMetrics> nodes;
 
@@ -74,6 +83,9 @@ inline ClusterMetrics collect_metrics(Cluster& cluster) {
   out.stored_threat_identities = cluster.threats().identity_count();
   out.stored_threat_occurrences = cluster.threats().total_occurrences();
   out.live_objects = cluster.directory()->size();
+  out.lookup_searches = cluster.constraints().search_count();
+  out.lookup_cache_hits = cluster.constraints().cache_hit_count();
+  out.lookup_cache_misses = cluster.constraints().cache_miss_count();
   {
     const SimNetwork::FaultStats& net = cluster.network().fault_stats();
     const GroupCommunication::Stats& gc = cluster.gc().stats();
@@ -110,6 +122,10 @@ inline ClusterMetrics collect_metrics(Cluster& cluster) {
     m.threats_accepted = node.ccmgr().stats().threats_accepted;
     m.threats_rejected = node.ccmgr().stats().threats_rejected;
     m.violations = node.ccmgr().stats().violations;
+    m.memo_hits = node.ccmgr().memo_stats().hits;
+    m.memo_misses = node.ccmgr().memo_stats().misses;
+    m.memo_stores = node.ccmgr().memo_stats().stores;
+    m.memo_invalidated = node.ccmgr().memo_stats().invalidations;
     out.nodes.push_back(m);
   }
   return out;

@@ -122,23 +122,24 @@ DedisysNode::DedisysNode(Cluster& cluster, NodeId id,
   repl_->set_keep_history(options.keep_history);
   repl_->set_replication_enabled(options.with_replication);
 
-  ccmgr_ = std::make_unique<ConstraintConsistencyManager>(
-      cluster.constraints(), cluster.threats(), *tm_, cluster.clock(),
-      net.cost(), id);
-  ccmgr_->set_observability(obs_);
   accessor_ = std::make_unique<NodeObjectAccessor>(*this);
-  ccmgr_->set_staleness_oracle(repl_.get());
-  ccmgr_->set_object_accessor(accessor_.get());
-  ccmgr_->set_default_min_degree(options.default_min_degree);
+  Cluster* cl = cluster_;
+  CcmgrWiring wiring;
+  wiring.oracle = repl_.get();
+  wiring.objects = accessor_.get();
+  wiring.default_min = options.default_min_degree;
+  wiring.obs = obs_;
+  wiring.memo = options.validation_memo;
   if (options.with_replication) {
     ReplicationManager* repl = repl_.get();
-    ccmgr_->set_threat_replicator(
-        [repl](const ConsistencyThreat&) { repl->replicate_threat_record(); });
+    wiring.threat_replicator =
+        [repl](const ConsistencyThreat&) { repl->replicate_threat_record(); };
   }
-
-  Cluster* cl = cluster_;
-  ccmgr_->set_object_query(
-      [cl](const std::string& class_name) { return cl->objects_of(class_name); });
+  wiring.object_query =
+      [cl](const std::string& class_name) { return cl->objects_of(class_name); };
+  ccmgr_ = std::make_unique<ConstraintConsistencyManager>(
+      cluster.constraints(), cluster.threats(), *tm_, cluster.clock(),
+      net.cost(), id, std::move(wiring));
   ccmgr_->set_class_ancestry([cl](const std::string& class_name) {
     return cl->classes().ancestry(class_name);
   });
@@ -228,6 +229,9 @@ void DedisysNode::destroy(TxId tx, ObjectId id) {
   if (tx.valid()) tm_->lock(tx, id);
   db_->erase("entities", to_string(id));
   repl_->destroy(id, tx);
+  // A later create() may reuse this id for a fresh entity whose write stamp
+  // restarts at zero; drop any cached outcomes keyed on the dead object.
+  ccmgr_->invalidate_memo_object(id);
   if (obs::on(obs_)) {
     obs_->latency("destroy", cluster_->clock().now() - start);
   }

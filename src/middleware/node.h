@@ -72,6 +72,8 @@ struct NodeOptions {
   SatisfactionDegree default_min_degree = SatisfactionDegree::Satisfied;
   ReconciliationBusinessPolicy reconciliation_policy =
       ReconciliationBusinessPolicy::Proceed;
+  /// Version-stamped validation memoization (src/validation/memo.h).
+  bool validation_memo = false;
 };
 
 class DedisysNode final : public ViewListener {

@@ -70,6 +70,10 @@ namespace dedisys::obs {
     node.set("threats_accepted", n.threats_accepted);
     node.set("threats_rejected", n.threats_rejected);
     node.set("violations", n.violations);
+    node.set("memo_hits", n.memo_hits);
+    node.set("memo_misses", n.memo_misses);
+    node.set("memo_stores", n.memo_stores);
+    node.set("memo_invalidated", n.memo_invalidated);
     nodes.push_back(std::move(node));
   }
   Json faults = Json::object();
@@ -91,6 +95,20 @@ namespace dedisys::obs {
   out.set("stored_threat_identities", m.stored_threat_identities);
   out.set("stored_threat_occurrences", m.stored_threat_occurrences);
   out.set("live_objects", m.live_objects);
+  // Both caches of the validation path, side by side: the repository's
+  // query cache (what to validate) and the validation memo (what the
+  // outcome was).
+  Json lookup_cache = Json::object();
+  lookup_cache.set("searches", m.lookup_searches);
+  lookup_cache.set("hits", m.lookup_cache_hits);
+  lookup_cache.set("misses", m.lookup_cache_misses);
+  Json memo = Json::object();
+  memo.set("hits", m.total(&NodeMetrics::memo_hits));
+  memo.set("misses", m.total(&NodeMetrics::memo_misses));
+  memo.set("stores", m.total(&NodeMetrics::memo_stores));
+  memo.set("invalidated", m.total(&NodeMetrics::memo_invalidated));
+  memo.set("lookup_cache", std::move(lookup_cache));
+  out.set("memo", std::move(memo));
   out.set("faults", std::move(faults));
   out.set("nodes", std::move(nodes));
   return out;

@@ -25,6 +25,8 @@ enum class TraceEventKind {
   InvocationEnd,     ///< the call returned (or threw; see detail)
   Validation,        ///< one constraint validate() with its degree
   ValidationSkipped, ///< invariant skipped by static read-set pruning
+  ValidationMemoHit, ///< cached result reused (read-set stamps unchanged)
+  ValidationMemoInvalidate, ///< cached result busted by a read-set write
   ThreatDetected,    ///< a threat arose (LCC/NCC outcome)
   ThreatNegotiated,  ///< negotiation ran (dynamic handler or static rule)
   ThreatAccepted,    ///< negotiation accepted the threat
@@ -52,6 +54,9 @@ enum class TraceEventKind {
     case TraceEventKind::InvocationEnd: return "invocation.end";
     case TraceEventKind::Validation: return "validation";
     case TraceEventKind::ValidationSkipped: return "validation.skipped";
+    case TraceEventKind::ValidationMemoHit: return "validation.memo_hit";
+    case TraceEventKind::ValidationMemoInvalidate:
+      return "validation.memo_invalidate";
     case TraceEventKind::ThreatDetected: return "threat.detected";
     case TraceEventKind::ThreatNegotiated: return "threat.negotiated";
     case TraceEventKind::ThreatAccepted: return "threat.accepted";

@@ -75,6 +75,7 @@ ChaosResult run_chaos(const ChaosOptions& options) {
   config.protocol = options.protocol;
   config.observability = true;
   config.trace_capacity = options.trace_capacity;
+  config.validation_memo = options.validation_memo;
   Cluster cluster(config);
   AdminConsole admin(cluster);
 

@@ -31,6 +31,10 @@ struct ChaosOptions {
   ReplicationProtocol protocol = ReplicationProtocol::PrimaryPartition;
   /// Trace ring-buffer capacity (timeline comparisons need headroom).
   std::size_t trace_capacity = 65536;
+  /// Version-stamped validation memoization; memo-off and memo-on runs of
+  /// the same seed must produce identical outcomes (the memo equivalence
+  /// oracle in tests and check.sh --memo).
+  bool validation_memo = false;
 };
 
 struct ChaosResult {

@@ -175,22 +175,6 @@ class SimNetwork {
     refresh_faults_active();
   }
 
-  // -- legacy fault API (shims over apply) ----------------------------------
-
-  /// Deprecated: use `apply(fault::Partition{groups})`.
-  void partition(const std::vector<std::vector<NodeId>>& groups) {
-    apply(fault::Partition{groups});
-  }
-
-  /// Deprecated: use `apply(fault::Heal{})`.
-  void heal() { apply(fault::Heal{}); }
-
-  /// Deprecated: use `apply(fault::Crash{node})`.
-  void crash(NodeId node) { apply(fault::Crash{node}); }
-
-  /// Deprecated: use `apply(fault::Restart{node})`.
-  void recover(NodeId node) { apply(fault::Restart{node}); }
-
   // -- seeded per-message faults --------------------------------------------
 
   /// Seeds the generator behind every probabilistic delivery decision.

@@ -1,0 +1,64 @@
+#include "validation/memo.h"
+
+namespace dedisys::validation {
+
+ValidationMemo::Lookup ValidationMemo::lookup(const std::string& constraint,
+                                              ObjectId context_object,
+                                              std::uint64_t fingerprint) {
+  auto it = entries_.find(key(constraint, context_object));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return Lookup{Outcome::MissCold, SatisfactionDegree::Satisfied};
+  }
+  if (it->second.fingerprint != fingerprint) {
+    ++stats_.misses;
+    ++stats_.invalidations;
+    return Lookup{Outcome::MissStale, SatisfactionDegree::Satisfied};
+  }
+  ++stats_.hits;
+  return Lookup{Outcome::Hit, it->second.degree};
+}
+
+void ValidationMemo::store(const std::string& constraint,
+                           ObjectId context_object, std::uint64_t fingerprint,
+                           SatisfactionDegree degree) {
+  entries_[key(constraint, context_object)] = Entry{fingerprint, degree};
+  ++stats_.stores;
+}
+
+std::size_t ValidationMemo::invalidate_object(ObjectId object) {
+  const std::string suffix = '@' + std::to_string(object.value());
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const std::string& k = it->first;
+    if (k.size() >= suffix.size() &&
+        k.compare(k.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.evictions += removed;
+  return removed;
+}
+
+std::size_t ValidationMemo::invalidate_constraint(
+    const std::string& constraint) {
+  const std::string prefix = constraint + '@';
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.evictions += removed;
+  return removed;
+}
+
+void ValidationMemo::clear() { entries_.clear(); }
+
+}  // namespace dedisys::validation

@@ -1,0 +1,112 @@
+// Validation result cache (version-stamped memoization).
+//
+// After a constraint evaluates, the CCMgr records the outcome keyed by
+// (constraint name, context object, fingerprint of the write stamps of
+// every entity in the analyzed read-set).  On the next validation of the
+// same constraint over the same context object, an unchanged fingerprint
+// proves that no read-set entity was written since — the cached
+// SatisfactionDegree can be reused without re-walking the OCL tree.
+//
+// Invalidation is implicit and exact: Entity::write_stamp() is bumped by
+// every state change (local setters, replication apply of a propagated
+// update, snapshot restore, reconciliation replays all funnel through
+// Entity::set/restore), so a stale entry simply stops matching.  A lookup
+// that finds a non-matching fingerprint reports MissStale — the caller
+// traces it as validation.memo_invalidate — and the subsequent store
+// replaces the dead entry.
+//
+// The memo itself is policy-free: eligibility (opaque read-sets,
+// query-based contexts, LCC/NCC bypass) is decided by the CCMgr; see
+// docs/validation_memo.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "constraints/satisfaction.h"
+#include "util/ids.h"
+
+namespace dedisys::validation {
+
+/// Order-sensitive FNV-1a digest over (object id, write stamp) pairs.
+class FingerprintBuilder {
+ public:
+  void mix(ObjectId object, std::uint64_t write_stamp) {
+    mix64(object.value());
+    mix64(write_stamp);
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  void mix64(std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (v >> (byte * 8)) & 0xffu;
+      hash_ *= 1099511628211ull;
+    }
+  }
+
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+class ValidationMemo {
+ public:
+  enum class Outcome {
+    Hit,       ///< entry present, fingerprint unchanged: reuse the degree
+    MissCold,  ///< never cached for this (constraint, context object)
+    MissStale, ///< cached, but a read-set entity was written since
+  };
+
+  struct Lookup {
+    Outcome outcome = Outcome::MissCold;
+    SatisfactionDegree degree = SatisfactionDegree::Satisfied;  // Hit only
+  };
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;        ///< cold + stale
+    std::size_t invalidations = 0; ///< stale misses (entry busted by a write)
+    std::size_t stores = 0;
+    std::size_t evictions = 0;     ///< entries dropped via invalidate_object
+  };
+
+  [[nodiscard]] Lookup lookup(const std::string& constraint,
+                              ObjectId context_object,
+                              std::uint64_t fingerprint);
+
+  /// Records (or replaces) the cached outcome for a key.  Callers only
+  /// store definite degrees (Satisfied/Violated); threat degrees depend on
+  /// partition state the fingerprint cannot see.
+  void store(const std::string& constraint, ObjectId context_object,
+             std::uint64_t fingerprint, SatisfactionDegree degree);
+
+  /// Drops every entry whose context is `object` (entity destroyed).
+  /// Returns the number of entries removed.
+  std::size_t invalidate_object(ObjectId object);
+
+  /// Drops every entry of one constraint (removed/disabled at runtime).
+  std::size_t invalidate_constraint(const std::string& constraint);
+
+  void clear();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    SatisfactionDegree degree = SatisfactionDegree::Satisfied;
+  };
+
+  static std::string key(const std::string& constraint,
+                         ObjectId context_object) {
+    return constraint + '@' + std::to_string(context_object.value());
+  }
+
+  std::unordered_map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace dedisys::validation

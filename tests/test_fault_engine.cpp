@@ -51,17 +51,6 @@ TEST_F(FaultEngineTest, CrashRestartAndHealOps) {
   EXPECT_EQ(net_.fault_stats().heals, 1u);
 }
 
-TEST_F(FaultEngineTest, LegacyShimsStillWork) {
-  net_.partition({{NodeId{0}}, {NodeId{1}, NodeId{2}}});
-  EXPECT_FALSE(net_.reachable(NodeId{0}, NodeId{1}));
-  net_.heal();
-  EXPECT_TRUE(net_.fully_connected());
-  net_.crash(NodeId{0});
-  EXPECT_FALSE(net_.is_alive(NodeId{0}));
-  net_.recover(NodeId{0});
-  EXPECT_TRUE(net_.is_alive(NodeId{0}));
-}
-
 TEST_F(FaultEngineTest, FaultFreeVerdictIsPassThrough) {
   EXPECT_FALSE(net_.faults_active());
   const SimNetwork::Delivery v = net_.delivery_verdict(NodeId{0}, NodeId{1});

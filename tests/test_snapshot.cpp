@@ -1,7 +1,6 @@
 // Record-store durability: snapshot save/load round-trips and recovery of
 // persistent threat state after a simulated process restart.  Also covers
-// the AdminConsole's value-typed ClusterSnapshot API and the deprecated
-// per-stream shims layered over it.
+// the AdminConsole's value-typed ClusterSnapshot API.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -154,29 +153,6 @@ TEST(ClusterSnapshotTest, TakeAndRestoreRoundTripsClusterState) {
   EXPECT_FALSE(cluster.node(1).db().contains("entities", "9"));
   EXPECT_EQ(cluster.threats().identity_count(), 1u);
   EXPECT_TRUE(cluster.threats().has("C1@1"));
-}
-
-TEST(ClusterSnapshotTest, DeprecatedStreamShimsMatchTypedSnapshot) {
-  ClusterConfig config;
-  config.nodes = 2;
-  Cluster cluster(config);
-  AdminConsole admin(cluster);
-  cluster.node(0).db().put("t", "k", AttributeMap{{"x", Value{true}}});
-
-  // The legacy per-stream API must serialize exactly what take_snapshot
-  // captures, and restoring through it must accept the same bytes.
-  const ClusterSnapshot snap = admin.take_snapshot();
-  std::stringstream node0;
-  admin.save_node_state(0, node0);
-  EXPECT_EQ(node0.str(), snap.node_states[0]);
-  std::stringstream threat_state;
-  admin.save_threat_state(threat_state);
-  EXPECT_EQ(threat_state.str(), snap.threat_state);
-
-  cluster.node(0).db().erase("t", "k");
-  std::istringstream replay(snap.node_states[0]);
-  admin.restore_node_state(0, replay);
-  EXPECT_TRUE(cluster.node(0).db().contains("t", "k"));
 }
 
 }  // namespace
