@@ -4,14 +4,19 @@
 // Usage:
 //   bench_chaos_soak [--seed N] [--nodes N] [--objects N] [--ops N]
 //                    [--events N] [--horizon-ms N] [--protocol pp|pb|av]
-//                    [--json] [--timeline]
+//                    [--gray] [--json <path>] [--timeline]
 //
 // Exits 0 when every invariant holds, 1 otherwise.  With --timeline the
 // rendered trace goes to stdout — two runs with identical arguments must
-// produce byte-identical output (check.sh --chaos diffs them).
+// produce byte-identical output (check.sh --chaos diffs them).  With
+// --gray the fault plan draws gray failures too (one-way cuts, flapping
+// links, slow nodes, clock skew).  --json writes the full observability
+// export (simulated-time metrics, so the file is deterministic and can be
+// committed as a BENCH_chaos_soak.json baseline).
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -26,7 +31,8 @@ std::uint64_t parse_u64(const char* text) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--seed N] [--nodes N] [--objects N] [--ops N] [--events N]"
-               " [--horizon-ms N] [--protocol pp|pb|av] [--json] [--timeline]\n";
+               " [--horizon-ms N] [--protocol pp|pb|av] [--gray]"
+               " [--json <path>] [--timeline]\n";
   return 2;
 }
 
@@ -35,7 +41,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using dedisys::ReplicationProtocol;
   dedisys::scenarios::ChaosOptions options;
-  bool print_json = false;
+  std::string json_path;
   bool print_timeline = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -69,8 +75,10 @@ int main(int argc, char** argv) {
       } else {
         return usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--gray") == 0) {
+      options.gray = true;
     } else if (std::strcmp(arg, "--json") == 0) {
-      print_json = true;
+      json_path = value();
     } else if (std::strcmp(arg, "--timeline") == 0) {
       print_timeline = true;
     } else {
@@ -82,7 +90,14 @@ int main(int argc, char** argv) {
       dedisys::scenarios::run_chaos(options);
 
   if (print_timeline) std::cout << result.timeline;
-  if (print_json) std::cout << result.metrics_json << '\n';
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "cannot write " << json_path << '\n';
+      return 2;
+    }
+    os << result.metrics_json << '\n';
+  }
 
   std::cerr << "chaos seed=" << options.seed
             << " committed=" << result.committed

@@ -24,6 +24,11 @@
 #                                    self-asserting bench_memo_validation
 #                                    (memo-on outcomes must equal memo-off,
 #                                    with cache hits and lower cost)
+#   scripts/check.sh --gray          gray-failure gate only: shrinker
+#                                    self-test, 20 random gray plans
+#                                    through the invariant harness, a
+#                                    byte-identical gray timeline pair and
+#                                    the committed regression corpus
 #   scripts/check.sh --tidy          clang-tidy over src/ (skipped with a
 #                                    message when clang-tidy is missing)
 set -euo pipefail
@@ -37,6 +42,7 @@ case "${1:-}" in
   --asan) MODE="asan" ;;
   --chaos) MODE="chaos" ;;
   --memo) MODE="memo" ;;
+  --gray) MODE="gray" ;;
   --tidy) MODE="tidy" ;;
   "") ;;
   *) BUILD_DIR="$1" ;;
@@ -63,6 +69,36 @@ chaos_smoke() {
     echo "chaos smoke: seed $seed ok ($(wc -l < "$a") trace lines)"
   done
   rm -f "$a" "$b"
+}
+
+# Gray-failure gate: the shrinker must minimize a synthetic plan and the
+# known legacy-views split-brain plan (<= 3 ops), 20 random gray plans
+# must hold every invariant (plus determinism and memo equivalence), two
+# runs of one gray seed must emit byte-identical timelines, and the
+# committed regression corpus must replay clean.
+gray_smoke() {
+  local gray="$1/bench/bench_gray_chaos"
+  "$gray" --selftest 2> /dev/null \
+    || { echo "check.sh: gray shrinker self-test failed" >&2; exit 1; }
+  echo "gray gate: shrinker self-test ok"
+  "$gray" --plans 20 --seed 1 \
+    || { echo "check.sh: gray property suite failed" >&2; exit 1; }
+  echo "gray gate: 20 random gray plans ok"
+  local a b
+  a="$(mktemp /tmp/gray_a_XXXXXX.txt)"
+  b="$(mktemp /tmp/gray_b_XXXXXX.txt)"
+  "$gray" --seed 5 --timeline > "$a" 2> /dev/null
+  "$gray" --seed 5 --timeline > "$b" 2> /dev/null
+  if ! cmp -s "$a" "$b"; then
+    echo "check.sh: gray seed 5 is not deterministic" >&2
+    rm -f "$a" "$b"
+    exit 1
+  fi
+  echo "gray gate: timelines byte-identical ($(wc -l < "$a") trace lines)"
+  rm -f "$a" "$b"
+  "$gray" --corpus tests/gray_corpus \
+    || { echo "check.sh: gray corpus replay failed" >&2; exit 1; }
+  echo "gray gate: regression corpus ok"
 }
 
 # Memo smoke: bench_memo_validation asserts its own acceptance criteria
@@ -95,6 +131,14 @@ if [ "$MODE" = "memo" ]; then
   cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_memo_validation
   memo_smoke "$BUILD_DIR"
   echo "check.sh --memo: all green"
+  exit 0
+fi
+
+if [ "$MODE" = "gray" ]; then
+  cmake -B "$BUILD_DIR" -S . > /dev/null
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_gray_chaos
+  gray_smoke "$BUILD_DIR"
+  echo "check.sh --gray: all green"
   exit 0
 fi
 
@@ -132,11 +176,12 @@ trap 'rm -f "$OUT"' EXIT
 "$BUILD_DIR/bench/bench_fig5_2_healthy_degraded" --json "$OUT" > /dev/null
 "$BUILD_DIR/bench/json_validate" --require-latencies "$OUT"
 
-# Fault-tolerance gates: chaos smoke and the validation-memo smoke on this
-# build, then the sanitizer tier (its own build dir, ASan+UBSan over the
-# full test suite).
+# Fault-tolerance gates: chaos smoke, the validation-memo smoke and the
+# gray-failure gate on this build, then the sanitizer tier (its own build
+# dir, ASan+UBSan over the full test suite).
 chaos_smoke "$BUILD_DIR"
 memo_smoke "$BUILD_DIR"
+gray_smoke "$BUILD_DIR"
 "$0" --asan
 
 echo "check.sh: all green"

@@ -83,8 +83,14 @@ class GroupCommunication {
     }
     if (reached > 0) {
       // Confirmation messages from the backups travel back to the primary
-      // in parallel; charge a single response latency.
-      net_.clock().advance(net_.cost().rpc_latency);
+      // in parallel; charge a single response latency — the slowest
+      // return path when gray failures (slow nodes, relayed links) apply.
+      SimDuration confirm = net_.cost().rpc_latency;
+      for (NodeId t : targets) {
+        const SimDuration leg = net_.rpc_cost(t, from);
+        if (leg > confirm) confirm = leg;
+      }
+      net_.clock().advance(confirm);
     }
     return delivered;
   }
@@ -121,7 +127,7 @@ class GroupCommunication {
       const bool charged = first_attempt_charged && attempt == 1;
       SimNetwork::Delivery request = net_.delivery_verdict(from, to);
       if (!charged) {
-        net_.clock().advance(net_.cost().rpc_latency + request.extra_delay);
+        net_.clock().advance(net_.rpc_cost(from, to) + request.extra_delay);
       } else if (request.extra_delay > 0) {
         net_.clock().advance(request.extra_delay);
       }
@@ -132,7 +138,7 @@ class GroupCommunication {
         delivered_any = true;
         SimNetwork::Delivery ack = net_.delivery_verdict(to, from);
         if (!charged) {
-          net_.clock().advance(net_.cost().rpc_latency + ack.extra_delay);
+          net_.clock().advance(net_.rpc_cost(to, from) + ack.extra_delay);
         } else if (ack.extra_delay > 0) {
           net_.clock().advance(ack.extra_delay);
         }

@@ -43,9 +43,18 @@ class NodeWeights {
 
 class GroupMembershipService : public TopologyListener {
  public:
+  /// `legacy_unidirectional_views` restores the pre-gray-failure behavior
+  /// of deriving views from outbound reachability alone.  Under a one-way
+  /// cut that lets two nodes of the same strongly-connected component elect
+  /// different primaries (split brain); it exists only so tests can pin the
+  /// bug this flag's default fixes.
   GroupMembershipService(SimNetwork& net, NodeId self,
-                         std::shared_ptr<NodeWeights> weights)
-      : net_(net), self_(self), weights_(std::move(weights)) {
+                         std::shared_ptr<NodeWeights> weights,
+                         bool legacy_unidirectional_views = false)
+      : net_(net),
+        self_(self),
+        weights_(std::move(weights)),
+        legacy_unidirectional_(legacy_unidirectional_views) {
     net_.subscribe(this);
     recompute(/*force=*/true);
   }
@@ -68,7 +77,13 @@ class GroupMembershipService : public TopologyListener {
 
  private:
   void recompute(bool force) {
-    std::vector<NodeId> members = net_.reachable_set(self_);
+    // Views must contain only *mutually* reachable nodes: under a one-way
+    // cut, outbound reachability alone lets a node that cannot send to
+    // the primary form a smaller view and elect a second primary inside
+    // the same strongly-connected component.
+    std::vector<NodeId> members = legacy_unidirectional_
+                                      ? net_.direct_reachable_set(self_)
+                                      : net_.mutually_reachable_set(self_);
     std::sort(members.begin(), members.end());
     if (!force && members == view_.members) return;
 
@@ -98,6 +113,7 @@ class GroupMembershipService : public TopologyListener {
   SimNetwork& net_;
   NodeId self_;
   std::shared_ptr<NodeWeights> weights_;
+  bool legacy_unidirectional_ = false;
   obs::Observability* obs_ = nullptr;
   View view_;
   std::uint64_t next_view_id_ = 1;

@@ -35,6 +35,7 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   options.default_min_degree = config_.default_min_degree;
   options.reconciliation_policy = config_.reconciliation_policy;
   options.validation_memo = config_.validation_memo;
+  options.legacy_unidirectional_views = config_.legacy_unidirectional_views;
   for (std::size_t i = 0; i < config_.nodes; ++i) {
     nodes_.push_back(std::make_unique<DedisysNode>(*this, NodeId{i}, options));
   }
@@ -146,7 +147,7 @@ std::size_t Cluster::restart_node(std::size_t index) {
     }
     if (n.replication().has_local_replica(id)) continue;
     std::optional<EntitySnapshot> best;
-    for (NodeId peer : network_->reachable_set(n.id())) {
+    for (NodeId peer : network_->mutually_reachable_set(n.id())) {
       if (peer == n.id()) continue;
       DedisysNode* p = node_by_id(peer);
       if (p == nullptr || !p->replication().has_local_replica(id)) continue;

@@ -52,6 +52,11 @@ struct ClusterConfig {
   /// outcomes keyed by the read-set entities' write stamps.  Off by
   /// default — memo-off runs are byte-identical to builds without it.
   bool validation_memo = false;
+  /// Pre-gray-failure GMS behavior: derive views from outbound
+  /// reachability alone.  Under a one-way link cut this elects two
+  /// primaries inside one strongly-connected component; only tests
+  /// pinning that regression should set it.
+  bool legacy_unidirectional_views = false;
 };
 
 class Cluster {

@@ -111,8 +111,8 @@ DedisysNode::DedisysNode(Cluster& cluster, NodeId id,
   db_ = std::make_unique<RecordStore>(cluster.clock(), net.cost());
   history_ = std::make_unique<ReplicaHistoryStore>(cluster.clock(), net.cost());
   tm_ = &cluster.tx();
-  gms_ = std::make_unique<GroupMembershipService>(net, id,
-                                                  cluster.weights_ptr());
+  gms_ = std::make_unique<GroupMembershipService>(
+      net, id, cluster.weights_ptr(), options.legacy_unidirectional_views);
   gms_->set_observability(obs_);
   gms_->subscribe(this);
   repl_ = std::make_unique<ReplicationManager>(

@@ -74,6 +74,8 @@ struct NodeOptions {
       ReconciliationBusinessPolicy::Proceed;
   /// Version-stamped validation memoization (src/validation/memo.h).
   bool validation_memo = false;
+  /// Legacy outbound-only GMS views (see ClusterConfig) — tests only.
+  bool legacy_unidirectional_views = false;
 };
 
 class DedisysNode final : public ViewListener {

@@ -182,7 +182,10 @@ void ReplicationManager::propagate_update(ObjectId id, TxId tx) {
           AttributeMap{{"version", Value{static_cast<std::int64_t>(
                                        primary_copy.version())}}});
   clock.advance(cost.state_extraction);
-  primary_copy.touch(clock.now());
+  // Stamp with this node's *local* clock: under fault::ClockSkew the stamp
+  // feeding the Section 4.2.1 freshness estimation drifts, while versions
+  // (and hence reconciliation) stay skew-proof.
+  primary_copy.touch(gc_.network().local_now(self_));
   const EntitySnapshot snap = primary_copy.snapshot();
 
   if (protocol_ == ReplicationProtocol::AdaptiveVoting) {
@@ -228,7 +231,7 @@ void ReplicationManager::propagate_restore(ObjectId id) {
   SimClock& clock = gc_.network().clock();
   const CostModel& cost = gc_.network().cost();
   clock.advance(cost.state_extraction);
-  local.touch(clock.now());
+  local.touch(gc_.network().local_now(self_));
   const EntitySnapshot snap = local.snapshot();
   const std::size_t reached =
       gc_.multicast(self_, reachable_replicas(directory_->get(id)),
@@ -286,7 +289,7 @@ void ReplicationManager::apply_propagated(const EntitySnapshot& snap,
     return;
   }
   it->second->restore(snap);
-  it->second->touch(clock.now());
+  it->second->touch(gc_.network().local_now(self_));
   ++stats_.backups_applied;
   if (degraded_) degraded_updates_.insert(snap.id);
 }

@@ -38,10 +38,13 @@ class RecordingConflictHandler final : public ReplicaConsistencyHandler {
 
 /// P4: every node of the invoker's partition must elect the same write
 /// primary for `target`, and that primary must lie inside the partition.
+/// A "partition" is the strongly-connected component of mutually reachable
+/// nodes: under asymmetric cuts, outbound reachability would lump nodes
+/// together that cannot agree on anything.
 void check_primary_per_partition(Cluster& cluster, DedisysNode& invoker,
                                  ObjectId target, ChaosResult& result) {
   const std::vector<NodeId> part =
-      cluster.network().reachable_set(invoker.id());
+      cluster.network().mutually_reachable_set(invoker.id());
   std::optional<NodeId> primary;
   for (NodeId nid : part) {
     DedisysNode* peer = cluster.node_by_id(nid);
@@ -76,6 +79,7 @@ ChaosResult run_chaos(const ChaosOptions& options) {
   config.observability = true;
   config.trace_capacity = options.trace_capacity;
   config.validation_memo = options.validation_memo;
+  config.legacy_unidirectional_views = options.legacy_unidirectional_views;
   Cluster cluster(config);
   AdminConsole admin(cluster);
 
@@ -88,8 +92,15 @@ ChaosResult run_chaos(const ChaosOptions& options) {
   plan_options.nodes = cluster.network().nodes();
   plan_options.horizon = options.horizon;
   plan_options.events = options.fault_events;
-  FaultEngine engine(cluster.network(),
-                     random_fault_plan(options.seed, plan_options));
+  FaultPlan plan;
+  if (options.plan) {
+    plan = *options.plan;
+  } else if (options.gray) {
+    plan = random_gray_plan(options.seed, plan_options);
+  } else {
+    plan = random_fault_plan(options.seed, plan_options);
+  }
+  FaultEngine engine(cluster.network(), std::move(plan));
   cluster.adopt_fault_engine(engine);
 
   RecordingConflictHandler recorder;
@@ -167,9 +178,14 @@ ChaosResult run_chaos(const ChaosOptions& options) {
     }
   }
 
-  // Drain the plan: it ends with restart + heal + link-fault reset just
-  // past the horizon, so the cluster is whole again.
-  if (!engine.done()) engine.advance_to(options.horizon + 3);
+  // Drain the plan: generated plans end with restart + heal + link-fault
+  // reset (and gray resets) just past the horizon, so the cluster is whole
+  // again.  Flap expansion and explicit plans may schedule actions past
+  // that guard; drain those too so no fault stays armed.
+  if (!engine.done()) {
+    engine.advance_to(options.horizon + 3);
+    while (!engine.done()) engine.advance_to(engine.next_at());
+  }
   maybe_reconcile();
 
   result.faults_applied = engine.stats().applied;

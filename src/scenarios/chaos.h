@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "replication/protocol.h"
+#include "sim/fault_plan.h"
 #include "util/sim_clock.h"
 
 namespace dedisys::scenarios {
@@ -35,6 +37,16 @@ struct ChaosOptions {
   /// the same seed must produce identical outcomes (the memo equivalence
   /// oracle in tests and check.sh --memo).
   bool validation_memo = false;
+  /// Draw the fault plan from `random_gray_plan` instead of
+  /// `random_fault_plan`: the op mix then includes asymmetric one-way
+  /// cuts, flapping links, slow-but-alive nodes and clock skew.
+  bool gray = false;
+  /// Legacy outbound-only GMS views (split-brain regression pin; see
+  /// ClusterConfig::legacy_unidirectional_views).
+  bool legacy_unidirectional_views = false;
+  /// Explicit fault plan; overrides seeded plan generation when set (the
+  /// invariant harness replays shrunk and corpus plans through this).
+  std::optional<FaultPlan> plan;
 };
 
 struct ChaosResult {

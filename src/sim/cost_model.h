@@ -15,6 +15,17 @@
 
 namespace dedisys {
 
+/// Scales a nominal cost by a gray-failure slowdown factor (the
+/// `fault::SlowNode` multiplier: the node is alive but every message leg
+/// touching it is this much slower).  Factors at or below 1.0 return the
+/// duration untouched with no floating-point arithmetic, so runs without
+/// slow nodes stay byte-identical to builds without this feature.
+[[nodiscard]] constexpr SimDuration scaled_cost(SimDuration d, double factor) {
+  return factor <= 1.0
+             ? d
+             : static_cast<SimDuration>(static_cast<double>(d) * factor);
+}
+
 struct CostModel {
   // -- network ------------------------------------------------------------
   /// One-way latency of a point-to-point message between reachable nodes.

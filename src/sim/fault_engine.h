@@ -34,6 +34,12 @@ class FaultEngine {
     std::size_t crashes = 0;
     std::size_t restarts = 0;
     std::size_t link_changes = 0;
+    // gray failures
+    std::size_t asym_cuts = 0;
+    std::size_t flaps = 0;          ///< Flap ops (not their toggles)
+    std::size_t flap_toggles = 0;   ///< scheduled up/down transitions
+    std::size_t slow_changes = 0;
+    std::size_t skew_changes = 0;
   };
 
   /// Takes the plan by value (it is consumed action by action) and seeds
@@ -86,11 +92,22 @@ class FaultEngine {
   SimNetwork& network() { return net_; }
 
  private:
-  void apply_one(const TimedFault& action);
+  void apply_one(TimedFault action);
+
+  /// Expands a Flap op into alternating up/down toggles (HealLinks /
+  /// AsymPartition actions) inserted into the pending plan, dwell time
+  /// `period / 2` plus seeded jitter, final state up.  Deterministic: the
+  /// jitter stream derives from the plan seed.
+  void schedule_flap(SimTime at, const fault::Flap& op);
+
+  /// Inserts an action into the still-pending part of the plan, keeping it
+  /// time-sorted (stable: equal-time actions keep insertion order).
+  void insert_pending(TimedFault action);
 
   SimNetwork& net_;
   FaultPlan plan_;
   std::size_t next_ = 0;
+  Rng flap_rng_{0};
   obs::Observability* obs_ = nullptr;
   std::function<void(NodeId)> crash_handler_;
   std::function<void(NodeId)> restart_handler_;

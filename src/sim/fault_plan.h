@@ -21,6 +21,14 @@
 
 namespace dedisys {
 
+/// One directed link `from -> to`.  Cutting it blocks messages in that
+/// direction only; the reverse direction keeps flowing (gray failures:
+/// asymmetric partitions, flapping links).
+struct OneWayCut {
+  NodeId from;
+  NodeId to;
+};
+
 /// Per-link message fault probabilities (fair-lossy link model).  All
 /// probabilities are per message; `delay` is the extra latency charged when
 /// a delay fires.  A default-constructed value means a perfect link.
@@ -71,9 +79,55 @@ struct SetLinkFaultsOn {
   LinkFaults faults;
 };
 
+// -- gray failures -----------------------------------------------------------
+
+/// Asymmetric (one-way) partition: cuts the given directed links.  The
+/// reverse directions keep delivering, so a node may be able to send where
+/// it cannot hear back — the failure mode that breaks naive "who can I
+/// reach" view formation.  `Heal` (or `HealLinks{}`) repairs the cuts.
+struct AsymPartition {
+  std::vector<OneWayCut> cuts;
+};
+
+/// Repairs directed link cuts previously installed by `AsymPartition` (or
+/// a flap's down phase).  An empty list repairs every cut link.
+struct HealLinks {
+  std::vector<OneWayCut> cuts;
+};
+
+/// Flapping link: the bidirectional link `a <-> b` oscillates between down
+/// and up.  Applying the op cuts both directions immediately; the
+/// `FaultEngine` then schedules alternating up/down toggles — dwell time
+/// `period / 2` plus seeded jitter — until `duration` has elapsed, closing
+/// with the link up.  Same plan seed, same toggle schedule.
+struct Flap {
+  NodeId a;
+  NodeId b;
+  SimDuration period = sim_ms(20);    ///< one full down+up cycle
+  SimDuration duration = sim_ms(100); ///< total flapping window
+};
+
+/// Slow-but-alive node: every message leg touching `node` is charged
+/// `multiplier` times its nominal cost.  The node stays in views and keeps
+/// answering — it is laggy, not dead.  Multiplier 1.0 clears the slowdown.
+struct SlowNode {
+  NodeId node;
+  double multiplier = 1.0;
+};
+
+/// Per-replica clock skew: `node`'s local stamps (entity update times that
+/// feed the Section 4.2.1 freshness estimation) read `offset` ahead of the
+/// shared virtual clock.  Offset 0 clears the skew.  Reconciliation must
+/// stay version-based, so convergence is skew-proof.
+struct ClockSkew {
+  NodeId node;
+  SimDuration offset = 0;
+};
+
 using Op =
     std::variant<Partition, Crash, Restart, Heal, SetLinkFaults,
-                 SetLinkFaultsOn>;
+                 SetLinkFaultsOn, AsymPartition, HealLinks, Flap, SlowNode,
+                 ClockSkew>;
 
 [[nodiscard]] inline const char* op_name(const Op& op) {
   struct Namer {
@@ -85,6 +139,11 @@ using Op =
     const char* operator()(const SetLinkFaultsOn&) const {
       return "link-faults-on";
     }
+    const char* operator()(const AsymPartition&) const { return "asym"; }
+    const char* operator()(const HealLinks&) const { return "heal-links"; }
+    const char* operator()(const Flap&) const { return "flap"; }
+    const char* operator()(const SlowNode&) const { return "slow"; }
+    const char* operator()(const ClockSkew&) const { return "skew"; }
   };
   return std::visit(Namer{}, op);
 }
@@ -119,7 +178,7 @@ struct FaultPlan {
   void sort();
 };
 
-/// Knobs for `random_fault_plan`.
+/// Knobs for `random_fault_plan` and `random_gray_plan`.
 struct RandomPlanOptions {
   std::vector<NodeId> nodes;        ///< cluster membership (required)
   SimTime horizon = sim_ms(500);    ///< faults are scheduled in [0, horizon)
@@ -129,6 +188,12 @@ struct RandomPlanOptions {
   double max_delay_prob = 0.25;
   SimDuration max_delay = sim_us(2000);
   double max_reorder = 0.25;
+  // -- gray knobs (consumed by random_gray_plan only) ----------------------
+  double max_slow_multiplier = 4.0;        ///< SlowNode in (1, max]
+  SimDuration max_clock_skew = sim_ms(5);  ///< |ClockSkew::offset| bound
+  SimDuration min_flap_period = sim_ms(4);
+  SimDuration max_flap_period = sim_ms(24);
+  SimDuration max_flap_duration = sim_ms(80);
 };
 
 /// Generates a seeded random fault plan over the given nodes: partition
@@ -138,5 +203,21 @@ struct RandomPlanOptions {
 /// link faults, so a harness can reconcile afterwards.
 [[nodiscard]] FaultPlan random_fault_plan(std::uint64_t seed,
                                           const RandomPlanOptions& options);
+
+/// Like `random_fault_plan`, but the op mix additionally draws gray
+/// failures: asymmetric one-way cuts, flapping links, slow-but-alive nodes
+/// and per-replica clock skew.  The closing sequence restores everything —
+/// crashed node restarted, links healed (including one-way cuts), link
+/// faults cleared, slow multipliers and skews reset — so a harness can
+/// reconcile and check convergence afterwards.
+[[nodiscard]] FaultPlan random_gray_plan(std::uint64_t seed,
+                                         const RandomPlanOptions& options);
+
+/// Text round-trip for fault plans, used by the shrinker's regression seed
+/// corpus (tests/gray_corpus/*.plan).  Format: a `seed N` line followed by
+/// one `at <us> <op> <args>` line per action; `plan_from_text` throws
+/// ConfigError on malformed input.
+[[nodiscard]] std::string plan_to_text(const FaultPlan& plan);
+[[nodiscard]] FaultPlan plan_from_text(const std::string& text);
 
 }  // namespace dedisys

@@ -39,6 +39,24 @@ TEST_F(GcsTest, PartitionInstallsSmallerViews) {
   EXPECT_NEAR(gms_[2]->current_view().weight_fraction, 1.0 / 3, 1e-9);
 }
 
+TEST_F(GcsTest, OneWayCutKeepsViewsBidirectional) {
+  // Cut 1 -> 0 only.  All three nodes remain mutually reachable (node 1
+  // routes to 0 via 2), so every view must stay complete — the legacy
+  // outbound-only GMS dropped node 0 from node 1's view here and elected
+  // a second primary inside the strongly-connected component.
+  net_.apply(fault::AsymPartition{{{NodeId{1}, NodeId{0}}}});
+  for (const auto& gms : gms_) {
+    EXPECT_TRUE(gms->current_view().complete);
+    EXPECT_EQ(gms->current_view().members.size(), 3u);
+  }
+
+  GroupMembershipService legacy(net_, NodeId{1}, weights_,
+                                /*legacy_unidirectional_views=*/true);
+  EXPECT_FALSE(legacy.current_view().complete);
+  EXPECT_EQ(legacy.current_view().members.size(), 2u);
+  EXPECT_EQ(legacy.current_view().coordinator(), NodeId{1});  // split brain
+}
+
 TEST_F(GcsTest, WeightedNodesShiftPartitionWeight) {
   weights_->set(NodeId{2}, 4.0);  // total weight = 1 + 1 + 4 = 6
   net_.apply(fault::Partition{{{NodeId{0}, NodeId{1}}, {NodeId{2}}}});
