@@ -6,6 +6,12 @@
 // summaries carry count/p50_us/p95_us/p99_us.  With --require-latencies the
 // file must contain at least one latency summary (used by scripts/check.sh
 // to assert that percentile export actually happened).
+//
+// With --metrics the file is instead an observability export
+// (AdminConsole::metrics_json() / the /metrics servlet): the trace block
+// must carry capacity/size/recorded/dropped/events, the "spans" block the
+// analyzer digest (traces/traced_events/orphan_events/top with per-phase
+// attribution), and "critical_path" an array of hops.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,20 +34,85 @@ bool is_number(const Json& j) {
   return j.type() == Json::Type::Int || j.type() == Json::Type::Double;
 }
 
+/// Shape check for the observability export document (--metrics).
+int validate_metrics(const std::string& path, const Json& doc) {
+  for (const char* block : {"metrics", "latencies", "trace", "spans"}) {
+    if (!doc.contains(block) || doc.at(block).type() != Json::Type::Object) {
+      return fail(path, std::string("missing object block \"") + block + '"');
+    }
+  }
+  const Json& trace = doc.at("trace");
+  for (const char* field : {"capacity", "size", "recorded", "dropped"}) {
+    if (!trace.contains(field) || !is_number(trace.at(field))) {
+      return fail(path, std::string("trace block missing numeric ") + field);
+    }
+  }
+  if (!trace.contains("events") ||
+      trace.at("events").type() != Json::Type::Array) {
+    return fail(path, "trace block missing events array");
+  }
+  const Json& spans = doc.at("spans");
+  for (const char* field : {"traces", "traced_events", "orphan_events"}) {
+    if (!spans.contains(field) || !is_number(spans.at(field))) {
+      return fail(path, std::string("spans block missing numeric ") + field);
+    }
+  }
+  if (!spans.contains("top") || spans.at("top").type() != Json::Type::Array) {
+    return fail(path, "spans block missing top array");
+  }
+  for (const Json& entry : spans.at("top").items()) {
+    for (const char* field : {"trace", "duration_us", "spans", "events"}) {
+      if (!entry.contains(field) || !is_number(entry.at(field))) {
+        return fail(path, std::string("spans top entry missing ") + field);
+      }
+    }
+    if (!entry.contains("phases") ||
+        entry.at("phases").type() != Json::Type::Object) {
+      return fail(path, "spans top entry missing phases object");
+    }
+  }
+  if (!doc.contains("critical_path") ||
+      doc.at("critical_path").type() != Json::Type::Array) {
+    return fail(path, "missing array block \"critical_path\"");
+  }
+  for (const Json& hop : doc.at("critical_path").items()) {
+    for (const char* field : {"span", "start_us", "end_us", "self_us"}) {
+      if (!hop.contains(field) || !is_number(hop.at(field))) {
+        return fail(path, std::string("critical_path hop missing ") + field);
+      }
+    }
+  }
+  // Consistency: the top list is bounded by the trace count, and every
+  // traced event the analyzer saw is in the exported ring.
+  if (spans.at("top").size() > 0 && spans.at("traces").as_int() == 0) {
+    return fail(path, "spans top non-empty but traces == 0");
+  }
+  std::printf("%s: ok (metrics export, traces=%lld events=%zu hops=%zu)\n",
+              path.c_str(),
+              static_cast<long long>(spans.at("traces").as_int()),
+              trace.at("events").size(), doc.at("critical_path").size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
   bool require_latencies = false;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require-latencies") == 0) {
       require_latencies = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else {
       path = argv[i];
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: json_validate [--require-latencies] <file>\n");
+    std::fprintf(stderr,
+                 "usage: json_validate [--require-latencies|--metrics] "
+                 "<file>\n");
     return 2;
   }
 
@@ -56,6 +127,8 @@ int main(int argc, char** argv) {
   } catch (const dedisys::ConfigError& e) {
     return fail(path, std::string("parse error: ") + e.what());
   }
+
+  if (metrics) return validate_metrics(path, doc);
 
   if (!doc.contains("bench") ||
       doc.at("bench").type() != Json::Type::String) {

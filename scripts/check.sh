@@ -29,6 +29,14 @@
 #                                    through the invariant harness, a
 #                                    byte-identical gray timeline pair and
 #                                    the committed regression corpus
+#   scripts/check.sh --trace         trace gate only: dedisys_trace
+#                                    self-test, the trace-driven invariant
+#                                    checker cross-checked against the
+#                                    chaos harness on 5 seeded gray plans
+#                                    plus the regression corpus, and an
+#                                    exported metrics document validated
+#                                    end to end (json_validate --metrics,
+#                                    --tree/--top/--check over the file)
 #   scripts/check.sh --tidy          clang-tidy over src/ (skipped with a
 #                                    message when clang-tidy is missing)
 set -euo pipefail
@@ -43,6 +51,7 @@ case "${1:-}" in
   --chaos) MODE="chaos" ;;
   --memo) MODE="memo" ;;
   --gray) MODE="gray" ;;
+  --trace) MODE="trace" ;;
   --tidy) MODE="tidy" ;;
   "") ;;
   *) BUILD_DIR="$1" ;;
@@ -101,6 +110,39 @@ gray_smoke() {
   echo "gray gate: regression corpus ok"
 }
 
+# Trace gate: the span analyzer / trace-driven invariant checker must pass
+# its synthetic self-test (including the legacy split-brain end-to-end
+# pin), agree with the chaos harness's state-based ground truth on 5
+# seeded gray plans and on every committed regression plan, and a real
+# metrics export must survive the whole offline pipeline: JSON shape
+# validation plus the tree/top/check file modes.
+trace_smoke() {
+  local trace="$1/tools/dedisys_trace"
+  local validate="$1/bench/json_validate"
+  "$trace" --selftest 2> /dev/null \
+    || { echo "check.sh: dedisys_trace self-test failed" >&2; exit 1; }
+  echo "trace gate: analyzer/checker self-test ok"
+  "$trace" --cross-check 5 --seed 1 \
+    || { echo "check.sh: trace/chaos cross-check failed" >&2; exit 1; }
+  echo "trace gate: 5 seeded gray plans cross-checked ok"
+  "$trace" --corpus tests/gray_corpus \
+    || { echo "check.sh: trace corpus cross-check failed" >&2; exit 1; }
+  echo "trace gate: regression corpus cross-checked ok"
+  local export_file
+  export_file="$(mktemp /tmp/trace_export_XXXXXX.json)"
+  "$trace" --export "$export_file" --seed 7 > /dev/null
+  "$validate" --metrics "$export_file" \
+    || { echo "check.sh: metrics export failed validation" >&2
+         rm -f "$export_file"; exit 1; }
+  "$trace" --tree "$export_file" > /dev/null \
+    && "$trace" --top 3 "$export_file" > /dev/null \
+    && "$trace" --check "$export_file" > /dev/null \
+    || { echo "check.sh: offline trace modes failed on export" >&2
+         rm -f "$export_file"; exit 1; }
+  rm -f "$export_file"
+  echo "trace gate: exported metrics document validated end to end"
+}
+
 # Memo smoke: bench_memo_validation asserts its own acceptance criteria
 # (memo-on outcomes identical to memo-off, cache hits recorded, strictly
 # less simulated time) and exits nonzero on any failure.
@@ -139,6 +181,14 @@ if [ "$MODE" = "gray" ]; then
   cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_gray_chaos
   gray_smoke "$BUILD_DIR"
   echo "check.sh --gray: all green"
+  exit 0
+fi
+
+if [ "$MODE" = "trace" ]; then
+  cmake -B "$BUILD_DIR" -S . > /dev/null
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target dedisys_trace json_validate
+  trace_smoke "$BUILD_DIR"
+  echo "check.sh --trace: all green"
   exit 0
 fi
 
@@ -182,6 +232,7 @@ trap 'rm -f "$OUT"' EXIT
 chaos_smoke "$BUILD_DIR"
 memo_smoke "$BUILD_DIR"
 gray_smoke "$BUILD_DIR"
+trace_smoke "$BUILD_DIR"
 "$0" --asan
 
 echo "check.sh: all green"

@@ -336,6 +336,7 @@ ConstraintValidationContext ConstraintConsistencyManager::make_context(
   ctx.set_degraded(degraded_);
   ctx.set_partition_weight(partition_weight_);
   ctx.set_object_query(&object_query_);
+  if (obs::on(obs_)) ctx.set_trace(obs_->current());
   return ctx;
 }
 
@@ -412,6 +413,8 @@ SatisfactionDegree ConstraintConsistencyManager::evaluate_cached(
 SatisfactionDegree ConstraintConsistencyManager::evaluate(
     Constraint& constraint, ConstraintValidationContext& ctx) {
   ++stats_.validations;
+  obs::SpanGuard span_guard(obs_, clock_, "validation", self_,
+                            ctx.context_object(), ctx.tx());
   clock_.advance(cost_.constraint_validate);
   bool ok = false;
   bool uncheckable = false;
@@ -513,6 +516,8 @@ void ConstraintConsistencyManager::handle_threat(
                                  ctx.accessed_objects().end());
   std::sort(threat.affected_objects.begin(), threat.affected_objects.end());
   threat.occurred_at = clock_.now();
+  threat.origin_trace = ctx.trace().trace_id;
+  threat.origin_span = ctx.trace().span_id;
 
   if (negotiation_timing_ == NegotiationTiming::Deferred && tx.valid() &&
       tm_.exists(tx)) {
@@ -624,6 +629,16 @@ void ConstraintConsistencyManager::store_async_threat(TxId tx,
   threat.occurred_at = clock_.now();
   ++stats_.threats_detected;
   ++stats_.threats_accepted;
+  if (obs::on(obs_)) {
+    const obs::TraceContext& cur = obs_->current();
+    threat.origin_trace = cur.trace_id;
+    threat.origin_span = cur.span_id;
+    obs_->event(clock_.now(), obs::TraceEventKind::ThreatDetected, self_,
+                context_object, tx, constraint.name(), "async");
+    obs_->event(clock_.now(), obs::TraceEventKind::ThreatAccepted, self_,
+                context_object, tx, constraint.name(),
+                "async, recorded without validation");
+  }
   if (tx.valid() && tm_.exists(tx)) {
     tx_state(tx).staged.push_back(std::move(threat));
     tm_.enlist(tx, this);
@@ -691,7 +706,18 @@ void ConstraintConsistencyManager::commit(TxId tx) {
     }
   }
   for (const std::string& identity : it->second.staged_removals) {
+    const bool was_live = threats_.has(identity);
     threats_.remove(identity);
+    if (was_live && obs::on(obs_)) {
+      // The identity string is "<constraint>@<object|->" (threats.h).
+      const std::size_t at = identity.rfind('@');
+      const std::string name = identity.substr(0, at);
+      const std::string obj = identity.substr(at + 1);
+      ObjectId object{};
+      if (obj != "-") object = ObjectId{std::stoull(obj)};
+      obs_->event(clock_.now(), obs::TraceEventKind::ThreatResolved, self_,
+                  object, tx, name, "satisfied by business operation");
+    }
   }
   tx_state_.erase(it);
 }
@@ -729,11 +755,25 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
     ConsistencyThreat& threat = st.threat;
     ++out.reevaluated;
 
+    // Re-evaluation joins the trace of the invocation that raised the
+    // threat (captured in the stored record), so a threat's whole
+    // lifecycle — detection in one partition, re-evaluation after the
+    // merge — forms one causal trace.  Untraced threats (origin zero)
+    // nest under the ambient reconcile span instead.
+    obs::SpanGuard threat_span(
+        obs_, clock_, "reconcile.threat", self_, threat.context_object, {},
+        obs::TraceContext{threat.origin_trace, threat.origin_span, 0});
+
     const ConstraintRegistration* reg =
         find_registration(threat.constraint_name);
     if (reg == nullptr || !reg->constraint->enabled()) {
       // Constraint removed/disabled at runtime: nothing to re-establish.
       threats_.remove(threat.identity());
+      if (obs::on(obs_)) {
+        obs_->event(clock_.now(), obs::TraceEventKind::ThreatResolved, self_,
+                    threat.context_object, {}, threat.constraint_name,
+                    "constraint removed or disabled");
+      }
       continue;
     }
     Constraint& constraint = *reg->constraint;

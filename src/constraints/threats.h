@@ -47,6 +47,13 @@ struct ConsistencyThreat {
   std::string application_data;
   ReconciliationInstructions instructions;
   SimTime occurred_at = 0;
+  /// Trace context of the invocation whose validation raised the threat
+  /// (zero when tracing was off).  Reconciliation re-evaluations open their
+  /// span with this as explicit parent, so the threat's whole lifecycle —
+  /// detection in one partition, re-evaluation after the merge — belongs to
+  /// one causal trace.
+  std::uint64_t origin_trace = 0;
+  std::uint64_t origin_span = 0;
 
   /// Two threats are identical iff they refer to the same constraint and
   /// the same context object (Section 3.2.2).
@@ -164,6 +171,8 @@ class ThreatStore {
     m["allow_rollback"] = t.instructions.allow_rollback;
     m["notify_conflict"] = t.instructions.notify_on_replica_conflict;
     m["occurred_at"] = static_cast<std::int64_t>(t.occurred_at);
+    m["origin_trace"] = static_cast<std::int64_t>(t.origin_trace);
+    m["origin_span"] = static_cast<std::int64_t>(t.origin_span);
     std::string objs;
     for (ObjectId o : t.affected_objects) {
       if (!objs.empty()) objs += ',';
@@ -183,6 +192,12 @@ class ThreatStore {
     t.instructions.notify_on_replica_conflict =
         as_bool(m.at("notify_conflict"));
     t.occurred_at = as_int(m.at("occurred_at"));
+    if (auto it = m.find("origin_trace"); it != m.end()) {
+      t.origin_trace = static_cast<std::uint64_t>(as_int(it->second));
+    }
+    if (auto it = m.find("origin_span"); it != m.end()) {
+      t.origin_span = static_cast<std::uint64_t>(as_int(it->second));
+    }
     const std::string& objs = as_string(m.at("objects"));
     std::size_t start = 0;
     while (start < objs.size()) {

@@ -78,6 +78,14 @@ class ConstraintValidationContext {
   [[nodiscard]] NodeId node() const { return node_; }
   [[nodiscard]] TxId tx() const { return tx_; }
 
+  // -- causal identity ---------------------------------------------------
+
+  /// Trace context of the invocation this validation belongs to (all-zero
+  /// when tracing is off); threat records capture it so reconciliation can
+  /// re-join the originating trace.
+  void set_trace(const obs::TraceContext& t) { trace_ = t; }
+  [[nodiscard]] const obs::TraceContext& trace() const { return trace_; }
+
   // -- partition awareness (Section 5.5.2) ----------------------------------
 
   void set_partition_weight(double w) { partition_weight_ = w; }
@@ -135,6 +143,7 @@ class ConstraintValidationContext {
   bool degraded_ = false;
   const ObjectQuery* query_ = nullptr;
   std::unordered_set<ObjectId> accessed_;
+  obs::TraceContext trace_{};
 };
 
 }  // namespace dedisys

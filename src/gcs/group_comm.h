@@ -64,6 +64,10 @@ class GroupCommunication {
   /// ultimately received the message.
   std::size_t multicast(NodeId from, const std::vector<NodeId>& members,
                         const std::function<void(NodeId)>& deliver) {
+    // Network span: every per-receiver delivery — including the retry and
+    // dedup legs and whatever `deliver` triggers on the receiver (backup
+    // applies run inside this call) — joins the caller's trace.
+    obs::SpanGuard span_guard(obs_, net_.clock(), "gcs.multicast", from);
     ++stats_.multicasts;
     const std::size_t reached = net_.charge_multicast(from, members);
     std::vector<NodeId> targets;
@@ -98,6 +102,7 @@ class GroupCommunication {
   /// Synchronous point-to-point request; returns false when unreachable
   /// (a partition is not retried — only message loss on live links is).
   bool send(NodeId from, NodeId to, const std::function<void()>& deliver) {
+    obs::SpanGuard span_guard(obs_, net_.clock(), "gcs.send", from);
     ++stats_.sends;
     if (!net_.reachable(from, to)) return false;
     if (from == to) {

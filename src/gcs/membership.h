@@ -70,12 +70,31 @@ class GroupMembershipService : public TopologyListener {
   void subscribe(ViewListener* listener) { listeners_.push_back(listener); }
 
   /// Wires the cluster's observability hub; installed views are then
-  /// recorded as view.change trace events.
-  void set_observability(obs::Observability* obs) { obs_ = obs; }
+  /// recorded as view.change trace events.  The already-installed view is
+  /// announced immediately: the initial recompute happens in the
+  /// constructor, before wiring, and offline trace analysis needs every
+  /// node's baseline membership to judge later divergence.
+  void set_observability(obs::Observability* obs) {
+    obs_ = obs;
+    record_view();
+  }
 
   void on_topology_changed() override { recompute(/*force=*/false); }
 
  private:
+  void record_view() {
+    if (!obs::on(obs_) || !view_.id.valid()) return;
+    std::string members;
+    for (NodeId m : view_.members) {
+      if (!members.empty()) members += ',';
+      members += to_string(m);
+    }
+    obs_->event(net_.clock().now(), obs::TraceEventKind::ViewChange, self_,
+                {}, {}, "view " + to_string(view_.id),
+                "members={" + members + "} complete=" +
+                    (view_.complete ? "true" : "false"));
+  }
+
   void recompute(bool force) {
     // Views must contain only *mutually* reachable nodes: under a one-way
     // cut, outbound reachability alone lets a node that cannot send to
@@ -94,17 +113,7 @@ class GroupMembershipService : public TopologyListener {
     const double total = weights_->total(net_.nodes());
     view_.weight_fraction =
         total > 0 ? weights_->total(view_.members) / total : 1.0;
-    if (obs::on(obs_)) {
-      std::string members;
-      for (NodeId m : view_.members) {
-        if (!members.empty()) members += ',';
-        members += to_string(m);
-      }
-      obs_->event(net_.clock().now(), obs::TraceEventKind::ViewChange, self_,
-                  {}, {}, "view " + to_string(view_.id),
-                  "members={" + members + "} complete=" +
-                      (view_.complete ? "true" : "false"));
-    }
+    record_view();
     if (!force) {
       for (auto* l : listeners_) l->on_view_installed(view_, previous);
     }

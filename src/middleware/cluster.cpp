@@ -221,6 +221,10 @@ Cluster::ReconciliationReport Cluster::reconcile(
     std::size_t coordinator) {
   ReconciliationReport report;
   const SimTime reconcile_start = clock_.now();
+  // Root span for the merge protocol: replica reconciliation, threat
+  // re-evaluation (whose per-threat spans re-parent to their originating
+  // traces) and the mode flip back to Healthy.
+  obs::SpanGuard span_guard(&obs_, clock_, "reconcile", node(coordinator).id());
   if (obs_.enabled()) {
     obs_.event(reconcile_start, obs::TraceEventKind::ReconcileStart,
                node(coordinator).id(), {}, {}, "reconcile",

@@ -205,6 +205,9 @@ bool DedisysNode::apply_reconciliation_policy(ObjectId target) {
 
 ObjectId DedisysNode::create(TxId tx, const std::string& class_name,
                              const std::string& application) {
+  // Root span: the creation multicast to the replicas attaches to it.
+  obs::SpanGuard span_guard(obs_, cluster_->clock(),
+                            "create " + class_name, id_, {}, tx);
   const SimTime start = cluster_->clock().now();
   cluster_->clock().advance(cluster_->network().cost().invocation_overhead);
   const ObjectId id = repl_->create(class_name, tx, std::nullopt, application);
@@ -224,6 +227,7 @@ ObjectId DedisysNode::create(TxId tx, const std::string& class_name,
 }
 
 void DedisysNode::destroy(TxId tx, ObjectId id) {
+  obs::SpanGuard span_guard(obs_, cluster_->clock(), "destroy", id_, id, tx);
   const SimTime start = cluster_->clock().now();
   cluster_->clock().advance(cluster_->network().cost().invocation_overhead);
   if (tx.valid()) tm_->lock(tx, id);
@@ -274,6 +278,11 @@ Value DedisysNode::invoke(TxId tx, ObjectId target,
 
   const SimTime invoke_start = cluster_->clock().now();
   const std::string span = entry.class_name + "::" + method_name;
+  // The invocation's causal root span: every event emitted while the call
+  // is on the stack — validations, 2PC, GCS legs, backup applies — joins
+  // this trace (a top-level call opens a fresh trace; a call made from a
+  // method body nests under the ambient span).
+  obs::SpanGuard span_guard(obs_, cluster_->clock(), span, id_, target, tx);
   if (obs::on(obs_)) {
     obs_->event(invoke_start, obs::TraceEventKind::InvocationStart, id_,
                 target, tx, span, inv.is_write ? "write" : "read");
@@ -360,6 +369,10 @@ Value DedisysNode::invoke_nested(TxId tx, ObjectId target,
     inv.context["application"] = entry.application;
   }
 
+  obs::SpanGuard span_guard(obs_, cluster_->clock(),
+                            entry.class_name + "::" + method.name, id_, target,
+                            tx);
+
   const NodeId exec = repl_->execution_node(target, inv.is_write);
   inv.server_node = exec;
   DedisysNode* server = exec == id_ ? this : cluster_->node_by_id(exec);
@@ -394,7 +407,8 @@ Value DedisysNode::terminal_dispatch(Invocation& inv) {
 
   const TxId previous_tx = accessor_->current_tx();
   accessor_->set_current_tx(inv.tx);
-  MethodContext mctx{*accessor_, inv.tx, id_};
+  MethodContext mctx{*accessor_, inv.tx, id_,
+                     obs::on(obs_) ? obs_->current() : obs::TraceContext{}};
   Value result = md.body ? md.body(entity, mctx, inv.args) : Value{};
   accessor_->set_current_tx(previous_tx);
 

@@ -3,9 +3,13 @@
 // layer (obs itself must not depend on the cluster).
 #pragma once
 
+#include <cstdio>
+#include <string>
+
 #include "analysis/report.h"
 #include "constraints/repository.h"
 #include "middleware/metrics.h"
+#include "obs/analyze.h"
 #include "obs/export.h"
 
 namespace dedisys::obs {
@@ -122,6 +126,127 @@ namespace dedisys::obs {
   out.set("constraints", analysis_to_json(cluster.constraints()));
   out.set("latencies", to_json(cluster.obs().latencies()));
   out.set("trace", to_json(cluster.obs().trace()));
+  const TraceAnalysis analysis = analyze(cluster.obs().trace().events());
+  out.set("spans", spans_to_json(analysis));
+  out.set("critical_path", critical_path_to_json(analysis));
+  return out;
+}
+
+/// Prometheus text exposition (version 0.0.4) of the same document, served
+/// at /metrics.prom.  Counters come from the per-node metrics snapshot,
+/// quantiles from the latency registry, and the dedisys_trace_* family from
+/// the span analysis of the retained event ring.
+[[nodiscard]] inline std::string render_prometheus(Cluster& cluster) {
+  std::string out;
+  auto num = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return std::string(buf);
+  };
+  auto line = [&](const std::string& name, const std::string& labels,
+                  double v) {
+    out += name;
+    if (!labels.empty()) out += '{' + labels + '}';
+    out += ' ' + num(v) + '\n';
+  };
+  auto head = [&](const char* name, const char* type, const char* help) {
+    out += "# HELP " + std::string(name) + ' ' + help + '\n';
+    out += "# TYPE " + std::string(name) + ' ' + type + '\n';
+  };
+
+  const ClusterMetrics m = collect_metrics(cluster);
+  head("dedisys_sim_time_us", "gauge", "Simulated time elapsed.");
+  line("dedisys_sim_time_us", "", static_cast<double>(m.sim_time));
+  head("dedisys_threat_identities", "gauge",
+       "Stored consistency-threat identities awaiting reconciliation.");
+  line("dedisys_threat_identities", "",
+       static_cast<double>(m.stored_threat_identities));
+
+  head("dedisys_node_mode", "gauge",
+       "1 for the mode each node is currently in.");
+  for (const NodeMetrics& n : m.nodes) {
+    line("dedisys_node_mode",
+         "node=\"" + std::to_string(n.node.value()) + "\",mode=\"" +
+             to_string(n.mode) + "\"",
+         1.0);
+  }
+  head("dedisys_node_total", "counter", "Per-node lifetime counters.");
+  auto node_counter = [&](const NodeMetrics& n, const char* kind,
+                          std::size_t v) {
+    line("dedisys_node_total",
+         "node=\"" + std::to_string(n.node.value()) + "\",kind=\"" + kind +
+             "\"",
+         static_cast<double>(v));
+  };
+  for (const NodeMetrics& n : m.nodes) {
+    node_counter(n, "validations", n.validations);
+    node_counter(n, "threats_detected", n.threats_detected);
+    node_counter(n, "threats_accepted", n.threats_accepted);
+    node_counter(n, "threats_rejected", n.threats_rejected);
+    node_counter(n, "violations", n.violations);
+    node_counter(n, "updates_propagated", n.updates_propagated);
+    node_counter(n, "backups_applied", n.backups_applied);
+  }
+
+  head("dedisys_faults_total", "counter",
+       "Injected faults and their middleware-level consequences.");
+  auto fault = [&](const char* kind, std::uint64_t v) {
+    line("dedisys_faults_total", std::string("kind=\"") + kind + "\"",
+         static_cast<double>(v));
+  };
+  fault("messages_dropped", m.faults.messages_dropped);
+  fault("messages_duplicated", m.faults.messages_duplicated);
+  fault("messages_delayed", m.faults.messages_delayed);
+  fault("crashes", m.faults.crashes);
+  fault("restarts", m.faults.restarts);
+  fault("gc_retries", m.faults.gc_retries);
+  fault("gc_gave_up", m.faults.gc_gave_up);
+  fault("gc_duplicates_suppressed", m.faults.gc_duplicates_suppressed);
+  fault("tx_commits", m.faults.tx_commits);
+  fault("tx_aborts", m.faults.tx_aborts);
+  fault("tx_presumed_aborts", m.faults.tx_presumed_aborts);
+
+  head("dedisys_latency_us", "summary",
+       "Simulated-time latency quantiles per operation.");
+  for (const auto& [key, histogram] : cluster.obs().latencies().all()) {
+    const LatencySummary s = summarize(histogram);
+    const std::string op = "op=\"" + key + "\"";
+    line("dedisys_latency_us", op + ",quantile=\"0.5\"", s.p50);
+    line("dedisys_latency_us", op + ",quantile=\"0.95\"", s.p95);
+    line("dedisys_latency_us", op + ",quantile=\"0.99\"", s.p99);
+    line("dedisys_latency_us_count", op, static_cast<double>(s.count));
+    line("dedisys_latency_us_sum", op, s.mean * static_cast<double>(s.count));
+  }
+
+  const TraceRecorder& trace = cluster.obs().trace();
+  head("dedisys_trace_events_recorded_total", "counter",
+       "Trace events recorded since startup.");
+  line("dedisys_trace_events_recorded_total", "",
+       static_cast<double>(trace.recorded()));
+  head("dedisys_trace_events_dropped_total", "counter",
+       "Trace events overwritten by the ring buffer.");
+  line("dedisys_trace_events_dropped_total", "",
+       static_cast<double>(trace.dropped()));
+  head("dedisys_trace_ring_occupancy", "gauge",
+       "Events currently retained (capacity in the limit label).");
+  line("dedisys_trace_ring_occupancy",
+       "capacity=\"" + std::to_string(trace.capacity()) + "\"",
+       static_cast<double>(trace.size()));
+
+  const TraceAnalysis analysis = analyze(trace.events());
+  head("dedisys_trace_traces", "gauge", "Distinct traces in the ring.");
+  line("dedisys_trace_traces", "", static_cast<double>(analysis.trees.size()));
+  head("dedisys_trace_phase_self_us_total", "counter",
+       "Busy simulated time attributed per phase across retained traces.");
+  std::map<std::string, double> phase_totals;
+  for (const TraceSummary& t : analysis.traces) {
+    for (const auto& [phase, us] : t.phase_self_us) {
+      phase_totals[phase] += static_cast<double>(us);
+    }
+  }
+  for (const auto& [phase, us] : phase_totals) {
+    line("dedisys_trace_phase_self_us_total", "phase=\"" + phase + "\"", us);
+  }
   return out;
 }
 

@@ -11,6 +11,7 @@
 
 #include "objects/class_descriptor.h"
 #include "objects/value.h"
+#include "obs/trace.h"
 #include "util/ids.h"
 
 namespace dedisys {
@@ -36,6 +37,10 @@ struct MethodContext {
   ObjectAccessor& objects;
   TxId tx;
   NodeId node;
+  /// Causal identity of the invocation executing the method (all-zero when
+  /// tracing is off); nested invocations and validations it triggers become
+  /// children of this span.
+  obs::TraceContext trace{};
 };
 
 }  // namespace dedisys

@@ -1,0 +1,136 @@
+// Trace analysis: critical paths, per-phase latency attribution, mode
+// timelines, and a trace-driven invariant checker.
+//
+// Everything here consumes only the recorded TraceEvent stream — no access
+// to live cluster state — so the same code runs inside AdminConsole (the
+// "spans" / "critical_path" blocks of metrics_json()), in the Prometheus
+// servlet, and over an exported JSON trace in the tools/dedisys_trace CLI.
+// That independence is the point of the invariant checker: it re-derives
+// no-lost-threats and one-primary-per-partition purely from events, a
+// second witness cross-checked against the chaos harness's state-based
+// ground truth.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "util/ids.h"
+#include "util/sim_clock.h"
+
+namespace dedisys::obs {
+
+/// Latency-attribution phase of a span, derived from its label:
+/// "interception" (invoke/create/destroy), "validation", "2pc", "network"
+/// (gcs.*), "replication" (replication.*), "reconciliation" (reconcile*).
+[[nodiscard]] const char* phase_of(const std::string& span_label);
+
+/// One hop of a trace's critical path (the chain of spans that bounds the
+/// trace's end-to-end duration: from the root, always descend into the
+/// child that finishes last).
+struct CriticalHop {
+  std::uint64_t span = 0;
+  std::string label;
+  NodeId node;
+  SimTime start = 0;
+  SimTime end = 0;
+  SimDuration self_us = 0;  ///< hop duration minus the chosen child's
+};
+
+/// Per-trace digest: causal extent, phase attribution, critical path.
+struct TraceSummary {
+  std::uint64_t trace_id = 0;
+  std::string root_label;
+  NodeId root_node;
+  SimTime start = 0;
+  SimTime end = 0;
+  SimDuration duration_us = 0;
+  std::size_t spans = 0;
+  std::size_t events = 0;  ///< ordinary (non-span-marker) events
+  /// Self time (span duration minus child durations, clamped at 0) summed
+  /// per phase; the phases partition the trace's busy time.
+  std::map<std::string, SimDuration> phase_self_us;
+  std::vector<CriticalHop> critical_path;
+};
+
+/// One mode.transition observation.
+struct ModeSample {
+  SimTime at = 0;
+  NodeId node;
+  std::string to;    ///< new mode ("healthy" / "degraded" / "reconciling")
+  std::string from;
+};
+
+struct TraceAnalysis {
+  std::vector<SpanTree> trees;       ///< one per trace, trace-id order
+  std::vector<TraceSummary> traces;  ///< same order as `trees`
+  std::vector<ModeSample> mode_timeline;
+  /// Simulated time each node spent per mode, from its transitions to the
+  /// last event stamp (nodes start "healthy" at the first event).
+  std::map<std::uint64_t, std::map<std::string, SimDuration>> mode_residency;
+  std::size_t traced_events = 0;   ///< events carrying a trace id
+  std::size_t orphan_events = 0;   ///< events outside any span
+};
+
+/// Full analysis pass over a retained event stream (oldest first).
+[[nodiscard]] TraceAnalysis analyze(const std::vector<TraceEvent>& events);
+
+/// The `traces` entries sorted by descending duration (ties: trace id).
+[[nodiscard]] std::vector<const TraceSummary*> slowest_traces(
+    const TraceAnalysis& analysis, std::size_t top_k);
+
+// -- trace-driven invariant checker -----------------------------------------
+
+struct TraceCheckFinding {
+  std::string invariant;  ///< "no-lost-threats" or "one-primary-per-partition"
+  std::string detail;
+};
+
+struct TraceCheckResult {
+  std::size_t reconciles = 0;       ///< reconcile windows examined
+  std::size_t threats_tracked = 0;  ///< distinct accepted threat identities
+  std::size_t view_checks = 0;      ///< quiescent view-agreement checks
+  bool complete = true;  ///< false when the ring dropped events (verdict may
+                         ///< miss violations whose evidence was dropped)
+  std::vector<TraceCheckFinding> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Re-derives the dependability invariants from the event stream alone:
+///
+///   * no-lost-threats — every threat.accepted identity that was neither
+///     resolved (threat.resolved, or its accepting transaction aborted)
+///     nor previously reconciled away must reappear as a threat.reconciled
+///     event inside every subsequent reconcile.start/reconcile.end window;
+///   * one-primary-per-partition — whenever two nodes' installed views
+///     mutually contain each other (they believe they share a partition)
+///     their member sets must agree, otherwise the deterministic primary
+///     election can elect two primaries inside one partition.
+///
+/// `dropped` (TraceRecorder::dropped()) marks the verdict incomplete when
+/// the ring buffer overwrote part of the evidence.
+[[nodiscard]] TraceCheckResult check_events(
+    const std::vector<TraceEvent>& events, std::size_t dropped = 0);
+
+// -- JSON surfaces ------------------------------------------------------------
+
+/// Inverse of obs::to_json(TraceEvent) over a `{"events": [...]}` trace
+/// block (or a bare event array): rebuilds the stream for offline analysis.
+[[nodiscard]] std::vector<TraceEvent> events_from_json(const Json& doc);
+
+/// The `"spans"` block: trace count, drop accounting, and the top-K
+/// slowest traces with phase attribution.
+[[nodiscard]] Json spans_to_json(const TraceAnalysis& analysis,
+                                 std::size_t top_k = 5);
+
+/// The `"critical_path"` block: hop list of the slowest trace (empty array
+/// when nothing was traced).
+[[nodiscard]] Json critical_path_to_json(const TraceAnalysis& analysis);
+
+}  // namespace dedisys::obs

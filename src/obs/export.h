@@ -46,6 +46,11 @@ namespace dedisys::obs {
   if (e.tx.valid()) out.set("tx", e.tx.value());
   if (!e.label.empty()) out.set("label", e.label);
   if (!e.detail.empty()) out.set("detail", e.detail);
+  if (e.trace_id != 0) {
+    out.set("trace", e.trace_id);
+    out.set("span", e.span_id);
+    if (e.parent_span != 0) out.set("parent", e.parent_span);
+  }
   return out;
 }
 
@@ -54,6 +59,7 @@ namespace dedisys::obs {
   for (const TraceEvent& e : trace.events()) events.push_back(to_json(e));
   Json out = Json::object();
   out.set("capacity", trace.capacity());
+  out.set("size", trace.size());
   out.set("recorded", trace.recorded());
   out.set("dropped", trace.dropped());
   out.set("events", std::move(events));
@@ -64,6 +70,12 @@ namespace dedisys::obs {
 ///   [      1234 us] node 0  invocation.start   setValue  obj=3 tx=7
 [[nodiscard]] inline std::string render_timeline(const TraceRecorder& trace) {
   std::string out;
+  if (trace.dropped() > 0) {
+    out += "WARNING: timeline is truncated - " +
+           std::to_string(trace.dropped()) +
+           " older events were dropped by the ring buffer (capacity " +
+           std::to_string(trace.capacity()) + ")\n";
+  }
   for (const TraceEvent& e : trace.events()) {
     char prefix[48];
     std::snprintf(prefix, sizeof(prefix), "[%10lld us] ",

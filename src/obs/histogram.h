@@ -12,6 +12,7 @@
 #include <array>
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "util/sim_clock.h"
@@ -55,8 +56,23 @@ class LatencyHistogram {
   /// Percentile estimate in simulated microseconds, `p` in (0, 100].
   /// Interpolates linearly inside the bucket holding the target rank and
   /// clamps to the observed min/max so estimates never leave the data range.
+  /// Degenerate shapes are deterministic: an empty histogram reports 0 and
+  /// a distribution confined to a single bucket reports that bucket's
+  /// midpoint for every percentile — interpolating within one bucket would
+  /// fabricate spread the data cannot support (p50 < p99 from identical
+  /// samples).
   [[nodiscard]] double percentile(double p) const {
     if (count_ == 0) return 0.0;
+    if (const auto only = single_bucket()) {
+      const std::size_t i = *only;
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(kLatencyBucketBounds[i - 1]);
+      const double upper = i < kLatencyBucketBounds.size()
+                               ? static_cast<double>(kLatencyBucketBounds[i])
+                               : static_cast<double>(max_);
+      return std::clamp((lower + upper) / 2.0, static_cast<double>(min()),
+                        static_cast<double>(max_));
+    }
     const double rank = p / 100.0 * static_cast<double>(count_);
     std::size_t cumulative = 0;
     for (std::size_t i = 0; i < kBuckets; ++i) {
@@ -87,6 +103,17 @@ class LatencyHistogram {
   }
 
  private:
+  /// Index of the only nonzero bucket, or nullopt when 0 or 2+ are used.
+  [[nodiscard]] std::optional<std::size_t> single_bucket() const {
+    std::optional<std::size_t> only;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts_[i] == 0) continue;
+      if (only) return std::nullopt;
+      only = i;
+    }
+    return only;
+  }
+
   std::array<std::size_t, kBuckets> counts_{};
   std::size_t count_ = 0;
   SimDuration sum_ = 0;

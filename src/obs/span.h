@@ -1,0 +1,67 @@
+// Span model: causal units of work reconstructed from the trace stream.
+//
+// A span is everything that happened between one span.start/span.end pair
+// emitted by an obs::SpanGuard — an invocation, a constraint validation, a
+// 2PC commit, a GCS multicast leg, a replication propagate/apply, a
+// reconciliation pass.  Spans of one trace form a tree rooted at the
+// invocation (or lifecycle operation) that entered the middleware; every
+// ordinary TraceEvent stamped with a span id hangs off that tree.  The
+// reconstruction here is pure data plumbing — analysis (critical paths,
+// phase attribution, the trace-driven invariant checker) lives in
+// obs/analyze.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/ids.h"
+#include "util/sim_clock.h"
+
+namespace dedisys::obs {
+
+/// One reconstructed unit of work.
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;   ///< 0 = root of its trace
+  std::uint64_t trace_id = 0;
+  std::string label;          ///< "invoke", "2pc", "gcs.multicast", ...
+  NodeId node;
+  ObjectId object;
+  TxId tx;
+  SimTime start = 0;
+  SimTime end = 0;
+  bool saw_start = false;     ///< span.start survived the ring buffer
+  bool saw_end = false;       ///< span.end survived the ring buffer
+  std::size_t events = 0;     ///< ordinary events stamped with this span
+  std::vector<std::uint64_t> children;  ///< child span ids, in start order
+
+  [[nodiscard]] SimDuration duration() const {
+    return end > start ? end - start : 0;
+  }
+};
+
+/// All spans of one trace, keyed by span id (deterministic order).
+struct SpanTree {
+  std::uint64_t trace_id = 0;
+  std::map<std::uint64_t, Span> spans;
+  /// Spans with no (retained) parent, in start order; normally exactly the
+  /// invocation root, more when the ring buffer dropped ancestors.
+  std::vector<std::uint64_t> roots;
+
+  [[nodiscard]] const Span* find(std::uint64_t id) const {
+    auto it = spans.find(id);
+    return it == spans.end() ? nullptr : &it->second;
+  }
+};
+
+/// Groups `events` into span trees by trace id.  Events carrying no trace
+/// id are ignored; span intervals fall back to the min/max event stamp when
+/// the span.start/span.end markers were dropped by the ring buffer.
+[[nodiscard]] std::vector<SpanTree> build_span_trees(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace dedisys::obs

@@ -20,7 +20,24 @@
 
 namespace dedisys::obs {
 
+/// Causal identity of a trace event: which end-to-end request (trace) it
+/// belongs to, which unit of work (span) emitted it, and which span caused
+/// that one.  Ids are minted by the Observability hub only while tracing is
+/// enabled; 0 means "none".  Because the simulator delivers every
+/// "network" message as a direct call inside the sender's stack, the
+/// ambient span context propagates across nodes for free: a backup's apply
+/// runs inside the primary's multicast and inherits its context.
+struct TraceContext {
+  std::uint64_t trace_id = 0;    ///< end-to-end request identity
+  std::uint64_t span_id = 0;     ///< current unit of work
+  std::uint64_t parent_span = 0; ///< span that caused this one (0 = root)
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+};
+
 enum class TraceEventKind {
+  SpanStart,         ///< a causal span opened (label names its phase)
+  SpanEnd,           ///< the span closed
   InvocationStart,   ///< a reified call enters the interceptor chain
   InvocationEnd,     ///< the call returned (or threw; see detail)
   Validation,        ///< one constraint validate() with its degree
@@ -32,6 +49,7 @@ enum class TraceEventKind {
   ThreatAccepted,    ///< negotiation accepted the threat
   ThreatRejected,    ///< negotiation rejected; tx marked rollback-only
   ThreatReconciled,  ///< reconciliation re-evaluated a stored threat
+  ThreatResolved,    ///< a stored threat was removed by a satisfied commit
   TxPrepare,         ///< 2PC phase 1 entered
   TxCommit,          ///< 2PC phase 2 completed
   TxAbort,           ///< transaction rolled back
@@ -50,6 +68,8 @@ enum class TraceEventKind {
 
 [[nodiscard]] inline const char* to_string(TraceEventKind k) {
   switch (k) {
+    case TraceEventKind::SpanStart: return "span.start";
+    case TraceEventKind::SpanEnd: return "span.end";
     case TraceEventKind::InvocationStart: return "invocation.start";
     case TraceEventKind::InvocationEnd: return "invocation.end";
     case TraceEventKind::Validation: return "validation";
@@ -62,6 +82,7 @@ enum class TraceEventKind {
     case TraceEventKind::ThreatAccepted: return "threat.accepted";
     case TraceEventKind::ThreatRejected: return "threat.rejected";
     case TraceEventKind::ThreatReconciled: return "threat.reconciled";
+    case TraceEventKind::ThreatResolved: return "threat.resolved";
     case TraceEventKind::TxPrepare: return "tx.prepare";
     case TraceEventKind::TxCommit: return "tx.commit";
     case TraceEventKind::TxAbort: return "tx.abort";
@@ -89,6 +110,9 @@ struct TraceEvent {
   TxId tx;                ///< surrounding transaction (if any)
   std::string label;      ///< method / constraint / view identifier
   std::string detail;     ///< outcome, degree, member list, ...
+  std::uint64_t trace_id = 0;    ///< causal trace (0 = outside any trace)
+  std::uint64_t span_id = 0;     ///< span that emitted the event
+  std::uint64_t parent_span = 0; ///< parent of that span (0 = root)
 };
 
 class TraceRecorder {

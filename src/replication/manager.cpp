@@ -175,6 +175,10 @@ void ReplicationManager::propagate_update(ObjectId id, TxId tx) {
   Entity& primary_copy = local_replica(id);
   SimClock& clock = gc_.network().clock();
   const CostModel& cost = gc_.network().cost();
+  // Replication span: the multicast leg and every backup apply nested
+  // inside it inherit the writing invocation's trace.
+  obs::SpanGuard span_guard(obs_, clock, "replication.propagate", self_, id,
+                            tx);
   const SimTime propagate_start = clock.now();
 
   // Persist per-replica version metadata for this update.
@@ -229,6 +233,7 @@ void ReplicationManager::propagate_restore(ObjectId id) {
   if (!replication_enabled_) return;
   Entity& local = local_replica(id);
   SimClock& clock = gc_.network().clock();
+  obs::SpanGuard span_guard(obs_, clock, "replication.restore", self_, id);
   const CostModel& cost = gc_.network().cost();
   clock.advance(cost.state_extraction);
   local.touch(gc_.network().local_now(self_));
@@ -266,8 +271,12 @@ void ReplicationManager::replicate_threat_record() {
 }
 
 void ReplicationManager::apply_propagated(const EntitySnapshot& snap,
-                                          TxId /*tx*/) {
+                                          TxId tx) {
   SimClock& clock = gc_.network().clock();
+  // Backup-side span: runs inside the primary's multicast deliver call, so
+  // it nests under the gcs.multicast span of the originating trace.
+  obs::SpanGuard span_guard(obs_, clock, "replication.apply", self_, snap.id,
+                            tx);
   auto it = replicas_.find(snap.id);
   const bool created = it == replicas_.end();
   if (created) {

@@ -203,6 +203,9 @@ class TransactionManager {
     }
 
     const SimTime commit_start = clock_->now();
+    // 2PC span: prepare/commit/abort events plus the post-commit threat
+    // flushing and propagations attach to the committing invocation's trace.
+    obs::SpanGuard span_guard(obs_, *clock_, "2pc", {}, {}, id);
     // Phase 1: prepare.
     if (obs::on(obs_)) {
       obs_->event(clock_->now(), obs::TraceEventKind::TxPrepare, {}, {}, id,

@@ -6,6 +6,8 @@
 //                latency percentiles, retained trace); param "pretty" =
 //                "true" switches to indented output
 //   /timeline  — the human-readable event timeline, one event per line
+//   /metrics.prom — Prometheus text exposition (counters, latency
+//                quantiles, trace ring accounting, per-phase attribution)
 // Unknown paths yield a 404 error response.
 #pragma once
 
@@ -22,7 +24,8 @@ class MetricsServlet {
   explicit MetricsServlet(Cluster& cluster) : cluster_(&cluster) {}
 
   [[nodiscard]] bool handles(const std::string& path) const {
-    return path == "/metrics" || path == "/timeline";
+    return path == "/metrics" || path == "/metrics.prom" ||
+           path == "/timeline";
   }
 
   HttpResponse handle(const HttpRequest& request) {
@@ -35,6 +38,10 @@ class MetricsServlet {
       response.fields["content-type"] = "application/json";
       response.fields["body"] =
           obs::export_cluster_json(*cluster_).dump(indent);
+    } else if (request.path == "/metrics.prom") {
+      response.kind = "metrics";
+      response.fields["content-type"] = "text/plain; version=0.0.4";
+      response.fields["body"] = obs::render_prometheus(*cluster_);
     } else if (request.path == "/timeline") {
       response.kind = "timeline";
       response.fields["content-type"] = "text/plain";

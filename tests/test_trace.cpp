@@ -3,15 +3,25 @@
 // reconcile scenario.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "middleware/admin.h"
 #include "middleware/obs_export.h"
+#include "obs/analyze.h"
+#include "obs/export.h"
 #include "obs/histogram.h"
 #include "obs/json.h"
 #include "obs/trace.h"
+#include "scenarios/chaos.h"
 #include "scenarios/evalapp.h"
+#include "sim/fault_engine.h"
+#include "sim/fault_plan.h"
 #include "web/metrics_servlet.h"
 
 namespace dedisys {
@@ -64,6 +74,50 @@ TEST(LatencyHistogram, PercentilesOrderedAndWithinRange) {
   EXPECT_LE(p50, 100.0);
   EXPECT_EQ(h.count(), 100u);
   EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(LatencyHistogram, SingleBucketReportsClampedMidpoint) {
+  LatencyHistogram h;
+  h.record(60);
+  h.record(80);
+  // Both samples land in the (50, 100] bucket; interpolating inside it
+  // would fabricate p50 < p99 out of spread the data cannot support, so
+  // every percentile collapses to the bucket midpoint.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 75.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 75.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 75.0);
+
+  // When the midpoint lies outside the observed range it clamps to it.
+  LatencyHistogram tight;
+  tight.record(51);
+  tight.record(52);
+  EXPECT_DOUBLE_EQ(tight.percentile(50), 52.0);
+  EXPECT_DOUBLE_EQ(tight.percentile(99), 52.0);
+}
+
+TEST(LatencyHistogram, PercentilesMonotoneAcrossShapes) {
+  // p50 <= p95 <= p99 must hold for degenerate shapes too, not just the
+  // well-populated ladder above.
+  const std::vector<std::vector<SimDuration>> shapes = {
+      {},                            // empty
+      {7},                           // single sample
+      {60, 60, 60, 80},              // single bucket
+      {1, 1, 1, 1, 5000},            // heavy head, one outlier
+      {sim_sec(60), sim_sec(80)},    // overflow bucket only
+  };
+  for (const auto& samples : shapes) {
+    LatencyHistogram h;
+    for (SimDuration d : samples) h.record(d);
+    const double p50 = h.percentile(50);
+    const double p95 = h.percentile(95);
+    const double p99 = h.percentile(99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    if (!samples.empty()) {
+      EXPECT_GE(p50, static_cast<double>(h.min()));
+      EXPECT_LE(p99, static_cast<double>(h.max()));
+    }
+  }
 }
 
 TEST(LatencyHistogram, NegativeDurationsClampToZero) {
@@ -159,6 +213,227 @@ TEST(TraceRecorder, ClearResetsRetainedEventsButNotSeq) {
   EXPECT_EQ(rec.dropped(), 0u);
   rec.record(make_event(99, TraceEventKind::Validation));
   EXPECT_EQ(rec.events().front().seq, 6u);
+}
+
+TEST(TraceTimeline, DropWarningFramesTruncatedTimeline) {
+  TraceRecorder rec(2);
+  for (int i = 0; i < 5; ++i) {
+    rec.record(make_event(i, TraceEventKind::Validation));
+  }
+  const std::string timeline = obs::render_timeline(rec);
+  EXPECT_NE(timeline.find("WARNING: timeline is truncated - 3"),
+            std::string::npos);
+  EXPECT_NE(timeline.find("(+3 older events dropped"), std::string::npos);
+
+  TraceRecorder intact(8);
+  intact.record(make_event(1, TraceEventKind::Validation));
+  EXPECT_EQ(obs::render_timeline(intact).find("WARNING"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Span-tree reconstruction and trace analysis
+// ---------------------------------------------------------------------------
+
+TraceEvent traced_event(SimTime at, TraceEventKind kind, std::uint64_t trace,
+                        std::uint64_t span, std::uint64_t parent,
+                        std::string label = {}, std::string detail = {}) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = kind;
+  e.trace_id = trace;
+  e.span_id = span;
+  e.parent_span = parent;
+  e.label = std::move(label);
+  e.detail = std::move(detail);
+  return e;
+}
+
+TEST(TraceAnalyze, BuildsSpanTreePhasesAndCriticalPath) {
+  std::vector<TraceEvent> events;
+  events.push_back(traced_event(0, TraceEventKind::SpanStart, 1, 1, 0,
+                                "Account::deposit"));
+  events.push_back(
+      traced_event(10, TraceEventKind::SpanStart, 1, 2, 1, "validation"));
+  events.push_back(traced_event(15, TraceEventKind::Validation, 1, 2, 1,
+                                "TouchHard", "satisfied"));
+  events.push_back(
+      traced_event(30, TraceEventKind::SpanEnd, 1, 2, 1, "validation"));
+  events.push_back(traced_event(40, TraceEventKind::SpanStart, 1, 3, 1, "2pc"));
+  events.push_back(traced_event(90, TraceEventKind::SpanEnd, 1, 3, 1, "2pc"));
+  events.push_back(traced_event(100, TraceEventKind::SpanEnd, 1, 1, 0,
+                                "Account::deposit"));
+  // An untraced event outside any span counts as an orphan, nothing more.
+  events.push_back(make_event(95, TraceEventKind::TxCommit));
+
+  const obs::TraceAnalysis analysis = obs::analyze(events);
+  ASSERT_EQ(analysis.trees.size(), 1u);
+  ASSERT_EQ(analysis.traces.size(), 1u);
+  EXPECT_EQ(analysis.traced_events, 1u);
+  EXPECT_EQ(analysis.orphan_events, 1u);
+
+  const obs::SpanTree& tree = analysis.trees.front();
+  ASSERT_EQ(tree.roots.size(), 1u);
+  EXPECT_EQ(tree.roots.front(), 1u);
+  ASSERT_NE(tree.find(1), nullptr);
+  EXPECT_EQ(tree.find(1)->children, (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_TRUE(tree.find(2)->saw_start);
+  EXPECT_TRUE(tree.find(2)->saw_end);
+  EXPECT_EQ(tree.find(2)->events, 1u);
+
+  const obs::TraceSummary& summary = analysis.traces.front();
+  EXPECT_EQ(summary.trace_id, 1u);
+  EXPECT_EQ(summary.root_label, "Account::deposit");
+  EXPECT_EQ(summary.duration_us, 100);
+  EXPECT_EQ(summary.spans, 3u);
+  EXPECT_EQ(summary.events, 1u);
+  // Self time partitions the trace: validation 20, 2pc 50, root rest 30.
+  EXPECT_EQ(summary.phase_self_us.at("validation"), 20);
+  EXPECT_EQ(summary.phase_self_us.at("2pc"), 50);
+  EXPECT_EQ(summary.phase_self_us.at("interception"), 30);
+
+  // Critical path descends into the child finishing last: root -> 2pc.
+  ASSERT_EQ(summary.critical_path.size(), 2u);
+  EXPECT_EQ(summary.critical_path[0].label, "Account::deposit");
+  EXPECT_EQ(summary.critical_path[0].self_us, 50);
+  EXPECT_EQ(summary.critical_path[1].label, "2pc");
+  EXPECT_EQ(summary.critical_path[1].self_us, 50);
+}
+
+TEST(TraceAnalyze, ModeResidencyFollowsTransitions) {
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(0, TraceEventKind::Validation));
+  TraceEvent degraded = make_event(100, TraceEventKind::ModeTransition);
+  degraded.node = NodeId{2};
+  degraded.label = "degraded";
+  degraded.detail = "from healthy";
+  events.push_back(degraded);
+  TraceEvent healthy = make_event(300, TraceEventKind::ModeTransition);
+  healthy.node = NodeId{2};
+  healthy.label = "healthy";
+  healthy.detail = "from degraded";
+  events.push_back(healthy);
+  events.push_back(make_event(400, TraceEventKind::Validation));
+
+  const obs::TraceAnalysis analysis = obs::analyze(events);
+  ASSERT_EQ(analysis.mode_timeline.size(), 2u);
+  EXPECT_EQ(analysis.mode_timeline.front().to, "degraded");
+  EXPECT_EQ(analysis.mode_timeline.front().from, "healthy");
+  const auto& residency = analysis.mode_residency.at(2);
+  EXPECT_EQ(residency.at("healthy"), 200);   // 0..100 plus 300..400
+  EXPECT_EQ(residency.at("degraded"), 200);  // 100..300
+}
+
+// ---------------------------------------------------------------------------
+// Trace-driven invariant checker
+// ---------------------------------------------------------------------------
+
+TraceEvent threat_event(SimTime at, TraceEventKind kind, std::string label,
+                        std::uint64_t object, std::uint64_t tx = 0,
+                        std::string detail = {}) {
+  TraceEvent e = make_event(at, kind);
+  e.label = std::move(label);
+  e.object = ObjectId{object};
+  if (tx != 0) e.tx = TxId{tx};
+  e.detail = std::move(detail);
+  return e;
+}
+
+TEST(TraceChecker, FlagsThreatMissedByReconciliation) {
+  std::vector<TraceEvent> events;
+  events.push_back(threat_event(10, TraceEventKind::ThreatAccepted, "C", 5));
+  events.push_back(make_event(100, TraceEventKind::ReconcileStart));
+  events.push_back(make_event(200, TraceEventKind::ReconcileEnd));
+
+  const obs::TraceCheckResult result = obs::check_events(events);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.reconciles, 1u);
+  EXPECT_EQ(result.threats_tracked, 1u);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations.front().invariant, "no-lost-threats");
+  EXPECT_NE(result.violations.front().detail.find("C@5"), std::string::npos);
+
+  // The same stream with the re-evaluation present is clean, and the
+  // "satisfied" outcome erases the threat for later windows too.
+  events.insert(events.begin() + 2,
+                threat_event(150, TraceEventKind::ThreatReconciled, "C", 5, 0,
+                             "satisfied"));
+  events.push_back(make_event(300, TraceEventKind::ReconcileStart));
+  events.push_back(make_event(400, TraceEventKind::ReconcileEnd));
+  const obs::TraceCheckResult clean = obs::check_events(events);
+  EXPECT_TRUE(clean.ok()) << (clean.violations.empty()
+                                  ? ""
+                                  : clean.violations.front().detail);
+  EXPECT_EQ(clean.reconciles, 2u);
+}
+
+TEST(TraceChecker, AbortedStagingAndResolutionClearLiveSet) {
+  std::vector<TraceEvent> events;
+  // Threat A staged under tx 7, which aborts: nothing was stored.
+  events.push_back(threat_event(10, TraceEventKind::ThreatAccepted, "A", 1, 7));
+  events.push_back(threat_event(20, TraceEventKind::TxAbort, "", 0, 7));
+  // Threat B commits durably, then a satisfied business op resolves it.
+  events.push_back(threat_event(30, TraceEventKind::ThreatAccepted, "B", 2, 8));
+  events.push_back(threat_event(40, TraceEventKind::TxCommit, "", 0, 8));
+  events.push_back(threat_event(50, TraceEventKind::ThreatResolved, "B", 2));
+  events.push_back(make_event(100, TraceEventKind::ReconcileStart));
+  events.push_back(make_event(200, TraceEventKind::ReconcileEnd));
+
+  const obs::TraceCheckResult result = obs::check_events(events);
+  EXPECT_TRUE(result.ok()) << (result.violations.empty()
+                                   ? ""
+                                   : result.violations.front().detail);
+  EXPECT_EQ(result.threats_tracked, 2u);
+}
+
+TEST(TraceChecker, RepeatAcceptCannotDowngradeDurableThreat) {
+  std::vector<TraceEvent> events;
+  // Durably stored (no transaction), then re-accepted inside tx 9 which
+  // aborts.  The original store must stay live: the reconcile window that
+  // skips it is still a violation.
+  events.push_back(threat_event(10, TraceEventKind::ThreatAccepted, "C", 3));
+  events.push_back(threat_event(20, TraceEventKind::ThreatAccepted, "C", 3, 9));
+  events.push_back(threat_event(30, TraceEventKind::TxAbort, "", 0, 9));
+  events.push_back(make_event(100, TraceEventKind::ReconcileStart));
+  events.push_back(make_event(200, TraceEventKind::ReconcileEnd));
+
+  const obs::TraceCheckResult result = obs::check_events(events);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations.front().invariant, "no-lost-threats");
+}
+
+TEST(TraceChecker, SplitViewsInsideOnePartitionAreViolations) {
+  const auto view = [](SimTime at, std::uint64_t node, std::string members) {
+    TraceEvent e = make_event(at, TraceEventKind::ViewChange);
+    e.node = NodeId{node};
+    e.detail = "members=" + std::move(members);
+    return e;
+  };
+  std::vector<TraceEvent> events;
+  events.push_back(view(10, 0, "{0,1,2}"));
+  events.push_back(view(11, 1, "{0,1}"));
+  // Views are checked once the install burst quiesces.
+  events.push_back(make_event(20, TraceEventKind::Validation));
+
+  const obs::TraceCheckResult split = obs::check_events(events);
+  ASSERT_EQ(split.violations.size(), 1u);
+  EXPECT_EQ(split.violations.front().invariant, "one-primary-per-partition");
+  EXPECT_GT(split.view_checks, 0u);
+
+  // Agreeing views — and views that do not mutually contain each other —
+  // are fine.
+  std::vector<TraceEvent> agree;
+  agree.push_back(view(10, 0, "{0,1}"));
+  agree.push_back(view(11, 1, "{0,1}"));
+  agree.push_back(view(12, 2, "{2}"));
+  agree.push_back(make_event(20, TraceEventKind::Validation));
+  EXPECT_TRUE(obs::check_events(agree).ok());
+}
+
+TEST(TraceChecker, DroppedEventsMarkVerdictIncomplete) {
+  const std::vector<TraceEvent> events = {
+      make_event(10, TraceEventKind::Validation)};
+  EXPECT_TRUE(obs::check_events(events, 0).complete);
+  EXPECT_FALSE(obs::check_events(events, 5).complete);
 }
 
 // ---------------------------------------------------------------------------
@@ -360,6 +635,211 @@ TEST_F(TracedClusterTest, MetricsServletServesJsonAndTimeline) {
   const web::HttpResponse missing =
       servlet.handle(web::HttpRequest{"/nope", {}});
   EXPECT_EQ(missing.status, 404);
+}
+
+TEST_F(TracedClusterTest, EveryTracedEventReachesItsRootSpan) {
+  const auto ids = EvalApp::create_entities(cluster_->node(0), 2);
+  EvalApp::run_op(cluster_->node(0), ids[0], "setValue",
+                  {Value{std::string{"x"}}});
+  cluster_->split({{0, 1}, {2}});
+  EvalApp::run_op_negotiated(cluster_->node(0), ids[0], "emptyThreat",
+                             std::make_shared<AcceptAllNegotiation>());
+  cluster_->heal();
+  cluster_->reconcile();
+
+  const std::vector<TraceEvent> events = cluster_->obs().trace().events();
+  ASSERT_EQ(cluster_->obs().trace().dropped(), 0u);
+  const obs::TraceAnalysis analysis = obs::analyze(events);
+  ASSERT_FALSE(analysis.traces.empty());
+
+  // Index the trees by trace id.
+  std::map<std::uint64_t, const obs::SpanTree*> trees;
+  for (const obs::SpanTree& tree : analysis.trees) {
+    trees[tree.trace_id] = &tree;
+  }
+
+  // Acceptance: every event stamped with a trace id hangs off a span whose
+  // parent chain ends at a root of that trace's tree.
+  for (const TraceEvent& e : events) {
+    if (e.trace_id == 0) continue;
+    ASSERT_NE(e.span_id, 0u) << "traced event without a span: "
+                             << obs::to_string(e.kind);
+    auto it = trees.find(e.trace_id);
+    ASSERT_NE(it, trees.end());
+    const obs::SpanTree& tree = *it->second;
+    const obs::Span* span = tree.find(e.span_id);
+    ASSERT_NE(span, nullptr) << obs::to_string(e.kind);
+    std::size_t hops = 0;
+    while (span->parent != 0 && tree.find(span->parent) != nullptr &&
+           hops++ < 64) {
+      span = tree.find(span->parent);
+    }
+    EXPECT_NE(std::find(tree.roots.begin(), tree.roots.end(), span->id),
+              tree.roots.end())
+        << "span chain of " << obs::to_string(e.kind)
+        << " does not reach a root";
+  }
+
+  // Nothing was dropped, so every span has both markers, and the pipeline's
+  // layers all opened spans: validation and 2PC inside the invocation,
+  // GCS legs and backup propagation across "nodes", and the reconcile pass
+  // with its per-threat re-evaluation stitched to the originating trace.
+  std::set<std::string> labels;
+  for (const obs::SpanTree& tree : analysis.trees) {
+    for (const auto& [id, span] : tree.spans) {
+      (void)id;
+      EXPECT_TRUE(span.saw_start && span.saw_end) << span.label;
+      labels.insert(span.label);
+    }
+  }
+  for (const char* expected :
+       {"validation", "2pc", "gcs.multicast", "replication.propagate",
+        "reconcile", "reconcile.threat"}) {
+    EXPECT_EQ(labels.count(expected), 1u) << expected;
+  }
+
+  // The trace-driven checker agrees with the scenario's clean outcome.
+  const obs::TraceCheckResult verdict = obs::check_events(events);
+  EXPECT_TRUE(verdict.complete);
+  EXPECT_TRUE(verdict.ok()) << (verdict.violations.empty()
+                                    ? ""
+                                    : verdict.violations.front().detail);
+  EXPECT_GT(verdict.reconciles, 0u);
+  EXPECT_GT(verdict.threats_tracked, 0u);
+}
+
+TEST_F(TracedClusterTest, MetricsJsonCarriesSpansAndCriticalPath) {
+  const auto ids = EvalApp::create_entities(cluster_->node(0), 1);
+  EvalApp::run_op(cluster_->node(0), ids[0], "setValue",
+                  {Value{std::string{"x"}}});
+
+  AdminConsole admin(*cluster_);
+  const Json doc = Json::parse(admin.metrics_json());
+  ASSERT_TRUE(doc.contains("spans"));
+  const Json& spans = doc.at("spans");
+  EXPECT_GT(spans.at("traces").as_int(), 0);
+  EXPECT_GT(spans.at("traced_events").as_int(), 0);
+  ASSERT_GT(spans.at("top").size(), 0u);
+  const Json& top = spans.at("top").at(0);
+  EXPECT_FALSE(top.at("root").as_string().empty());
+  EXPECT_GE(top.at("duration_us").as_int(), 0);
+  EXPECT_TRUE(top.at("phases").is_object());
+
+  ASSERT_TRUE(doc.contains("critical_path"));
+  ASSERT_GT(doc.at("critical_path").size(), 0u);
+  const Json& hop = doc.at("critical_path").at(0);
+  for (const char* field : {"span", "start_us", "end_us", "self_us"}) {
+    EXPECT_TRUE(hop.contains(field)) << field;
+  }
+
+  // The exported trace block round-trips into the offline analyzer: the
+  // CLI sees the same spans the in-process analysis saw.
+  const std::vector<TraceEvent> rebuilt = obs::events_from_json(doc);
+  EXPECT_EQ(rebuilt.size(), cluster_->obs().trace().size());
+  const obs::TraceAnalysis offline = obs::analyze(rebuilt);
+  EXPECT_EQ(offline.traces.size(),
+            static_cast<std::size_t>(spans.at("traces").as_int()));
+}
+
+TEST_F(TracedClusterTest, PrometheusExpositionServed) {
+  const auto ids = EvalApp::create_entities(cluster_->node(0), 1);
+  EvalApp::run_op(cluster_->node(0), ids[0], "setValue",
+                  {Value{std::string{"x"}}});
+
+  web::MetricsServlet servlet(*cluster_);
+  EXPECT_TRUE(servlet.handles("/metrics.prom"));
+  const web::HttpResponse response =
+      servlet.handle(web::HttpRequest{"/metrics.prom", {}});
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.fields.at("content-type").find("text/plain"),
+            std::string::npos);
+  const std::string& body = response.fields.at("body");
+  for (const char* needle :
+       {"# TYPE dedisys_sim_time_us gauge", "dedisys_node_mode{",
+        "dedisys_node_total{", "dedisys_latency_us",
+        "dedisys_trace_events_recorded_total",
+        "dedisys_trace_phase_self_us_total{"}) {
+    EXPECT_NE(body.find(needle), std::string::npos) << needle;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Span propagation under gray faults
+// ---------------------------------------------------------------------------
+
+TEST(SpanPropagation, GrayChaosMessagesCarrySpanContext) {
+  scenarios::ChaosOptions options;
+  options.seed = 8091;
+  options.gray = true;
+  options.ops = 50;
+  options.fault_events = 8;
+  const scenarios::ChaosResult first = scenarios::run_chaos(options);
+  const scenarios::ChaosResult second = scenarios::run_chaos(options);
+  // Span minting is part of the deterministic run: byte-identical replay.
+  EXPECT_EQ(first.timeline, second.timeline);
+
+  const std::vector<TraceEvent> events =
+      obs::events_from_json(Json::parse(first.metrics_json));
+  ASSERT_FALSE(events.empty());
+  std::set<std::uint64_t> span_traces;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::SpanStart) span_traces.insert(e.trace_id);
+  }
+  // Every cross-node message event — retries after loss, duplicate
+  // suppression, primary->backup propagation — carries the originating
+  // trace: the causal context survives the "network" hop.
+  std::size_t checked = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEventKind::ReplicaPropagate &&
+        e.kind != TraceEventKind::MsgRetried &&
+        e.kind != TraceEventKind::MsgDeduped) {
+      continue;
+    }
+    ++checked;
+    EXPECT_NE(e.trace_id, 0u) << obs::to_string(e.kind) << " seq " << e.seq;
+    EXPECT_NE(e.span_id, 0u) << obs::to_string(e.kind) << " seq " << e.seq;
+    EXPECT_EQ(span_traces.count(e.trace_id), 1u)
+        << obs::to_string(e.kind) << " seq " << e.seq
+        << " carries a trace id no span opened";
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(SpanPropagation, TracingInvariantUnderGrayFaults) {
+  const auto run = [](bool observability) {
+    RandomPlanOptions popt;
+    popt.nodes = {NodeId{0}, NodeId{1}, NodeId{2}};
+    popt.events = 6;
+    popt.horizon = sim_ms(80);
+
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    cfg.observability = observability;
+    Cluster cluster(cfg);
+    EvalApp::define_classes(cluster.classes());
+    EvalApp::register_constraints(cluster.constraints());
+    FaultEngine engine(cluster.network(), random_gray_plan(4242, popt));
+    cluster.adopt_fault_engine(engine);
+
+    const auto ids = EvalApp::create_entities(cluster.node(0), 3);
+    const Value payload{std::string{"x"}};
+    for (int i = 0; i < 40; ++i) {
+      engine.poll();
+      try {
+        EvalApp::run_op(cluster.node(i % 3), ids[i % ids.size()], "setValue",
+                        {payload});
+      } catch (const std::exception&) {
+        // Crashed node or rejected threat: identical on both runs.
+      }
+    }
+    while (!engine.done()) engine.advance_to(engine.next_at());
+    cluster.heal();
+    cluster.reconcile();
+    return cluster.clock().now();
+  };
+  // Gray faults, retries and backup applies traced or not: the simulated
+  // clock lands on the same stamp.
+  EXPECT_EQ(run(false), run(true));
 }
 
 TEST(TraceDisabled, DisabledClusterRecordsNothing) {
