@@ -1,4 +1,5 @@
-// Read-set pruning benchmark (PR 3).
+// Read-set pruning benchmark (PR 3), extended with the interference-aware
+// reconciliation scheduler (PR 8).
 //
 // A "Wide" entity class carries several independent integer attributes,
 // each guarded by its own OCL hard invariant that is registered as
@@ -7,6 +8,12 @@
 // Exhaustive validation therefore evaluates all invariants on every
 // setter call; the static analyzer's read-sets let CCMgr skip all but the
 // one invariant that actually reads the written attribute.
+//
+// After the setter workload, a reconciliation batch of seeded threats is
+// driven through each cluster; the `scheduled` column counts threats
+// re-evaluated under interference-cluster ordering (zero unless the
+// scheduler is on).  Scheduling is outcome-preserving — the column shows
+// activity, the other columns must not move because of it.
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -16,6 +23,7 @@
 #include "analysis/analyzer.h"
 #include "bench/bench_common.h"
 #include "constraints/ocl_constraint.h"
+#include "constraints/threats.h"
 
 namespace dedisys {
 namespace {
@@ -24,7 +32,7 @@ constexpr int kFields = 8;
 constexpr std::size_t kEntities = 16;
 constexpr std::size_t kOps = 4000;
 
-std::unique_ptr<Cluster> make_wide_cluster(bool pruning) {
+std::unique_ptr<Cluster> make_wide_cluster(bool pruning, bool scheduler) {
   ClusterConfig cfg;
   cfg.nodes = 3;
   auto cluster = std::make_unique<Cluster>(cfg);
@@ -54,17 +62,15 @@ std::unique_ptr<Cluster> make_wide_cluster(bool pruning) {
   }
   analysis::analyze_repository(cluster->constraints(), &cluster->classes());
 
-  if (!pruning) {
-    for (std::size_t n = 0; n < cfg.nodes; ++n) {
-      cluster->node(n).ccmgr().set_pruning(false);
-    }
+  for (std::size_t n = 0; n < cfg.nodes; ++n) {
+    cluster->node(n).ccmgr().set_pruning(pruning);
+    cluster->node(n).ccmgr().set_scheduling(scheduler);
   }
   return cluster;
 }
 
-double run_setter_workload(Cluster& cluster) {
+double run_setter_workload(Cluster& cluster, std::vector<ObjectId>& ids) {
   DedisysNode& node = cluster.node(0);
-  std::vector<ObjectId> ids;
   ids.reserve(kEntities);
   for (std::size_t i = 0; i < kEntities; ++i) {
     TxScope tx(node.tx());
@@ -84,6 +90,40 @@ double run_setter_workload(Cluster& cluster) {
   return static_cast<double>(kOps) * 1e6 / static_cast<double>(elapsed);
 }
 
+/// Seeds one threat per invariant per entity and reconciles the batch.
+void run_reconcile_batch(Cluster& cluster, const std::vector<ObjectId>& ids) {
+  for (const ObjectId id : ids) {
+    for (int k = 0; k < kFields; ++k) {
+      ConsistencyThreat t;
+      t.constraint_name = "inv" + std::to_string(k);
+      t.context_object = id;
+      t.degree = SatisfactionDegree::Uncheckable;
+      cluster.threats().store(t);
+    }
+  }
+  cluster.node(0).ccmgr().reconcile(nullptr);
+}
+
+struct Row {
+  double rate = 0;
+  std::size_t validations = 0;
+  std::size_t skipped = 0;
+  std::size_t scheduled = 0;
+};
+
+Row run_configuration(bool pruning, bool scheduler) {
+  auto cluster = make_wide_cluster(pruning, scheduler);
+  std::vector<ObjectId> ids;
+  Row row;
+  row.rate = run_setter_workload(*cluster, ids);
+  run_reconcile_batch(*cluster, ids);
+  const auto& stats = cluster->node(0).ccmgr().stats();
+  row.validations = stats.validations;
+  row.skipped = stats.evaluations_skipped;
+  row.scheduled = stats.reconcile_scheduled;
+  return row;
+}
+
 }  // namespace
 }  // namespace dedisys
 
@@ -91,31 +131,33 @@ int main(int argc, char** argv) {
   using namespace dedisys;
   bench::Session session(argc, argv);
 
-  auto exhaustive = make_wide_cluster(false);
-  auto pruned = make_wide_cluster(true);
-  const double rate_off = run_setter_workload(*exhaustive);
-  const double rate_on = run_setter_workload(*pruned);
-
-  const auto& stats_off = exhaustive->node(0).ccmgr().stats();
-  const auto& stats_on = pruned->node(0).ccmgr().stats();
+  const Row off = run_configuration(false, false);
+  const Row on = run_configuration(true, false);
+  const Row sched = run_configuration(true, true);
 
   bench::print_title(
-      "Read-set pruning: " + std::to_string(kFields) +
-      " invariants registered on every setter of a " +
-      std::to_string(kFields) + "-attribute entity");
+      "Read-set pruning + reconciliation scheduling: " +
+      std::to_string(kFields) + " invariants registered on every setter of"
+      " a " + std::to_string(kFields) + "-attribute entity");
   bench::print_header({"configuration", "setter ops/s(sim)", "validations",
-                       "evals skipped"});
+                       "evals skipped", "scheduled"});
   bench::print_row("pruning off (exhaustive)",
-                   {rate_off, static_cast<double>(stats_off.validations),
-                    static_cast<double>(stats_off.evaluations_skipped)});
+                   {off.rate, static_cast<double>(off.validations),
+                    static_cast<double>(off.skipped),
+                    static_cast<double>(off.scheduled)});
   bench::print_row("pruning on (read-set)",
-                   {rate_on, static_cast<double>(stats_on.validations),
-                    static_cast<double>(stats_on.evaluations_skipped)});
-  if (rate_off > 0) {
+                   {on.rate, static_cast<double>(on.validations),
+                    static_cast<double>(on.skipped),
+                    static_cast<double>(on.scheduled)});
+  bench::print_row("pruning + scheduler",
+                   {sched.rate, static_cast<double>(sched.validations),
+                    static_cast<double>(sched.skipped),
+                    static_cast<double>(sched.scheduled)});
+  if (off.rate > 0) {
     std::printf("\nthroughput ratio on/off: %.2fx, evaluations avoided: %zu"
-                " of %zu\n",
-                rate_on / rate_off, stats_on.evaluations_skipped,
-                stats_off.validations);
+                " of %zu, scheduled threats: %zu\n",
+                on.rate / off.rate, on.skipped, off.validations,
+                sched.scheduled);
   }
   return 0;
 }

@@ -37,6 +37,13 @@
 #                                    exported metrics document validated
 #                                    end to end (json_validate --metrics,
 #                                    --tree/--top/--check over the file)
+#   scripts/check.sh --lint          constraint-lint gate only: dedisys_lint
+#                                    with --werror --conflicts over
+#                                    examples/descriptors/ — clean files
+#                                    pass, the seeded-bad / conflicting /
+#                                    tautology descriptors must fail with
+#                                    the documented exit codes (1 =
+#                                    diagnostics, 2 = parse failure)
 #   scripts/check.sh --tidy          clang-tidy over src/ (skipped with a
 #                                    message when clang-tidy is missing)
 set -euo pipefail
@@ -52,6 +59,7 @@ case "${1:-}" in
   --memo) MODE="memo" ;;
   --gray) MODE="gray" ;;
   --trace) MODE="trace" ;;
+  --lint) MODE="lint" ;;
   --tidy) MODE="tidy" ;;
   "") ;;
   *) BUILD_DIR="$1" ;;
@@ -143,6 +151,55 @@ trace_smoke() {
   echo "trace gate: exported metrics document validated end to end"
 }
 
+# Constraint-lint gate: clean descriptors must pass even with warnings
+# promoted and conflict detection on; the seeded-bad descriptors must be
+# rejected with the documented exit codes — 1 for diagnostics (unknown
+# attribute, conflicting pair, tautology under --werror), 2 for parse
+# failures (which must not abort linting of the remaining files).
+lint_gate() {
+  local lint="$1/tools/dedisys_lint"
+  local cls="examples/descriptors/classes.xml"
+  local rc
+  "$lint" --classes "$cls" --werror --conflicts \
+    examples/descriptors/good_flight.xml \
+    || { echo "check.sh: lint rejected the clean descriptor" >&2; exit 1; }
+  rc=0; "$lint" --classes "$cls" --werror --conflicts \
+    examples/descriptors/bad_unknown_attr.xml > /dev/null || rc=$?
+  if [ "$rc" -ne 1 ]; then
+    echo "check.sh: seeded-bad descriptor: expected exit 1, got $rc" >&2
+    exit 1
+  fi
+  rc=0; "$lint" --classes "$cls" --conflicts \
+    examples/descriptors/bad_conflict.xml > /dev/null || rc=$?
+  if [ "$rc" -ne 1 ]; then
+    echo "check.sh: conflicting pair: expected exit 1, got $rc" >&2
+    exit 1
+  fi
+  rc=0; "$lint" --classes "$cls" \
+    examples/descriptors/warn_tautology.xml > /dev/null || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "check.sh: tautology descriptor must pass without --werror" >&2
+    exit 1
+  fi
+  rc=0; "$lint" --classes "$cls" --werror \
+    examples/descriptors/warn_tautology.xml > /dev/null || rc=$?
+  if [ "$rc" -ne 1 ]; then
+    echo "check.sh: tautology descriptor must fail under --werror" >&2
+    exit 1
+  fi
+  local junk
+  junk="$(mktemp /tmp/lint_junk_XXXXXX.xml)"
+  printf 'not xml at all' > "$junk"
+  rc=0; "$lint" --classes "$cls" "$junk" \
+    examples/descriptors/good_flight.xml > /dev/null 2>&1 || rc=$?
+  rm -f "$junk"
+  if [ "$rc" -ne 2 ]; then
+    echo "check.sh: parse failure: expected exit 2, got $rc" >&2
+    exit 1
+  fi
+  echo "lint gate: descriptors and exit codes ok"
+}
+
 # Memo smoke: bench_memo_validation asserts its own acceptance criteria
 # (memo-on outcomes identical to memo-off, cache hits recorded, strictly
 # less simulated time) and exits nonzero on any failure.
@@ -192,6 +249,14 @@ if [ "$MODE" = "trace" ]; then
   exit 0
 fi
 
+if [ "$MODE" = "lint" ]; then
+  cmake -B "$BUILD_DIR" -S . > /dev/null
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target dedisys_lint
+  lint_gate "$BUILD_DIR"
+  echo "check.sh --lint: all green"
+  exit 0
+fi
+
 if [ "$MODE" = "tidy" ]; then
   if ! command -v clang-tidy > /dev/null 2>&1; then
     echo "check.sh --tidy: clang-tidy not installed, skipping"
@@ -209,15 +274,8 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
 
-# Constraint lint: clean descriptors must pass, the seeded-bad descriptor
-# (unknown attribute + division by zero) must be rejected.
-"$BUILD_DIR/tools/dedisys_lint" --classes examples/descriptors/classes.xml \
-  examples/descriptors/good_flight.xml
-if "$BUILD_DIR/tools/dedisys_lint" --classes examples/descriptors/classes.xml \
-  examples/descriptors/bad_unknown_attr.xml > /dev/null; then
-  echo "check.sh: dedisys_lint accepted the seeded-bad descriptor" >&2
-  exit 1
-fi
+# Constraint lint gate (also available standalone as --lint).
+lint_gate "$BUILD_DIR"
 
 # Observability smoke: a traced bench run must export parseable JSON with
 # latency percentiles.

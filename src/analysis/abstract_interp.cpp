@@ -1,0 +1,621 @@
+#include "analysis/abstract_interp.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+// GCC 12 reports spurious -Wmaybe-uninitialized for copies/moves of
+// std::optional<std::string> members under -O2 (same as analyzer.cpp's
+// folding stack).  AbsV values only ever flow through a plain push/pop
+// stack with no uninitialized reads.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace dedisys::analysis {
+
+namespace {
+
+/// Abstract value of one sub-expression on the interpreter stack.
+struct AbsV {
+  Interval iv = Interval::top();   ///< numeric value range
+  ValueKind kind = ValueKind::Unknown;
+  std::optional<std::string> attr; ///< set when the node is bare `self.attr`
+  std::optional<std::string> sval; ///< set when the node is a string literal
+  bool from_env = false;           ///< reads any attribute or argument
+  /// Boolean view: over-approximation of the states satisfying this
+  /// sub-expression.  `box_bottom` marks a provably empty satisfying set
+  /// (the box map cannot encode bottom on its own).
+  Box box;
+  bool box_exact = false;
+  bool box_bottom = false;
+};
+
+/// Three-valued truth from the value interval: any interval excluding 0
+/// is definitely truthy, the point interval {0} definitely falsy.
+std::optional<bool> truth_of(const AbsV& v) {
+  if (v.kind == ValueKind::Str) return std::nullopt;
+  if (v.iv.is_empty()) return std::nullopt;
+  if (!v.iv.contains(0)) return true;
+  if (v.iv.is_point()) return false;
+  return std::nullopt;
+}
+
+AbsV make_bool(std::optional<bool> t) {
+  AbsV out;
+  out.kind = ValueKind::Number;
+  if (t.has_value()) {
+    out.iv = Interval::point(*t ? 1.0 : 0.0);
+    if (*t) {
+      out.box_exact = true;  // satisfied everywhere: top box, exact
+    } else {
+      out.box_bottom = true;
+    }
+  } else {
+    out.iv = Interval::range(0, 1);
+  }
+  return out;
+}
+
+bool is_ordering(OclBinOp op) {
+  return op == OclBinOp::Lt || op == OclBinOp::Le || op == OclBinOp::Gt ||
+         op == OclBinOp::Ge;
+}
+
+bool is_arith(OclBinOp op) {
+  return op == OclBinOp::Add || op == OclBinOp::Sub ||
+         op == OclBinOp::Mul || op == OclBinOp::Div;
+}
+
+/// Decides a comparison over numeric intervals; nullopt when the
+/// intervals overlap without forcing an outcome.
+std::optional<bool> decide_cmp(OclBinOp op, const Interval& a,
+                               const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return std::nullopt;
+  switch (op) {
+    case OclBinOp::Lt:
+      if (a.hi < b.lo) return true;
+      if (a.lo >= b.hi) return false;
+      return std::nullopt;
+    case OclBinOp::Le:
+      if (a.hi <= b.lo) return true;
+      if (a.lo > b.hi) return false;
+      return std::nullopt;
+    case OclBinOp::Gt: return decide_cmp(OclBinOp::Lt, b, a);
+    case OclBinOp::Ge: return decide_cmp(OclBinOp::Le, b, a);
+    case OclBinOp::Eq:
+      if (a.is_point() && b.is_point() && a.lo == b.lo) return true;
+      if (!a.intersects(b)) return false;
+      return std::nullopt;
+    case OclBinOp::Ne: {
+      const std::optional<bool> eq = decide_cmp(OclBinOp::Eq, a, b);
+      if (eq.has_value()) return !*eq;
+      return std::nullopt;
+    }
+    default: return std::nullopt;
+  }
+}
+
+/// Satisfaction box of the atom `attr op p` for a point constant p.
+/// Soundness only needs the operand to always evaluate to p, so any
+/// point-interval numeric operand qualifies, not just literals.  Strict
+/// operators lose exactness (closed bounds over-approximate).
+std::pair<Box, bool> atom_box(const std::string& attr, OclBinOp op,
+                              double p) {
+  Box box;
+  switch (op) {
+    case OclBinOp::Lt: box[attr] = Interval::at_most(p); return {box, false};
+    case OclBinOp::Le: box[attr] = Interval::at_most(p); return {box, true};
+    case OclBinOp::Gt: box[attr] = Interval::at_least(p); return {box, false};
+    case OclBinOp::Ge: box[attr] = Interval::at_least(p); return {box, true};
+    case OclBinOp::Eq: box[attr] = Interval::point(p); return {box, true};
+    default: return {Box{}, false};  // Ne and others: top, inexact
+  }
+}
+
+OclBinOp mirror(OclBinOp op) {
+  switch (op) {
+    case OclBinOp::Lt: return OclBinOp::Gt;
+    case OclBinOp::Le: return OclBinOp::Ge;
+    case OclBinOp::Gt: return OclBinOp::Lt;
+    case OclBinOp::Ge: return OclBinOp::Le;
+    default: return op;  // Eq/Ne are symmetric
+  }
+}
+
+/// The interval interpreter proper: a post-order stack machine like the
+/// folding visitor, but over (interval, kind, box) triples.
+class IntervalVisitor final : public OclVisitor {
+ public:
+  IntervalVisitor(const AbstractEnv& env, AnalysisReport& report)
+      : env_(env), report_(report) {}
+
+  [[nodiscard]] AbsV result() const {
+    return stack_.size() == 1 ? stack_.back() : AbsV{};
+  }
+
+  void on_number(double v) override {
+    AbsV a;
+    a.iv = Interval::point(v);
+    a.kind = ValueKind::Number;
+    if (v != 0) {
+      a.box_exact = true;
+    } else {
+      a.box_bottom = true;
+    }
+    stack_.push_back(std::move(a));
+  }
+
+  void on_string(const std::string& s) override {
+    AbsV a;
+    a.kind = ValueKind::Str;
+    a.sval = s;
+    stack_.push_back(std::move(a));
+  }
+
+  void on_attribute(const std::string& name) override {
+    AbsV a;
+    a.kind = env_.attr_kind ? env_.attr_kind(name) : ValueKind::Unknown;
+    a.iv = env_.attr_interval ? env_.attr_interval(name) : Interval::top();
+    if (a.kind == ValueKind::Str) a.iv = Interval::top();
+    a.attr = name;
+    a.from_env = true;
+    stack_.push_back(std::move(a));
+  }
+
+  void on_argument(std::size_t index) override {
+    AbsV a;
+    a.kind = env_.arg_kind ? env_.arg_kind(index) : ValueKind::Unknown;
+    a.from_env = true;
+    stack_.push_back(std::move(a));
+  }
+
+  void leave_binary(OclBinOp op) override {
+    const AbsV rhs = pop();
+    const AbsV lhs = pop();
+    AbsV out;
+    if (is_arith(op)) {
+      out = apply_arith(op, lhs, rhs);
+    } else if (op == OclBinOp::Eq || op == OclBinOp::Ne || is_ordering(op)) {
+      out = apply_cmp(op, lhs, rhs);
+    } else {
+      out = apply_logic(op, lhs, rhs);
+    }
+    out.from_env = lhs.from_env || rhs.from_env;
+    stack_.push_back(std::move(out));
+  }
+
+  void leave_not() override {
+    const AbsV inner = pop();
+    std::optional<bool> t = truth_of(inner);
+    if (t.has_value()) t = !*t;
+    AbsV out = make_bool(t);
+    out.from_env = inner.from_env;
+    stack_.push_back(std::move(out));
+  }
+
+ private:
+  AbsV pop() {
+    AbsV a = std::move(stack_.back());
+    stack_.pop_back();
+    return a;
+  }
+
+  void warn(std::string msg) {
+    report_.diagnostics.push_back(
+        Diagnostic{Diagnostic::Severity::Warning, std::move(msg)});
+  }
+
+  AbsV apply_arith(OclBinOp op, const AbsV& lhs, const AbsV& rhs) {
+    AbsV out;
+    out.kind = ValueKind::Number;
+    if (lhs.kind == ValueKind::Str || rhs.kind == ValueKind::Str) {
+      return out;  // kind mismatch already diagnosed by the folding pass
+    }
+    switch (op) {
+      case OclBinOp::Add: out.iv = add(lhs.iv, rhs.iv); break;
+      case OclBinOp::Sub: out.iv = sub(lhs.iv, rhs.iv); break;
+      case OclBinOp::Mul: out.iv = mul(lhs.iv, rhs.iv); break;
+      case OclBinOp::Div:
+        // The folding pass catches a literal zero divisor; here the
+        // refined check: an environment-derived divisor interval that
+        // still straddles zero is a *possible* runtime failure.
+        if (rhs.from_env && !rhs.iv.is_top() && !rhs.iv.is_empty() &&
+            rhs.iv.contains(0)) {
+          warn("possible division by zero: divisor interval " +
+               analysis::to_string(rhs.iv) + " contains zero");
+        }
+        out.iv = div(lhs.iv, rhs.iv);
+        break;
+      default: break;
+    }
+    return out;
+  }
+
+  AbsV apply_cmp(OclBinOp op, const AbsV& lhs, const AbsV& rhs) {
+    // String equality between two literals is decided syntactically; any
+    // other string comparison is either a diagnosed kind error or
+    // genuinely contingent.
+    if ((op == OclBinOp::Eq || op == OclBinOp::Ne) && lhs.sval &&
+        rhs.sval) {
+      const bool eq = *lhs.sval == *rhs.sval;
+      return make_bool(op == OclBinOp::Eq ? eq : !eq);
+    }
+    if (lhs.kind == ValueKind::Str || rhs.kind == ValueKind::Str) {
+      return make_bool(std::nullopt);
+    }
+    AbsV out = make_bool(decide_cmp(op, lhs.iv, rhs.iv));
+    if (out.iv.is_point()) return out;  // decided: box already top/bottom
+    // Undecided: derive the satisfaction box when one side is a bare
+    // attribute and the other always evaluates to one number.
+    if (lhs.attr && rhs.kind == ValueKind::Number && rhs.iv.is_point()) {
+      auto [box, exact] = atom_box(*lhs.attr, op, rhs.iv.lo);
+      out.box = std::move(box);
+      out.box_exact = exact;
+    } else if (rhs.attr && lhs.kind == ValueKind::Number &&
+               lhs.iv.is_point()) {
+      auto [box, exact] = atom_box(*rhs.attr, mirror(op), lhs.iv.lo);
+      out.box = std::move(box);
+      out.box_exact = exact;
+    }
+    return out;
+  }
+
+  AbsV apply_logic(OclBinOp op, const AbsV& lhs, const AbsV& rhs) {
+    const std::optional<bool> lt = truth_of(lhs);
+    const std::optional<bool> rt = truth_of(rhs);
+    diagnose_logic(op, lhs, lt, rhs, rt);
+    std::optional<bool> t;
+    AbsV out;
+    if (op == OclBinOp::And) {
+      if ((lt && !*lt) || (rt && !*rt)) {
+        t = false;
+      } else if (lt && rt) {
+        t = true;
+      }
+      out = make_bool(t);
+      if (!t.has_value()) conjoin(out, lhs, rhs);
+    } else if (op == OclBinOp::Or) {
+      if ((lt && *lt) || (rt && *rt)) {
+        t = true;
+      } else if (lt && rt) {
+        t = false;
+      }
+      out = make_bool(t);
+      if (!t.has_value()) disjoin(out, lhs, rhs);
+    } else {  // Implies
+      if ((lt && !*lt) || (rt && *rt)) {
+        t = true;
+      } else if (lt && *lt && rt && !*rt) {
+        t = false;
+      }
+      out = make_bool(t);
+      // Undecided implication: top box (the satisfied states include
+      // everything outside the guard, which a box cannot carve out).
+    }
+    return out;
+  }
+
+  /// sat(a and b) ⊆ box(a) ⊓ box(b); exact only when both sides are.
+  static void conjoin(AbsV& out, const AbsV& lhs, const AbsV& rhs) {
+    if (lhs.box_bottom || rhs.box_bottom) {
+      out.box_bottom = true;
+      return;
+    }
+    out.box = lhs.box;
+    for (const auto& [attr, iv] : rhs.box) {
+      auto it = out.box.find(attr);
+      if (it == out.box.end()) {
+        out.box[attr] = iv;
+      } else {
+        it->second = meet(it->second, iv);
+      }
+    }
+    out.box_exact = lhs.box_exact && rhs.box_exact;
+  }
+
+  /// sat(a or b) ⊆ hull: only attributes constrained by *both* disjuncts
+  /// stay constrained (to the interval join); never exact.
+  static void disjoin(AbsV& out, const AbsV& lhs, const AbsV& rhs) {
+    if (lhs.box_bottom) {
+      out.box = rhs.box;
+      out.box_exact = rhs.box_exact;
+      return;
+    }
+    if (rhs.box_bottom) {
+      out.box = lhs.box;
+      out.box_exact = lhs.box_exact;
+      return;
+    }
+    for (const auto& [attr, iv] : lhs.box) {
+      auto it = rhs.box.find(attr);
+      if (it != rhs.box.end()) out.box[attr] = join(iv, it->second);
+    }
+    out.box_exact = false;
+  }
+
+  void diagnose_logic(OclBinOp op, const AbsV& lhs, std::optional<bool> lt,
+                      const AbsV& rhs, std::optional<bool> rt) {
+    // Interval-derived decisions only: constant operands were already
+    // folded (and flagged) by the folding pass.
+    auto flag = [&](const AbsV& side, bool value, const char* which) {
+      if (!side.from_env) return;
+      report_.has_dead_code = true;
+      warn(std::string(which) + " operand of '" + to_string(op) +
+           "' is statically " + (value ? "true" : "false") +
+           " under derived intervals — dead branch");
+    };
+    if (op == OclBinOp::Implies) {
+      if (lt && !*lt && lhs.from_env) {
+        report_.has_dead_code = true;
+        warn(
+            "implication guard is statically false under derived "
+            "intervals — constraint is vacuously true");
+      }
+      return;
+    }
+    if (lt.has_value()) flag(lhs, *lt, "left");
+    if (rt.has_value()) flag(rhs, *rt, "right");
+  }
+
+  const AbstractEnv& env_;
+  AnalysisReport& report_;
+  std::vector<AbsV> stack_;
+};
+
+/// Usage-based kind inference (satellite 2): one post-order pass
+/// collecting per-attribute facts.
+class KindInferVisitor final : public OclVisitor {
+ public:
+  [[nodiscard]] std::map<std::string, ValueKind> resolve() const {
+    std::map<std::string, ValueKind> out;
+    for (const auto& [attr, facts] : facts_) {
+      if (facts.saw_str) {
+        out[attr] = ValueKind::Str;
+      } else if (facts.saw_number) {
+        out[attr] = ValueKind::Number;
+      }
+    }
+    return out;
+  }
+
+  void on_number(double) override { push(ValueKind::Number, std::nullopt); }
+  void on_string(const std::string&) override {
+    push(ValueKind::Str, std::nullopt);
+  }
+  void on_attribute(const std::string& name) override {
+    push(ValueKind::Unknown, name);
+  }
+  void on_argument(std::size_t) override {
+    push(ValueKind::Unknown, std::nullopt);
+  }
+
+  void leave_binary(OclBinOp op) override {
+    const Operand rhs = pop();
+    const Operand lhs = pop();
+    if (op == OclBinOp::Eq || op == OclBinOp::Ne) {
+      // Equality pins a bare attribute to the other side's kind.
+      if (lhs.attr && rhs.kind != ValueKind::Unknown) fact(*lhs.attr, rhs.kind);
+      if (rhs.attr && lhs.kind != ValueKind::Unknown) fact(*rhs.attr, lhs.kind);
+    } else {
+      // Arithmetic, ordering and logic all require numeric operands.
+      if (lhs.attr) fact(*lhs.attr, ValueKind::Number);
+      if (rhs.attr) fact(*rhs.attr, ValueKind::Number);
+    }
+    push(ValueKind::Number, std::nullopt);
+  }
+
+  void leave_not() override {
+    const Operand inner = pop();
+    if (inner.attr) fact(*inner.attr, ValueKind::Number);
+    push(ValueKind::Number, std::nullopt);
+  }
+
+ private:
+  struct Operand {
+    ValueKind kind;
+    std::optional<std::string> attr;
+  };
+  struct Facts {
+    bool saw_number = false;
+    bool saw_str = false;
+  };
+
+  void push(ValueKind kind, std::optional<std::string> attr) {
+    stack_.push_back(Operand{kind, std::move(attr)});
+  }
+  Operand pop() {
+    Operand o = std::move(stack_.back());
+    stack_.pop_back();
+    return o;
+  }
+  void fact(const std::string& attr, ValueKind kind) {
+    if (kind == ValueKind::Str) facts_[attr].saw_str = true;
+    if (kind == ValueKind::Number) facts_[attr].saw_number = true;
+  }
+
+  std::vector<Operand> stack_;
+  std::map<std::string, Facts> facts_;
+};
+
+/// Union-find over constraint names for interference clustering.
+class UnionFind {
+ public:
+  void add(const std::string& name) {
+    parent_.emplace(name, name);
+  }
+  const std::string& find(const std::string& name) {
+    std::string& p = parent_.at(name);
+    if (p == name) return p;
+    const std::string root = find(p);
+    p = root;
+    return parent_.at(name);
+  }
+  void unite(const std::string& a, const std::string& b) {
+    const std::string ra = find(a);
+    const std::string rb = find(b);
+    if (ra == rb) return;
+    // Root at the lexicographically smaller name so cluster keys are
+    // deterministic and human-meaningful.
+    if (ra < rb) {
+      parent_[rb] = ra;
+    } else {
+      parent_[ra] = rb;
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+bool is_invariant(ConstraintType t) {
+  return t == ConstraintType::HardInvariant ||
+         t == ConstraintType::SoftInvariant ||
+         t == ConstraintType::AsyncInvariant;
+}
+
+bool read_sets_intersect(const ReadSet& a, const ReadSet& b) {
+  for (const std::string& attr : a.attributes) {
+    if (b.attributes.count(attr) != 0) return true;
+  }
+  return false;
+}
+
+/// stronger ⇒ weaker: the weaker box must be exact (membership implies
+/// satisfaction) and every interval it imposes must contain the
+/// stronger constraint's interval for that attribute.
+bool subsumes(const AnalysisReport& stronger, const AnalysisReport& weaker) {
+  if (!weaker.sat_box_exact || weaker.sat_box.empty()) return false;
+  if (stronger.verdict == Verdict::Unsatisfiable) return false;
+  for (const auto& [attr, weak_iv] : weaker.sat_box) {
+    auto it = stronger.sat_box.find(attr);
+    if (it == stronger.sat_box.end()) return false;
+    if (!it->second.subset_of(weak_iv)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void abstract_interpret(const OclExpr& expr, const AbstractEnv& env,
+                        AnalysisReport& report) {
+  IntervalVisitor interp(env, report);
+  expr->accept(interp);
+  const AbsV whole = interp.result();
+
+  bool box_empty = whole.box_bottom;
+  for (const auto& [attr, iv] : whole.box) {
+    (void)attr;
+    if (iv.is_empty()) box_empty = true;
+  }
+
+  // Verdict: the fold decision wins when present (it also covers string
+  // folds the interval domain cannot represent), then the whole-expression
+  // interval truth, then emptiness of the constraint's own box (which
+  // catches contradictions like `self.a >= 10 and self.a <= 5` that no
+  // single interval evaluation decides).
+  const std::optional<bool> t = truth_of(whole);
+  if (report.triviality == Triviality::AlwaysTrue) {
+    report.verdict = Verdict::Tautology;
+  } else if (report.triviality == Triviality::AlwaysFalse) {
+    report.verdict = Verdict::Unsatisfiable;
+  } else if (t.has_value()) {
+    report.verdict = *t ? Verdict::Tautology : Verdict::Unsatisfiable;
+  } else if (box_empty) {
+    report.verdict = Verdict::Unsatisfiable;
+  } else {
+    report.verdict = Verdict::Contingent;
+  }
+
+  if (report.verdict == Verdict::Tautology) {
+    report.sat_box.clear();  // satisfied everywhere: top box, exactly
+    report.sat_box_exact = true;
+    if (report.triviality != Triviality::AlwaysTrue) {
+      report.diagnostics.push_back(Diagnostic{
+          Diagnostic::Severity::Warning,
+          "constraint is statically always satisfied under derived "
+          "intervals — proven tautology"});
+    }
+  } else if (report.verdict == Verdict::Unsatisfiable) {
+    report.sat_box = whole.box;
+    report.sat_box_exact = false;
+    if (report.triviality != Triviality::AlwaysFalse) {
+      report.diagnostics.push_back(Diagnostic{
+          Diagnostic::Severity::Error,
+          "constraint is statically unsatisfiable under derived "
+          "intervals — every affected invocation would be rejected"});
+    }
+  } else {
+    report.sat_box = whole.box;
+    report.sat_box_exact = whole.box_exact;
+  }
+}
+
+std::map<std::string, ValueKind> infer_attribute_kinds(const OclExpr& expr) {
+  KindInferVisitor infer;
+  expr->accept(infer);
+  return infer.resolve();
+}
+
+ConfigAnalysis analyze_configuration(const ConstraintRepository& repository) {
+  ConfigAnalysis out;
+  struct Item {
+    std::string name;
+    const AnalysisReport* report;
+  };
+  std::vector<Item> items;
+  for (const ConstraintRegistration& reg : repository.registrations()) {
+    if (reg.analysis == nullptr || reg.analysis->opaque) continue;
+    if (!is_invariant(reg.constraint->type())) continue;
+    items.push_back(Item{reg.constraint->name(), reg.analysis.get()});
+    switch (reg.analysis->verdict) {
+      case Verdict::Tautology: ++out.tautologies; break;
+      case Verdict::Unsatisfiable: ++out.unsatisfiable; break;
+      case Verdict::Contingent: ++out.contingent; break;
+    }
+  }
+
+  UnionFind clusters;
+  for (const Item& item : items) clusters.add(item.name);
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (std::size_t j = i + 1; j < items.size(); ++j) {
+      const AnalysisReport& a = *items[i].report;
+      const AnalysisReport& b = *items[j].report;
+      if (a.context_class.empty() || a.context_class != b.context_class) {
+        continue;
+      }
+      std::string witness;
+      if (boxes_disjoint(a.sat_box, b.sat_box, &witness)) {
+        out.conflicts.push_back(ConfigAnalysis::ConflictPair{
+            items[i].name, items[j].name, witness});
+      }
+      if (subsumes(a, b)) {
+        out.subsumptions.push_back(
+            ConfigAnalysis::SubsumptionPair{items[i].name, items[j].name});
+      }
+      if (subsumes(b, a)) {
+        out.subsumptions.push_back(
+            ConfigAnalysis::SubsumptionPair{items[j].name, items[i].name});
+      }
+      if (read_sets_intersect(a.read_set, b.read_set)) {
+        out.interference.push_back(
+            ConfigAnalysis::InterferenceEdge{items[i].name, items[j].name});
+        clusters.unite(items[i].name, items[j].name);
+      }
+    }
+  }
+
+  std::set<std::string> roots;
+  for (const Item& item : items) {
+    const std::string root = clusters.find(item.name);
+    out.cluster_of[item.name] = root;
+    roots.insert(root);
+  }
+  out.clusters = roots.size();
+  return out;
+}
+
+}  // namespace dedisys::analysis

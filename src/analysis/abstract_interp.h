@@ -1,0 +1,64 @@
+// Interval/kind abstract interpretation over parsed OCL ASTs (PR 8).
+//
+// Three layers on top of PR 3's folding pass:
+//
+//  * abstract_interpret — one post-order walk propagating per-attribute
+//    value intervals and string-kind facts through every operator,
+//    classifying the constraint (tautology / unsatisfiable / contingent),
+//    deriving its satisfaction box, and emitting refined diagnostics
+//    (possible division by zero under the derived interval, dead branches
+//    decided by intervals, vacuous implication guards).
+//
+//  * infer_attribute_kinds — usage-based kind inference for attributes
+//    without class metadata, so comparisons mixing a folded numeric
+//    constant with a string-typed attribute are still diagnosed.
+//
+//  * analyze_configuration — whole-configuration pass over a repository's
+//    deployed invariants: pairwise conflict detection (disjoint
+//    satisfaction boxes), subsumption (C1 ⇒ C2), and the read-set
+//    interference graph with its connected-component clustering.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "analysis/domain.h"
+#include "analysis/report.h"
+#include "constraints/repository.h"
+#include "ocl/ocl.h"
+
+namespace dedisys::analysis {
+
+/// Abstract environment the interpreter reads attribute facts from.
+/// Null callbacks mean "no knowledge" (top interval, Unknown kind).
+struct AbstractEnv {
+  std::function<Interval(const std::string&)> attr_interval;
+  std::function<ValueKind(const std::string&)> attr_kind;
+  std::function<ValueKind(std::size_t)> arg_kind;
+};
+
+/// Runs the abstract interpreter over `expr` and fills the report's
+/// verdict / sat_box / sat_box_exact fields, appending interval-derived
+/// diagnostics.  Expects the folding pass to have run first (the verdict
+/// honors an existing Triviality decision, which also covers
+/// string-constant folds the interval domain cannot see).
+void abstract_interpret(const OclExpr& expr, const AbstractEnv& env,
+                        AnalysisReport& report);
+
+/// Infers attribute kinds from how the expression uses them: an `=`/`<>`
+/// against an operand of known kind pins the attribute to that kind;
+/// any use in an arithmetic/ordering/logical operator pins it to Number.
+/// Conflicting facts resolve to Str so the folding pass diagnoses the
+/// numeric use with the existing kind-mismatch message (satellite 2).
+[[nodiscard]] std::map<std::string, ValueKind> infer_attribute_kinds(
+    const OclExpr& expr);
+
+/// Cross-constraint analysis over every analyzed, non-opaque invariant
+/// (hard/soft/async) in the repository, paired by effective context
+/// class.  Pure function of the attached per-constraint reports.
+[[nodiscard]] ConfigAnalysis analyze_configuration(
+    const ConstraintRepository& repository);
+
+}  // namespace dedisys::analysis

@@ -1,10 +1,13 @@
 #include "analysis/analyzer.h"
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "analysis/abstract_interp.h"
 #include "constraints/config.h"
 #include "constraints/ocl_constraint.h"
 #include "objects/value.h"
@@ -22,8 +25,9 @@ namespace dedisys::analysis {
 
 namespace {
 
-/// Statically known value kind of an operand.
-enum class Kind { Number, Str, Unknown };
+/// Statically known value kind of an operand (shared with the abstract
+/// interpreter since PR 8).
+using Kind = ValueKind;
 
 /// Abstract value on the folding stack: an optional compile-time constant
 /// plus the operand's kind.
@@ -220,14 +224,15 @@ void finish_triviality(AnalysisReport& report, const Abs& whole) {
 void finish_prunable(AnalysisReport& report) {
   // An invariant may be skipped by read-set disjointness only when its
   // value cannot depend on the invocation itself (no arg<N> reads) and it
-  // is not a guaranteed violation; a statically-true constraint is always
-  // skippable.  CCMgr adds the runtime gates (healthy mode, called-object
-  // preparation, no stored threat) on top.
+  // is not a guaranteed violation; a proven tautology (which subsumes
+  // Triviality::AlwaysTrue) is always skippable.  CCMgr adds the runtime
+  // gates (healthy mode, called-object preparation, no stored threat) on
+  // top.  Must run after the abstract interpreter set the verdict.
   report.prunable =
       !report.has_errors() &&
-      (report.triviality == Triviality::AlwaysTrue ||
+      (report.verdict == Verdict::Tautology ||
        (report.read_set.arguments.empty() &&
-        report.triviality != Triviality::AlwaysFalse));
+        report.verdict != Verdict::Unsatisfiable));
 }
 
 /// Walks the ancestry of `class_name` looking for a declared default of
@@ -242,6 +247,14 @@ const Value* find_attribute(const ClassRegistry& classes,
     if (it != defaults.end()) return &it->second;
   }
   return nullptr;
+}
+
+/// Declared-type value interval for the abstract interpreter.  Only the
+/// type constrains the interval — a default *value* is just the initial
+/// state, not a bound.  Booleans are the one finitely-valued type.
+Interval interval_of_value(const Value& v) {
+  if (std::holds_alternative<bool>(v)) return Interval::range(0, 1);
+  return Interval::top();
 }
 
 Value default_for_type(const std::string& type_name) {
@@ -260,11 +273,22 @@ Value default_for_type(const std::string& type_name) {
 AnalysisReport analyze_expression(const OclExpr& expr) {
   AnalysisReport report;
   report.opaque = false;
-  FoldVisitor fold(
-      report, [](const std::string&) { return Kind::Unknown; },
-      [](std::size_t) { return Kind::Unknown; });
+  // Without class metadata attribute kinds are inferred from usage, so a
+  // comparison mixing a folded numeric constant with a string-pinned
+  // attribute is still a kind-mismatch error (PR 8 satellite).
+  const std::map<std::string, ValueKind> inferred =
+      infer_attribute_kinds(expr);
+  auto attr_kind = [&](const std::string& attr) {
+    auto it = inferred.find(attr);
+    return it == inferred.end() ? Kind::Unknown : it->second;
+  };
+  FoldVisitor fold(report, attr_kind,
+                   [](std::size_t) { return Kind::Unknown; });
   expr->accept(fold);
   finish_triviality(report, fold.result());
+  AbstractEnv env;
+  env.attr_kind = attr_kind;
+  abstract_interpret(expr, env, report);
   finish_prunable(report);
   return report;
 }
@@ -302,38 +326,73 @@ AnalysisReport analyze_registration(const ConstraintRegistration& reg,
         "context class '" + context_class +
             "' has no class metadata — attribute checks skipped"});
   }
+  report.context_class = context_class;
+
+  // Usage-inferred kinds fill in whatever the metadata leaves Unknown
+  // (missing metadata, reference/null defaults) — see analyze_expression.
+  const std::map<std::string, ValueKind> inferred =
+      infer_attribute_kinds(expr);
+  auto inferred_kind = [&](const std::string& attr) {
+    auto it = inferred.find(attr);
+    return it == inferred.end() ? Kind::Unknown : it->second;
+  };
+  // Declared kind from metadata, nullopt when the attribute is missing.
+  auto declared_kind =
+      [&](const std::string& attr) -> std::optional<Kind> {
+    if (!class_known) return Kind::Unknown;
+    const Value* v = find_attribute(*classes, context_class, attr);
+    if (v == nullptr) return std::nullopt;
+    return kind_of_value(*v);
+  };
+  auto arg_kind = [&](std::size_t index) {
+    Kind kind = Kind::Unknown;
+    bool first = true;
+    for (const AffectedMethod& am : reg.affected_methods) {
+      if (index >= am.method.param_types.size()) continue;
+      const Kind k = kind_of_type(am.method.param_types[index]);
+      if (first) {
+        kind = k;
+        first = false;
+      } else if (kind != k) {
+        kind = Kind::Unknown;  // affected methods disagree
+      }
+    }
+    return kind;
+  };
 
   FoldVisitor fold(
       report,
       [&](const std::string& attr) {
-        if (!class_known) return Kind::Unknown;
-        const Value* v = find_attribute(*classes, context_class, attr);
-        if (v == nullptr) {
+        const std::optional<Kind> declared = declared_kind(attr);
+        if (!declared.has_value()) {
           report.diagnostics.push_back(Diagnostic{
               Diagnostic::Severity::Error,
               "unknown attribute '" + attr + "' on class '" + context_class +
                   "'"});
           return Kind::Unknown;
         }
-        return kind_of_value(*v);
+        return *declared != Kind::Unknown ? *declared : inferred_kind(attr);
       },
-      [&](std::size_t index) {
-        Kind kind = Kind::Unknown;
-        bool first = true;
-        for (const AffectedMethod& am : reg.affected_methods) {
-          if (index >= am.method.param_types.size()) continue;
-          const Kind k = kind_of_type(am.method.param_types[index]);
-          if (first) {
-            kind = k;
-            first = false;
-          } else if (kind != k) {
-            kind = Kind::Unknown;  // affected methods disagree
-          }
-        }
-        return kind;
-      });
+      arg_kind);
   expr->accept(fold);
   finish_triviality(report, fold.result());
+
+  // Interval pass: declared types bound the attribute intervals (only
+  // bool is finite); kinds as above, without re-emitting the
+  // unknown-attribute errors the folding walk already produced.
+  AbstractEnv env;
+  env.attr_kind = [&](const std::string& attr) {
+    const std::optional<Kind> declared = declared_kind(attr);
+    if (declared.has_value() && *declared != Kind::Unknown) return *declared;
+    return inferred_kind(attr);
+  };
+  env.attr_interval = [&](const std::string& attr) {
+    if (!class_known) return Interval::top();
+    const Value* v = find_attribute(*classes, context_class, attr);
+    return v == nullptr ? Interval::top() : interval_of_value(*v);
+  };
+  env.arg_kind = arg_kind;
+  abstract_interpret(expr, env, report);
 
   // arg<N> indices must be in range for every affected method — an
   // out-of-range read is a guaranteed runtime failure on that method.
@@ -389,6 +448,10 @@ std::size_t analyze_repository(ConstraintRepository& repository,
     repository.set_analysis(reg.constraint->name(), std::move(report));
     ++analyzed;
   }
+  // Whole-configuration pass: always recomputed — registrations added or
+  // removed since the last run invalidate conflicts and clustering.
+  repository.set_config_analysis(std::make_shared<const ConfigAnalysis>(
+      analyze_configuration(repository)));
   return analyzed;
 }
 

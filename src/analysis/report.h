@@ -13,9 +13,12 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "analysis/domain.h"
 
 namespace dedisys::analysis {
 
@@ -53,6 +56,16 @@ struct Diagnostic {
   std::string message;
 };
 
+/// Classification by the interval/kind abstract interpreter (PR 8).
+/// Strictly stronger than Triviality: constant folding only decides
+/// expressions with no environment reads, the interpreter also decides
+/// expressions whose attribute intervals force the outcome.
+enum class Verdict {
+  Contingent,    ///< Satisfiability depends on runtime state.
+  Tautology,     ///< Provably satisfied in every reachable state.
+  Unsatisfiable, ///< Provably violated in every reachable state.
+};
+
 struct AnalysisReport {
   /// True when the constraint body is not an OCL expression the analyzer
   /// can see through (FunctionConstraint & friends).  Opaque constraints
@@ -65,6 +78,23 @@ struct AnalysisReport {
   bool has_dead_code = false;
   Locality locality = Locality::Opaque;
   std::vector<Diagnostic> diagnostics;
+  /// Abstract-interpretation verdict (PR 8).  Opaque reports stay
+  /// Contingent — no static knowledge either way.
+  Verdict verdict = Verdict::Contingent;
+  /// Over-approximation of the constraint's satisfying states: every
+  /// state satisfying the constraint assigns each boxed attribute a value
+  /// inside its interval.  Attributes not in the box are unconstrained.
+  Box sat_box;
+  /// True when sat_box is exact (membership implies satisfaction), which
+  /// holds when the expression is a conjunction of attr-vs-constant
+  /// atoms with non-strict operators.  Required of the *weaker* side for
+  /// subsumption claims.
+  bool sat_box_exact = false;
+  /// Effective context class the attribute checks ran against (declared
+  /// context-class, else the common called-object class); empty when
+  /// unknown/ambiguous.  Cross-constraint analysis pairs constraints by
+  /// this class.
+  std::string context_class;
   /// Whether CCMgr may legally skip validation when the invocation's
   /// write-set is disjoint from `read_set` (see docs/static_analysis.md
   /// for the soundness argument).  Set by the analyzer; never true for
@@ -78,6 +108,49 @@ struct AnalysisReport {
     return false;
   }
 };
+
+/// Whole-configuration analysis over a repository's deployed invariant
+/// set (PR 8): pairwise conflicts (abstract satisfaction sets disjoint —
+/// no state satisfies both), subsumption (C1 ⇒ C2), and the read-set
+/// interference graph whose connected components drive the CCMgr's
+/// reconciliation-batch evaluation order.  Produced by
+/// analysis::analyze_configuration and attached to the repository.
+struct ConfigAnalysis {
+  struct ConflictPair {
+    std::string first;
+    std::string second;
+    std::string attribute;  ///< witness attribute with disjoint intervals
+  };
+  struct SubsumptionPair {
+    std::string stronger;  ///< satisfying(stronger) ⊆ satisfying(weaker)
+    std::string weaker;
+  };
+  struct InterferenceEdge {
+    std::string first;
+    std::string second;
+  };
+
+  std::vector<ConflictPair> conflicts;
+  std::vector<SubsumptionPair> subsumptions;
+  std::vector<InterferenceEdge> interference;
+  /// Constraint name -> interference-cluster key (the lexicographically
+  /// smallest member name).  Constraints absent here were not analyzable.
+  std::map<std::string, std::string> cluster_of;
+  std::size_t clusters = 0;
+  /// Verdict tallies over the analyzable (non-opaque) invariants.
+  std::size_t tautologies = 0;
+  std::size_t unsatisfiable = 0;
+  std::size_t contingent = 0;
+};
+
+inline const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Contingent: return "contingent";
+    case Verdict::Tautology: return "tautology";
+    case Verdict::Unsatisfiable: return "unsatisfiable";
+  }
+  return "?";
+}
 
 inline const char* to_string(Triviality t) {
   switch (t) {

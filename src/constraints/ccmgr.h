@@ -69,6 +69,11 @@ struct CcmgrWiring {
   /// Off by default: memo-off runs are byte-identical to an un-memoized
   /// build.
   bool memo = false;
+  /// Interference-aware evaluation scheduling (PR 8): reconciliation
+  /// batches are ordered by interference-graph cluster so constraints
+  /// sharing read-sets evaluate adjacently.  Off by default — the legacy
+  /// `<constraint>@<object>` identity order is then used unchanged.
+  bool scheduler = false;
 };
 
 /// Application callback invoked for violated constraints detected during
@@ -114,6 +119,7 @@ class ConstraintConsistencyManager final : public TransactionalResource {
     obs_ = wiring.obs;
     object_query_ = std::move(wiring.object_query);
     memo_enabled_ = wiring.memo;
+    scheduling_ = wiring.scheduler;
   }
 
   [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
@@ -181,6 +187,15 @@ class ConstraintConsistencyManager final : public TransactionalResource {
   void set_pruning(bool on) { pruning_ = on; }
   [[nodiscard]] bool pruning() const { return pruning_; }
 
+  /// Interference-aware evaluation scheduling (PR 8): when on and the
+  /// repository carries a ConfigAnalysis, reconciliation orders its
+  /// threat batch by interference-graph cluster (constraints sharing
+  /// read-set attributes evaluate adjacently, improving memo locality).
+  /// The set of evaluations and their outcomes is unchanged — only the
+  /// order within the batch moves.
+  void set_scheduling(bool on) { scheduling_ = on; }
+  [[nodiscard]] bool scheduling() const { return scheduling_; }
+
   /// Version-stamped validation memoization (this PR): definite outcomes
   /// of analyzable constraints are cached keyed by (constraint, context
   /// object, fingerprint of read-set entity write stamps) and reused while
@@ -242,6 +257,9 @@ class ConstraintConsistencyManager final : public TransactionalResource {
     /// Batched revalidation (memo on): threats whose (constraint,
     /// fingerprint) was already evaluated and took the cached result.
     std::size_t batched = 0;
+    /// Threats re-evaluated under interference-cluster ordering
+    /// (scheduler on and a ConfigAnalysis attached to the repository).
+    std::size_t scheduled = 0;
   };
 
   /// Attempts rollback-based resolution of a violated threat; provided by
@@ -276,6 +294,11 @@ class ConstraintConsistencyManager final : public TransactionalResource {
     std::size_t violations = 0;
     /// Invariant evaluations avoided by read-set pruning.
     std::size_t evaluations_skipped = 0;
+    /// Invariant evaluations avoided because the abstract interpreter
+    /// proved the constraint a tautology (PR 8).
+    std::size_t evaluations_proven = 0;
+    /// Cumulative ReconcileStats::scheduled across reconcile() calls.
+    std::size_t reconcile_scheduled = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -411,6 +434,7 @@ class ConstraintConsistencyManager final : public TransactionalResource {
   bool degraded_ = false;
   double partition_weight_ = 1.0;
   bool pruning_ = true;
+  bool scheduling_ = false;
   bool in_validation_ = false;
   bool memo_enabled_ = false;
   validation::ValidationMemo memo_;

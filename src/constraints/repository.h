@@ -75,6 +75,7 @@ class ConstraintRepository {
     }
     by_name_[name] = registrations_.size();
     registrations_.push_back(std::move(reg));
+    config_.reset();  // stale: the deployed set changed
     invalidate_cache();
   }
 
@@ -88,6 +89,7 @@ class ConstraintRepository {
     for (std::size_t i = 0; i < registrations_.size(); ++i) {
       by_name_[registrations_[i].constraint->name()] = i;
     }
+    config_.reset();  // stale: the deployed set changed
     invalidate_cache();
   }
 
@@ -117,6 +119,20 @@ class ConstraintRepository {
     if (it == by_name_.end()) throw ConfigError("unknown constraint: " + name);
     registrations_[it->second].analysis = std::move(report);
     invalidate_cache();
+  }
+
+  /// Attaches the whole-configuration analysis (conflicts, subsumption,
+  /// interference clustering — PR 8).  Reset to null whenever the
+  /// deployed set changes; the CCMgr's scheduler falls back to the legacy
+  /// evaluation order until the analyzer runs again.
+  void set_config_analysis(
+      std::shared_ptr<const analysis::ConfigAnalysis> config) {
+    config_ = std::move(config);
+  }
+
+  /// Null until analyze_repository ran (and since the last change).
+  [[nodiscard]] const analysis::ConfigAnalysis* config_analysis() const {
+    return config_.get();
   }
 
   [[nodiscard]] const std::vector<ConstraintRegistration>& registrations()
@@ -188,6 +204,7 @@ class ConstraintRepository {
   void invalidate_cache() { cache_.clear(); }
 
   std::vector<ConstraintRegistration> registrations_;
+  std::shared_ptr<const analysis::ConfigAnalysis> config_;
   std::unordered_map<std::string, std::size_t> by_name_;
   bool caching_ = true;
   std::unordered_map<std::string, std::vector<Match>> cache_;

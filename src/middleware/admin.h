@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,14 +43,68 @@ class AdminConsole {
 
   /// Deploys a constraint descriptor (Listing 4.1) into the default
   /// repository and runs the static analyzer over the new registrations
-  /// (read-sets, triviality, locality — PR 3); returns the number of
-  /// constraints registered.
+  /// (read-sets, triviality, locality — PR 3; interval verdicts and
+  /// cross-constraint analysis — PR 8); returns the number of constraints
+  /// registered.
+  ///
+  /// Registration-time rejection (PR 8): a newly deployed invariant the
+  /// abstract interpreter proves unsatisfiable, or one whose satisfaction
+  /// box is disjoint from an already-deployed invariant of the same
+  /// context class, aborts the deployment — every constraint this call
+  /// added is removed again and a ConfigError naming the offenders is
+  /// thrown.  Constraints deployed before this call are never touched.
   std::size_t deploy_constraints(const std::string& xml,
                                  const ConstraintFactory& factory = {}) {
-    const std::size_t loaded =
-        load_constraints(xml, factory, cluster_->constraints());
-    analysis::analyze_repository(cluster_->constraints(),
-                                 &cluster_->classes());
+    ConstraintRepository& repo = cluster_->constraints();
+    std::set<std::string> before;
+    for (const ConstraintRegistration& reg : repo.registrations()) {
+      before.insert(reg.constraint->name());
+    }
+    const std::size_t loaded = load_constraints(xml, factory, repo);
+    analysis::analyze_repository(repo, &cluster_->classes());
+
+    auto is_new = [&](const std::string& name) {
+      return before.count(name) == 0;
+    };
+    auto is_invariant = [](ConstraintType t) {
+      return t == ConstraintType::HardInvariant ||
+             t == ConstraintType::SoftInvariant ||
+             t == ConstraintType::AsyncInvariant;
+    };
+    std::string reject;
+    for (const ConstraintRegistration& reg : repo.registrations()) {
+      const std::string& name = reg.constraint->name();
+      if (!is_new(name) || reg.analysis == nullptr || reg.analysis->opaque ||
+          !is_invariant(reg.constraint->type())) {
+        continue;
+      }
+      if (reg.analysis->verdict == analysis::Verdict::Unsatisfiable) {
+        reject = "deployment rejected: invariant '" + name +
+                 "' is statically unsatisfiable";
+        break;
+      }
+    }
+    if (reject.empty() && repo.config_analysis() != nullptr) {
+      for (const auto& c : repo.config_analysis()->conflicts) {
+        if (!is_new(c.first) && !is_new(c.second)) continue;
+        reject = "deployment rejected: invariants '" + c.first + "' and '" +
+                 c.second + "' conflict — disjoint satisfaction sets on "
+                 "attribute '" + c.attribute + "'";
+        break;
+      }
+    }
+    if (!reject.empty()) {
+      std::vector<std::string> added;
+      for (const ConstraintRegistration& reg : repo.registrations()) {
+        if (is_new(reg.constraint->name())) {
+          added.push_back(reg.constraint->name());
+        }
+      }
+      for (const std::string& name : added) repo.remove(name);
+      // Restore the configuration analysis over the surviving set.
+      analysis::analyze_repository(repo, &cluster_->classes());
+      throw ConfigError(reject);
+    }
     return loaded;
   }
 

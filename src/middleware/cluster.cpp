@@ -35,6 +35,7 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   options.default_min_degree = config_.default_min_degree;
   options.reconciliation_policy = config_.reconciliation_policy;
   options.validation_memo = config_.validation_memo;
+  options.validation_scheduler = config_.validation_scheduler;
   options.legacy_unidirectional_views = config_.legacy_unidirectional_views;
   for (std::size_t i = 0; i < config_.nodes; ++i) {
     nodes_.push_back(std::make_unique<DedisysNode>(*this, NodeId{i}, options));

@@ -52,6 +52,11 @@ struct ClusterConfig {
   /// outcomes keyed by the read-set entities' write stamps.  Off by
   /// default — memo-off runs are byte-identical to builds without it.
   bool validation_memo = false;
+  /// Interference-aware validation scheduling (PR 8): reconciliation
+  /// batches are ordered by the interference-graph clusters of the
+  /// repository's ConfigAnalysis.  Off by default — the legacy
+  /// `<constraint>@<object>` identity order is then byte-identical.
+  bool validation_scheduler = false;
   /// Pre-gray-failure GMS behavior: derive views from outbound
   /// reachability alone.  Under a one-way link cut this elects two
   /// primaries inside one strongly-connected component; only tests

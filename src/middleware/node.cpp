@@ -130,6 +130,7 @@ DedisysNode::DedisysNode(Cluster& cluster, NodeId id,
   wiring.default_min = options.default_min_degree;
   wiring.obs = obs_;
   wiring.memo = options.validation_memo;
+  wiring.scheduler = options.validation_scheduler;
   if (options.with_replication) {
     ReplicationManager* repl = repl_.get();
     wiring.threat_replicator =

@@ -74,6 +74,8 @@ struct NodeOptions {
       ReconciliationBusinessPolicy::Proceed;
   /// Version-stamped validation memoization (src/validation/memo.h).
   bool validation_memo = false;
+  /// Interference-aware validation scheduling (see ClusterConfig).
+  bool validation_scheduler = false;
   /// Legacy outbound-only GMS views (see ClusterConfig) — tests only.
   bool legacy_unidirectional_views = false;
 };

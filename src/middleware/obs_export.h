@@ -19,8 +19,16 @@ namespace dedisys::obs {
   out.set("opaque", r.opaque);
   out.set("locality", to_string(r.locality));
   out.set("triviality", to_string(r.triviality));
+  out.set("verdict", to_string(r.verdict));
   out.set("dead_code", r.has_dead_code);
   out.set("prunable", r.prunable);
+  if (!r.sat_box.empty()) {
+    Json box = Json::object();
+    for (const auto& [attr, iv] : r.sat_box) {
+      box.set(attr, analysis::to_string(iv));
+    }
+    out.set("sat_box", std::move(box));
+  }
   Json attributes = Json::array();
   for (const std::string& a : r.read_set.attributes) attributes.push_back(a);
   Json arguments = Json::array();
@@ -55,6 +63,44 @@ namespace dedisys::obs {
   return out;
 }
 
+/// Whole-configuration analysis block (PR 8): per-verdict tallies,
+/// conflict/subsumption pairs and the interference-graph summary.  Null
+/// when the analyzer has not run since the last repository change.
+[[nodiscard]] inline Json config_analysis_to_json(
+    const ConstraintRepository& repository) {
+  const analysis::ConfigAnalysis* cfg = repository.config_analysis();
+  if (cfg == nullptr) return Json();
+  Json out = Json::object();
+  Json verdicts = Json::object();
+  verdicts.set("tautologies", cfg->tautologies);
+  verdicts.set("unsatisfiable", cfg->unsatisfiable);
+  verdicts.set("contingent", cfg->contingent);
+  out.set("verdicts", std::move(verdicts));
+  Json conflicts = Json::array();
+  for (const auto& c : cfg->conflicts) {
+    Json pair = Json::object();
+    pair.set("first", c.first);
+    pair.set("second", c.second);
+    pair.set("attribute", c.attribute);
+    conflicts.push_back(std::move(pair));
+  }
+  out.set("conflicts", std::move(conflicts));
+  Json subsumptions = Json::array();
+  for (const auto& s : cfg->subsumptions) {
+    Json pair = Json::object();
+    pair.set("stronger", s.stronger);
+    pair.set("weaker", s.weaker);
+    subsumptions.push_back(std::move(pair));
+  }
+  out.set("subsumptions", std::move(subsumptions));
+  Json graph = Json::object();
+  graph.set("edges", cfg->interference.size());
+  graph.set("clusters", cfg->clusters);
+  graph.set("constraints", cfg->cluster_of.size());
+  out.set("interference", std::move(graph));
+  return out;
+}
+
 [[nodiscard]] inline Json to_json(const ClusterMetrics& m) {
   Json nodes = Json::array();
   for (const NodeMetrics& n : m.nodes) {
@@ -70,6 +116,8 @@ namespace dedisys::obs {
     node.set("stale_skipped", n.stale_skipped);
     node.set("validations", n.validations);
     node.set("evaluations_skipped", n.evaluations_skipped);
+    node.set("evaluations_proven", n.evaluations_proven);
+    node.set("reconcile_scheduled", n.reconcile_scheduled);
     node.set("threats_detected", n.threats_detected);
     node.set("threats_accepted", n.threats_accepted);
     node.set("threats_rejected", n.threats_rejected);
@@ -124,6 +172,7 @@ namespace dedisys::obs {
   Json out = Json::object();
   out.set("metrics", to_json(collect_metrics(cluster)));
   out.set("constraints", analysis_to_json(cluster.constraints()));
+  out.set("analysis", config_analysis_to_json(cluster.constraints()));
   out.set("latencies", to_json(cluster.obs().latencies()));
   out.set("trace", to_json(cluster.obs().trace()));
   const TraceAnalysis analysis = analyze(cluster.obs().trace().events());

@@ -396,6 +396,7 @@ std::vector<TraceEvent> events_from_json(const Json& doc) {
       TraceEventKind::SpanStart,       TraceEventKind::SpanEnd,
       TraceEventKind::InvocationStart, TraceEventKind::InvocationEnd,
       TraceEventKind::Validation,      TraceEventKind::ValidationSkipped,
+      TraceEventKind::ValidationProven,
       TraceEventKind::ValidationMemoHit,
       TraceEventKind::ValidationMemoInvalidate,
       TraceEventKind::ThreatDetected,  TraceEventKind::ThreatNegotiated,

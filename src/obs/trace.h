@@ -42,6 +42,7 @@ enum class TraceEventKind {
   InvocationEnd,     ///< the call returned (or threw; see detail)
   Validation,        ///< one constraint validate() with its degree
   ValidationSkipped, ///< invariant skipped by static read-set pruning
+  ValidationProven,  ///< invariant skipped: statically proven tautology
   ValidationMemoHit, ///< cached result reused (read-set stamps unchanged)
   ValidationMemoInvalidate, ///< cached result busted by a read-set write
   ThreatDetected,    ///< a threat arose (LCC/NCC outcome)
@@ -74,6 +75,7 @@ enum class TraceEventKind {
     case TraceEventKind::InvocationEnd: return "invocation.end";
     case TraceEventKind::Validation: return "validation";
     case TraceEventKind::ValidationSkipped: return "validation.skipped";
+    case TraceEventKind::ValidationProven: return "validation.proven";
     case TraceEventKind::ValidationMemoHit: return "validation.memo_hit";
     case TraceEventKind::ValidationMemoInvalidate:
       return "validation.memo_invalidate";

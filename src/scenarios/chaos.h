@@ -37,6 +37,12 @@ struct ChaosOptions {
   /// the same seed must produce identical outcomes (the memo equivalence
   /// oracle in tests and check.sh --memo).
   bool validation_memo = false;
+  /// Interference-aware validation scheduling (PR 8).  Scheduler-on and
+  /// scheduler-off runs of the same seed must produce identical threat
+  /// sets and timelines (the chaos constraints are opaque, so every
+  /// interference cluster is a singleton and the batch order is the
+  /// legacy identity order).
+  bool validation_scheduler = false;
   /// Draw the fault plan from `random_gray_plan` instead of
   /// `random_fault_plan`: the op mix then includes asymmetric one-way
   /// cuts, flapping links, slow-but-alive nodes and clock skew.

@@ -4,15 +4,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/abstract_interp.h"
 #include "analysis/analyzer.h"
+#include "analysis/domain.h"
 #include "analysis/report.h"
 #include "constraints/constraint.h"
 #include "constraints/ocl_constraint.h"
 #include "constraints/repository.h"
+#include "constraints/threats.h"
 #include "middleware/admin.h"
 #include "middleware/cluster.h"
 #include "middleware/metrics.h"
@@ -23,9 +27,13 @@ namespace dedisys {
 namespace {
 
 using analysis::AnalysisReport;
+using analysis::Box;
+using analysis::ConfigAnalysis;
 using analysis::Diagnostic;
+using analysis::Interval;
 using analysis::Locality;
 using analysis::Triviality;
+using analysis::Verdict;
 
 bool has_error_containing(const AnalysisReport& report,
                           const std::string& needle) {
@@ -454,6 +462,484 @@ TEST(Analysis, AdminDeployAnalyzesAndExportsReports) {
   EXPECT_EQ(entry.at("name").as_string(), "SeatLimit");
   EXPECT_EQ(entry.at("analysis").at("locality").as_string(), "local");
   EXPECT_EQ(entry.at("analysis").at("prunable").as_bool(), true);
+}
+
+// -- abstract interpretation (PR 8) -----------------------------------------
+
+bool has_warning_containing(const AnalysisReport& report,
+                            const std::string& needle) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity == Diagnostic::Severity::Warning &&
+        d.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Golden pins for the interval domain: lattice operations, arithmetic
+/// transfer functions and their edge conventions.
+TEST(AbstractInterp, IntervalLatticeGolden) {
+  EXPECT_TRUE(Interval::top().is_top());
+  EXPECT_TRUE(Interval::bottom().is_empty());
+  EXPECT_TRUE(Interval::point(3).is_point());
+  EXPECT_TRUE(Interval::at_least(0).contains(1e12));
+  EXPECT_FALSE(Interval::at_most(0).contains(0.5));
+
+  EXPECT_EQ(join(Interval::range(0, 2), Interval::range(5, 7)),
+            Interval::range(0, 7));
+  EXPECT_EQ(join(Interval::bottom(), Interval::point(4)), Interval::point(4));
+  EXPECT_EQ(meet(Interval::range(0, 10), Interval::range(5, 20)),
+            Interval::range(5, 10));
+  EXPECT_TRUE(meet(Interval::range(0, 2), Interval::range(5, 7)).is_empty());
+
+  // Widening: bounds that grew jump to infinity, stable bounds persist.
+  const Interval w = widen(Interval::range(0, 4), Interval::range(-1, 4));
+  EXPECT_EQ(w.lo, -kInf);
+  EXPECT_EQ(w.hi, 4);
+  EXPECT_EQ(widen(Interval::range(0, 4), Interval::range(0, 4)),
+            Interval::range(0, 4));
+
+  EXPECT_TRUE(Interval::range(1, 2).subset_of(Interval::range(0, 3)));
+  EXPECT_FALSE(Interval::range(0, 3).subset_of(Interval::range(1, 2)));
+  EXPECT_TRUE(Interval::bottom().subset_of(Interval::point(0)));
+}
+
+TEST(AbstractInterp, IntervalArithmeticGolden) {
+  EXPECT_EQ(add(Interval::range(1, 2), Interval::range(10, 20)),
+            Interval::range(11, 22));
+  EXPECT_EQ(sub(Interval::range(1, 2), Interval::range(10, 20)),
+            Interval::range(-19, -8));
+  EXPECT_EQ(neg(Interval::range(-1, 5)), Interval::range(-5, 1));
+  EXPECT_EQ(mul(Interval::range(-1, 2), Interval::range(3, 4)),
+            Interval::range(-4, 8));
+  // 0 * inf is 0 by the interval convention, not IEEE NaN.
+  EXPECT_EQ(mul(Interval::point(0), Interval::top()), Interval::point(0));
+  // Division by an interval containing zero loses all precision (top);
+  // a sign-definite divisor keeps bounds.
+  EXPECT_TRUE(div(Interval::point(1), Interval::range(-1, 1)).is_top());
+  EXPECT_EQ(div(Interval::range(10, 20), Interval::range(2, 5)),
+            Interval::range(2, 10));
+  EXPECT_EQ(to_string(Interval::range(0, 1)), "[0, 1]");
+  EXPECT_EQ(to_string(Interval::top()), "[-inf, +inf]");
+  EXPECT_EQ(to_string(Interval::bottom()), "(empty)");
+}
+
+TEST(AbstractInterp, BoxesDisjointWitness) {
+  const Box a{{"seats", Interval::at_least(10)}};
+  const Box b{{"seats", Interval::at_most(5)}};
+  const Box c{{"price", Interval::at_most(5)}};
+  std::string witness;
+  EXPECT_TRUE(analysis::boxes_disjoint(a, b, &witness));
+  EXPECT_EQ(witness, "seats");
+  // Different attributes never prove disjointness.
+  EXPECT_FALSE(analysis::boxes_disjoint(a, c));
+}
+
+/// Classes with one bool attribute (interval [0, 1]), numeric attributes
+/// (top) and a string attribute, for registration-level interpretation.
+ClassRegistry typed_classes() {
+  ClassRegistry classes;
+  ClassDescriptor& flight = classes.define("Flight");
+  flight.define_attribute("seats", Value{std::int64_t{100}});
+  flight.define_attribute("price", Value{2.0});
+  flight.define_attribute("status", Value{std::string{"open"}});
+  flight.define_attribute("active", Value{false});
+  return classes;
+}
+
+AnalysisReport interpret(const std::string& expr) {
+  static const ClassRegistry classes = typed_classes();
+  return analysis::analyze_registration(
+      make_reg("c", expr, "Flight", {setter("Flight", "setSeats")}),
+      &classes);
+}
+
+/// Exemplar classification table: the verdict the abstract interpreter
+/// must reach for each expression shape, pinned as golden values.
+TEST(AbstractInterp, ClassificationGolden) {
+  // Bool attributes carry the derived interval [0, 1].
+  EXPECT_EQ(interpret("self.active >= 0").verdict, Verdict::Tautology);
+  EXPECT_EQ(interpret("self.active <= 1").verdict, Verdict::Tautology);
+  EXPECT_EQ(interpret("self.active >= 0 and self.active <= 1").verdict,
+            Verdict::Tautology);
+  EXPECT_EQ(interpret("self.active > 1").verdict, Verdict::Unsatisfiable);
+  EXPECT_EQ(interpret("self.active < 0").verdict, Verdict::Unsatisfiable);
+  // Intervals propagate through arithmetic before the comparison decides.
+  EXPECT_EQ(interpret("self.active * 2 <= 2").verdict, Verdict::Tautology);
+  EXPECT_EQ(interpret("self.active - 1 <= 0").verdict, Verdict::Tautology);
+  EXPECT_EQ(interpret("not (self.active > 1)").verdict, Verdict::Tautology);
+  EXPECT_EQ(interpret("self.active >= 0 or self.seats > 0").verdict,
+            Verdict::Tautology);
+  EXPECT_EQ(interpret("self.active < 0 implies self.seats > 100").verdict,
+            Verdict::Tautology);
+  // Unbounded numeric attributes stay contingent...
+  EXPECT_EQ(interpret("self.seats >= 0").verdict, Verdict::Contingent);
+  EXPECT_EQ(interpret("self.seats + 1 > self.seats").verdict,
+            Verdict::Contingent);
+  EXPECT_EQ(interpret("self.status = \"open\"").verdict,
+            Verdict::Contingent);
+  // ...unless the constraint's own atoms make the satisfying box empty.
+  EXPECT_EQ(interpret("self.seats >= 10 and self.seats <= 5").verdict,
+            Verdict::Unsatisfiable);
+  EXPECT_EQ(interpret("self.seats >= 5 and self.seats <= 10").verdict,
+            Verdict::Contingent);
+}
+
+TEST(AbstractInterp, TautologyAndUnsatDiagnostics) {
+  const AnalysisReport taut = interpret("self.active >= 0");
+  EXPECT_TRUE(has_warning_containing(taut, "proven tautology"));
+  EXPECT_FALSE(taut.has_errors());
+  EXPECT_TRUE(taut.prunable);
+
+  const AnalysisReport unsat = interpret("self.active > 1");
+  EXPECT_TRUE(has_error_containing(unsat, "statically unsatisfiable"));
+  EXPECT_FALSE(unsat.prunable);
+}
+
+TEST(AbstractInterp, RefinedWarnings) {
+  // Divisor interval [0, 1] contains zero -> possible division by zero.
+  EXPECT_TRUE(has_warning_containing(
+      interpret("self.seats / self.active >= 0"),
+      "possible division by zero"));
+  // A branch decided by derived intervals (not by constant folding) is
+  // flagged as dead.
+  const AnalysisReport dead =
+      interpret("self.active >= 0 or self.seats > 0");
+  EXPECT_TRUE(has_warning_containing(dead, "dead branch"));
+  EXPECT_TRUE(dead.has_dead_code);
+  // A statically-false implication guard makes the constraint vacuous.
+  EXPECT_TRUE(has_warning_containing(
+      interpret("self.active < 0 implies self.seats > 100"),
+      "vacuously true"));
+  // Plain contingent constraints stay clean.
+  EXPECT_TRUE(interpret("self.seats >= 0").diagnostics.empty());
+}
+
+TEST(AbstractInterp, SatisfactionBoxes) {
+  const AnalysisReport band = interpret("self.seats >= 5 and self.seats <= 10");
+  ASSERT_EQ(band.sat_box.count("seats"), 1u);
+  EXPECT_EQ(band.sat_box.at("seats"), Interval::range(5, 10));
+  EXPECT_TRUE(band.sat_box_exact);
+
+  const AnalysisReport point = interpret("self.seats = 7");
+  ASSERT_EQ(point.sat_box.count("seats"), 1u);
+  EXPECT_EQ(point.sat_box.at("seats"), Interval::point(7));
+  EXPECT_TRUE(point.sat_box_exact);
+
+  // Strict bounds keep the closed over-approximation but lose exactness.
+  const AnalysisReport strict = interpret("self.seats > 5");
+  ASSERT_EQ(strict.sat_box.count("seats"), 1u);
+  EXPECT_FALSE(strict.sat_box_exact);
+
+  // Disjunctions only keep what both arms agree on, never exactly.
+  const AnalysisReport disj =
+      interpret("self.seats <= 2 or self.seats >= 8");
+  EXPECT_FALSE(disj.sat_box_exact);
+}
+
+/// Pinned regression (PR 8 satellite): a comparison mixing a *folded*
+/// numeric constant with a string-kind attribute must hit the same
+/// kind-mismatch diagnostic a literal numeric operand does.
+TEST(AbstractInterp, FoldedConstantVsStringKindRegression) {
+  const AnalysisReport r = analysis::analyze_expression(
+      parse_ocl("self.status = \"open\" and self.status = 2 - 1"));
+  EXPECT_TRUE(has_error_containing(r, "string and numeric"));
+
+  // Registration-level with declared class metadata agrees.
+  const ClassRegistry classes = typed_classes();
+  const AnalysisReport reg = analysis::analyze_registration(
+      make_reg("mix", "self.status = \"open\" and self.status = 2 - 1",
+               "Flight", {setter("Flight", "setStatus")}),
+      &classes);
+  EXPECT_TRUE(has_error_containing(reg, "string and numeric"));
+}
+
+// -- whole-configuration analysis -------------------------------------------
+
+ConstraintRepository conflicting_repo() {
+  ConstraintRepository repo;
+  repo.register_constraint(make_reg("a_min", "self.seats >= 10", "Flight",
+                                    {setter("Flight", "setSeats")}));
+  repo.register_constraint(make_reg("a_max", "self.seats <= 5", "Flight",
+                                    {setter("Flight", "setSeats")}));
+  repo.register_constraint(make_reg("p_strong", "self.price >= 10", "Flight",
+                                    {setter("Flight", "setPrice")}));
+  repo.register_constraint(make_reg("p_weak", "self.price >= 5", "Flight",
+                                    {setter("Flight", "setPrice")}));
+  repo.register_constraint(make_reg("solo", "self.soldTickets >= 0", "Flight",
+                                    {setter("Flight", "setSoldTickets")}));
+  return repo;
+}
+
+TEST(ConfigAnalysisTest, ConflictSubsumptionAndInterference) {
+  const ClassRegistry classes = typed_classes();
+  ConstraintRepository repo = conflicting_repo();
+  EXPECT_EQ(repo.config_analysis(), nullptr);  // not analyzed yet
+  analysis::analyze_repository(repo, &classes);
+  const ConfigAnalysis* cfg = repo.config_analysis();
+  ASSERT_NE(cfg, nullptr);
+
+  // Disjoint satisfaction sets on `seats` -> conflict with witness.
+  ASSERT_EQ(cfg->conflicts.size(), 1u);
+  EXPECT_EQ(cfg->conflicts[0].first, "a_min");
+  EXPECT_EQ(cfg->conflicts[0].second, "a_max");
+  EXPECT_EQ(cfg->conflicts[0].attribute, "seats");
+
+  // price >= 10 implies price >= 5 -> the weaker invariant is redundant.
+  ASSERT_EQ(cfg->subsumptions.size(), 1u);
+  EXPECT_EQ(cfg->subsumptions[0].stronger, "p_strong");
+  EXPECT_EQ(cfg->subsumptions[0].weaker, "p_weak");
+
+  // Interference: shared read-set attributes within one context class.
+  ASSERT_EQ(cfg->interference.size(), 2u);
+  // Cluster keys are the lexicographically smallest member ("a_max" <
+  // "a_min").
+  EXPECT_EQ(cfg->cluster_of.at("a_min"), "a_max");
+  EXPECT_EQ(cfg->cluster_of.at("a_max"), "a_max");
+  EXPECT_EQ(cfg->cluster_of.at("p_strong"), "p_strong");
+  EXPECT_EQ(cfg->cluster_of.at("p_weak"), "p_strong");
+  EXPECT_EQ(cfg->cluster_of.at("solo"), "solo");
+  EXPECT_EQ(cfg->clusters, 3u);
+
+  EXPECT_EQ(cfg->tautologies, 0u);
+  EXPECT_EQ(cfg->unsatisfiable, 0u);
+  EXPECT_EQ(cfg->contingent, 5u);
+
+  // Any repository mutation invalidates the configuration analysis.
+  repo.remove("solo");
+  EXPECT_EQ(repo.config_analysis(), nullptr);
+}
+
+constexpr const char* kMinSeatsXml =
+    "<constraints>"
+    "  <constraint name=\"MinSeats\" type=\"HARD\" priority=\"CRITICAL\">"
+    "    <ocl>self.seats &gt;= 10</ocl>"
+    "    <context-class>Flight</context-class>"
+    "    <affected-methods><affected-method>"
+    "      <objectMethod name=\"setSeats\">"
+    "        <objectClass>Flight</objectClass>"
+    "        <arguments><argument>int</argument></arguments>"
+    "      </objectMethod>"
+    "    </affected-method></affected-methods>"
+    "  </constraint>"
+    "</constraints>";
+
+constexpr const char* kMaxSeatsXml =
+    "<constraints>"
+    "  <constraint name=\"MaxSeats\" type=\"HARD\" priority=\"CRITICAL\">"
+    "    <ocl>self.seats &lt;= 5</ocl>"
+    "    <context-class>Flight</context-class>"
+    "    <affected-methods><affected-method>"
+    "      <objectMethod name=\"setSeats\">"
+    "        <objectClass>Flight</objectClass>"
+    "        <arguments><argument>int</argument></arguments>"
+    "      </objectMethod>"
+    "    </affected-method></affected-methods>"
+    "  </constraint>"
+    "</constraints>";
+
+constexpr const char* kImpossibleXml =
+    "<constraints>"
+    "  <constraint name=\"Impossible\" type=\"HARD\" priority=\"CRITICAL\">"
+    "    <ocl>self.seats &gt;= 10 and self.seats &lt;= 5</ocl>"
+    "    <context-class>Flight</context-class>"
+    "    <affected-methods><affected-method>"
+    "      <objectMethod name=\"setSeats\">"
+    "        <objectClass>Flight</objectClass>"
+    "        <arguments><argument>int</argument></arguments>"
+    "      </objectMethod>"
+    "    </affected-method></affected-methods>"
+    "  </constraint>"
+    "</constraints>";
+
+Cluster& define_flight_class(Cluster& cluster) {
+  ClassDescriptor& flight = cluster.classes().define("Flight");
+  flight.define_property("seats", Value{std::int64_t{100}}, "int");
+  return cluster;
+}
+
+TEST(ConfigAnalysisTest, DeployRejectsUnsatisfiableInvariant) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  Cluster cluster(cfg);
+  define_flight_class(cluster);
+  AdminConsole admin(cluster);
+  try {
+    admin.deploy_constraints(kImpossibleXml);
+    FAIL() << "unsatisfiable invariant must be rejected at deploy time";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Impossible"), std::string::npos) << what;
+    EXPECT_NE(what.find("statically unsatisfiable"), std::string::npos)
+        << what;
+  }
+  // The failed batch was rolled back completely.
+  EXPECT_EQ(admin.analysis_report("Impossible"), nullptr);
+  EXPECT_TRUE(cluster.constraints().registrations().empty());
+}
+
+TEST(ConfigAnalysisTest, DeployRejectsConflictingPairNamingBoth) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  Cluster cluster(cfg);
+  define_flight_class(cluster);
+  AdminConsole admin(cluster);
+  EXPECT_EQ(admin.deploy_constraints(kMinSeatsXml), 1u);
+  try {
+    admin.deploy_constraints(kMaxSeatsXml);
+    FAIL() << "conflicting invariant pair must be rejected at deploy time";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("MinSeats"), std::string::npos) << what;
+    EXPECT_NE(what.find("MaxSeats"), std::string::npos) << what;
+    EXPECT_NE(what.find("seats"), std::string::npos) << what;
+  }
+  // The pre-existing deployment survives, the new constraint is gone and
+  // the configuration analysis was rebuilt for the surviving set.
+  EXPECT_NE(admin.analysis_report("MinSeats"), nullptr);
+  EXPECT_EQ(admin.analysis_report("MaxSeats"), nullptr);
+  const ConfigAnalysis* restored = cluster.constraints().config_analysis();
+  ASSERT_NE(restored, nullptr);
+  EXPECT_TRUE(restored->conflicts.empty());
+
+  // The configuration summary rides along in the metrics export.
+  const obs::Json doc = obs::Json::parse(admin.metrics_json());
+  const obs::Json& an = doc.at("analysis");
+  EXPECT_EQ(an.at("verdicts").at("contingent").as_int(), 1);
+  EXPECT_EQ(an.at("conflicts").size(), 0u);
+}
+
+// -- runtime wiring: proven tautologies and the reconciliation scheduler ----
+
+TEST(ConfigAnalysisTest, ProvenTautologySkipsValidationWithTrace) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.observability = true;
+  Cluster cluster(cfg);
+  ClassDescriptor& flight = cluster.classes().define("Flight");
+  flight.define_property("active", Value{false}, "bool");
+  flight.define_property("seats", Value{std::int64_t{0}}, "int");
+
+  ConstraintRegistration taut;
+  taut.constraint = std::make_shared<OclConstraint>(
+      "ActiveIsBool", ConstraintType::HardInvariant,
+      ConstraintPriority::NonTradeable,
+      "self.active >= 0 and self.active <= 1");
+  taut.context_class = "Flight";
+  taut.affected_methods = {AffectedMethod{
+      "Flight", MethodSignature{"setActive", {"bool"}},
+      ContextPreparation{}}};
+  cluster.constraints().register_constraint(std::move(taut));
+  cluster.constraints().register_constraint(
+      make_reg("SeatsNonNegative", "self.seats >= 0", "Flight",
+               {setter("Flight", "setSeats")}));
+  analysis::analyze_repository(cluster.constraints(), &cluster.classes());
+
+  const ConstraintRegistration* reg =
+      cluster.constraints().registration("ActiveIsBool");
+  ASSERT_NE(reg, nullptr);
+  ASSERT_NE(reg->analysis, nullptr);
+  EXPECT_EQ(reg->analysis->verdict, Verdict::Tautology);
+
+  DedisysNode& node = cluster.node(0);
+  ObjectId id;
+  {
+    TxScope tx(node.tx());
+    id = node.create(tx.id(), "Flight");
+    tx.commit();
+  }
+  {
+    TxScope tx(node.tx());
+    node.invoke(tx.id(), id, "setActive", {Value{true}});
+    tx.commit();
+  }
+  {
+    TxScope tx(node.tx());
+    node.invoke(tx.id(), id, "setSeats", {Value{std::int64_t{5}}});
+    tx.commit();
+  }
+
+  const auto& stats = node.ccmgr().stats();
+  EXPECT_GT(stats.evaluations_proven, 0u);
+  // The contingent invariant still validated normally.
+  EXPECT_GT(stats.validations, 0u);
+
+  const auto proven = cluster.obs().trace().events_of(
+      obs::TraceEventKind::ValidationProven);
+  ASSERT_FALSE(proven.empty());
+  EXPECT_EQ(proven[0].label, "ActiveIsBool");
+  EXPECT_EQ(proven[0].detail, "proven tautology");
+
+  const ClusterMetrics m = collect_metrics(cluster);
+  EXPECT_EQ(m.nodes[0].evaluations_proven, stats.evaluations_proven);
+}
+
+void register_interfering_invariants(ConstraintRepository& repo) {
+  repo.register_constraint(
+      make_reg("a_pair", "self.f0 >= 0 and self.f1 >= 0", "Wide",
+               {setter("Wide", "setF0"), setter("Wide", "setF1")}));
+  repo.register_constraint(
+      make_reg("z_pair", "self.f1 >= 0 and self.f2 >= 0", "Wide",
+               {setter("Wide", "setF1"), setter("Wide", "setF2")}));
+  repo.register_constraint(make_reg("m_solo", "self.f3 >= 0", "Wide",
+                                    {setter("Wide", "setF3")}));
+}
+
+std::vector<std::string> reconcile_order(bool scheduler,
+                                         std::size_t* scheduled) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.observability = true;
+  Cluster cluster(cfg);
+  define_wide_class(cluster.classes());
+  register_interfering_invariants(cluster.constraints());
+  analysis::analyze_repository(cluster.constraints(), &cluster.classes());
+
+  DedisysNode& node = cluster.node(0);
+  node.ccmgr().set_scheduling(scheduler);
+  ObjectId id;
+  {
+    TxScope tx(node.tx());
+    id = node.create(tx.id(), "Wide");
+    tx.commit();
+  }
+  for (const char* name : {"a_pair", "z_pair", "m_solo"}) {
+    ConsistencyThreat t;
+    t.constraint_name = name;
+    t.context_object = id;
+    t.degree = SatisfactionDegree::Uncheckable;
+    cluster.threats().store(t);
+  }
+
+  const auto stats = node.ccmgr().reconcile(nullptr);
+  EXPECT_EQ(stats.reevaluated, 3u);
+  EXPECT_EQ(stats.removed_satisfied, 3u);
+  EXPECT_EQ(cluster.threats().identity_count(), 0u);
+  if (scheduled != nullptr) *scheduled = stats.scheduled;
+
+  std::vector<std::string> order;
+  for (const obs::TraceEvent& e : cluster.obs().trace().events_of(
+           obs::TraceEventKind::ThreatReconciled)) {
+    order.push_back(e.label);
+  }
+  return order;
+}
+
+/// The interference-aware scheduler reorders the reconciliation batch by
+/// cluster (a_pair and z_pair share f1) without changing any outcome;
+/// with the scheduler off the legacy identity order is untouched.
+TEST(ConfigAnalysisTest, SchedulerGroupsInterferingThreats) {
+  std::size_t scheduled_on = 0;
+  std::size_t scheduled_off = 0;
+  const std::vector<std::string> on = reconcile_order(true, &scheduled_on);
+  const std::vector<std::string> off = reconcile_order(false, &scheduled_off);
+  EXPECT_EQ(on, (std::vector<std::string>{"a_pair", "z_pair", "m_solo"}));
+  EXPECT_EQ(off, (std::vector<std::string>{"a_pair", "m_solo", "z_pair"}));
+  EXPECT_EQ(scheduled_on, 3u);
+  EXPECT_EQ(scheduled_off, 0u);
 }
 
 }  // namespace

@@ -1,14 +1,23 @@
 // dedisys_lint: static analysis of XML constraint descriptors for CI.
 //
 // Loads each descriptor, runs the registration-time analyzer over every
-// constraint and prints its diagnostics.  Exits 1 when any error-severity
-// diagnostic (unknown attribute, guaranteed division by zero, statically
-// false constraint, ...) is found, 2 on usage/parse failures, 0 when
-// clean.  Class metadata for attribute checks comes from the optional
-// --classes side file:
+// constraint and prints its diagnostics.  With --conflicts the
+// whole-configuration pass also runs per descriptor: conflicting
+// invariant pairs (disjoint satisfaction sets) are reported as errors
+// and subsumed pairs as warnings.  --interference prints the read-set
+// interference edges and cluster summary; --dot emits the interference
+// graph as Graphviz instead of the regular report.
+//
+// Exit status: 0 clean, 1 when any error-severity diagnostic was found
+// (or any warning under --werror), 2 on usage errors or when any input
+// failed to parse.  Parse failures do not abort the run — the remaining
+// files are still linted, then the run exits 2.
+//
+// Class metadata for attribute checks comes from the optional --classes
+// side file:
 //
 //   dedisys_lint --classes examples/descriptors/classes.xml
-//       examples/descriptors/good_flight.xml
+//       --werror --conflicts examples/descriptors/good_flight.xml
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -16,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/abstract_interp.h"
 #include "analysis/analyzer.h"
 #include "constraints/config.h"
 #include "objects/class_descriptor.h"
@@ -29,10 +39,12 @@ using dedisys::ConstraintRegistration;
 using dedisys::ConstraintRepository;
 using dedisys::FunctionConstraint;
 using dedisys::XmlNode;
+using dedisys::analysis::ConfigAnalysis;
 
 int usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--classes <classes.xml>] <descriptor.xml>...\n",
+               "usage: %s [--classes <classes.xml>] [--werror] [--conflicts]"
+               " [--interference] [--dot] <descriptor.xml>...\n",
                prog);
   return 2;
 }
@@ -65,15 +77,40 @@ void register_stub_creators(const XmlNode& node, ConstraintFactory& factory,
   }
 }
 
+void print_dot(const std::string& file, const ConfigAnalysis& cfg) {
+  std::printf("// %s\ngraph interference {\n", file.c_str());
+  for (const auto& [name, cluster] : cfg.cluster_of) {
+    std::printf("  \"%s\" [cluster=\"%s\"];\n", name.c_str(),
+                cluster.c_str());
+  }
+  for (const auto& edge : cfg.interference) {
+    std::printf("  \"%s\" -- \"%s\";\n", edge.first.c_str(),
+                edge.second.c_str());
+  }
+  std::printf("}\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string classes_path;
   std::vector<std::string> files;
+  bool werror = false;
+  bool conflicts = false;
+  bool interference = false;
+  bool dot = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--classes" && i + 1 < argc) {
       classes_path = argv[++i];
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--conflicts") {
+      conflicts = true;
+    } else if (arg == "--interference") {
+      interference = true;
+    } else if (arg == "--dot") {
+      dot = true;
     } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
       return usage(argv[0]);
     } else {
@@ -97,6 +134,15 @@ int main(int argc, char** argv) {
   std::size_t errors = 0;
   std::size_t warnings = 0;
   std::size_t constraints = 0;
+  bool parse_failed = false;
+  // --dot emits only the graph (pipeable into `dot -Tsvg`); diagnostics
+  // still count toward the exit status.
+  auto report_line = [&](const char* fmt, const std::string& file,
+                         const std::string& a, const char* severity,
+                         const std::string& detail) {
+    if (!dot) std::printf(fmt, file.c_str(), a.c_str(), severity,
+                          detail.c_str());
+  };
   for (const std::string& file : files) {
     try {
       const std::string text = read_file(file);
@@ -116,17 +162,53 @@ int main(int argc, char** argv) {
           } else {
             ++warnings;
           }
-          std::printf("%s: %s: %s: %s\n", file.c_str(),
-                      reg.constraint->name().c_str(),
-                      to_string(d.severity), d.message.c_str());
+          report_line("%s: %s: %s: %s\n", file, reg.constraint->name(),
+                      to_string(d.severity), d.message);
+        }
+      }
+      if (conflicts || interference || dot) {
+        const ConfigAnalysis* cfg = repository.config_analysis();
+        if (cfg != nullptr) {
+          if (conflicts) {
+            for (const auto& c : cfg->conflicts) {
+              ++errors;
+              report_line("%s: %s: %s: %s\n", file, c.first, "error",
+                          "conflicts with '" + c.second +
+                              "' — disjoint satisfaction sets on attribute "
+                              "'" + c.attribute + "'");
+            }
+            for (const auto& s : cfg->subsumptions) {
+              ++warnings;
+              report_line("%s: %s: %s: %s\n", file, s.stronger, "warning",
+                          "subsumes '" + s.weaker +
+                              "' — the weaker constraint is redundant");
+            }
+          }
+          if (interference && !dot) {
+            for (const auto& e : cfg->interference) {
+              std::printf("%s: interference: %s -- %s\n", file.c_str(),
+                          e.first.c_str(), e.second.c_str());
+            }
+            std::printf("%s: interference: %zu constraint(s), %zu edge(s), "
+                        "%zu cluster(s)\n",
+                        file.c_str(), cfg->cluster_of.size(),
+                        cfg->interference.size(), cfg->clusters);
+          }
+          if (dot) print_dot(file, *cfg);
         }
       }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s: error: %s\n", file.c_str(), e.what());
-      return 2;
+      parse_failed = true;
     }
   }
-  std::printf("dedisys_lint: %zu constraint(s), %zu error(s), %zu warning(s)\n",
-              constraints, errors, warnings);
-  return errors == 0 ? 0 : 1;
+  if (!dot) {
+    std::printf(
+        "dedisys_lint: %zu constraint(s), %zu error(s), %zu warning(s)\n",
+        constraints, errors, warnings);
+  }
+  if (parse_failed) return 2;
+  if (errors != 0) return 1;
+  if (werror && warnings != 0) return 1;
+  return 0;
 }
