@@ -65,7 +65,7 @@ double measure_memo_revalidation(bool memo_on) {
   ClusterConfig cfg;
   cfg.nodes = 1;
   cfg.with_replication = false;
-  cfg.validation_memo = memo_on;
+  cfg.flags.validation_memo = memo_on;
   Cluster cluster(cfg);
   AdminConsole admin(cluster);
   scenarios::FlightBooking::define_classes(cluster.classes());

@@ -93,7 +93,7 @@ int selftest_synthetic() {
 /// in a noisy plan, the shrinker must reduce it to <= 3 ops.
 int selftest_known_violation(const scenarios::ChaosOptions& base) {
   scenarios::ChaosOptions chaos = base;
-  chaos.legacy_unidirectional_views = true;
+  chaos.flags.legacy_unidirectional_views = true;
 
   RandomPlanOptions plan_options;
   for (std::size_t n = 0; n < chaos.nodes; ++n) {

@@ -1,0 +1,109 @@
+// Wall-clock throughput/latency of the middleware on the threaded runtime
+// backend — the repo's first real-hardware number (everything else in
+// bench/ reports simulated time).
+//
+// Open-loop load: each client thread walks a precomputed schedule of
+// arrival timestamps at the offered rate and measures every operation
+// from its SCHEDULED arrival to completion, so queueing delay from a
+// saturated kernel lock is charged to the operations it actually delays
+// (no coordinated omission).  Clients drive disjoint flights through
+// distinct nodes; per-thread histograms are merged after the run.
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/session.h"
+#include "middleware/cluster.h"
+#include "obs/histogram.h"
+#include "scenarios/flight.h"
+
+namespace dedisys {
+namespace {
+
+using scenarios::FlightBooking;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kClients = 3;
+constexpr std::size_t kOpsPerClient = 400;
+
+struct LoadPoint {
+  double offered_ops_s = 0;   ///< total scheduled arrival rate
+  double achieved_ops_s = 0;  ///< completions / wall time
+  obs::LatencySummary latency;
+};
+
+LoadPoint run_load(double per_client_ops_s) {
+  ClusterConfig cfg;
+  cfg.nodes = kClients;
+  cfg.backend = RuntimeBackend::Threaded;
+  Cluster cluster(cfg);
+  FlightBooking::define_classes(cluster.classes());
+
+  std::vector<ObjectId> flights;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    flights.push_back(FlightBooking::create_flight(
+        cluster.node(0), static_cast<std::int64_t>(kOpsPerClient) + 1));
+  }
+
+  const auto interval = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(1e9 / per_client_ops_s));
+  std::vector<obs::LatencyHistogram> histograms(kClients);
+  const Clock::time_point start = Clock::now();
+
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      DedisysNode& node = cluster.node(c);
+      const ObjectId flight = flights[c];
+      for (std::size_t i = 0; i < kOpsPerClient; ++i) {
+        const Clock::time_point scheduled =
+            start + (static_cast<std::int64_t>(i) + 1) * interval;
+        std::this_thread::sleep_until(scheduled);  // no-op once behind
+        FlightBooking::sell(node, flight, 1);
+        histograms[c].record(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - scheduled)
+                .count());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  obs::LatencyHistogram merged;
+  for (const auto& h : histograms) merged.merge(h);
+
+  LoadPoint out;
+  out.offered_ops_s = per_client_ops_s * static_cast<double>(kClients);
+  out.achieved_ops_s =
+      static_cast<double>(kClients * kOpsPerClient) / wall_s;
+  out.latency = obs::summarize(merged);
+  return out;
+}
+
+int run_bench() {
+  bench::print_title(
+      "Wall-clock sell() throughput — threaded backend, open-loop");
+  bench::print_header({"offered ops/s", "achieved ops/s", "p50 us", "p95 us",
+                       "p99 us", "max us"});
+  for (const double rate : {200.0, 500.0, 1000.0, 2000.0}) {
+    const LoadPoint p = run_load(rate);
+    bench::print_row(std::to_string(static_cast<int>(p.offered_ops_s)),
+                     {p.offered_ops_s, p.achieved_ops_s, p.latency.p50,
+                      p.latency.p95, p.latency.p99,
+                      static_cast<double>(p.latency.max)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dedisys
+
+int main(int argc, char** argv) {
+  dedisys::bench::Session session(argc, argv);
+  return dedisys::run_bench();
+}

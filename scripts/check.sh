@@ -44,6 +44,11 @@
 #                                    tautology descriptors must fail with
 #                                    the documented exit codes (1 =
 #                                    diagnostics, 2 = parse failure)
+#   scripts/check.sh --threads       threaded-runtime gate: rebuild in
+#                                    build-tsan with DEDISYS_SANITIZE=thread
+#                                    and run the threaded smoke + the
+#                                    sim-vs-threaded equivalence suite
+#                                    under TSan
 #   scripts/check.sh --tidy          clang-tidy over src/ (skipped with a
 #                                    message when clang-tidy is missing)
 set -euo pipefail
@@ -59,6 +64,7 @@ case "${1:-}" in
   --memo) MODE="memo" ;;
   --gray) MODE="gray" ;;
   --trace) MODE="trace" ;;
+  --threads) MODE="threads" ;;
   --lint) MODE="lint" ;;
   --tidy) MODE="tidy" ;;
   "") ;;
@@ -249,6 +255,15 @@ if [ "$MODE" = "trace" ]; then
   exit 0
 fi
 
+if [ "$MODE" = "threads" ]; then
+  BUILD_DIR="build-tsan"
+  cmake -B "$BUILD_DIR" -S . -DDEDISYS_SANITIZE="thread"
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target test_runtime
+  "$BUILD_DIR/tests/test_runtime"
+  echo "check.sh --threads: all green"
+  exit 0
+fi
+
 if [ "$MODE" = "lint" ]; then
   cmake -B "$BUILD_DIR" -S . > /dev/null
   cmake --build "$BUILD_DIR" -j "$JOBS" --target dedisys_lint
@@ -285,12 +300,14 @@ trap 'rm -f "$OUT"' EXIT
 "$BUILD_DIR/bench/json_validate" --require-latencies "$OUT"
 
 # Fault-tolerance gates: chaos smoke, the validation-memo smoke and the
-# gray-failure gate on this build, then the sanitizer tier (its own build
-# dir, ASan+UBSan over the full test suite).
+# gray-failure gate on this build, then the sanitizer tiers (their own
+# build dirs: TSan over the threaded-runtime suite, ASan+UBSan over the
+# full test suite).
 chaos_smoke "$BUILD_DIR"
 memo_smoke "$BUILD_DIR"
 gray_smoke "$BUILD_DIR"
 trace_smoke "$BUILD_DIR"
+"$0" --threads
 "$0" --asan
 
 echo "check.sh: all green"

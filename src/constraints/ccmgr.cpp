@@ -37,13 +37,11 @@ std::string threat_identity(const std::string& constraint_name,
 
 ConstraintConsistencyManager::ConstraintConsistencyManager(
     ConstraintRepository& repository, ThreatStore& threats,
-    TransactionManager& tm, SimClock& clock, const CostModel& cost,
-    NodeId self)
+    TransactionManager& tm, Runtime& rt, NodeId self)
     : repository_(repository),
       threats_(threats),
       tm_(tm),
-      clock_(clock),
-      cost_(cost),
+      rt_(rt),
       self_(self),
       oracle_(&kFreshOracle) {}
 
@@ -96,7 +94,7 @@ ConstraintConsistencyManager::collect_matches(ConstraintRepository& repository,
                                               const Invocation& inv,
                                               ConstraintType type) {
   std::vector<ConstraintRepository::Match> out;
-  clock_.advance(cost_.constraint_lookup);
+  rt_.charge(rt_.cost().constraint_lookup);
   if (!ancestry_) {
     const auto& direct = repository.lookup(inv.target_class, inv.method, type);
     out.assign(direct.begin(), direct.end());
@@ -113,7 +111,7 @@ std::vector<std::vector<ConstraintRepository::Match>>
 ConstraintConsistencyManager::precondition_groups(
     ConstraintRepository& repository, const Invocation& inv) {
   std::vector<std::vector<ConstraintRepository::Match>> groups;
-  clock_.advance(cost_.constraint_lookup);
+  rt_.charge(rt_.cost().constraint_lookup);
   const std::vector<std::string> classes =
       ancestry_ ? ancestry_(inv.target_class)
                 : std::vector<std::string>{inv.target_class};
@@ -287,7 +285,7 @@ bool ConstraintConsistencyManager::should_skip(
   if (report->verdict == analysis::Verdict::Tautology) {
     ++stats_.evaluations_proven;
     if (obs::on(obs_)) {
-      obs_->event(clock_.now(), obs::TraceEventKind::ValidationProven, self_,
+      obs_->event(rt_.now(), obs::TraceEventKind::ValidationProven, self_,
                   context_object, inv.tx, match.constraint->name(),
                   "proven tautology");
     }
@@ -305,7 +303,7 @@ bool ConstraintConsistencyManager::should_skip(
   if (skip) {
     ++stats_.evaluations_skipped;
     if (obs::on(obs_)) {
-      obs_->event(clock_.now(), obs::TraceEventKind::ValidationSkipped, self_,
+      obs_->event(rt_.now(), obs::TraceEventKind::ValidationSkipped, self_,
                   context_object, inv.tx, match.constraint->name(),
                   "read-set disjoint");
     }
@@ -398,7 +396,7 @@ SatisfactionDegree ConstraintConsistencyManager::evaluate_cached(
   if (looked.outcome == validation::ValidationMemo::Outcome::Hit) {
     if (hit != nullptr) *hit = true;
     if (obs::on(obs_)) {
-      obs_->event(clock_.now(), obs::TraceEventKind::ValidationMemoHit, self_,
+      obs_->event(rt_.now(), obs::TraceEventKind::ValidationMemoHit, self_,
                   ctx.context_object(), ctx.tx(), constraint.name(),
                   to_string(looked.degree));
     }
@@ -406,7 +404,7 @@ SatisfactionDegree ConstraintConsistencyManager::evaluate_cached(
   }
   if (looked.outcome == validation::ValidationMemo::Outcome::MissStale &&
       obs::on(obs_)) {
-    obs_->event(clock_.now(), obs::TraceEventKind::ValidationMemoInvalidate,
+    obs_->event(rt_.now(), obs::TraceEventKind::ValidationMemoInvalidate,
                 self_, ctx.context_object(), ctx.tx(), constraint.name(),
                 "read-set write stamp changed");
   }
@@ -423,9 +421,9 @@ SatisfactionDegree ConstraintConsistencyManager::evaluate_cached(
 SatisfactionDegree ConstraintConsistencyManager::evaluate(
     Constraint& constraint, ConstraintValidationContext& ctx) {
   ++stats_.validations;
-  obs::SpanGuard span_guard(obs_, clock_, "validation", self_,
+  obs::SpanGuard span_guard(obs_, rt_, "validation", self_,
                             ctx.context_object(), ctx.tx());
-  clock_.advance(cost_.constraint_validate);
+  rt_.charge(rt_.cost().constraint_validate);
   bool ok = false;
   bool uncheckable = false;
   {
@@ -453,7 +451,7 @@ SatisfactionDegree ConstraintConsistencyManager::evaluate(
     }
   }
   if (obs::on(obs_)) {
-    obs_->event(clock_.now(), obs::TraceEventKind::Validation, self_,
+    obs_->event(rt_.now(), obs::TraceEventKind::Validation, self_,
                 ctx.context_object(), {}, constraint.name(),
                 to_string(degree));
   }
@@ -500,9 +498,9 @@ void ConstraintConsistencyManager::handle_threat(
     Constraint& constraint, SatisfactionDegree degree,
     ConstraintValidationContext& ctx, TxId tx) {
   ++stats_.threats_detected;
-  clock_.advance(cost_.threat_detection);
+  rt_.charge(rt_.cost().threat_detection);
   if (obs::on(obs_)) {
-    obs_->event(clock_.now(), obs::TraceEventKind::ThreatDetected, self_,
+    obs_->event(rt_.now(), obs::TraceEventKind::ThreatDetected, self_,
                 ctx.context_object(), tx, constraint.name(),
                 to_string(degree));
   }
@@ -510,7 +508,7 @@ void ConstraintConsistencyManager::handle_threat(
   if (!constraint.is_tradeable()) {
     ++stats_.threats_rejected;
     if (obs::on(obs_)) {
-      obs_->event(clock_.now(), obs::TraceEventKind::ThreatRejected, self_,
+      obs_->event(rt_.now(), obs::TraceEventKind::ThreatRejected, self_,
                   ctx.context_object(), tx, constraint.name(),
                   "not tradeable");
     }
@@ -525,7 +523,7 @@ void ConstraintConsistencyManager::handle_threat(
   threat.affected_objects.assign(ctx.accessed_objects().begin(),
                                  ctx.accessed_objects().end());
   std::sort(threat.affected_objects.begin(), threat.affected_objects.end());
-  threat.occurred_at = clock_.now();
+  threat.occurred_at = rt_.now();
   threat.origin_trace = ctx.trace().trace_id;
   threat.origin_span = ctx.trace().span_id;
 
@@ -552,7 +550,7 @@ void ConstraintConsistencyManager::negotiate_threat(
   if (st != tx_state_.end() && st->second.negotiation != nullptr) {
     // Dynamic (algorithmic) negotiation.
     dynamic = true;
-    clock_.advance(cost_.negotiation_callback);
+    rt_.charge(rt_.cost().negotiation_callback);
     NegotiationOutcome outcome =
         st->second.negotiation->negotiate(threat, ctx);
     accepted = outcome.accepted;
@@ -563,10 +561,10 @@ void ConstraintConsistencyManager::negotiate_threat(
     const SatisfactionDegree effective_min =
         constraint.min_satisfaction_degree().value_or(default_min_);
     accepted = static_negotiation_accepts(constraint, effective_min, degree,
-                                          ctx, *oracle_, clock_.now());
+                                          ctx, *oracle_, rt_.now());
   }
   if (obs::on(obs_)) {
-    obs_->event(clock_.now(), obs::TraceEventKind::ThreatNegotiated, self_,
+    obs_->event(rt_.now(), obs::TraceEventKind::ThreatNegotiated, self_,
                 threat.context_object, tx, constraint.name(),
                 dynamic ? "dynamic" : "static");
   }
@@ -574,7 +572,7 @@ void ConstraintConsistencyManager::negotiate_threat(
   if (!accepted) {
     ++stats_.threats_rejected;
     if (obs::on(obs_)) {
-      obs_->event(clock_.now(), obs::TraceEventKind::ThreatRejected, self_,
+      obs_->event(rt_.now(), obs::TraceEventKind::ThreatRejected, self_,
                   threat.context_object, tx, constraint.name(),
                   to_string(degree));
     }
@@ -584,7 +582,7 @@ void ConstraintConsistencyManager::negotiate_threat(
 
   ++stats_.threats_accepted;
   if (obs::on(obs_)) {
-    obs_->event(clock_.now(), obs::TraceEventKind::ThreatAccepted, self_,
+    obs_->event(rt_.now(), obs::TraceEventKind::ThreatAccepted, self_,
                 threat.context_object, tx, constraint.name(),
                 to_string(degree));
   }
@@ -636,16 +634,16 @@ void ConstraintConsistencyManager::store_async_threat(TxId tx,
   if (context_object.valid()) {
     threat.affected_objects.push_back(context_object);
   }
-  threat.occurred_at = clock_.now();
+  threat.occurred_at = rt_.now();
   ++stats_.threats_detected;
   ++stats_.threats_accepted;
   if (obs::on(obs_)) {
     const obs::TraceContext& cur = obs_->current();
     threat.origin_trace = cur.trace_id;
     threat.origin_span = cur.span_id;
-    obs_->event(clock_.now(), obs::TraceEventKind::ThreatDetected, self_,
+    obs_->event(rt_.now(), obs::TraceEventKind::ThreatDetected, self_,
                 context_object, tx, constraint.name(), "async");
-    obs_->event(clock_.now(), obs::TraceEventKind::ThreatAccepted, self_,
+    obs_->event(rt_.now(), obs::TraceEventKind::ThreatAccepted, self_,
                 context_object, tx, constraint.name(),
                 "async, recorded without validation");
   }
@@ -725,7 +723,7 @@ void ConstraintConsistencyManager::commit(TxId tx) {
       const std::string obj = identity.substr(at + 1);
       ObjectId object{};
       if (obj != "-") object = ObjectId{std::stoull(obj)};
-      obs_->event(clock_.now(), obs::TraceEventKind::ThreatResolved, self_,
+      obs_->event(rt_.now(), obs::TraceEventKind::ThreatResolved, self_,
                   object, tx, name, "satisfied by business operation");
     }
   }
@@ -748,7 +746,7 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
   }
   auto trace_outcome = [&](const ConsistencyThreat& t, const char* outcome) {
     if (obs::on(obs_)) {
-      obs_->event(clock_.now(), obs::TraceEventKind::ThreatReconciled, self_,
+      obs_->event(rt_.now(), obs::TraceEventKind::ThreatReconciled, self_,
                   t.context_object, {}, t.constraint_name, outcome);
     }
   };
@@ -794,7 +792,7 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
     // merge — forms one causal trace.  Untraced threats (origin zero)
     // nest under the ambient reconcile span instead.
     obs::SpanGuard threat_span(
-        obs_, clock_, "reconcile.threat", self_, threat.context_object, {},
+        obs_, rt_, "reconcile.threat", self_, threat.context_object, {},
         obs::TraceContext{threat.origin_trace, threat.origin_span, 0});
 
     const ConstraintRegistration* reg =
@@ -803,7 +801,7 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
       // Constraint removed/disabled at runtime: nothing to re-establish.
       threats_.remove(threat.identity());
       if (obs::on(obs_)) {
-        obs_->event(clock_.now(), obs::TraceEventKind::ThreatResolved, self_,
+        obs_->event(rt_.now(), obs::TraceEventKind::ThreatResolved, self_,
                     threat.context_object, {}, threat.constraint_name,
                     "constraint removed or disabled");
       }
@@ -867,7 +865,7 @@ ConstraintConsistencyManager::reconcile(ConstraintReconciliationHandler* handler
     bool resolved = false;
     constexpr int kMaxImmediateAttempts = 3;
     for (int attempt = 0; attempt < kMaxImmediateAttempts; ++attempt) {
-      clock_.advance(cost_.negotiation_callback);
+      rt_.charge(rt_.cost().negotiation_callback);
       const bool claims_solved = handler->reconcile(threat, ctx);
       if (!claims_solved) break;  // deferred reconciliation
       ConstraintValidationContext recheck =

@@ -37,7 +37,7 @@
 #include "objects/invocation.h"
 #include "objects/method_context.h"
 #include "obs/observability.h"
-#include "sim/cost_model.h"
+#include "runtime/runtime.h"
 #include "tx/tx_manager.h"
 #include "util/ids.h"
 #include "util/sim_clock.h"
@@ -94,16 +94,13 @@ class ConstraintConsistencyManager final : public TransactionalResource {
  public:
   ConstraintConsistencyManager(ConstraintRepository& repository,
                                ThreatStore& threats, TransactionManager& tm,
-                               SimClock& clock, const CostModel& cost,
-                               NodeId self);
+                               Runtime& rt, NodeId self);
 
   /// Constructs and wires in one step (the preferred form).
   ConstraintConsistencyManager(ConstraintRepository& repository,
                                ThreatStore& threats, TransactionManager& tm,
-                               SimClock& clock, const CostModel& cost,
-                               NodeId self, CcmgrWiring wiring)
-      : ConstraintConsistencyManager(repository, threats, tm, clock, cost,
-                                     self) {
+                               Runtime& rt, NodeId self, CcmgrWiring wiring)
+      : ConstraintConsistencyManager(repository, threats, tm, rt, self) {
     wire(std::move(wiring));
   }
 
@@ -120,35 +117,6 @@ class ConstraintConsistencyManager final : public TransactionalResource {
     object_query_ = std::move(wiring.object_query);
     memo_enabled_ = wiring.memo;
     scheduling_ = wiring.scheduler;
-  }
-
-  [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
-  void set_staleness_oracle(const StalenessOracle* oracle) {
-    oracle_ = oracle != nullptr ? oracle : &kFreshOracle;
-  }
-  /// Accessor used for prepare-time and reconciliation-time validations.
-  [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
-  void set_object_accessor(ObjectAccessor* objects) { objects_ = objects; }
-  /// Hook replicating an accepted threat to partition members.
-  [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
-  void set_threat_replicator(std::function<void(const ConsistencyThreat&)> f) {
-    replicate_threat_ = std::move(f);
-  }
-  /// Application-wide fallback minimum satisfaction degree.
-  [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
-  void set_default_min_degree(SatisfactionDegree d) { default_min_ = d; }
-
-  /// Wires the cluster's observability hub; validations and the threat
-  /// lifecycle (detected/negotiated/accepted/rejected/reconciled) are then
-  /// recorded as trace events.
-  [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
-  void set_observability(obs::Observability* obs) { obs_ = obs; }
-
-  /// Query used by constraints without a context object ("validation
-  /// starts from a set of objects obtained by a query", Section 3.2.2).
-  [[deprecated("pass a CcmgrWiring to the constructor or wire()")]]
-  void set_object_query(ConstraintValidationContext::ObjectQuery query) {
-    object_query_ = std::move(query);
   }
 
   /// Class-hierarchy resolver (behavioral subtyping, Section 2.3.1):
@@ -418,8 +386,7 @@ class ConstraintConsistencyManager final : public TransactionalResource {
   ConstraintRepository& repository_;
   ThreatStore& threats_;
   TransactionManager& tm_;
-  SimClock& clock_;
-  const CostModel& cost_;
+  Runtime& rt_;
   NodeId self_;
 
   const StalenessOracle* oracle_;

@@ -2,9 +2,10 @@
 //
 // Update propagation in the replication service uses a synchronous, acked
 // multicast: the primary sends state to all reachable backups and waits for
-// confirmations (Section 4.3).  Because the whole cluster lives in one
-// process, "delivery" is a direct call per receiver; this class contributes
-// the cost accounting and the reachability filtering.
+// confirmations (Section 4.3).  "Delivery" is `Runtime::run_on(receiver)`:
+// a direct call within the sender's stack on the sim backend, a mailbox
+// round to the receiver's worker thread on the threaded backend; this class
+// contributes the cost accounting and the reachability filtering.
 //
 // On fair-lossy links (Section 1.1) messages may be dropped, delayed or
 // duplicated, so the primitives implement timeout/retry with exponential
@@ -24,7 +25,7 @@
 #include <vector>
 
 #include "obs/observability.h"
-#include "sim/network.h"
+#include "runtime/runtime.h"
 #include "util/ids.h"
 #include "util/sim_clock.h"
 
@@ -48,7 +49,7 @@ class GroupCommunication {
     std::uint64_t reordered = 0;               ///< multicasts shuffled
   };
 
-  explicit GroupCommunication(SimNetwork& net) : net_(net) {}
+  explicit GroupCommunication(Runtime& rt) : rt_(rt) {}
 
   /// Wires the cluster's observability hub (msg.retried / msg.deduped).
   void set_observability(obs::Observability* obs) { obs_ = obs; }
@@ -57,24 +58,24 @@ class GroupCommunication {
   [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
-  /// Synchronous acked multicast: invokes `deliver(node)` for every
-  /// reachable member other than `from`, charging multicast plus one
-  /// aggregate confirmation round.  Lost per-receiver deliveries are
-  /// retransmitted point-to-point.  Returns the number of nodes that
-  /// ultimately received the message.
+  /// Synchronous acked multicast: invokes `deliver(node)` on every
+  /// reachable member other than `from` (in the receiver's execution
+  /// context), charging multicast plus one aggregate confirmation round.
+  /// Lost per-receiver deliveries are retransmitted point-to-point.
+  /// Returns the number of nodes that ultimately received the message.
   std::size_t multicast(NodeId from, const std::vector<NodeId>& members,
                         const std::function<void(NodeId)>& deliver) {
     // Network span: every per-receiver delivery — including the retry and
     // dedup legs and whatever `deliver` triggers on the receiver (backup
     // applies run inside this call) — joins the caller's trace.
-    obs::SpanGuard span_guard(obs_, net_.clock(), "gcs.multicast", from);
+    obs::SpanGuard span_guard(obs_, rt_, "gcs.multicast", from);
     ++stats_.multicasts;
-    const std::size_t reached = net_.charge_multicast(from, members);
+    const std::size_t reached = rt_.charge_multicast(from, members);
     std::vector<NodeId> targets;
     for (NodeId m : members) {
-      if (m != from && net_.reachable(from, m)) targets.push_back(m);
+      if (m != from && rt_.reachable(from, m)) targets.push_back(m);
     }
-    maybe_reorder(from, targets);
+    if (rt_.reorder_receivers(from, targets)) ++stats_.reordered;
     const std::uint64_t msg = next_msg_id_++;
     std::unordered_set<std::uint64_t> seen;
     std::size_t delivered = 0;
@@ -89,12 +90,12 @@ class GroupCommunication {
       // Confirmation messages from the backups travel back to the primary
       // in parallel; charge a single response latency — the slowest
       // return path when gray failures (slow nodes, relayed links) apply.
-      SimDuration confirm = net_.cost().rpc_latency;
+      SimDuration confirm = rt_.cost().rpc_latency;
       for (NodeId t : targets) {
-        const SimDuration leg = net_.rpc_cost(t, from);
+        const SimDuration leg = rt_.rpc_cost(t, from);
         if (leg > confirm) confirm = leg;
       }
-      net_.clock().advance(confirm);
+      rt_.charge(confirm);
     }
     return delivered;
   }
@@ -102,11 +103,11 @@ class GroupCommunication {
   /// Synchronous point-to-point request; returns false when unreachable
   /// (a partition is not retried — only message loss on live links is).
   bool send(NodeId from, NodeId to, const std::function<void()>& deliver) {
-    obs::SpanGuard span_guard(obs_, net_.clock(), "gcs.send", from);
+    obs::SpanGuard span_guard(obs_, rt_, "gcs.send", from);
     ++stats_.sends;
-    if (!net_.reachable(from, to)) return false;
+    if (!rt_.reachable(from, to)) return false;
     if (from == to) {
-      deliver();
+      rt_.run_on(to, deliver);
       return true;
     }
     const std::uint64_t msg = next_msg_id_++;
@@ -115,7 +116,7 @@ class GroupCommunication {
                               /*first_attempt_charged=*/false, deliver);
   }
 
-  SimNetwork& network() { return net_; }
+  Runtime& runtime() { return rt_; }
 
  private:
   /// Delivers one logical message to one receiver with retransmission on
@@ -130,22 +131,22 @@ class GroupCommunication {
     bool delivered_any = false;
     for (std::size_t attempt = 1;; ++attempt) {
       const bool charged = first_attempt_charged && attempt == 1;
-      SimNetwork::Delivery request = net_.delivery_verdict(from, to);
+      Delivery request = rt_.delivery_verdict(from, to);
       if (!charged) {
-        net_.clock().advance(net_.rpc_cost(from, to) + request.extra_delay);
+        rt_.charge(rt_.rpc_cost(from, to) + request.extra_delay);
       } else if (request.extra_delay > 0) {
-        net_.clock().advance(request.extra_delay);
+        rt_.charge(request.extra_delay);
       }
       if (request.delivered) {
         for (std::size_t c = 0; c < request.copies; ++c) {
           deliver_once(msg, to, seen, deliver);
         }
         delivered_any = true;
-        SimNetwork::Delivery ack = net_.delivery_verdict(to, from);
+        Delivery ack = rt_.delivery_verdict(to, from);
         if (!charged) {
-          net_.clock().advance(net_.rpc_cost(to, from) + ack.extra_delay);
+          rt_.charge(rt_.rpc_cost(to, from) + ack.extra_delay);
         } else if (ack.extra_delay > 0) {
-          net_.clock().advance(ack.extra_delay);
+          rt_.charge(ack.extra_delay);
         }
         if (ack.delivered) return true;
         // Lost acknowledgement: the sender cannot distinguish this from a
@@ -157,12 +158,12 @@ class GroupCommunication {
       }
       ++stats_.retries;
       if (obs::on(obs_)) {
-        obs_->event(net_.clock().now(), obs::TraceEventKind::MsgRetried, from,
+        obs_->event(rt_.now(), obs::TraceEventKind::MsgRetried, from,
                     {}, {}, "gc",
                     "msg " + std::to_string(msg) + " -> node " + to_string(to) +
                         " attempt " + std::to_string(attempt + 1));
       }
-      net_.clock().advance(backoff_delay(attempt));
+      rt_.charge(backoff_delay(attempt));
     }
   }
 
@@ -172,31 +173,12 @@ class GroupCommunication {
     if (!seen.insert(to.value()).second) {
       ++stats_.duplicates_suppressed;
       if (obs::on(obs_)) {
-        obs_->event(net_.clock().now(), obs::TraceEventKind::MsgDeduped, to,
+        obs_->event(rt_.now(), obs::TraceEventKind::MsgDeduped, to,
                     {}, {}, "gc", "msg " + std::to_string(msg));
       }
       return;
     }
-    deliver();
-  }
-
-  /// Shuffles the receiver order of a multicast when a reorder fault is
-  /// active on any outgoing link (fair-lossy links do not guarantee FIFO
-  /// across receivers).  Draws randomness only while faults are active.
-  void maybe_reorder(NodeId from, std::vector<NodeId>& targets) {
-    if (!net_.faults_active() || targets.size() < 2) return;
-    double p = 0.0;
-    for (NodeId t : targets) {
-      const LinkFaults& f = net_.effective_faults(from, t);
-      if (f.reorder > p) p = f.reorder;
-    }
-    if (p <= 0.0) return;
-    Rng& rng = net_.fault_rng();
-    if (!rng.chance(p)) return;
-    for (std::size_t i = targets.size(); i > 1; --i) {
-      std::swap(targets[i - 1], targets[rng.below(i)]);
-    }
-    ++stats_.reordered;
+    rt_.run_on(to, deliver);
   }
 
   [[nodiscard]] SimDuration backoff_delay(std::size_t attempt) const {
@@ -205,7 +187,7 @@ class GroupCommunication {
     return static_cast<SimDuration>(d);
   }
 
-  SimNetwork& net_;
+  Runtime& rt_;
   obs::Observability* obs_ = nullptr;
   RetryPolicy retry_;
   Stats stats_;

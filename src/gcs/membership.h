@@ -1,6 +1,6 @@
 // Group membership service (GMS).
 //
-// One instance runs per node.  It watches the simulated network for
+// One instance runs per node.  It watches the runtime for
 // topology changes, derives the node's current view and notifies listeners
 // (the replication service, the middleware kernel).  Node weights support
 // the weighted-partition mechanism of Section 5.5.2: the GMS computes the
@@ -15,7 +15,7 @@
 
 #include "gcs/view.h"
 #include "obs/observability.h"
-#include "sim/network.h"
+#include "runtime/runtime.h"
 #include "util/ids.h"
 
 namespace dedisys {
@@ -48,18 +48,18 @@ class GroupMembershipService : public TopologyListener {
   /// cut that lets two nodes of the same strongly-connected component elect
   /// different primaries (split brain); it exists only so tests can pin the
   /// bug this flag's default fixes.
-  GroupMembershipService(SimNetwork& net, NodeId self,
+  GroupMembershipService(Runtime& rt, NodeId self,
                          std::shared_ptr<NodeWeights> weights,
                          bool legacy_unidirectional_views = false)
-      : net_(net),
+      : rt_(rt),
         self_(self),
         weights_(std::move(weights)),
         legacy_unidirectional_(legacy_unidirectional_views) {
-    net_.subscribe(this);
+    rt_.subscribe(this);
     recompute(/*force=*/true);
   }
 
-  ~GroupMembershipService() override { net_.unsubscribe(this); }
+  ~GroupMembershipService() override { rt_.unsubscribe(this); }
 
   GroupMembershipService(const GroupMembershipService&) = delete;
   GroupMembershipService& operator=(const GroupMembershipService&) = delete;
@@ -89,7 +89,7 @@ class GroupMembershipService : public TopologyListener {
       if (!members.empty()) members += ',';
       members += to_string(m);
     }
-    obs_->event(net_.clock().now(), obs::TraceEventKind::ViewChange, self_,
+    obs_->event(rt_.now(), obs::TraceEventKind::ViewChange, self_,
                 {}, {}, "view " + to_string(view_.id),
                 "members={" + members + "} complete=" +
                     (view_.complete ? "true" : "false"));
@@ -101,16 +101,16 @@ class GroupMembershipService : public TopologyListener {
     // the primary form a smaller view and elect a second primary inside
     // the same strongly-connected component.
     std::vector<NodeId> members = legacy_unidirectional_
-                                      ? net_.direct_reachable_set(self_)
-                                      : net_.mutually_reachable_set(self_);
+                                      ? rt_.legacy_membership_set(self_)
+                                      : rt_.membership_set(self_);
     std::sort(members.begin(), members.end());
     if (!force && members == view_.members) return;
 
     View previous = view_;
     view_.id = ViewId{next_view_id_++};
     view_.members = std::move(members);
-    view_.complete = view_.members.size() == net_.nodes().size();
-    const double total = weights_->total(net_.nodes());
+    view_.complete = view_.members.size() == rt_.nodes().size();
+    const double total = weights_->total(rt_.nodes());
     view_.weight_fraction =
         total > 0 ? weights_->total(view_.members) / total : 1.0;
     record_view();
@@ -119,7 +119,7 @@ class GroupMembershipService : public TopologyListener {
     }
   }
 
-  SimNetwork& net_;
+  Runtime& rt_;
   NodeId self_;
   std::shared_ptr<NodeWeights> weights_;
   bool legacy_unidirectional_ = false;

@@ -4,28 +4,39 @@
 #include <map>
 #include <optional>
 
+#include "runtime/sim_runtime.h"
+#include "runtime/threaded_runtime.h"
 #include "sim/fault_engine.h"
 #include "util/errors.h"
 
 namespace dedisys {
 
 Cluster::Cluster(ClusterConfig config) : config_(config) {
-  if (config_.observability) obs_.enable(config_.trace_capacity);
+  // The trace hub's ambient span stack is single-threaded by design, so
+  // observability stays off on the threaded backend regardless of flags.
+  if (config_.backend == RuntimeBackend::Sim && config_.flags.observability) {
+    obs_.enable(config_.flags.trace_capacity);
+  }
   network_ = std::make_unique<SimNetwork>(clock_, config_.cost);
-  tm_ = std::make_unique<TransactionManager>(clock_, network_->cost());
-  tm_->set_observability(&obs_);
-  gc_ = std::make_unique<GroupCommunication>(*network_);
-  gc_->set_observability(&obs_);
-  events_ = std::make_unique<EventQueue>(clock_);
-  weights_ = std::make_shared<NodeWeights>();
-  directory_ = std::make_shared<ObjectDirectory>();
-  threat_db_ = std::make_unique<RecordStore>(clock_, network_->cost());
-  threat_store_ = std::make_unique<ThreatStore>(*threat_db_);
-  threat_store_->set_policy(config_.threat_policy);
-
   for (std::size_t i = 0; i < config_.nodes; ++i) {
     network_->add_node(NodeId{i});
   }
+  events_ = std::make_unique<EventQueue>(clock_);
+  if (config_.backend == RuntimeBackend::Threaded) {
+    runtime_ = std::make_unique<ThreadedRuntime>(network_->nodes(),
+                                                 config_.cost);
+  } else {
+    runtime_ = std::make_unique<SimRuntime>(clock_, *network_, *events_);
+  }
+  tm_ = std::make_unique<TransactionManager>(*runtime_);
+  tm_->set_observability(&obs_);
+  gc_ = std::make_unique<GroupCommunication>(*runtime_);
+  gc_->set_observability(&obs_);
+  weights_ = std::make_shared<NodeWeights>();
+  directory_ = std::make_shared<ObjectDirectory>();
+  threat_db_ = std::make_unique<RecordStore>(*runtime_);
+  threat_store_ = std::make_unique<ThreatStore>(*threat_db_);
+  threat_store_->set_policy(config_.threat_policy);
 
   NodeOptions options;
   options.protocol = config_.protocol;
@@ -34,9 +45,7 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   options.keep_history = config_.keep_history;
   options.default_min_degree = config_.default_min_degree;
   options.reconciliation_policy = config_.reconciliation_policy;
-  options.validation_memo = config_.validation_memo;
-  options.validation_scheduler = config_.validation_scheduler;
-  options.legacy_unidirectional_views = config_.legacy_unidirectional_views;
+  options.flags = config_.flags;
   for (std::size_t i = 0; i < config_.nodes; ++i) {
     nodes_.push_back(std::make_unique<DedisysNode>(*this, NodeId{i}, options));
   }
@@ -148,12 +157,12 @@ std::size_t Cluster::restart_node(std::size_t index) {
     }
     if (n.replication().has_local_replica(id)) continue;
     std::optional<EntitySnapshot> best;
-    for (NodeId peer : network_->mutually_reachable_set(n.id())) {
+    for (NodeId peer : runtime_->membership_set(n.id())) {
       if (peer == n.id()) continue;
       DedisysNode* p = node_by_id(peer);
       if (p == nullptr || !p->replication().has_local_replica(id)) continue;
       // State transfer: extract and ship the peer's copy.
-      clock_.advance(config_.cost.state_extraction + config_.cost.rpc_latency);
+      runtime_->charge(config_.cost.state_extraction + config_.cost.rpc_latency);
       const Entity& e = p->replication().local_replica(id);
       if (!best || e.version() > best->version) best = e.snapshot();
     }
@@ -175,13 +184,13 @@ std::size_t Cluster::restart_node(std::size_t index) {
       }
     }
     if (best) {
-      clock_.advance(config_.cost.backup_apply);
+      runtime_->charge(config_.cost.backup_apply);
       n.replication().adopt_replica(*best);
       ++rebuilt;
     }
   }
   if (obs_.enabled()) {
-    obs_.event(clock_.now(), obs::TraceEventKind::NodeRestarted, n.id(), {},
+    obs_.event(runtime_->now(), obs::TraceEventKind::NodeRestarted, n.id(), {},
                {}, "restart",
                "replicas=" + std::to_string(rebuilt) +
                    " presumed_aborts=" + std::to_string(presumed));
@@ -221,11 +230,13 @@ Cluster::ReconciliationReport Cluster::reconcile(
     ConstraintReconciliationHandler* constraint_handler,
     std::size_t coordinator) {
   ReconciliationReport report;
-  const SimTime reconcile_start = clock_.now();
+  Runtime::Section section(*runtime_);
+  const SimTime reconcile_start = runtime_->now();
   // Root span for the merge protocol: replica reconciliation, threat
   // re-evaluation (whose per-threat spans re-parent to their originating
   // traces) and the mode flip back to Healthy.
-  obs::SpanGuard span_guard(&obs_, clock_, "reconcile", node(coordinator).id());
+  obs::SpanGuard span_guard(&obs_, *runtime_, "reconcile",
+                            node(coordinator).id());
   if (obs_.enabled()) {
     obs_.event(reconcile_start, obs::TraceEventKind::ReconcileStart,
                node(coordinator).id(), {}, {}, "reconcile",
@@ -236,7 +247,7 @@ Cluster::ReconciliationReport Cluster::reconcile(
   std::vector<ReplicationManager*> managers;
   managers.reserve(nodes_.size());
   for (auto& n : nodes_) managers.push_back(&n->replication());
-  ReplicaReconciler reconciler(managers, clock_, network_->cost());
+  ReplicaReconciler reconciler(managers, *runtime_);
 
   // Without explicitly recorded link-failure groups (e.g. recovery from a
   // node crash), derive the former partitions from the view memberships
@@ -257,7 +268,7 @@ Cluster::ReconciliationReport Cluster::reconcile(
   // Missed updates include the consistency-threat records themselves
   // (Section 5.2); replica reconciliation cannot benefit from identifying
   // identical threats and pays per stored row.
-  SimTime t0 = clock_.now();
+  SimTime t0 = runtime_->now();
   const std::size_t identities = threat_store_->identity_count();
   const std::size_t occurrences = threat_store_->total_occurrences();
   std::size_t threat_rows = identities * 3;
@@ -267,12 +278,12 @@ Cluster::ReconciliationReport Cluster::reconcile(
   }
   // Per row: read, transfer, conflict-check against the local threat
   // tables and durably apply on the joining side.
-  clock_.advance(static_cast<SimDuration>(threat_rows) *
-                 (config_.cost.db_read + config_.cost.rpc_latency +
-                  config_.cost.state_extraction + config_.cost.db_write +
-                  config_.cost.backup_apply));
+  runtime_->charge(static_cast<SimDuration>(threat_rows) *
+                   (config_.cost.db_read + config_.cost.rpc_latency +
+                    config_.cost.state_extraction + config_.cost.db_write +
+                    config_.cost.backup_apply));
   report.replica = reconciler.reconcile(former, replica_handler);
-  report.replica_time = clock_.now() - t0;
+  report.replica_time = runtime_->now() - t0;
 
   // Step 2: constraint reconciliation — re-evaluate accepted threats.
   ConstraintConsistencyManager& ccm = node(coordinator).ccmgr();
@@ -299,10 +310,10 @@ Cluster::ReconciliationReport Cluster::reconcile(
                                           is_consistent);
   };
 
-  t0 = clock_.now();
+  t0 = runtime_->now();
   report.constraints =
       ccm.reconcile(constraint_handler, conflict_query, try_rollback);
-  report.constraint_time = clock_.now() - t0;
+  report.constraint_time = runtime_->now() - t0;
 
   reconciler.finish();
   for (auto& n : nodes_) n->set_mode(SystemMode::Healthy);
@@ -310,8 +321,8 @@ Cluster::ReconciliationReport Cluster::reconcile(
   if (obs_.enabled()) {
     obs_.latency("reconcile.replica", report.replica_time);
     obs_.latency("reconcile.constraints", report.constraint_time);
-    obs_.latency("reconcile.total", clock_.now() - reconcile_start);
-    obs_.event(clock_.now(), obs::TraceEventKind::ReconcileEnd,
+    obs_.latency("reconcile.total", runtime_->now() - reconcile_start);
+    obs_.event(runtime_->now(), obs::TraceEventKind::ReconcileEnd,
                node(coordinator).id(), {}, {}, "reconcile",
                "reevaluated=" + std::to_string(report.constraints.reevaluated) +
                    " removed=" +

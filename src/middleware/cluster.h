@@ -1,5 +1,6 @@
-// Simulated DeDiSys cluster: shared substrate + node kernels + the
-// reconciliation driver (Fig. 4.6).
+// DeDiSys cluster: execution runtime + node kernels + the reconciliation
+// driver (Fig. 4.6).  The backend is pluggable (src/runtime): deterministic
+// simulation by default, or wall-clock threads via ClusterConfig::backend.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +18,8 @@
 #include "persist/record_store.h"
 #include "replication/protocol.h"
 #include "replication/reconciler.h"
+#include "runtime/options.h"
+#include "runtime/runtime.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "tx/tx_manager.h"
@@ -42,26 +45,15 @@ struct ClusterConfig {
   /// Business operations on threatened objects during reconciliation.
   ReconciliationBusinessPolicy reconciliation_policy =
       ReconciliationBusinessPolicy::Proceed;
-  /// Structured event tracing + latency histograms (src/obs).  Off by
-  /// default: instrumented hot paths then cost a single branch.  Can also
-  /// be enabled later via cluster.obs().enable().
-  bool observability = false;
-  /// Ring-buffer capacity of the trace recorder when observability is on.
-  std::size_t trace_capacity = 4096;
-  /// Version-stamped validation memoization: cache definite constraint
-  /// outcomes keyed by the read-set entities' write stamps.  Off by
-  /// default — memo-off runs are byte-identical to builds without it.
-  bool validation_memo = false;
-  /// Interference-aware validation scheduling (PR 8): reconciliation
-  /// batches are ordered by the interference-graph clusters of the
-  /// repository's ConfigAnalysis.  Off by default — the legacy
-  /// `<constraint>@<object>` identity order is then byte-identical.
-  bool validation_scheduler = false;
-  /// Pre-gray-failure GMS behavior: derive views from outbound
-  /// reachability alone.  Under a one-way link cut this elects two
-  /// primaries inside one strongly-connected component; only tests
-  /// pinning that regression should set it.
-  bool legacy_unidirectional_views = false;
+  /// Which execution backend the cluster runs on: deterministic simulation
+  /// (default — every seed-pinned suite), or wall-clock worker threads
+  /// (benchmarks on real hardware; no fault injection, no tracing).
+  RuntimeBackend backend = RuntimeBackend::Sim;
+  /// Feature toggles shared with NodeOptions and ChaosOptions (see
+  /// runtime/options.h for per-flag semantics).  Observability can also be
+  /// enabled later via cluster.obs().enable(); on the threaded backend it
+  /// is forced off (the trace hub's span stack is single-threaded).
+  FeatureFlags flags;
 };
 
 class Cluster {
@@ -72,7 +64,16 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  // -- shared substrate -------------------------------------------------------
+  // -- execution runtime --------------------------------------------------------
+
+  /// The pluggable runtime every protocol component runs against.
+  Runtime& runtime() { return *runtime_; }
+
+  // -- sim-only substrate (fault injection, chaos/script drivers) --------------
+  //
+  // These accessors expose the deterministic-simulation internals; they are
+  // meaningless on the threaded backend (the FaultEngine and the chaos and
+  // scripted scenarios are sim-pinned, see docs/fault_injection.md).
 
   SimClock& clock() { return clock_; }
   SimNetwork& network() { return *network_; }
@@ -162,9 +163,12 @@ class Cluster {
   SimClock clock_;
   obs::Observability obs_;
   std::unique_ptr<SimNetwork> network_;
+  std::unique_ptr<EventQueue> events_;
+  /// Destroyed after nodes_ (declared before them): node teardown still
+  /// unsubscribes GMS listeners through the runtime.
+  std::unique_ptr<Runtime> runtime_;
   std::unique_ptr<TransactionManager> tm_;
   std::unique_ptr<GroupCommunication> gc_;
-  std::unique_ptr<EventQueue> events_;
   std::shared_ptr<NodeWeights> weights_;
   std::shared_ptr<ObjectDirectory> directory_;
   ClassRegistry classes_;

@@ -44,8 +44,8 @@ class ReplicationInterceptor final : public Interceptor {
     ReplicationManager& repl = node_->replication();
     if (repl.replication_enabled() && !inv.nested) {
       // ADAPT component-monitor round (client + server side, Section 5.1).
-      node_->cluster().clock().advance(
-          node_->cluster().network().cost().adapt_overhead);
+      Runtime& rt = node_->cluster().runtime();
+      rt.charge(rt.cost().adapt_overhead);
     }
     if (inv.mutates && inv.tx.valid() && repl.has_local_replica(inv.target)) {
       EntitySnapshot before = repl.local_replica(inv.target).snapshot();
@@ -85,9 +85,9 @@ const Entity& NodeObjectAccessor::read(ObjectId id) {
                             " unreachable from node " + to_string(node_->id()));
   }
   const NodeId remote = repl.execution_node(id, /*is_write=*/false);
-  SimNetwork& net = node_->cluster().network();
-  net.charge_rpc(node_->id(), remote);
-  net.charge_rpc(remote, node_->id());
+  Runtime& rt = node_->cluster().runtime();
+  rt.charge_rpc(node_->id(), remote);
+  rt.charge_rpc(remote, node_->id());
   DedisysNode* peer = node_->cluster().node_by_id(remote);
   if (peer == nullptr) {
     throw ObjectUnreachable("no kernel for node " + to_string(remote));
@@ -107,12 +107,12 @@ Value NodeObjectAccessor::invoke(ObjectId id, const MethodSignature& method,
 DedisysNode::DedisysNode(Cluster& cluster, NodeId id,
                          const NodeOptions& options)
     : cluster_(&cluster), id_(id), options_(options), obs_(&cluster.obs()) {
-  SimNetwork& net = cluster.network();
-  db_ = std::make_unique<RecordStore>(cluster.clock(), net.cost());
-  history_ = std::make_unique<ReplicaHistoryStore>(cluster.clock(), net.cost());
+  Runtime& rt = cluster.runtime();
+  db_ = std::make_unique<RecordStore>(rt);
+  history_ = std::make_unique<ReplicaHistoryStore>(rt);
   tm_ = &cluster.tx();
   gms_ = std::make_unique<GroupMembershipService>(
-      net, id, cluster.weights_ptr(), options.legacy_unidirectional_views);
+      rt, id, cluster.weights_ptr(), options.flags.legacy_unidirectional_views);
   gms_->set_observability(obs_);
   gms_->subscribe(this);
   repl_ = std::make_unique<ReplicationManager>(
@@ -129,8 +129,8 @@ DedisysNode::DedisysNode(Cluster& cluster, NodeId id,
   wiring.objects = accessor_.get();
   wiring.default_min = options.default_min_degree;
   wiring.obs = obs_;
-  wiring.memo = options.validation_memo;
-  wiring.scheduler = options.validation_scheduler;
+  wiring.memo = options.flags.validation_memo;
+  wiring.scheduler = options.flags.validation_scheduler;
   if (options.with_replication) {
     ReplicationManager* repl = repl_.get();
     wiring.threat_replicator =
@@ -139,8 +139,8 @@ DedisysNode::DedisysNode(Cluster& cluster, NodeId id,
   wiring.object_query =
       [cl](const std::string& class_name) { return cl->objects_of(class_name); };
   ccmgr_ = std::make_unique<ConstraintConsistencyManager>(
-      cluster.constraints(), cluster.threats(), *tm_, cluster.clock(),
-      net.cost(), id, std::move(wiring));
+      cluster.constraints(), cluster.threats(), *tm_, rt, id,
+      std::move(wiring));
   ccmgr_->set_class_ancestry([cl](const std::string& class_name) {
     return cl->classes().ancestry(class_name);
   });
@@ -156,7 +156,7 @@ void DedisysNode::change_mode(SystemMode m) {
   const SystemMode previous = mode_;
   mode_ = m;
   if (obs::on(obs_)) {
-    obs_->event(cluster_->clock().now(), obs::TraceEventKind::ModeTransition,
+    obs_->event(cluster_->runtime().now(), obs::TraceEventKind::ModeTransition,
                 id_, {}, {}, to_string(m), "from " + to_string(previous));
   }
 }
@@ -206,15 +206,16 @@ bool DedisysNode::apply_reconciliation_policy(ObjectId target) {
 
 ObjectId DedisysNode::create(TxId tx, const std::string& class_name,
                              const std::string& application) {
+  Runtime& rt = cluster_->runtime();
+  Runtime::Section section(rt);
   // Root span: the creation multicast to the replicas attaches to it.
-  obs::SpanGuard span_guard(obs_, cluster_->clock(),
-                            "create " + class_name, id_, {}, tx);
-  const SimTime start = cluster_->clock().now();
-  cluster_->clock().advance(cluster_->network().cost().invocation_overhead);
+  obs::SpanGuard span_guard(obs_, rt, "create " + class_name, id_, {}, tx);
+  const SimTime start = rt.now();
+  rt.charge(rt.cost().invocation_overhead);
   const ObjectId id = repl_->create(class_name, tx, std::nullopt, application);
   db_->put("entities", to_string(id), repl_->local_replica(id).attributes());
   if (obs::on(obs_)) {
-    obs_->latency("create", cluster_->clock().now() - start);
+    obs_->latency("create", rt.now() - start);
   }
   notify_created(id, class_name);
   if (tx.valid()) {
@@ -228,9 +229,11 @@ ObjectId DedisysNode::create(TxId tx, const std::string& class_name,
 }
 
 void DedisysNode::destroy(TxId tx, ObjectId id) {
-  obs::SpanGuard span_guard(obs_, cluster_->clock(), "destroy", id_, id, tx);
-  const SimTime start = cluster_->clock().now();
-  cluster_->clock().advance(cluster_->network().cost().invocation_overhead);
+  Runtime& rt = cluster_->runtime();
+  Runtime::Section section(rt);
+  obs::SpanGuard span_guard(obs_, rt, "destroy", id_, id, tx);
+  const SimTime start = rt.now();
+  rt.charge(rt.cost().invocation_overhead);
   if (tx.valid()) tm_->lock(tx, id);
   db_->erase("entities", to_string(id));
   repl_->destroy(id, tx);
@@ -238,7 +241,7 @@ void DedisysNode::destroy(TxId tx, ObjectId id) {
   // restarts at zero; drop any cached outcomes keyed on the dead object.
   ccmgr_->invalidate_memo_object(id);
   if (obs::on(obs_)) {
-    obs_->latency("destroy", cluster_->clock().now() - start);
+    obs_->latency("destroy", rt.now() - start);
   }
   notify_deleted(id);
 }
@@ -277,13 +280,15 @@ Value DedisysNode::invoke(TxId tx, ObjectId target,
     inv.context["application"] = entry.application;
   }
 
-  const SimTime invoke_start = cluster_->clock().now();
+  Runtime& rt = cluster_->runtime();
+  Runtime::Section section(rt);
+  const SimTime invoke_start = rt.now();
   const std::string span = entry.class_name + "::" + method_name;
   // The invocation's causal root span: every event emitted while the call
   // is on the stack — validations, 2PC, GCS legs, backup applies — joins
   // this trace (a top-level call opens a fresh trace; a call made from a
   // method body nests under the ambient span).
-  obs::SpanGuard span_guard(obs_, cluster_->clock(), span, id_, target, tx);
+  obs::SpanGuard span_guard(obs_, rt, span, id_, target, tx);
   if (obs::on(obs_)) {
     obs_->event(invoke_start, obs::TraceEventKind::InvocationStart, id_,
                 target, tx, span, inv.is_write ? "write" : "read");
@@ -295,7 +300,7 @@ Value DedisysNode::invoke(TxId tx, ObjectId target,
     // reachable replica (Section 4.3).
     std::vector<NodeId> reachable;
     for (NodeId r : cluster_->directory()->get(target).replicas) {
-      if (cluster_->network().reachable(id_, r)) reachable.push_back(r);
+      if (rt.reachable(id_, r)) reachable.push_back(r);
     }
     const NodeId redirected = client_monitor_->redirect(inv, exec, reachable);
     if (std::find(reachable.begin(), reachable.end(), redirected) !=
@@ -311,8 +316,8 @@ Value DedisysNode::invoke(TxId tx, ObjectId target,
 
   const bool treat_degraded = server->apply_reconciliation_policy(target);
 
-  if (exec != id_) cluster_->network().charge_rpc(id_, exec);
-  cluster_->clock().advance(cluster_->network().cost().invocation_overhead);
+  if (exec != id_) rt.charge_rpc(id_, exec);
+  rt.charge(rt.cost().invocation_overhead);
   Value result;
   try {
     if (treat_degraded) {
@@ -333,14 +338,14 @@ Value DedisysNode::invoke(TxId tx, ObjectId target,
     }
   } catch (...) {
     if (obs::on(obs_)) {
-      obs_->event(cluster_->clock().now(), obs::TraceEventKind::InvocationEnd,
+      obs_->event(rt.now(), obs::TraceEventKind::InvocationEnd,
                   id_, target, tx, span, "failed");
     }
     throw;
   }
-  if (exec != id_) cluster_->network().charge_rpc(exec, id_);
+  if (exec != id_) rt.charge_rpc(exec, id_);
   if (obs::on(obs_)) {
-    const SimTime end = cluster_->clock().now();
+    const SimTime end = rt.now();
     obs_->event(end, obs::TraceEventKind::InvocationEnd, id_, target, tx,
                 span);
     obs_->latency(inv.is_write ? "invoke.write" : "invoke.read",
@@ -370,9 +375,10 @@ Value DedisysNode::invoke_nested(TxId tx, ObjectId target,
     inv.context["application"] = entry.application;
   }
 
-  obs::SpanGuard span_guard(obs_, cluster_->clock(),
-                            entry.class_name + "::" + method.name, id_, target,
-                            tx);
+  Runtime& rt = cluster_->runtime();
+  Runtime::Section section(rt);
+  obs::SpanGuard span_guard(obs_, rt, entry.class_name + "::" + method.name,
+                            id_, target, tx);
 
   const NodeId exec = repl_->execution_node(target, inv.is_write);
   inv.server_node = exec;
@@ -381,12 +387,12 @@ Value DedisysNode::invoke_nested(TxId tx, ObjectId target,
     throw ObjectUnreachable("no kernel for node " + to_string(exec));
   }
 
-  if (exec != id_) cluster_->network().charge_rpc(id_, exec);
+  if (exec != id_) rt.charge_rpc(id_, exec);
   // Internal calls are intercepted through the AOP framework rather than
   // the full container proxy (Section 4.2.4) — much cheaper.
-  cluster_->clock().advance(cluster_->network().cost().aop_interception);
+  rt.charge(rt.cost().aop_interception);
   Value result = server->execute_server(inv);
-  if (exec != id_) cluster_->network().charge_rpc(exec, id_);
+  if (exec != id_) rt.charge_rpc(exec, id_);
   return result;
 }
 
@@ -416,7 +422,7 @@ Value DedisysNode::terminal_dispatch(Invocation& inv) {
   if (inv.mutates) {
     // Container-managed persistence: flush the dirty entity state.
     db_->put("entities", to_string(inv.target), entity.attributes());
-    entity.touch(cluster_->clock().now());
+    entity.touch(cluster_->runtime().now());
   }
   inv.result = result;
   return result;

@@ -28,6 +28,7 @@
 #include "persist/record_store.h"
 #include "replication/adapt.h"
 #include "replication/manager.h"
+#include "runtime/options.h"
 #include "tx/tx_manager.h"
 
 namespace dedisys {
@@ -72,12 +73,11 @@ struct NodeOptions {
   SatisfactionDegree default_min_degree = SatisfactionDegree::Satisfied;
   ReconciliationBusinessPolicy reconciliation_policy =
       ReconciliationBusinessPolicy::Proceed;
-  /// Version-stamped validation memoization (src/validation/memo.h).
-  bool validation_memo = false;
-  /// Interference-aware validation scheduling (see ClusterConfig).
-  bool validation_scheduler = false;
-  /// Legacy outbound-only GMS views (see ClusterConfig) — tests only.
-  bool legacy_unidirectional_views = false;
+  /// Feature toggles shared with ClusterConfig and ChaosOptions (see
+  /// runtime/options.h).  The node consumes validation_memo,
+  /// validation_scheduler and legacy_unidirectional_views; the
+  /// observability pair is cluster-level.
+  FeatureFlags flags;
 };
 
 class DedisysNode final : public ViewListener {

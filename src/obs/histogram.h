@@ -102,6 +102,18 @@ class LatencyHistogram {
     max_ = 0;
   }
 
+  /// Folds another histogram into this one (same fixed buckets, so merging
+  /// is exact).  Used to combine per-thread histograms after a wall-clock
+  /// benchmark run.
+  void merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
  private:
   /// Index of the only nonzero bucket, or nullopt when 0 or 2+ are used.
   [[nodiscard]] std::optional<std::size_t> single_bucket() const {

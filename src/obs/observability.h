@@ -116,7 +116,7 @@ class Observability {
 /// obs::on branch.  Span boundaries carry no simulated-time cost.
 class SpanGuard {
  public:
-  SpanGuard(Observability* obs, const SimClock& clock, std::string label,
+  SpanGuard(Observability* obs, const TimeSource& clock, std::string label,
             NodeId node = {}, ObjectId object = {}, TxId tx = {},
             TraceContext parent = {})
       : obs_(on(obs) ? obs : nullptr), clock_(clock), node_(node),
@@ -144,7 +144,7 @@ class SpanGuard {
 
  private:
   Observability* obs_;
-  const SimClock& clock_;
+  const TimeSource& clock_;
   NodeId node_;
   ObjectId object_;
   TxId tx_;

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "objects/entity.h"
-#include "sim/cost_model.h"
+#include "runtime/runtime.h"
 #include "util/ids.h"
 #include "util/sim_clock.h"
 
@@ -26,13 +26,12 @@ struct TimedSnapshot {
 
 class ReplicaHistoryStore {
  public:
-  ReplicaHistoryStore(SimClock& clock, const CostModel& cost)
-      : clock_(&clock), cost_(&cost) {}
+  explicit ReplicaHistoryStore(Runtime& rt) : rt_(&rt) {}
 
   /// Persists one historical state (charged as a durable write).
   void append(const EntitySnapshot& state) {
-    clock_->advance(cost_->history_write);
-    history_[state.id].push_back(TimedSnapshot{clock_->now(), state});
+    rt_->charge(rt_->cost().history_write);
+    history_[state.id].push_back(TimedSnapshot{rt_->now(), state});
     ++total_;
   }
 
@@ -62,8 +61,7 @@ class ReplicaHistoryStore {
   [[nodiscard]] std::size_t total_entries() const { return total_; }
 
  private:
-  SimClock* clock_;
-  const CostModel* cost_;
+  Runtime* rt_;
   std::unordered_map<ObjectId, std::vector<TimedSnapshot>> history_;
   std::size_t total_ = 0;
 };

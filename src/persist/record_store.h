@@ -14,20 +14,19 @@
 #include <vector>
 
 #include "objects/value.h"
-#include "sim/cost_model.h"
+#include "runtime/runtime.h"
 #include "util/sim_clock.h"
 
 namespace dedisys {
 
 class RecordStore {
  public:
-  RecordStore(SimClock& clock, const CostModel& cost)
-      : clock_(&clock), cost_(&cost) {}
+  explicit RecordStore(Runtime& rt) : rt_(&rt) {}
 
   /// Durable insert-or-update.
   void put(const std::string& table, const std::string& key,
            AttributeMap record) {
-    clock_->advance(cost_->db_write);
+    rt_->charge(rt_->cost().db_write);
     tables_[table][key] = std::move(record);
     ++writes_;
   }
@@ -35,7 +34,7 @@ class RecordStore {
   /// Point read; nullopt when absent.
   [[nodiscard]] std::optional<AttributeMap> get(const std::string& table,
                                                 const std::string& key) {
-    clock_->advance(cost_->db_read);
+    rt_->charge(rt_->cost().db_read);
     ++reads_;
     auto t = tables_.find(table);
     if (t == tables_.end()) return std::nullopt;
@@ -48,7 +47,7 @@ class RecordStore {
   /// "identical threat already persisted" fast path — still one read).
   [[nodiscard]] bool contains(const std::string& table,
                               const std::string& key) {
-    clock_->advance(cost_->db_read);
+    rt_->charge(rt_->cost().db_read);
     ++reads_;
     auto t = tables_.find(table);
     return t != tables_.end() && t->second.count(key) != 0;
@@ -59,7 +58,7 @@ class RecordStore {
   /// number of records removed.
   std::size_t erase_prefix(const std::string& table,
                            const std::string& prefix) {
-    clock_->advance(cost_->db_delete);
+    rt_->charge(rt_->cost().db_delete);
     ++deletes_;
     auto t = tables_.find(table);
     if (t == tables_.end()) return 0;
@@ -75,7 +74,7 @@ class RecordStore {
 
   /// Durable delete; returns whether a record existed.
   bool erase(const std::string& table, const std::string& key) {
-    clock_->advance(cost_->db_delete);
+    rt_->charge(rt_->cost().db_delete);
     ++deletes_;
     auto t = tables_.find(table);
     if (t == tables_.end()) return false;
@@ -88,12 +87,12 @@ class RecordStore {
     std::vector<std::pair<std::string, AttributeMap>> out;
     auto t = tables_.find(table);
     if (t == tables_.end()) {
-      clock_->advance(cost_->db_read);
+      rt_->charge(rt_->cost().db_read);
       ++reads_;
       return out;
     }
     for (const auto& [key, rec] : t->second) {
-      clock_->advance(cost_->db_read);
+      rt_->charge(rt_->cost().db_read);
       ++reads_;
       out.emplace_back(key, rec);
     }
@@ -129,8 +128,7 @@ class RecordStore {
   [[nodiscard]] std::size_t delete_count() const { return deletes_; }
 
  private:
-  SimClock* clock_;
-  const CostModel* cost_;
+  Runtime* rt_;
   std::map<std::string, std::map<std::string, AttributeMap>> tables_;
   std::size_t writes_ = 0;
   std::size_t reads_ = 0;

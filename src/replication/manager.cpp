@@ -44,7 +44,7 @@ ObjectId ReplicationManager::create(
   const ObjectId id = directory_->allocate();
 
   std::vector<NodeId> replicas =
-      replication_enabled_ ? replica_nodes.value_or(gc_.network().nodes())
+      replication_enabled_ ? replica_nodes.value_or(gc_.runtime().nodes())
                            : std::vector<NodeId>{self_};
   std::sort(replicas.begin(), replicas.end());
   directory_->add(id, ObjectDirectory::Entry{class_name, self_, replicas,
@@ -55,8 +55,7 @@ ObjectId ReplicationManager::create(
   if (replication_enabled_) {
     // Replica bookkeeping: JNDI name, primary key and the serialized
     // creation request must be persisted (Section 5.1).
-    gc_.network().clock().advance(
-        gc_.network().cost().replica_create_bookkeeping);
+    gc_.runtime().charge(gc_.runtime().cost().replica_create_bookkeeping);
     db_.put("replicas", to_string(id),
             AttributeMap{{"class", Value{class_name}},
                          {"primary", Value{static_cast<std::int64_t>(
@@ -173,28 +172,27 @@ NodeId ReplicationManager::execution_node(ObjectId id, bool is_write) const {
 void ReplicationManager::propagate_update(ObjectId id, TxId tx) {
   if (!replication_enabled_) return;
   Entity& primary_copy = local_replica(id);
-  SimClock& clock = gc_.network().clock();
-  const CostModel& cost = gc_.network().cost();
+  Runtime& rt = gc_.runtime();
   // Replication span: the multicast leg and every backup apply nested
   // inside it inherit the writing invocation's trace.
-  obs::SpanGuard span_guard(obs_, clock, "replication.propagate", self_, id,
+  obs::SpanGuard span_guard(obs_, rt, "replication.propagate", self_, id,
                             tx);
-  const SimTime propagate_start = clock.now();
+  const SimTime propagate_start = rt.now();
 
   // Persist per-replica version metadata for this update.
   db_.put("replica_versions", to_string(id),
           AttributeMap{{"version", Value{static_cast<std::int64_t>(
                                        primary_copy.version())}}});
-  clock.advance(cost.state_extraction);
+  rt.charge(rt.cost().state_extraction);
   // Stamp with this node's *local* clock: under fault::ClockSkew the stamp
   // feeding the Section 4.2.1 freshness estimation drifts, while versions
   // (and hence reconciliation) stay skew-proof.
-  primary_copy.touch(gc_.network().local_now(self_));
+  primary_copy.touch(rt.local_now(self_));
   const EntitySnapshot snap = primary_copy.snapshot();
 
   if (protocol_ == ReplicationProtocol::AdaptiveVoting) {
     // Gather a write quorum before applying (one extra message round).
-    clock.advance(cost.rpc_latency * 2);
+    rt.charge(rt.cost().rpc_latency * 2);
   }
 
   const std::vector<NodeId> targets =
@@ -208,13 +206,13 @@ void ReplicationManager::propagate_update(ObjectId id, TxId tx) {
   if (reached > 0) {
     // Backups apply the update in parallel; the primary waits for the
     // slowest confirmation (Section 5.1).
-    clock.advance(cost.backup_apply);
+    rt.charge(rt.cost().backup_apply);
   }
   ++stats_.updates_propagated;
   if (obs::on(obs_)) {
-    obs_->event(clock.now(), obs::TraceEventKind::ReplicaPropagate, self_, id,
+    obs_->event(rt.now(), obs::TraceEventKind::ReplicaPropagate, self_, id,
                 tx, "update", std::to_string(reached) + " backups");
-    obs_->latency("replica.propagate", clock.now() - propagate_start);
+    obs_->latency("replica.propagate", rt.now() - propagate_start);
   }
 
   // Mark the object for reconciliation when degraded, and also when link
@@ -232,11 +230,10 @@ void ReplicationManager::propagate_update(ObjectId id, TxId tx) {
 void ReplicationManager::propagate_restore(ObjectId id) {
   if (!replication_enabled_) return;
   Entity& local = local_replica(id);
-  SimClock& clock = gc_.network().clock();
-  obs::SpanGuard span_guard(obs_, clock, "replication.restore", self_, id);
-  const CostModel& cost = gc_.network().cost();
-  clock.advance(cost.state_extraction);
-  local.touch(gc_.network().local_now(self_));
+  Runtime& rt = gc_.runtime();
+  obs::SpanGuard span_guard(obs_, rt, "replication.restore", self_, id);
+  rt.charge(rt.cost().state_extraction);
+  local.touch(rt.local_now(self_));
   const EntitySnapshot snap = local.snapshot();
   const std::size_t reached =
       gc_.multicast(self_, reachable_replicas(directory_->get(id)),
@@ -248,7 +245,7 @@ void ReplicationManager::propagate_restore(ObjectId id) {
                         p->degraded_updates_.erase(snap.id);
                       }
                     });
-  if (reached > 0) clock.advance(cost.backup_apply);
+  if (reached > 0) rt.charge(rt.cost().backup_apply);
   // Undo also cancels this object's degraded-write mark on this node: the
   // net effect of the aborted transaction is no update.
   degraded_updates_.erase(id);
@@ -272,10 +269,10 @@ void ReplicationManager::replicate_threat_record() {
 
 void ReplicationManager::apply_propagated(const EntitySnapshot& snap,
                                           TxId tx) {
-  SimClock& clock = gc_.network().clock();
+  Runtime& rt = gc_.runtime();
   // Backup-side span: runs inside the primary's multicast deliver call, so
   // it nests under the gcs.multicast span of the originating trace.
-  obs::SpanGuard span_guard(obs_, clock, "replication.apply", self_, snap.id,
+  obs::SpanGuard span_guard(obs_, rt, "replication.apply", self_, snap.id,
                             tx);
   auto it = replicas_.find(snap.id);
   const bool created = it == replicas_.end();
@@ -290,7 +287,7 @@ void ReplicationManager::apply_propagated(const EntitySnapshot& snap,
   if (!created && it->second->version() >= snap.version) {
     ++stats_.stale_skipped;
     if (obs::on(obs_)) {
-      obs_->event(clock.now(), obs::TraceEventKind::MsgDeduped, self_, snap.id,
+      obs_->event(rt.now(), obs::TraceEventKind::MsgDeduped, self_, snap.id,
                   {}, "replication",
                   "stale propagation v" + std::to_string(snap.version) +
                       " <= local v" + std::to_string(it->second->version()));
@@ -298,7 +295,7 @@ void ReplicationManager::apply_propagated(const EntitySnapshot& snap,
     return;
   }
   it->second->restore(snap);
-  it->second->touch(gc_.network().local_now(self_));
+  it->second->touch(rt.local_now(self_));
   ++stats_.backups_applied;
   if (degraded_) degraded_updates_.insert(snap.id);
 }

@@ -48,9 +48,9 @@ bool ReplicaReconciler::updated_in_partition(
 
 void ReplicaReconciler::apply_everywhere(const EntitySnapshot& snap) {
   // One propagation round: multicast to every node plus per-node apply.
-  clock_->advance(cost_->multicast_base +
+  rt_->charge(rt_->cost().multicast_base +
                   static_cast<SimDuration>(managers_.size()) *
-                      (cost_->multicast_per_receiver + cost_->backup_apply));
+                      (rt_->cost().multicast_per_receiver + rt_->cost().backup_apply));
   for (auto* m : managers_) m->apply_snapshot(snap);
 }
 

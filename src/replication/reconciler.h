@@ -46,9 +46,8 @@ struct ReplicaReconcileStats {
 
 class ReplicaReconciler {
  public:
-  ReplicaReconciler(std::vector<ReplicationManager*> managers, SimClock& clock,
-                    const CostModel& cost)
-      : managers_(std::move(managers)), clock_(&clock), cost_(&cost) {}
+  ReplicaReconciler(std::vector<ReplicationManager*> managers, Runtime& rt)
+      : managers_(std::move(managers)), rt_(&rt) {}
 
   /// Propagates missed updates between the given former partitions and
   /// resolves write-write conflicts.  `handler` may be null (generic
@@ -93,8 +92,7 @@ class ReplicaReconciler {
   void apply_everywhere(const EntitySnapshot& snap);
 
   std::vector<ReplicationManager*> managers_;
-  SimClock* clock_;
-  const CostModel* cost_;
+  Runtime* rt_;
   std::unordered_set<ObjectId> conflicts_;
 };
 

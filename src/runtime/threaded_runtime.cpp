@@ -1,0 +1,240 @@
+#include "runtime/threaded_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dedisys {
+
+ThreadedRuntime::ThreadedRuntime(std::vector<NodeId> nodes, CostModel cost)
+    : nodes_(std::move(nodes)),
+      cost_(cost),
+      start_(std::chrono::steady_clock::now()) {
+  workers_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    index_of_.emplace(nodes_[i], i);
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Spawn only once every Worker exists: a worker that races ahead must
+  // never observe a half-built workers_ vector.
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+  }
+  timer_thread_ = std::thread([this] { timer_loop(); });
+}
+
+ThreadedRuntime::~ThreadedRuntime() {
+  {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    timer_stop_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lk(worker->mu);
+      worker->stop = true;
+    }
+    worker->cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+SimTime ThreadedRuntime::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+// -- deferred scheduling ------------------------------------------------------
+
+void ThreadedRuntime::defer_in(SimDuration delay, std::function<void()> fn) {
+  defer_at(now() + (delay > 0 ? delay : 0), std::move(fn));
+}
+
+void ThreadedRuntime::defer_at(SimTime when, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    timers_.emplace(when, std::move(fn));
+  }
+  timer_cv_.notify_one();
+}
+
+void ThreadedRuntime::drain() {
+  std::unique_lock<std::mutex> lk(timer_mu_);
+  timer_idle_cv_.wait(lk, [&] { return timers_.empty() && !timer_running_; });
+}
+
+void ThreadedRuntime::timer_loop() {
+  std::unique_lock<std::mutex> lk(timer_mu_);
+  for (;;) {
+    if (timer_stop_) return;
+    if (timers_.empty()) {
+      timer_cv_.wait(lk, [&] { return timer_stop_ || !timers_.empty(); });
+      continue;
+    }
+    const SimTime due = timers_.begin()->first;
+    const auto deadline = start_ + std::chrono::microseconds(due);
+    const bool preempted = timer_cv_.wait_until(lk, deadline, [&] {
+      return timer_stop_ || (!timers_.empty() && timers_.begin()->first < due);
+    });
+    if (preempted) continue;  // stopped, or an earlier timer arrived
+    auto it = timers_.begin();
+    std::function<void()> fn = std::move(it->second);
+    timers_.erase(it);
+    timer_running_ = true;
+    lk.unlock();
+    {
+      Section section(*this);
+      fn();  // a throwing timer task is a bug: let it terminate
+    }
+    lk.lock();
+    timer_running_ = false;
+    timer_idle_cv_.notify_all();
+  }
+}
+
+// -- run_on -------------------------------------------------------------------
+
+namespace {
+// The Worker this thread drains, when it is a worker thread.  Worker
+// threads belong to exactly one runtime for their whole lifetime.
+thread_local void* t_current_worker = nullptr;
+}  // namespace
+
+void ThreadedRuntime::run_on(NodeId node, const std::function<void()>& fn) {
+  Worker& worker = *workers_[index_of_.at(node)];
+  Worker* self = static_cast<Worker*>(t_current_worker);
+  if (self == &worker) {
+    fn();  // already on the target node's worker: no mailbox round
+    return;
+  }
+  auto task = std::make_shared<Task>();
+  task->fn = fn;
+  task->waiter = self;
+  {
+    std::lock_guard<std::mutex> lk(worker.mu);
+    worker.tasks.push_back(task);
+  }
+  worker.cv.notify_one();
+  // Release any held section while blocked so the worker can take it;
+  // otherwise a sender inside a section would deadlock with its receiver.
+  const int held = release_kernel();
+  if (self == nullptr) {
+    // Client thread: plain blocking wait.
+    std::unique_lock<std::mutex> lk(task->mu);
+    task->cv.wait(lk, [&] { return task->done.load(std::memory_order_acquire); });
+  } else {
+    // Worker thread: keep serving our own mailbox while blocked, so a
+    // delivery chain that calls back into this node makes progress
+    // instead of deadlocking on an undrained mailbox.
+    while (!task->done.load(std::memory_order_acquire)) {
+      std::shared_ptr<Task> own;
+      {
+        std::unique_lock<std::mutex> lk(self->mu);
+        self->cv.wait(lk, [&] {
+          return task->done.load(std::memory_order_acquire) ||
+                 !self->tasks.empty();
+        });
+        if (!self->tasks.empty()) {
+          own = std::move(self->tasks.front());
+          self->tasks.pop_front();
+        }
+      }
+      if (own) execute(*own);
+    }
+  }
+  reacquire_kernel(held);
+  if (task->error) std::rethrow_exception(task->error);
+}
+
+void ThreadedRuntime::execute(Task& task) {
+  {
+    Section section(*this);
+    try {
+      task.fn();
+    } catch (...) {
+      task.error = std::current_exception();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(task.mu);
+    task.done.store(true, std::memory_order_release);
+  }
+  task.cv.notify_all();
+  if (Worker* waiter = task.waiter) {
+    // The sender may be a worker parked in its nested-serve wait above;
+    // the empty lock/unlock pairs with its predicate check so the notify
+    // cannot slip between check and sleep.
+    { std::lock_guard<std::mutex> lk(waiter->mu); }
+    waiter->cv.notify_all();
+  }
+}
+
+void ThreadedRuntime::worker_loop(Worker& worker) {
+  t_current_worker = &worker;
+  for (;;) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lk(worker.mu);
+      worker.cv.wait(lk, [&] { return worker.stop || !worker.tasks.empty(); });
+      if (worker.stop && worker.tasks.empty()) return;
+      task = std::move(worker.tasks.front());
+      worker.tasks.pop_front();
+    }
+    execute(*task);
+  }
+}
+
+// -- kernel lock --------------------------------------------------------------
+
+void ThreadedRuntime::enter_section() {
+  const auto me = std::this_thread::get_id();
+  if (kernel_owner_.load(std::memory_order_relaxed) == me) {
+    ++kernel_depth_;  // re-entry: we already hold kernel_
+    return;
+  }
+  kernel_.lock();
+  kernel_owner_.store(me, std::memory_order_relaxed);
+  kernel_depth_ = 1;
+}
+
+void ThreadedRuntime::exit_section() {
+  if (--kernel_depth_ == 0) {
+    kernel_owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    kernel_.unlock();
+  }
+}
+
+int ThreadedRuntime::release_kernel() {
+  const auto me = std::this_thread::get_id();
+  if (kernel_owner_.load(std::memory_order_relaxed) != me) return 0;
+  const int depth = kernel_depth_;
+  kernel_depth_ = 0;
+  kernel_owner_.store(std::thread::id{}, std::memory_order_relaxed);
+  kernel_.unlock();
+  return depth;
+}
+
+void ThreadedRuntime::reacquire_kernel(int depth) {
+  if (depth == 0) return;
+  kernel_.lock();
+  kernel_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  kernel_depth_ = depth;
+}
+
+// -- listeners ----------------------------------------------------------------
+
+void ThreadedRuntime::subscribe(TopologyListener* listener) {
+  std::lock_guard<std::mutex> lk(listeners_mu_);
+  listeners_.push_back(listener);
+}
+
+void ThreadedRuntime::unsubscribe(TopologyListener* listener) {
+  std::lock_guard<std::mutex> lk(listeners_mu_);
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+}  // namespace dedisys

@@ -76,17 +76,14 @@ ChaosResult run_chaos(const ChaosOptions& options) {
   ClusterConfig config;
   config.nodes = options.nodes;
   config.protocol = options.protocol;
-  config.observability = true;
-  config.trace_capacity = options.trace_capacity;
-  config.validation_memo = options.validation_memo;
-  config.validation_scheduler = options.validation_scheduler;
-  config.legacy_unidirectional_views = options.legacy_unidirectional_views;
+  config.flags = options.flags;
+  config.flags.observability = true;  // the timeline is the oracle
   Cluster cluster(config);
   AdminConsole admin(cluster);
 
   EvalApp::define_classes(cluster.classes());
   EvalApp::register_constraints(cluster.constraints());
-  if (options.validation_scheduler) {
+  if (options.flags.validation_scheduler) {
     // The scheduler consults the repository's ConfigAnalysis; without it
     // the batch order silently falls back to the legacy identity order.
     analysis::analyze_repository(cluster.constraints(), &cluster.classes());

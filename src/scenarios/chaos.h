@@ -18,6 +18,7 @@
 #include <string>
 
 #include "replication/protocol.h"
+#include "runtime/options.h"
 #include "sim/fault_plan.h"
 #include "util/sim_clock.h"
 
@@ -31,25 +32,19 @@ struct ChaosOptions {
   std::size_t fault_events = 10;
   SimDuration horizon = sim_ms(400);
   ReplicationProtocol protocol = ReplicationProtocol::PrimaryPartition;
-  /// Trace ring-buffer capacity (timeline comparisons need headroom).
-  std::size_t trace_capacity = 65536;
-  /// Version-stamped validation memoization; memo-off and memo-on runs of
-  /// the same seed must produce identical outcomes (the memo equivalence
-  /// oracle in tests and check.sh --memo).
-  bool validation_memo = false;
-  /// Interference-aware validation scheduling (PR 8).  Scheduler-on and
-  /// scheduler-off runs of the same seed must produce identical threat
-  /// sets and timelines (the chaos constraints are opaque, so every
-  /// interference cluster is a singleton and the batch order is the
-  /// legacy identity order).
-  bool validation_scheduler = false;
+  /// Feature toggles forwarded to ClusterConfig verbatim.  Observability is
+  /// forced on (the timeline is the determinism oracle) and the trace ring
+  /// gets headroom for timeline comparisons.  `validation_memo` runs of the
+  /// same seed must match memo-off runs byte for byte (check.sh --memo);
+  /// `validation_scheduler` likewise (the chaos constraints are opaque, so
+  /// every interference cluster is a singleton and batch order is the
+  /// legacy identity order); `legacy_unidirectional_views` re-enables the
+  /// split-brain regression pin.
+  FeatureFlags flags{.observability = true, .trace_capacity = 65536};
   /// Draw the fault plan from `random_gray_plan` instead of
   /// `random_fault_plan`: the op mix then includes asymmetric one-way
   /// cuts, flapping links, slow-but-alive nodes and clock skew.
   bool gray = false;
-  /// Legacy outbound-only GMS views (split-brain regression pin; see
-  /// ClusterConfig::legacy_unidirectional_views).
-  bool legacy_unidirectional_views = false;
   /// Explicit fault plan; overrides seeded plan generation when set (the
   /// invariant harness replays shrunk and corpus plans through this).
   std::optional<FaultPlan> plan;

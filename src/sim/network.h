@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/runtime.h"
 #include "sim/cost_model.h"
 #include "sim/fault_plan.h"
 #include "util/ids.h"
@@ -37,12 +38,8 @@
 
 namespace dedisys {
 
-/// Observer of topology changes (the GMS subscribes to drive view changes).
-class TopologyListener {
- public:
-  virtual ~TopologyListener() = default;
-  virtual void on_topology_changed() = 0;
-};
+// TopologyListener and Delivery live at the runtime seam
+// (src/runtime/runtime.h); SimNetwork implements the sim side of both.
 
 /// Value snapshot of the connectivity state: partition-group assignment,
 /// the set of alive nodes, and any one-way link cuts.  `apply()` returns
@@ -56,12 +53,9 @@ struct Topology {
 
 class SimNetwork {
  public:
-  /// Per-message delivery decision for one directed link.
-  struct Delivery {
-    bool delivered = true;      ///< false: the message is lost this attempt
-    std::size_t copies = 1;     ///< >1: duplicated in flight
-    SimDuration extra_delay = 0;///< added to the nominal link latency
-  };
+  /// Per-message delivery decision for one directed link (the runtime-seam
+  /// value type; kept as a member alias for existing callers).
+  using Delivery = dedisys::Delivery;
 
   /// Counters of injected faults and per-message fault outcomes.
   struct FaultStats {

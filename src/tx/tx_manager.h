@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/observability.h"
+#include "runtime/runtime.h"
 #include "sim/cost_model.h"
 #include "tx/resource.h"
 #include "util/errors.h"
@@ -65,8 +66,7 @@ class Transaction {
 
 class TransactionManager {
  public:
-  TransactionManager(SimClock& clock, const CostModel& cost)
-      : clock_(&clock), cost_(&cost) {}
+  explicit TransactionManager(Runtime& rt) : rt_(&rt) {}
 
   /// Wires the cluster's observability hub (2PC trace events + commit
   /// latency histograms).  Optional; null leaves the manager untraced.
@@ -93,6 +93,7 @@ class TransactionManager {
   /// prepared resources are released and locks dropped, so a client retry
   /// can succeed.  Returns the number of transactions resolved.
   std::size_t recover_in_doubt() {
+    Runtime::Section section(*rt_);
     std::vector<TxId> pending;
     for (auto& [id, tx] : txs_) {
       if (tx->status_ == TxStatus::InDoubt) pending.push_back(id);
@@ -103,7 +104,7 @@ class TransactionManager {
       do_rollback(tx);
       ++stats_.presumed_aborts;
       if (obs::on(obs_)) {
-        obs_->event(clock_->now(), obs::TraceEventKind::TxAbort, {}, {}, id,
+        obs_->event(rt_->now(), obs::TraceEventKind::TxAbort, {}, {}, id,
                     "2pc", "presumed abort after coordinator restart");
       }
     }
@@ -125,7 +126,8 @@ class TransactionManager {
   // -- lifecycle ------------------------------------------------------------
 
   TxId begin() {
-    clock_->advance(cost_->tx_begin);
+    Runtime::Section section(*rt_);
+    rt_->charge(rt_->cost().tx_begin);
     const TxId id{next_id_++};
     txs_.emplace(id, std::make_unique<Transaction>(id));
     return id;
@@ -195,6 +197,7 @@ class TransactionManager {
   /// Two-phase commit.  Throws TxAborted (after rolling back) when the
   /// transaction is rollback-only or any resource votes Rollback.
   void commit(TxId id) {
+    Runtime::Section section(*rt_);
     Transaction& tx = get(id);
     if (tx.finished()) throw TxAborted("transaction already finished");
     if (tx.status_ == TxStatus::RollbackOnly) {
@@ -202,17 +205,17 @@ class TransactionManager {
       throw TxAborted("transaction marked rollback-only");
     }
 
-    const SimTime commit_start = clock_->now();
+    const SimTime commit_start = rt_->now();
     // 2PC span: prepare/commit/abort events plus the post-commit threat
     // flushing and propagations attach to the committing invocation's trace.
-    obs::SpanGuard span_guard(obs_, *clock_, "2pc", {}, {}, id);
+    obs::SpanGuard span_guard(obs_, *rt_, "2pc", {}, {}, id);
     // Phase 1: prepare.
     if (obs::on(obs_)) {
-      obs_->event(clock_->now(), obs::TraceEventKind::TxPrepare, {}, {}, id,
+      obs_->event(rt_->now(), obs::TraceEventKind::TxPrepare, {}, {}, id,
                   "2pc", std::to_string(tx.resources_.size()) + " resources");
     }
     for (auto* r : tx.resources_) {
-      clock_->advance(cost_->tx_commit_per_resource);
+      rt_->charge(rt_->cost().tx_commit_per_resource);
       if (r->prepare(id) == Vote::Rollback ||
           tx.status_ == TxStatus::RollbackOnly) {
         do_rollback(tx);
@@ -230,7 +233,7 @@ class TransactionManager {
     }
     // Phase 2: commit.
     for (auto* r : tx.resources_) {
-      clock_->advance(cost_->tx_commit_per_resource);
+      rt_->charge(rt_->cost().tx_commit_per_resource);
       r->commit(id);
     }
     tx.status_ = TxStatus::Committed;
@@ -240,13 +243,14 @@ class TransactionManager {
     tx.post_commit_actions_.clear();
     for (auto& a : actions) a();
     if (obs::on(obs_)) {
-      obs_->event(clock_->now(), obs::TraceEventKind::TxCommit, {}, {}, id,
+      obs_->event(rt_->now(), obs::TraceEventKind::TxCommit, {}, {}, id,
                   "2pc");
-      obs_->latency("tx.commit", clock_->now() - commit_start);
+      obs_->latency("tx.commit", rt_->now() - commit_start);
     }
   }
 
   void rollback(TxId id) {
+    Runtime::Section section(*rt_);
     Transaction& tx = get(id);
     if (tx.finished()) return;
     do_rollback(tx);
@@ -264,7 +268,7 @@ class TransactionManager {
     ++stats_.aborts;
     release_locks(tx);
     if (obs::on(obs_)) {
-      obs_->event(clock_->now(), obs::TraceEventKind::TxAbort, {}, {}, tx.id_,
+      obs_->event(rt_->now(), obs::TraceEventKind::TxAbort, {}, {}, tx.id_,
                   "2pc");
     }
   }
@@ -279,8 +283,7 @@ class TransactionManager {
     tx.locks_.clear();
   }
 
-  SimClock* clock_;
-  const CostModel* cost_;
+  Runtime* rt_;
   obs::Observability* obs_ = nullptr;
   std::function<bool(TxId)> crash_point_;
   Stats stats_;

@@ -21,11 +21,23 @@ constexpr SimDuration sim_us(std::int64_t n) { return n; }
 constexpr SimDuration sim_ms(std::int64_t n) { return n * 1000; }
 constexpr SimDuration sim_sec(std::int64_t n) { return n * 1000 * 1000; }
 
+/// Read-only source of the current time in microseconds.  Implemented by
+/// the virtual SimClock and by the execution runtimes (src/runtime): a
+/// deterministic-sim runtime reads the virtual clock, a wall-clock runtime
+/// reads steady_clock elapsed time.  Components that only need "what time
+/// is it" (span guards, trace stamps) take a TimeSource so they work on
+/// either backend.
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
 /// A monotonically advancing virtual clock shared by all simulated
 /// components of a cluster.
-class SimClock {
+class SimClock final : public TimeSource {
  public:
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
 
   /// Advances the clock; negative durations are ignored.
   void advance(SimDuration d) {

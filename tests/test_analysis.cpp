@@ -817,7 +817,7 @@ TEST(ConfigAnalysisTest, DeployRejectsConflictingPairNamingBoth) {
 TEST(ConfigAnalysisTest, ProvenTautologySkipsValidationWithTrace) {
   ClusterConfig cfg;
   cfg.nodes = 1;
-  cfg.observability = true;
+  cfg.flags.observability = true;
   Cluster cluster(cfg);
   ClassDescriptor& flight = cluster.classes().define("Flight");
   flight.define_property("active", Value{false}, "bool");
@@ -892,7 +892,7 @@ std::vector<std::string> reconcile_order(bool scheduler,
                                          std::size_t* scheduled) {
   ClusterConfig cfg;
   cfg.nodes = 1;
-  cfg.observability = true;
+  cfg.flags.observability = true;
   Cluster cluster(cfg);
   define_wide_class(cluster.classes());
   register_interfering_invariants(cluster.constraints());

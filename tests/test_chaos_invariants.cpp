@@ -85,7 +85,7 @@ TEST(ChaosInvariants, SameSeedIsByteIdentical) {
 TEST(ChaosInvariants, SchedulerPreservesOutcomesAndTimeline) {
   const ChaosResult off = run_chaos(options_for(8));
   ChaosOptions scheduled = options_for(8);
-  scheduled.validation_scheduler = true;
+  scheduled.flags.validation_scheduler = true;
   const ChaosResult on = run_chaos(scheduled);
   expect_invariants(on, 8);
   EXPECT_EQ(off.committed, on.committed);

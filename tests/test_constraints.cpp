@@ -5,6 +5,7 @@
 #include "constraints/repository.h"
 #include "constraints/satisfaction.h"
 #include "constraints/threats.h"
+#include "runtime/sim_runtime.h"
 
 namespace dedisys {
 namespace {
@@ -294,7 +295,7 @@ TEST(XmlParser, HandlesEntitiesSelfClosingAndMismatch) {
 
 class ThreatStoreTest : public ::testing::Test {
  protected:
-  ThreatStoreTest() : db_(clock_, cost_), store_(db_) {}
+  ThreatStoreTest() : db_(rt_), store_(db_) {}
 
   static ConsistencyThreat threat(const std::string& constraint,
                                   std::uint64_t ctx_object) {
@@ -310,6 +311,7 @@ class ThreatStoreTest : public ::testing::Test {
 
   SimClock clock_;
   CostModel cost_;
+  SimRuntime rt_{clock_, cost_};
   RecordStore db_;
   ThreatStore store_;
 };

@@ -2,6 +2,7 @@
 
 #include "gcs/group_comm.h"
 #include "gcs/membership.h"
+#include "runtime/sim_runtime.h"
 
 namespace dedisys {
 namespace {
@@ -11,13 +12,14 @@ class GcsTest : public ::testing::Test {
   GcsTest() : net_(clock_, CostModel{}), weights_(std::make_shared<NodeWeights>()) {
     for (std::uint64_t i = 0; i < 3; ++i) net_.add_node(NodeId{i});
     for (std::uint64_t i = 0; i < 3; ++i) {
-      gms_.push_back(std::make_unique<GroupMembershipService>(net_, NodeId{i},
+      gms_.push_back(std::make_unique<GroupMembershipService>(rt_, NodeId{i},
                                                               weights_));
     }
   }
 
   SimClock clock_;
   SimNetwork net_;
+  SimRuntime rt_{clock_, net_};
   std::shared_ptr<NodeWeights> weights_;
   std::vector<std::unique_ptr<GroupMembershipService>> gms_;
 };
@@ -50,7 +52,7 @@ TEST_F(GcsTest, OneWayCutKeepsViewsBidirectional) {
     EXPECT_EQ(gms->current_view().members.size(), 3u);
   }
 
-  GroupMembershipService legacy(net_, NodeId{1}, weights_,
+  GroupMembershipService legacy(rt_, NodeId{1}, weights_,
                                 /*legacy_unidirectional_views=*/true);
   EXPECT_FALSE(legacy.current_view().complete);
   EXPECT_EQ(legacy.current_view().members.size(), 2u);
@@ -110,7 +112,7 @@ TEST_F(GcsTest, ViewContainsIsExact) {
 }
 
 TEST_F(GcsTest, MulticastDeliversToReachableMembersAndCharges) {
-  GroupCommunication gc(net_);
+  GroupCommunication gc(rt_);
   net_.apply(fault::Partition{{{NodeId{0}, NodeId{1}}, {NodeId{2}}}});
   std::vector<NodeId> delivered;
   const SimTime t0 = clock_.now();
@@ -124,7 +126,7 @@ TEST_F(GcsTest, MulticastDeliversToReachableMembersAndCharges) {
 }
 
 TEST_F(GcsTest, MulticastToNobodyIsFree) {
-  GroupCommunication gc(net_);
+  GroupCommunication gc(rt_);
   net_.apply(fault::Partition{{{NodeId{0}}, {NodeId{1}, NodeId{2}}}});
   const SimTime t0 = clock_.now();
   const std::size_t reached =
@@ -134,7 +136,7 @@ TEST_F(GcsTest, MulticastToNobodyIsFree) {
 }
 
 TEST_F(GcsTest, PointToPointSendRoundTrip) {
-  GroupCommunication gc(net_);
+  GroupCommunication gc(rt_);
   bool delivered = false;
   const SimTime t0 = clock_.now();
   EXPECT_TRUE(gc.send(NodeId{0}, NodeId{1}, [&] { delivered = true; }));

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gcs/group_comm.h"
+#include "runtime/sim_runtime.h"
 #include "scenarios/chaos.h"
 #include "scenarios/invariants.h"
 #include "sim/fault_engine.h"
@@ -246,7 +247,7 @@ FaultPlan one_way_cut_plan(bool with_heal) {
 
 TEST(GraySplitBrain, LegacyUnidirectionalViewsElectTwoPrimaries) {
   ChaosOptions options = small_chaos();
-  options.legacy_unidirectional_views = true;
+  options.flags.legacy_unidirectional_views = true;
   options.plan = one_way_cut_plan(/*with_heal=*/true);
   const ChaosResult result = run_chaos(options);
   // Node 1 drops the designated primary's node from its view and elects
@@ -267,7 +268,7 @@ TEST(GraySplitBrain, BidirectionalViewsKeepOnePrimary) {
 
 class GrayGcsTest : public ::testing::Test {
  protected:
-  GrayGcsTest() : net_(clock_, cost_), gc_(net_) {
+  GrayGcsTest() : net_(clock_, cost_), gc_(rt_) {
     for (std::size_t i = 0; i < 3; ++i) net_.add_node(NodeId{i});
     net_.seed_faults(21);
   }
@@ -275,6 +276,7 @@ class GrayGcsTest : public ::testing::Test {
   SimClock clock_;
   CostModel cost_;
   SimNetwork net_;
+  SimRuntime rt_{clock_, net_};
   GroupCommunication gc_;
 };
 
@@ -395,7 +397,7 @@ TEST(GrayProperties, ShrinkerMinimizesRealSplitBrainToThreeOpsOrFewer) {
   legacy.ops = 40;
   legacy.fault_events = 10;
   legacy.horizon = sim_ms(250);
-  legacy.legacy_unidirectional_views = true;
+  legacy.flags.legacy_unidirectional_views = true;
   RandomPlanOptions plan_options;
   for (std::size_t n = 0; n < 3; ++n) plan_options.nodes.push_back(NodeId{n});
   plan_options.horizon = legacy.horizon;

@@ -2,8 +2,7 @@
 // cache hits skip re-evaluation, every write path (local setter,
 // replication apply, rollback restore, degraded-era writes surfacing at
 // reconciliation) busts exactly the affected entries, and memo-on runs
-// are observably equivalent to memo-off runs.  Also covers the typed
-// CcmgrWiring API against the deprecated set_* setters and the
+// are observably equivalent to memo-off runs.  Also covers the
 // constraint-repository query-cache counters.
 #include <gtest/gtest.h>
 
@@ -83,8 +82,8 @@ class MemoTestBase : public ::testing::Test {
   static ClusterConfig make_config(std::size_t nodes) {
     ClusterConfig cfg;
     cfg.nodes = nodes;
-    cfg.validation_memo = true;
-    cfg.observability = true;
+    cfg.flags.validation_memo = true;
+    cfg.flags.observability = true;
     return cfg;
   }
 
@@ -302,7 +301,7 @@ TEST(MemoChaosEquivalence, SeededRunsIdenticalWithMemoOnAndOff) {
     off.fault_events = 8;
     off.horizon = sim_ms(250);
     scenarios::ChaosOptions on = off;
-    on.validation_memo = true;
+    on.flags.validation_memo = true;
     const scenarios::ChaosResult a = scenarios::run_chaos(off);
     const scenarios::ChaosResult b = scenarios::run_chaos(on);
     EXPECT_TRUE(a.invariants_ok()) << "seed " << seed;
@@ -312,54 +311,6 @@ TEST(MemoChaosEquivalence, SeededRunsIdenticalWithMemoOnAndOff) {
     EXPECT_EQ(a.timeline, b.timeline) << "seed " << seed;
     EXPECT_EQ(a.metrics_json, b.metrics_json) << "seed " << seed;
   }
-}
-
-TEST(CcmgrWiringTest, WiringMatchesDeprecatedSetters) {
-  ClusterConfig cfg;
-  cfg.nodes = 1;
-  Cluster cluster(cfg);
-  AdminConsole admin(cluster);
-  FlightBooking::define_classes(cluster.classes());
-  admin.deploy_constraints(kTicketDescriptor);
-  const ObjectId flight = FlightBooking::create_flight(cluster.node(0), 10);
-  // Overfill the flight behind the middleware's back so revalidation has
-  // a definite violation to report through both managers.
-  cluster.node(0).replication().local_replica(flight).set(
-      "soldTickets", Value{std::int64_t{11}});
-
-  DedisysNode& n = cluster.node(0);
-  CcmgrWiring wiring;
-  wiring.objects = &n.accessor();
-  wiring.default_min = SatisfactionDegree::Satisfied;
-  wiring.memo = true;
-  ConstraintConsistencyManager wired(cluster.constraints(), cluster.threats(),
-                                     cluster.tx(), cluster.clock(),
-                                     cluster.network().cost(), n.id(),
-                                     wiring);
-
-  ConstraintConsistencyManager legacy(cluster.constraints(),
-                                      cluster.threats(), cluster.tx(),
-                                      cluster.clock(), cluster.network().cost(),
-                                      n.id());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  legacy.set_object_accessor(&n.accessor());
-  legacy.set_default_min_degree(SatisfactionDegree::Satisfied);
-  legacy.set_staleness_oracle(nullptr);  // reverts to always-fresh
-  legacy.set_observability(nullptr);
-  legacy.set_threat_replicator({});
-  legacy.set_object_query({});
-#pragma GCC diagnostic pop
-  legacy.set_validation_memo(true);
-
-  const auto via_wiring =
-      wired.revalidate_for_objects("TicketConstraint", {flight});
-  const auto via_setters =
-      legacy.revalidate_for_objects("TicketConstraint", {flight});
-  ASSERT_EQ(via_wiring.size(), 1u);
-  EXPECT_EQ(via_wiring, via_setters);
-  EXPECT_EQ(wired.memo_stats().stores, legacy.memo_stats().stores);
-  EXPECT_EQ(wired.memo_stats().misses, legacy.memo_stats().misses);
 }
 
 TEST(ValidationMemoUnit, LookupStoreAndTargetedInvalidation) {

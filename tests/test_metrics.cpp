@@ -72,7 +72,7 @@ TEST(Metrics, DegradedModeVisibleInSnapshot) {
 TEST(Metrics, JsonExportMatchesSnapshot) {
   ClusterConfig cfg;
   cfg.nodes = 3;
-  cfg.observability = true;
+  cfg.flags.observability = true;
   Cluster cluster(cfg);
   EvalApp::define_classes(cluster.classes());
   EvalApp::register_constraints(cluster.constraints());

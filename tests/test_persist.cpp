@@ -2,16 +2,18 @@
 
 #include "persist/history_store.h"
 #include "persist/record_store.h"
+#include "runtime/sim_runtime.h"
 
 namespace dedisys {
 namespace {
 
 class RecordStoreTest : public ::testing::Test {
  protected:
-  RecordStoreTest() : store_(clock_, cost_) {}
+  RecordStoreTest() : store_(rt_) {}
 
   SimClock clock_;
   CostModel cost_;
+  SimRuntime rt_{clock_, cost_};
   RecordStore store_;
 };
 
@@ -90,7 +92,7 @@ TEST_F(RecordStoreTest, TablesAreIndependent) {
 
 class HistoryStoreTest : public ::testing::Test {
  protected:
-  HistoryStoreTest() : store_(clock_, cost_) {}
+  HistoryStoreTest() : store_(rt_) {}
 
   static EntitySnapshot snap(std::uint64_t id, std::uint64_t version) {
     EntitySnapshot s;
@@ -102,6 +104,7 @@ class HistoryStoreTest : public ::testing::Test {
 
   SimClock clock_;
   CostModel cost_;
+  SimRuntime rt_{clock_, cost_};
   ReplicaHistoryStore store_;
 };
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "middleware/cluster.h"
+#include "runtime/sim_runtime.h"
 #include "scenarios/ats.h"
 #include "scenarios/flight.h"
 #include "util/rng.h"
@@ -248,7 +249,8 @@ class ThreatStoreProperty : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(ThreatStoreProperty, CountsConsistentUnderRandomOps) {
   SimClock clock;
   CostModel cost;
-  RecordStore db(clock, cost);
+  SimRuntime rt(clock, cost);
+  RecordStore db(rt);
   ThreatStore store(db);
   store.set_policy(GetParam() % 2 == 0 ? ThreatHistoryPolicy::IdenticalOnce
                                        : ThreatHistoryPolicy::FullHistory);

@@ -8,16 +8,18 @@
 #include "constraints/threats.h"
 #include "middleware/admin.h"
 #include "persist/snapshot.h"
+#include "runtime/sim_runtime.h"
 
 namespace dedisys {
 namespace {
 
 class SnapshotTest : public ::testing::Test {
  protected:
-  SnapshotTest() : store_(clock_, cost_), other_(clock_, cost_) {}
+  SnapshotTest() : store_(rt_), other_(rt_) {}
 
   SimClock clock_;
   CostModel cost_;
+  SimRuntime rt_{clock_, cost_};
   RecordStore store_;
   RecordStore other_;
 };

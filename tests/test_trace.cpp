@@ -502,7 +502,7 @@ class TracedClusterTest : public ::testing::Test {
  protected:
   TracedClusterTest() {
     cfg_.nodes = 3;
-    cfg_.observability = true;
+    cfg_.flags.observability = true;
     cluster_ = std::make_unique<Cluster>(cfg_);
     EvalApp::define_classes(cluster_->classes());
     EvalApp::register_constraints(cluster_->constraints());
@@ -814,7 +814,7 @@ TEST(SpanPropagation, TracingInvariantUnderGrayFaults) {
 
     ClusterConfig cfg;
     cfg.nodes = 3;
-    cfg.observability = observability;
+    cfg.flags.observability = observability;
     Cluster cluster(cfg);
     EvalApp::define_classes(cluster.classes());
     EvalApp::register_constraints(cluster.constraints());
@@ -860,7 +860,7 @@ TEST(TraceDisabled, TracingDoesNotChangeSimulatedTime) {
   const auto run = [](bool observability) {
     ClusterConfig cfg;
     cfg.nodes = 3;
-    cfg.observability = observability;
+    cfg.flags.observability = observability;
     Cluster cluster(cfg);
     EvalApp::define_classes(cluster.classes());
     EvalApp::register_constraints(cluster.constraints());

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "runtime/sim_runtime.h"
 #include "tx/tx_manager.h"
 
 namespace dedisys {
@@ -27,10 +28,11 @@ class RecordingResource final : public TransactionalResource {
 
 class TxTest : public ::testing::Test {
  protected:
-  TxTest() : tm_(clock_, cost_) {}
+  TxTest() : tm_(rt_) {}
 
   SimClock clock_;
   CostModel cost_;
+  SimRuntime rt_{clock_, cost_};
   TransactionManager tm_;
 };
 

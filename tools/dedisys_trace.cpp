@@ -507,7 +507,7 @@ int selftest_checker() {
 /// must pass both.
 int selftest_split_brain() {
   scenarios::ChaosOptions chaos;
-  chaos.legacy_unidirectional_views = true;
+  chaos.flags.legacy_unidirectional_views = true;
 
   RandomPlanOptions plan_options;
   for (std::size_t n = 0; n < chaos.nodes; ++n) {
@@ -539,7 +539,7 @@ int selftest_split_brain() {
     return 1;
   }
 
-  chaos.legacy_unidirectional_views = false;
+  chaos.flags.legacy_unidirectional_views = false;
   if (!cross_check_one(chaos, "fixed-views plan")) {
     std::cerr << "selftest: fixed-views disagreement\n";
     return 1;
