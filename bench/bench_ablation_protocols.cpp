@@ -35,14 +35,14 @@ Result run(dedisys::ReplicationProtocol protocol) {
 
   Result r;
   constexpr std::size_t kWrites = 200;
-  const SimTime start = cluster.clock().now();
+  const SimTime start = cluster.sim().clock.now();
   for (std::size_t i = 0; i < kWrites; ++i) {
     FlightBooking::sell(n0, flight, 1);
   }
   r.healthy_writes = static_cast<double>(kWrites) * 1e6 /
-                     static_cast<double>(cluster.clock().now() - start);
+                     static_cast<double>(cluster.sim().clock.now() - start);
 
-  cluster.split({{0, 1}, {2}});
+  cluster.inject(fault::split_indices({{0, 1}, {2}}));
   std::size_t maj_ok = 0;
   std::size_t min_ok = 0;
   for (std::size_t i = 0; i < 50; ++i) {

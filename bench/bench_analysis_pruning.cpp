@@ -77,7 +77,7 @@ double run_setter_workload(Cluster& cluster, std::vector<ObjectId>& ids) {
     ids.push_back(node.create(tx.id(), "Wide"));
     tx.commit();
   }
-  const SimTime start = cluster.clock().now();
+  const SimTime start = cluster.sim().clock.now();
   for (std::size_t i = 0; i < kOps; ++i) {
     TxScope tx(node.tx());
     node.invoke(tx.id(), ids[i % ids.size()],
@@ -85,7 +85,7 @@ double run_setter_workload(Cluster& cluster, std::vector<ObjectId>& ids) {
                 {Value{static_cast<std::int64_t>(i)}});
     tx.commit();
   }
-  const SimTime elapsed = cluster.clock().now() - start;
+  const SimTime elapsed = cluster.sim().clock.now() - start;
   if (elapsed <= 0) return 0;
   return static_cast<double>(kOps) * 1e6 / static_cast<double>(elapsed);
 }

@@ -4,7 +4,7 @@
 // Usage:
 //   bench_chaos_soak [--seed N] [--nodes N] [--objects N] [--ops N]
 //                    [--events N] [--horizon-ms N] [--protocol pp|pb|av]
-//                    [--gray] [--json <path>] [--timeline]
+//                    [--shards N] [--gray] [--json <path>] [--timeline]
 //
 // Exits 0 when every invariant holds, 1 otherwise.  With --timeline the
 // rendered trace goes to stdout — two runs with identical arguments must
@@ -31,7 +31,7 @@ std::uint64_t parse_u64(const char* text) {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--seed N] [--nodes N] [--objects N] [--ops N] [--events N]"
-               " [--horizon-ms N] [--protocol pp|pb|av] [--gray]"
+               " [--horizon-ms N] [--protocol pp|pb|av] [--shards N] [--gray]"
                " [--json <path>] [--timeline]\n";
   return 2;
 }
@@ -75,6 +75,8 @@ int main(int argc, char** argv) {
       } else {
         return usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      options.shards = static_cast<std::size_t>(parse_u64(value()));
     } else if (std::strcmp(arg, "--gray") == 0) {
       options.gray = true;
     } else if (std::strcmp(arg, "--json") == 0) {

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     cfg.nodes = 4;
     auto cluster = make_eval_cluster(cfg);
     session.observe(*cluster);
-    cluster->split({{0, 1, 2}, {3}});
+    cluster->inject(dedisys::fault::split_indices({{0, 1, 2}, {3}}));
     print_full_rates("DeDiSys degraded (3 in partition)",
                      measure_full(*cluster, 0, kN, true), true);
     session.capture(*cluster, "degraded");

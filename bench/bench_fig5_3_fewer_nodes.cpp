@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     ClusterConfig cfg;
     cfg.nodes = 3;
     auto cluster = make_eval_cluster(cfg);
-    cluster->split({{0, 1}, {2}});
+    cluster->inject(dedisys::fault::split_indices({{0, 1}, {2}}));
     degraded = measure_full(*cluster, 0, kN, true);
     print_full_rates("DeDiSys degraded (2 in partition)", degraded, true);
   }

@@ -13,15 +13,15 @@ namespace {
 /// Paper's theoretical ceiling: transaction + ping/pong multicast rounds.
 double multicast_tx_ceiling(Cluster& cluster, std::size_t n) {
   DedisysNode& node = cluster.node(0);
-  const auto members = cluster.network().nodes();
-  const SimTime start = cluster.clock().now();
+  const auto members = cluster.sim().network.nodes();
+  const SimTime start = cluster.sim().clock.now();
   for (std::size_t i = 0; i < n; ++i) {
     TxScope tx(node.tx());
     cluster.gc().multicast(node.id(), members, [](dedisys::NodeId) {});
     tx.commit();
   }
   return static_cast<double>(n) * 1e6 /
-         static_cast<double>(cluster.clock().now() - start);
+         static_cast<double>(cluster.sim().clock.now() - start);
 }
 
 }  // namespace

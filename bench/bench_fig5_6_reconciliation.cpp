@@ -29,7 +29,7 @@ Times run(dedisys::ThreatHistoryPolicy policy) {
   std::vector<ObjectId> ids;
   (void)Workload::create(*cluster, 0, kObjects, ids);
 
-  cluster->split({{0, 1}, {2}});
+  cluster->inject(fault::split_indices({{0, 1}, {2}}));
   scenarios::AcceptAllNegotiation accept_all;
   const Value payload{std::string{"degraded-write"}};
   for (std::size_t iter = 0; iter < kIterations; ++iter) {
@@ -37,7 +37,7 @@ Times run(dedisys::ThreatHistoryPolicy policy) {
                            {payload}, &accept_all);
   }
 
-  cluster->heal();
+  cluster->inject(fault::Heal{});
   const auto report = cluster->reconcile();
   Times t;
   t.replica_minutes = static_cast<double>(report.replica_time) / 60e6;

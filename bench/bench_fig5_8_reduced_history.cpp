@@ -22,7 +22,7 @@ std::vector<double> run(dedisys::ThreatHistoryPolicy policy) {
   constexpr std::size_t kObjects = 200;
   std::vector<ObjectId> ids;
   (void)Workload::create(*cluster, 0, kObjects, ids);
-  cluster->split({{0, 1}, {2}});
+  cluster->inject(fault::split_indices({{0, 1}, {2}}));
 
   scenarios::AcceptAllNegotiation accept_all;
   std::vector<double> per_iteration;

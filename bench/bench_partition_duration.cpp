@@ -30,7 +30,7 @@ Sweep run(std::size_t degraded_ops) {
   std::vector<ObjectId> ids;
   (void)Workload::create(*cluster, 0, kObjects, ids);
 
-  cluster->split({{0, 1}, {2}});
+  cluster->inject(fault::split_indices({{0, 1}, {2}}));
   scenarios::AcceptAllNegotiation accept_all;
   Sweep out;
   out.degraded_ops = degraded_ops;
@@ -51,11 +51,11 @@ Sweep run(std::size_t degraded_ops) {
     }
   }
 
-  cluster->heal();
-  const SimTime t0 = cluster->clock().now();
+  cluster->inject(fault::Heal{});
+  const SimTime t0 = cluster->sim().clock.now();
   (void)cluster->reconcile();
   out.reconciliation_ms =
-      static_cast<double>(cluster->clock().now() - t0) / 1000.0;
+      static_cast<double>(cluster->sim().clock.now() - t0) / 1000.0;
   out.cost_per_gained_op_ms =
       out.gained_ops > 0 ? out.reconciliation_ms / out.gained_ops : 0;
   return out;

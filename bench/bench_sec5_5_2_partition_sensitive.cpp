@@ -34,7 +34,7 @@ Outcome run(bool partition_sensitive, std::uint64_t seed) {
   DedisysNode& n0 = cluster.node(0);
   const ObjectId flight = FlightBooking::create_flight(n0, 80);
   FlightBooking::sell(n0, flight, 40);
-  cluster.split({{0, 1}, {2, 3}});
+  cluster.inject(fault::split_indices({{0, 1}, {2, 3}}));
 
   Outcome out;
   Rng rng(seed);
@@ -49,7 +49,7 @@ Outcome run(bool partition_sensitive, std::uint64_t seed) {
     }
   }
 
-  cluster.heal();
+  cluster.inject(fault::Heal{});
   class AdditiveMerge final : public ReplicaConsistencyHandler {
    public:
     EntitySnapshot reconcile_replicas(

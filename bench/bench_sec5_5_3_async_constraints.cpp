@@ -21,7 +21,7 @@ double run(const std::string& method, bool dynamic_negotiation) {
   constexpr std::size_t kObjects = 100;
   std::vector<ObjectId> ids;
   (void)Workload::create(*cluster, 0, kObjects, ids);
-  cluster->split({{0, 1}, {2}});
+  cluster->inject(fault::split_indices({{0, 1}, {2}}));
 
   scenarios::AcceptAllNegotiation accept_all;
   // One warm-up pass persists the threat identities; the measured passes

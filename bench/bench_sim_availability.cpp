@@ -63,7 +63,7 @@ Result run(dedisys::ReplicationProtocol protocol, bool tradeable,
   // Alternate healthy and partitioned phases; reconcile after each heal.
   for (int phase = 0; phase < 6; ++phase) {
     const bool partitioned = phase % 2 == 1;
-    if (partitioned) cluster.split({{0, 1}, {2, 3}});
+    if (partitioned) cluster.inject(fault::split_indices({{0, 1}, {2, 3}}));
     for (int op = 0; op < 50; ++op) {
       DedisysNode& node = cluster.node(rng.below(cluster.size()));
       ++attempted;
@@ -75,7 +75,7 @@ Result run(dedisys::ReplicationProtocol protocol, bool tradeable,
       }
     }
     if (partitioned) {
-      cluster.heal();
+      cluster.inject(fault::Heal{});
       const auto report = cluster.reconcile();
       conflicts += report.replica.conflicts;
       violations += report.constraints.violations;

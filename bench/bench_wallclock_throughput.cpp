@@ -2,12 +2,14 @@
 // backend — the repo's first real-hardware number (everything else in
 // bench/ reports simulated time).
 //
-// Open-loop load: each client thread walks a precomputed schedule of
-// arrival timestamps at the offered rate and measures every operation
-// from its SCHEDULED arrival to completion, so queueing delay from a
-// saturated kernel lock is charged to the operations it actually delays
-// (no coordinated omission).  Clients drive disjoint flights through
-// distinct nodes; per-thread histograms are merged after the run.
+// The load is described by a bench::WorkloadSpec (the same vocabulary the
+// sharded saturation bench uses): each client thread walks a precomputed
+// schedule of arrival timestamps at the offered per-client rate and
+// measures every operation from its SCHEDULED arrival to completion, so
+// queueing delay from a saturated kernel lock is charged to the operations
+// it actually delays (no coordinated omission).  Clients drive disjoint
+// flights through distinct nodes; per-thread histograms are merged after
+// the run.
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -15,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "bench/session.h"
 #include "middleware/cluster.h"
 #include "obs/histogram.h"
@@ -26,39 +29,37 @@ namespace {
 using scenarios::FlightBooking;
 using Clock = std::chrono::steady_clock;
 
-constexpr std::size_t kClients = 3;
-constexpr std::size_t kOpsPerClient = 400;
-
 struct LoadPoint {
   double offered_ops_s = 0;   ///< total scheduled arrival rate
   double achieved_ops_s = 0;  ///< completions / wall time
   obs::LatencySummary latency;
 };
 
-LoadPoint run_load(double per_client_ops_s) {
+LoadPoint run_load(const bench::WorkloadSpec& spec) {
   ClusterConfig cfg;
-  cfg.nodes = kClients;
+  cfg.nodes = spec.clients;
   cfg.backend = RuntimeBackend::Threaded;
   Cluster cluster(cfg);
   FlightBooking::define_classes(cluster.classes());
 
+  const std::size_t per_client = spec.per_client();
   std::vector<ObjectId> flights;
-  for (std::size_t c = 0; c < kClients; ++c) {
+  for (std::size_t c = 0; c < spec.clients; ++c) {
     flights.push_back(FlightBooking::create_flight(
-        cluster.node(0), static_cast<std::int64_t>(kOpsPerClient) + 1));
+        cluster.node(0), static_cast<std::int64_t>(per_client) + 1));
   }
 
   const auto interval = std::chrono::nanoseconds(
-      static_cast<std::int64_t>(1e9 / per_client_ops_s));
-  std::vector<obs::LatencyHistogram> histograms(kClients);
+      static_cast<std::int64_t>(1e9 / spec.per_client_rate()));
+  std::vector<obs::LatencyHistogram> histograms(spec.clients);
   const Clock::time_point start = Clock::now();
 
   std::vector<std::thread> clients;
-  for (std::size_t c = 0; c < kClients; ++c) {
+  for (std::size_t c = 0; c < spec.clients; ++c) {
     clients.emplace_back([&, c] {
       DedisysNode& node = cluster.node(c);
       const ObjectId flight = flights[c];
-      for (std::size_t i = 0; i < kOpsPerClient; ++i) {
+      for (std::size_t i = 0; i < per_client; ++i) {
         const Clock::time_point scheduled =
             start + (static_cast<std::int64_t>(i) + 1) * interval;
         std::this_thread::sleep_until(scheduled);  // no-op once behind
@@ -78,9 +79,9 @@ LoadPoint run_load(double per_client_ops_s) {
   for (const auto& h : histograms) merged.merge(h);
 
   LoadPoint out;
-  out.offered_ops_s = per_client_ops_s * static_cast<double>(kClients);
+  out.offered_ops_s = spec.arrival_rate;
   out.achieved_ops_s =
-      static_cast<double>(kClients * kOpsPerClient) / wall_s;
+      static_cast<double>(spec.clients * per_client) / wall_s;
   out.latency = obs::summarize(merged);
   return out;
 }
@@ -90,8 +91,12 @@ int run_bench() {
       "Wall-clock sell() throughput — threaded backend, open-loop");
   bench::print_header({"offered ops/s", "achieved ops/s", "p50 us", "p95 us",
                        "p99 us", "max us"});
+  bench::WorkloadSpec spec;
+  spec.clients = 3;
+  spec.requests = 3 * 400;
   for (const double rate : {200.0, 500.0, 1000.0, 2000.0}) {
-    const LoadPoint p = run_load(rate);
+    spec.arrival_rate = rate * static_cast<double>(spec.clients);
+    const LoadPoint p = run_load(spec);
     bench::print_row(std::to_string(static_cast<int>(p.offered_ops_s)),
                      {p.offered_ops_s, p.achieved_ops_s, p.latency.p50,
                       p.latency.p95, p.latency.p99,

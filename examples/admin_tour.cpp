@@ -49,7 +49,7 @@ int main() {
   }
 
   // Degradation: a partition lets a threat through.
-  cluster.split({{0, 1}, {2}});
+  cluster.inject(fault::split_indices({{0, 1}, {2}}));
   {
     TxScope tx(node.tx());
     node.invoke(tx.id(), acct, "setBalance", {Value{std::int64_t{950}}});
@@ -64,7 +64,7 @@ int main() {
               backup.node_states.size(), backup.threat_state.size());
 
   // ...heals and reconciles...
-  cluster.heal();
+  cluster.inject(fault::Heal{});
   (void)cluster.reconcile();
   std::printf("after reconciliation: %zu stored threat(s)\n",
               admin.list_threats().size());

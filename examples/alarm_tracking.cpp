@@ -75,7 +75,7 @@ int main() {
   }
 
   // The sites partition; the technical operator keeps working.
-  cluster.split({{0}, {1}});
+  cluster.inject(fault::split_indices({{0}, {1}}));
   std::printf("\nsites partitioned; technical site mode: %s\n",
               to_string(tech_site.mode()).c_str());
   {
@@ -99,7 +99,7 @@ int main() {
   std::printf("stored threats: %zu\n", cluster.threats().identity_count());
 
   // Repair the link and reconcile: the mismatch is a real violation now.
-  cluster.heal();
+  cluster.inject(fault::Heal{});
   OperatorNotifier notifier;
   const auto report = cluster.reconcile(nullptr, &notifier);
   std::printf(

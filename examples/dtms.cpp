@@ -73,7 +73,7 @@ int main() {
                                                      channel.endpoint_b)));
 
   // The inter-site link fails.
-  cluster.split({{0}, {1}});
+  cluster.inject(fault::split_indices({{0}, {1}}));
   std::printf("\ninter-site link failed; site A mode: %s\n",
               to_string(site_a.mode()).c_str());
 
@@ -101,7 +101,7 @@ int main() {
 
   // Link repaired: reconciliation finds the real mismatch and the
   // management application re-synchronizes the channel.
-  cluster.heal();
+  cluster.inject(fault::Heal{});
   ChannelResync resync(site_a);
   const auto report = cluster.reconcile(nullptr, &resync);
   std::printf(

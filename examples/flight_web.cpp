@@ -41,7 +41,7 @@ int main() {
   DedisysNode& node = cluster.node(0);
   const ObjectId flight = FlightBooking::create_flight(node, 80);
   FlightBooking::sell(node, flight, 78);
-  cluster.split({{0, 1}, {2}});
+  cluster.inject(fault::split_indices({{0, 1}, {2}}));
   std::printf("flight 78/80 booked; cluster partitioned (degraded mode)\n\n");
 
   std::shared_ptr<web::WebNegotiationBridge> bridge;

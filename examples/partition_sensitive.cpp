@@ -58,7 +58,7 @@ int main() {
   std::printf("healthy: 50/100 sold, 50 remaining\n");
 
   // Partition: {0,1} holds weight 3/5, {2,3} holds 2/5.
-  cluster.split({{0, 1}, {2, 3}});
+  cluster.inject(fault::split_indices({{0, 1}, {2, 3}}));
   std::printf("partition: office A quota = 50*3/5 = 30, office B quota = "
               "50*2/5 = 20\n\n");
 
@@ -81,7 +81,7 @@ int main() {
   sell_report(office_b, "office B", 20);  // exactly at quota
   sell_report(office_b, "office B", 1);   // beyond quota -> rejected
 
-  cluster.heal();
+  cluster.inject(fault::Heal{});
   AdditiveMerge merge(50);
   const auto report = cluster.reconcile(&merge);
   const std::int64_t total = FlightBooking::sold(office_a, flight);

@@ -103,7 +103,7 @@ int main() {
   }
 
   // 4. A link failure splits the cluster: {A,B} vs {C}.
-  cluster.split({{0, 1}, {2}});
+  cluster.inject(fault::split_indices({{0, 1}, {2}}));
   std::printf("\nnetwork partition injected; node 0 mode: %s\n",
               to_string(node_a.mode()).c_str());
 
@@ -121,7 +121,7 @@ int main() {
 
   // 6. The link is repaired; reconciliation merges 70+7+8 = 85 > 80 and
   //    the application cleans up the overbooking.
-  cluster.heal();
+  cluster.inject(fault::Heal{});
   std::printf("\npartition healed; node 0 mode: %s — reconciling...\n",
               to_string(node_a.mode()).c_str());
   AdditiveMerge merge(70);

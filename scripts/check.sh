@@ -44,6 +44,12 @@
 #                                    tautology descriptors must fail with
 #                                    the documented exit codes (1 =
 #                                    diagnostics, 2 = parse failure)
+#   scripts/check.sh --shard         sharded front-door gate only: the
+#                                    test_shard routing/admission pins, a
+#                                    cross-shard chaos soak (invariants +
+#                                    byte-identical timelines) and a
+#                                    saturation smoke whose --json output
+#                                    must validate
 #   scripts/check.sh --threads       threaded-runtime gate: rebuild in
 #                                    build-tsan with DEDISYS_SANITIZE=thread
 #                                    and run the threaded smoke + the
@@ -63,6 +69,7 @@ case "${1:-}" in
   --chaos) MODE="chaos" ;;
   --memo) MODE="memo" ;;
   --gray) MODE="gray" ;;
+  --shard) MODE="shard" ;;
   --trace) MODE="trace" ;;
   --threads) MODE="threads" ;;
   --lint) MODE="lint" ;;
@@ -206,6 +213,45 @@ lint_gate() {
   echo "lint gate: descriptors and exit codes ok"
 }
 
+# Shard gate: the routing/admission pins of test_shard, a cross-shard
+# chaos soak (invariants must hold and two runs of one seed must emit
+# byte-identical timelines), and a saturation smoke — the sweep must show
+# a clean low-rate point and real shedding under overload (the binary
+# self-asserts that) and its --json report must parse.
+shard_smoke() {
+  "$1/tests/test_shard" --gtest_brief=1 \
+    || { echo "check.sh: test_shard failed" >&2; exit 1; }
+  echo "shard gate: routing/admission pins ok"
+  local soak="$1/bench/bench_chaos_soak"
+  local a b
+  a="$(mktemp /tmp/shard_chaos_a_XXXXXX.txt)"
+  b="$(mktemp /tmp/shard_chaos_b_XXXXXX.txt)"
+  for seed in 1 2; do
+    "$soak" --seed "$seed" --nodes 4 --shards 2 --ops 40 --events 8 \
+      --horizon-ms 250 --timeline > "$a" 2> /dev/null \
+      || { echo "check.sh: sharded chaos seed $seed violated invariants" >&2
+           rm -f "$a" "$b"; exit 1; }
+    "$soak" --seed "$seed" --nodes 4 --shards 2 --ops 40 --events 8 \
+      --horizon-ms 250 --timeline > "$b" 2> /dev/null
+    if ! cmp -s "$a" "$b"; then
+      echo "check.sh: sharded chaos seed $seed is not deterministic" >&2
+      rm -f "$a" "$b"
+      exit 1
+    fi
+    echo "shard gate: cross-shard chaos seed $seed ok"
+  done
+  rm -f "$a" "$b"
+  local out
+  out="$(mktemp /tmp/BENCH_shard_smoke_XXXXXX.json)"
+  "$1/bench/bench_shard_saturation" --smoke --json "$out" > /dev/null \
+    || { echo "check.sh: saturation smoke failed" >&2; rm -f "$out"; exit 1; }
+  "$1/bench/json_validate" "$out" \
+    || { echo "check.sh: saturation --json failed validation" >&2
+         rm -f "$out"; exit 1; }
+  rm -f "$out"
+  echo "shard gate: saturation smoke + json ok"
+}
+
 # Memo smoke: bench_memo_validation asserts its own acceptance criteria
 # (memo-on outcomes identical to memo-off, cache hits recorded, strictly
 # less simulated time) and exits nonzero on any failure.
@@ -244,6 +290,15 @@ if [ "$MODE" = "gray" ]; then
   cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_gray_chaos
   gray_smoke "$BUILD_DIR"
   echo "check.sh --gray: all green"
+  exit 0
+fi
+
+if [ "$MODE" = "shard" ]; then
+  cmake -B "$BUILD_DIR" -S . > /dev/null
+  cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target test_shard bench_chaos_soak bench_shard_saturation json_validate
+  shard_smoke "$BUILD_DIR"
+  echo "check.sh --shard: all green"
   exit 0
 fi
 
@@ -307,6 +362,7 @@ chaos_smoke "$BUILD_DIR"
 memo_smoke "$BUILD_DIR"
 gray_smoke "$BUILD_DIR"
 trace_smoke "$BUILD_DIR"
+shard_smoke "$BUILD_DIR"
 "$0" --threads
 "$0" --asan
 

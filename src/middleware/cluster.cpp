@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <type_traits>
+#include <utility>
+#include <variant>
 
 #include "runtime/sim_runtime.h"
 #include "runtime/threaded_runtime.h"
@@ -54,6 +57,11 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
   managers.reserve(nodes_.size());
   for (auto& n : nodes_) managers.push_back(&n->replication());
   for (auto& n : nodes_) n->replication().connect_peers(managers);
+
+  shard_map_ = std::make_unique<shard::ShardMap>(
+      network_->nodes(), config_.shards == 0 ? 1 : config_.shards);
+  front_door_ = std::make_unique<shard::FrontDoor>(*this, *shard_map_,
+                                                   config_.shard_policy);
 }
 
 Cluster::~Cluster() = default;
@@ -88,6 +96,40 @@ DedisysNode* Cluster::node_by_id(NodeId id) {
   return nullptr;
 }
 
+void Cluster::inject(const fault::Op& op) {
+  std::visit(
+      [this](const auto& o) {
+        using T = std::decay_t<decltype(o)>;
+        if constexpr (std::is_same_v<T, fault::Partition>) {
+          split_ids(o.groups);
+        } else if constexpr (std::is_same_v<T, fault::Heal>) {
+          do_heal();
+        } else if constexpr (std::is_same_v<T, fault::Crash>) {
+          if (DedisysNode* n = node_by_id(o.node)) {
+            do_crash(*n);
+          } else {
+            network_->apply(o);
+          }
+        } else if constexpr (std::is_same_v<T, fault::Restart>) {
+          if (DedisysNode* n = node_by_id(o.node)) {
+            do_restart(*n);
+          } else {
+            network_->apply(o);
+          }
+        } else {
+          // Link faults and gray ops act on the network substrate alone.
+          network_->apply(o);
+        }
+      },
+      op);
+}
+
+std::size_t Cluster::inject(const fault::Restart& op) {
+  if (DedisysNode* n = node_by_id(op.node)) return do_restart(*n);
+  network_->apply(op);
+  return 0;
+}
+
 void Cluster::split(const std::vector<std::vector<std::size_t>>& groups) {
   std::vector<std::vector<NodeId>> node_groups;
   node_groups.reserve(groups.size());
@@ -118,7 +160,7 @@ void Cluster::split_ids(std::vector<std::vector<NodeId>> node_groups) {
   network_->apply(fault::Partition{std::move(node_groups)});
 }
 
-void Cluster::heal() {
+void Cluster::do_heal() {
   if (obs_.enabled()) {
     obs_.event(clock_.now(), obs::TraceEventKind::NetworkHeal, {}, {}, {},
                "heal");
@@ -126,16 +168,22 @@ void Cluster::heal() {
   network_->apply(fault::Heal{});
 }
 
-void Cluster::crash_node(std::size_t index) {
-  DedisysNode& n = node(index);
+void Cluster::heal() { do_heal(); }
+
+void Cluster::do_crash(DedisysNode& n) {
   // The pause-crash wipes the node's volatile state (in-memory replicas);
   // the durable record store survives for restart recovery.
   n.replication().drop_volatile();
   network_->apply(fault::Crash{n.id()});
 }
 
+void Cluster::crash_node(std::size_t index) { do_crash(node(index)); }
+
 std::size_t Cluster::restart_node(std::size_t index) {
-  DedisysNode& n = node(index);
+  return do_restart(node(index));
+}
+
+std::size_t Cluster::do_restart(DedisysNode& n) {
   network_->apply(fault::Restart{n.id()});
 
   // Coordinator recovery first: any transaction left in doubt by a crash
@@ -201,28 +249,24 @@ std::size_t Cluster::restart_node(std::size_t index) {
 void Cluster::adopt_fault_engine(FaultEngine& engine) {
   engine.set_observability(&obs_);
   engine.set_crash_handler([this](NodeId id) {
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (nodes_[i]->id() == id) {
-        crash_node(i);
-        return;
-      }
+    if (DedisysNode* n = node_by_id(id)) {
+      do_crash(*n);
+    } else {
+      network_->apply(fault::Crash{id});
     }
-    network_->apply(fault::Crash{id});
   });
   engine.set_restart_handler([this](NodeId id) {
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (nodes_[i]->id() == id) {
-        restart_node(i);
-        return;
-      }
+    if (DedisysNode* n = node_by_id(id)) {
+      do_restart(*n);
+    } else {
+      network_->apply(fault::Restart{id});
     }
-    network_->apply(fault::Restart{id});
   });
   engine.set_partition_handler(
       [this](const std::vector<std::vector<NodeId>>& groups) {
         split_ids(groups);
       });
-  engine.set_heal_handler([this] { heal(); });
+  engine.set_heal_handler([this] { do_heal(); });
 }
 
 Cluster::ReconciliationReport Cluster::reconcile(

@@ -20,7 +20,11 @@
 #include "replication/reconciler.h"
 #include "runtime/options.h"
 #include "runtime/runtime.h"
+#include "shard/front_door.h"
+#include "shard/policy.h"
+#include "shard/shard_map.h"
 #include "sim/event_queue.h"
+#include "sim/fault_plan.h"
 #include "sim/network.h"
 #include "tx/tx_manager.h"
 #include "util/sim_clock.h"
@@ -54,6 +58,25 @@ struct ClusterConfig {
   /// enabled later via cluster.obs().enable(); on the threaded backend it
   /// is forced off (the trace hub's span stack is single-threaded).
   FeatureFlags flags;
+  /// Replica groups the entity space is partitioned across (1 = the
+  /// classic fully-replicated cluster; must not exceed `nodes`).  Each
+  /// shard runs the GMS/replication/P4/CCMgr stack over its own node
+  /// group; cross-shard transactions ride the cluster-wide 2PC.
+  std::size_t shards = 1;
+  /// Admission-control tuning of the sharded front door (queue bounds,
+  /// batching, TxQ-style fee escalation); see shard/policy.h.
+  shard::ShardPolicy shard_policy;
+};
+
+/// Narrow view of the deterministic-simulation substrate, for fault
+/// injection and chaos/script drivers.  Replaces the deprecated
+/// Cluster::clock()/network()/events() accessors so the public cluster
+/// surface no longer leaks backend internals; meaningless on the threaded
+/// backend (see docs/fault_injection.md).
+struct SimHandles {
+  SimClock& clock;
+  SimNetwork& network;
+  EventQueue& events;
 };
 
 class Cluster {
@@ -70,17 +93,21 @@ class Cluster {
   Runtime& runtime() { return *runtime_; }
 
   // -- sim-only substrate (fault injection, chaos/script drivers) --------------
-  //
-  // These accessors expose the deterministic-simulation internals; they are
-  // meaningless on the threaded backend (the FaultEngine and the chaos and
-  // scripted scenarios are sim-pinned, see docs/fault_injection.md).
 
-  SimClock& clock() { return clock_; }
-  SimNetwork& network() { return *network_; }
+  /// The deterministic-simulation internals behind one narrow handle
+  /// (meaningless on the threaded backend; the FaultEngine and the chaos
+  /// and scripted scenarios are sim-pinned, see docs/fault_injection.md).
+  SimHandles sim() { return SimHandles{clock_, *network_, *events_}; }
+
+  [[deprecated("use sim().clock")]] SimClock& clock() { return clock_; }
+  [[deprecated("use sim().network")]] SimNetwork& network() {
+    return *network_;
+  }
+  [[deprecated("use sim().events")]] EventQueue& events() { return *events_; }
+
   /// Cluster-wide distributed transaction manager.
   TransactionManager& tx() { return *tm_; }
   GroupCommunication& gc() { return *gc_; }
-  EventQueue& events() { return *events_; }
   ClassRegistry& classes() { return classes_; }
   ConstraintRepository& constraints() { return constraint_repository_; }
 
@@ -111,29 +138,53 @@ class Cluster {
   [[nodiscard]] std::vector<ObjectId> objects_of(
       const std::string& class_name) const;
 
+  // -- sharded front door (value-typed client API) -----------------------------
+
+  /// The shard map partitioning the entity space across replica groups
+  /// (one group covering every node when config.shards == 1).
+  shard::ShardMap& shards() { return *shard_map_; }
+
+  /// The admission layer: bounded priority queues, fee escalation, load
+  /// shedding, batched apply.
+  shard::FrontDoor& front_door() { return *front_door_; }
+
+  /// Submits one client request through the front door: routed to its
+  /// owning shard (forwarded when mis-addressed), fee-checked, queued or
+  /// shed with an explicit reason.
+  shard::Submission submit(shard::Request request) {
+    return front_door_->submit(std::move(request));
+  }
+
+  /// Applies one admission batch per shard; returns requests applied.
+  std::size_t pump() { return front_door_->pump(); }
+
   // -- failure injection ----------------------------------------------------------
 
-  /// Splits the cluster into partitions of node indices, e.g. {{0,1},{2}}.
-  void split(const std::vector<std::vector<std::size_t>>& groups);
+  /// Applies one typed fault operation, routing node-lifecycle ops through
+  /// the full middleware path (crash drops volatile replica state, restart
+  /// recovers in-doubt transactions and rebuilds replicas, partitions are
+  /// recorded for reconciliation and traced) and everything else straight
+  /// to the sim network — the same dispatch a wired FaultEngine uses.
+  void inject(const fault::Op& op);
 
-  /// Same, with node ids (fault-engine partition actions route here so the
-  /// groups are recorded for reconciliation and traced).
+  /// Restart overload: returns the number of replicas rebuilt.
+  std::size_t inject(const fault::Restart& op);
+
+  /// Same as inject(fault::Partition), with node ids (fault-engine
+  /// partition actions route here so the groups are recorded for
+  /// reconciliation and traced).
   void split_ids(std::vector<std::vector<NodeId>> node_groups);
 
-  /// Repairs all link failures; nodes transition to Reconciling mode.
-  void heal();
+  [[deprecated("use inject(fault::split_indices({...}))")]] void split(
+      const std::vector<std::vector<std::size_t>>& groups);
 
-  /// Pause-crash of one node: network-level crash plus loss of the node's
-  /// volatile replica state.  Durable storage (record store, replica
-  /// versions, degraded-update marks) survives for recovery.
-  void crash_node(std::size_t index);
+  [[deprecated("use inject(fault::Heal{})")]] void heal();
 
-  /// Restarts a crashed node: network rejoin (GMS installs new views),
-  /// presumed-abort recovery of in-doubt transactions, and replica
-  /// rebuild — preferring the freshest reachable peer copy, falling back
-  /// to the node's own durable entity table.  Returns the number of
-  /// replicas rebuilt.
-  std::size_t restart_node(std::size_t index);
+  [[deprecated("use inject(fault::Crash{node(i).id()})")]] void crash_node(
+      std::size_t index);
+
+  [[deprecated("use inject(fault::Restart{node(i).id()})")]] std::size_t
+  restart_node(std::size_t index);
 
   /// Wires a fault engine to this cluster: its crash/restart actions
   /// route through crash_node/restart_node (index resolved from NodeId)
@@ -159,6 +210,12 @@ class Cluster {
       std::size_t coordinator = 0);
 
  private:
+  /// Typed-op implementations shared by inject(), the deprecated wrappers
+  /// and the fault-engine handlers.
+  void do_heal();
+  void do_crash(DedisysNode& n);
+  std::size_t do_restart(DedisysNode& n);
+
   ClusterConfig config_;
   SimClock clock_;
   obs::Observability obs_;
@@ -179,6 +236,11 @@ class Cluster {
   std::unique_ptr<ThreatStore> threat_store_;
   std::vector<std::unique_ptr<DedisysNode>> nodes_;
   std::vector<std::vector<NodeId>> last_partition_groups_;
+  /// Constructed after nodes_ (needs their ids); pure bookkeeping until
+  /// the first submit(), so a shards=1 cluster that never uses the front
+  /// door behaves byte-identically to the pre-shard middleware.
+  std::unique_ptr<shard::ShardMap> shard_map_;
+  std::unique_ptr<shard::FrontDoor> front_door_;
 };
 
 }  // namespace dedisys

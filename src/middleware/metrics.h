@@ -81,7 +81,7 @@ struct ClusterMetrics {
 /// Takes a consistent snapshot of the whole cluster's metrics.
 inline ClusterMetrics collect_metrics(Cluster& cluster) {
   ClusterMetrics out;
-  out.sim_time = cluster.clock().now();
+  out.sim_time = cluster.runtime().now();
   out.stored_threat_identities = cluster.threats().identity_count();
   out.stored_threat_occurrences = cluster.threats().total_occurrences();
   out.live_objects = cluster.directory()->size();
@@ -89,7 +89,7 @@ inline ClusterMetrics collect_metrics(Cluster& cluster) {
   out.lookup_cache_hits = cluster.constraints().cache_hit_count();
   out.lookup_cache_misses = cluster.constraints().cache_miss_count();
   {
-    const SimNetwork::FaultStats& net = cluster.network().fault_stats();
+    const SimNetwork::FaultStats& net = cluster.sim().network.fault_stats();
     const GroupCommunication::Stats& gc = cluster.gc().stats();
     const TransactionManager::Stats& tx = cluster.tx().stats();
     out.faults.messages_dropped = net.messages_dropped;

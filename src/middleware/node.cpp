@@ -205,14 +205,16 @@ bool DedisysNode::apply_reconciliation_policy(ObjectId target) {
 // ---------------------------------------------------------------------------
 
 ObjectId DedisysNode::create(TxId tx, const std::string& class_name,
-                             const std::string& application) {
+                             const std::string& application,
+                             std::optional<std::vector<NodeId>> replica_nodes) {
   Runtime& rt = cluster_->runtime();
   Runtime::Section section(rt);
   // Root span: the creation multicast to the replicas attaches to it.
   obs::SpanGuard span_guard(obs_, rt, "create " + class_name, id_, {}, tx);
   const SimTime start = rt.now();
   rt.charge(rt.cost().invocation_overhead);
-  const ObjectId id = repl_->create(class_name, tx, std::nullopt, application);
+  const ObjectId id =
+      repl_->create(class_name, tx, std::move(replica_nodes), application);
   db_->put("entities", to_string(id), repl_->local_replica(id).attributes());
   if (obs::on(obs_)) {
     obs_->latency("create", rt.now() - start);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -141,8 +142,13 @@ class DedisysNode final : public ViewListener {
 
   /// Creates an entity of `class_name` replicated per the node options;
   /// `application` scopes which constraint repository applies (Section 5.3).
+  /// `replica_nodes` confines the replica set to an explicit node group
+  /// (the sharded front door passes the owning shard's replica group);
+  /// default: every cluster node (full replication).
   ObjectId create(TxId tx, const std::string& class_name,
-                  const std::string& application = "");
+                  const std::string& application = "",
+                  std::optional<std::vector<NodeId>> replica_nodes =
+                      std::nullopt);
 
   /// Deletes an entity from all reachable replicas.
   void destroy(TxId tx, ObjectId id);

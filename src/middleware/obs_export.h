@@ -166,11 +166,54 @@ namespace dedisys::obs {
   return out;
 }
 
+/// Front-door/shard block: replica groups, acting primary identity, queue
+/// depth and the shed counters, per shard (day-one observability of the
+/// admission layer).
+[[nodiscard]] inline Json shards_to_json(Cluster& cluster) {
+  shard::ShardMap& map = cluster.shards();
+  shard::FrontDoor& door = cluster.front_door();
+  Json shards = Json::array();
+  for (shard::ShardId s = 0; s < map.shard_count(); ++s) {
+    const shard::FrontDoor::ShardStats& st = door.stats(s);
+    Json nodes = Json::array();
+    for (NodeId n : map.nodes_of(s)) nodes.push_back(n.value());
+    Json shed = Json::object();
+    shed.set("queue_full", st.shed_queue_full);
+    shed.set("fee_below_required", st.shed_fee);
+    shed.set("shard_unavailable", st.shed_unavailable);
+    shed.set("bad_request", st.shed_bad_request);
+    Json entry = Json::object();
+    entry.set("shard", s);
+    entry.set("nodes", std::move(nodes));
+    entry.set("home", map.home_of(s).value());
+    entry.set("primary", door.current_target(s).value());
+    entry.set("queue_depth", door.queue_depth(s));
+    entry.set("max_queue_depth", st.max_depth);
+    entry.set("required_fee", door.required_fee(s));
+    entry.set("submitted", st.submitted);
+    entry.set("admitted", st.admitted);
+    entry.set("applied", st.applied);
+    entry.set("committed", st.committed);
+    entry.set("aborted", st.aborted);
+    entry.set("forwarded", st.forwarded);
+    entry.set("evicted", st.evicted);
+    entry.set("batches", st.batches);
+    entry.set("shed", std::move(shed));
+    shards.push_back(std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("count", map.shard_count());
+  out.set("assigned_objects", map.assigned_count());
+  out.set("shards", std::move(shards));
+  return out;
+}
+
 /// The full observability document of a cluster: counters snapshot,
 /// latency percentiles and the retained event trace.
 [[nodiscard]] inline Json export_cluster_json(Cluster& cluster) {
   Json out = Json::object();
   out.set("metrics", to_json(collect_metrics(cluster)));
+  out.set("sharding", shards_to_json(cluster));
   out.set("constraints", analysis_to_json(cluster.constraints()));
   out.set("analysis", config_analysis_to_json(cluster.constraints()));
   out.set("latencies", to_json(cluster.obs().latencies()));
@@ -254,6 +297,53 @@ namespace dedisys::obs {
   fault("tx_commits", m.faults.tx_commits);
   fault("tx_aborts", m.faults.tx_aborts);
   fault("tx_presumed_aborts", m.faults.tx_presumed_aborts);
+
+  {
+    shard::ShardMap& map = cluster.shards();
+    shard::FrontDoor& door = cluster.front_door();
+    head("dedisys_shard_queue_depth", "gauge",
+         "Requests queued at the front door per shard.");
+    for (shard::ShardId s = 0; s < map.shard_count(); ++s) {
+      line("dedisys_shard_queue_depth", "shard=\"" + std::to_string(s) + "\"",
+           static_cast<double>(door.queue_depth(s)));
+    }
+    head("dedisys_shard_primary", "gauge",
+         "Node id of each shard's acting primary (first live replica).");
+    for (shard::ShardId s = 0; s < map.shard_count(); ++s) {
+      line("dedisys_shard_primary", "shard=\"" + std::to_string(s) + "\"",
+           static_cast<double>(door.current_target(s).value()));
+    }
+    head("dedisys_shard_shed_total", "counter",
+         "Requests load-shed at the front door, by shard and reason.");
+    for (shard::ShardId s = 0; s < map.shard_count(); ++s) {
+      const shard::FrontDoor::ShardStats& st = door.stats(s);
+      const std::string prefix = "shard=\"" + std::to_string(s) + "\",reason=";
+      line("dedisys_shard_shed_total", prefix + "\"queue_full\"",
+           static_cast<double>(st.shed_queue_full));
+      line("dedisys_shard_shed_total", prefix + "\"fee_below_required\"",
+           static_cast<double>(st.shed_fee));
+      line("dedisys_shard_shed_total", prefix + "\"shard_unavailable\"",
+           static_cast<double>(st.shed_unavailable));
+      line("dedisys_shard_shed_total", prefix + "\"bad_request\"",
+           static_cast<double>(st.shed_bad_request));
+    }
+    head("dedisys_shard_requests_total", "counter",
+         "Front-door request lifecycle counters per shard.");
+    for (shard::ShardId s = 0; s < map.shard_count(); ++s) {
+      const shard::FrontDoor::ShardStats& st = door.stats(s);
+      const std::string prefix = "shard=\"" + std::to_string(s) + "\",kind=";
+      line("dedisys_shard_requests_total", prefix + "\"submitted\"",
+           static_cast<double>(st.submitted));
+      line("dedisys_shard_requests_total", prefix + "\"applied\"",
+           static_cast<double>(st.applied));
+      line("dedisys_shard_requests_total", prefix + "\"committed\"",
+           static_cast<double>(st.committed));
+      line("dedisys_shard_requests_total", prefix + "\"forwarded\"",
+           static_cast<double>(st.forwarded));
+      line("dedisys_shard_requests_total", prefix + "\"evicted\"",
+           static_cast<double>(st.evicted));
+    }
+  }
 
   head("dedisys_latency_us", "summary",
        "Simulated-time latency quantiles per operation.");

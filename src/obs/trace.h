@@ -65,6 +65,8 @@ enum class TraceEventKind {
   MsgRetried,        ///< GCS retransmitted a message after loss/ack loss
   MsgDeduped,        ///< a duplicate delivery was suppressed (idempotence)
   NodeRestarted,     ///< a crashed node rejoined and recovered its state
+  AdmissionShed,     ///< the front door load-shed a request (reason in detail)
+  AdmissionForward,  ///< a mis-routed request was forwarded to its shard home
 };
 
 [[nodiscard]] inline const char* to_string(TraceEventKind k) {
@@ -99,6 +101,8 @@ enum class TraceEventKind {
     case TraceEventKind::MsgRetried: return "msg.retried";
     case TraceEventKind::MsgDeduped: return "msg.deduped";
     case TraceEventKind::NodeRestarted: return "node.restarted";
+    case TraceEventKind::AdmissionShed: return "admission.shed";
+    case TraceEventKind::AdmissionForward: return "admission.forward";
   }
   return "?";
 }

@@ -47,11 +47,29 @@ bool ReplicaReconciler::updated_in_partition(
 }
 
 void ReplicaReconciler::apply_everywhere(const EntitySnapshot& snap) {
-  // One propagation round: multicast to every node plus per-node apply.
+  // One propagation round to the object's replica group: multicast plus
+  // per-receiver apply.  The directory's replica list confines sharded
+  // entities to their group (in a fully-replicated cluster it names every
+  // node, so this is the classic cluster-wide round); applying creates the
+  // replica where it is missing, which re-materializes creates a former
+  // partition missed.
+  ObjectDirectory& dir = managers_.front()->directory();
+  std::vector<ReplicationManager*> targets;
+  if (dir.contains(snap.id)) {
+    const auto& replicas = dir.get(snap.id).replicas;
+    for (auto* m : managers_) {
+      if (std::find(replicas.begin(), replicas.end(), m->self()) !=
+          replicas.end()) {
+        targets.push_back(m);
+      }
+    }
+  } else {
+    targets = managers_;
+  }
   rt_->charge(rt_->cost().multicast_base +
-                  static_cast<SimDuration>(managers_.size()) *
+                  static_cast<SimDuration>(targets.size()) *
                       (rt_->cost().multicast_per_receiver + rt_->cost().backup_apply));
-  for (auto* m : managers_) m->apply_snapshot(snap);
+  for (auto* m : targets) m->apply_snapshot(snap);
 }
 
 ReplicaReconcileStats ReplicaReconciler::reconcile(

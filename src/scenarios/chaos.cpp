@@ -41,10 +41,37 @@ class RecordingConflictHandler final : public ReplicaConsistencyHandler {
 /// A "partition" is the strongly-connected component of mutually reachable
 /// nodes: under asymmetric cuts, outbound reachability would lump nodes
 /// together that cannot agree on anything.
+/// Creates the chaos entities through the sharded front door, spread
+/// round-robin across the shards (replicas confined to each shard's node
+/// group).  Deterministic: client keys are searched in ascending order for
+/// each target shard and batches apply in shard/queue order.
+std::vector<ObjectId> create_entities_sharded(Cluster& cluster,
+                                              std::size_t count) {
+  std::vector<ObjectId> ids;
+  ids.reserve(count);
+  cluster.front_door().set_outcome_sink([&ids](const shard::Outcome& o) {
+    if (o.committed) ids.push_back(o.created);
+  });
+  const std::size_t shard_count = cluster.shards().shard_count();
+  std::uint64_t key = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const shard::ShardId want = i % shard_count;
+    while (cluster.shards().shard_of_key(key) != want) ++key;
+    shard::Request req;
+    req.op = shard::RequestOp::Create;
+    req.class_name = "TestEntity";
+    req.client = key++;
+    cluster.submit(std::move(req));
+  }
+  cluster.front_door().drain();
+  cluster.front_door().set_outcome_sink(nullptr);
+  return ids;
+}
+
 void check_primary_per_partition(Cluster& cluster, DedisysNode& invoker,
                                  ObjectId target, ChaosResult& result) {
   const std::vector<NodeId> part =
-      cluster.network().mutually_reachable_set(invoker.id());
+      cluster.sim().network.mutually_reachable_set(invoker.id());
   std::optional<NodeId> primary;
   for (NodeId nid : part) {
     DedisysNode* peer = cluster.node_by_id(nid);
@@ -78,6 +105,7 @@ ChaosResult run_chaos(const ChaosOptions& options) {
   config.protocol = options.protocol;
   config.flags = options.flags;
   config.flags.observability = true;  // the timeline is the oracle
+  config.shards = options.shards;
   Cluster cluster(config);
   AdminConsole admin(cluster);
 
@@ -88,11 +116,16 @@ ChaosResult run_chaos(const ChaosOptions& options) {
     // the batch order silently falls back to the legacy identity order.
     analysis::analyze_repository(cluster.constraints(), &cluster.classes());
   }
+  // shards == 1 keeps the legacy full-replication create path so existing
+  // seed-pinned timelines stay byte-identical; with more shards the
+  // entities enter through the front door, confined to their shard.
   const std::vector<ObjectId> ids =
-      EvalApp::create_entities(cluster.node(0), options.objects);
+      options.shards > 1
+          ? create_entities_sharded(cluster, options.objects)
+          : EvalApp::create_entities(cluster.node(0), options.objects);
 
   RandomPlanOptions plan_options;
-  plan_options.nodes = cluster.network().nodes();
+  plan_options.nodes = cluster.sim().network.nodes();
   plan_options.horizon = options.horizon;
   plan_options.events = options.fault_events;
   FaultPlan plan;
@@ -103,16 +136,16 @@ ChaosResult run_chaos(const ChaosOptions& options) {
   } else {
     plan = random_fault_plan(options.seed, plan_options);
   }
-  FaultEngine engine(cluster.network(), std::move(plan));
+  FaultEngine engine(cluster.sim().network, std::move(plan));
   cluster.adopt_fault_engine(engine);
 
   RecordingConflictHandler recorder;
 
   auto all_up_and_connected = [&] {
-    for (NodeId n : cluster.network().nodes()) {
-      if (!cluster.network().is_alive(n)) return false;
+    for (NodeId n : cluster.sim().network.nodes()) {
+      if (!cluster.sim().network.is_alive(n)) return false;
     }
-    return cluster.network().fully_connected();
+    return cluster.sim().network.fully_connected();
   };
   auto needs_reconcile = [&] {
     for (std::size_t i = 0; i < cluster.size(); ++i) {
@@ -150,7 +183,7 @@ ChaosResult run_chaos(const ChaosOptions& options) {
     DedisysNode& invoker = cluster.node(workload.below(cluster.size()));
     const ObjectId target = ids[workload.below(ids.size())];
     const std::uint64_t kind = workload.below(4);
-    if (!cluster.network().is_alive(invoker.id())) {
+    if (!cluster.sim().network.is_alive(invoker.id())) {
       ++result.skipped_node_down;
       continue;
     }

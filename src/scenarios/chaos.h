@@ -30,6 +30,14 @@ struct ChaosOptions {
   std::size_t objects = 4;
   std::size_t ops = 60;
   std::size_t fault_events = 10;
+  /// Replica groups the entity space is partitioned across (1 = the
+  /// classic fully-replicated soak, byte-identical to pre-shard runs).
+  /// With more shards the entities are created through the sharded front
+  /// door — replicas confined to each shard's node group — and the same
+  /// invariants (no lost threats, P4 per shard and partition, post-heal
+  /// convergence) are asserted under plans cutting across shard
+  /// boundaries.
+  std::size_t shards = 1;
   SimDuration horizon = sim_ms(400);
   ReplicationProtocol protocol = ReplicationProtocol::PrimaryPartition;
   /// Feature toggles forwarded to ClusterConfig verbatim.  Observability is

@@ -112,7 +112,7 @@ void ScriptRunner::execute(const std::vector<std::string>& words,
   ScriptCommandResult result;
   result.line = line;
   result.command = join(words, " ");
-  const SimTime start = cluster_->clock().now();
+  const SimTime start = cluster_->sim().clock.now();
 
   if (cmd == "node") {
     need(1);
@@ -166,16 +166,16 @@ void ScriptRunner::execute(const std::vector<std::string>& words,
     }
   } else if (cmd == "split") {
     need(1);
-    cluster_->split(parse_groups(words[1]));
+    cluster_->inject(fault::split_indices(parse_groups(words[1])));
   } else if (cmd == "heal") {
-    cluster_->heal();
+    cluster_->inject(fault::Heal{});
   } else if (cmd == "crash") {
     need(1);
-    cluster_->network().apply(
+    cluster_->sim().network.apply(
         fault::Crash{cluster_->node(to_count(words[1], line)).id()});
   } else if (cmd == "recover") {
     need(1);
-    cluster_->network().apply(
+    cluster_->sim().network.apply(
         fault::Restart{cluster_->node(to_count(words[1], line)).id()});
   } else if (cmd == "reconcile") {
     (void)cluster_->reconcile();
@@ -216,7 +216,7 @@ void ScriptRunner::execute(const std::vector<std::string>& words,
                       ": unknown command '" + cmd + "'");
   }
 
-  result.elapsed = cluster_->clock().now() - start;
+  result.elapsed = cluster_->sim().clock.now() - start;
   report.commands.push_back(std::move(result));
 }
 
@@ -227,29 +227,31 @@ void ScriptRunner::execute(const std::vector<std::string>& words,
 FailureSchedule& FailureSchedule::split_at(
     SimTime when, std::vector<std::vector<std::size_t>> groups) {
   Cluster* cluster = cluster_;
-  cluster_->events().schedule_at(
-      when, [cluster, groups = std::move(groups)] { cluster->split(groups); });
+  cluster_->sim().events.schedule_at(
+      when, [cluster, groups = std::move(groups)] {
+        cluster->inject(fault::split_indices(groups));
+      });
   return *this;
 }
 
 FailureSchedule& FailureSchedule::heal_at(SimTime when) {
   Cluster* cluster = cluster_;
-  cluster_->events().schedule_at(when, [cluster] { cluster->heal(); });
+  cluster_->sim().events.schedule_at(when, [cluster] { cluster->inject(fault::Heal{}); });
   return *this;
 }
 
 FailureSchedule& FailureSchedule::crash_at(SimTime when, std::size_t node) {
   Cluster* cluster = cluster_;
-  cluster_->events().schedule_at(when, [cluster, node] {
-    cluster->network().apply(fault::Crash{cluster->node(node).id()});
+  cluster_->sim().events.schedule_at(when, [cluster, node] {
+    cluster->sim().network.apply(fault::Crash{cluster->node(node).id()});
   });
   return *this;
 }
 
 FailureSchedule& FailureSchedule::recover_at(SimTime when, std::size_t node) {
   Cluster* cluster = cluster_;
-  cluster_->events().schedule_at(when, [cluster, node] {
-    cluster->network().apply(fault::Restart{cluster->node(node).id()});
+  cluster_->sim().events.schedule_at(when, [cluster, node] {
+    cluster->sim().network.apply(fault::Restart{cluster->node(node).id()});
   });
   return *this;
 }

@@ -1,0 +1,132 @@
+// FrontDoor: prioritized admission control and load shedding in front of a
+// sharded cluster.
+//
+// Every shard owns one bounded, priority-ordered request queue.  submit()
+// routes a Request to its owning shard (forwarding — one charged hop —
+// when the client addressed a node outside that shard's replica group),
+// checks the escalated admission fee, and either queues the request or
+// sheds it with an explicit reason.  pump() applies one batch per shard
+// into the node kernels, best-ranked first, each request in its own
+// transaction unless it joined a caller-owned one (cross-shard atomicity
+// through the cluster-wide 2PC).
+//
+// Fee escalation follows rippled's TxQ: flat base fee while the queue is
+// below a threshold depth, then the required fee grows quadratically with
+// depth, so overload degrades into explicit, observable shedding instead
+// of unbounded queueing.  A full queue evicts its cheapest entry when a
+// higher-ranked request arrives (the evicted ticket gets a QueueFull
+// outcome), otherwise the newcomer is shed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "shard/policy.h"
+#include "shard/request.h"
+#include "shard/shard_map.h"
+
+namespace dedisys {
+class Cluster;
+class DedisysNode;
+}  // namespace dedisys
+
+namespace dedisys::shard {
+
+class FrontDoor {
+ public:
+  /// Lifetime per-shard counters (all monotonically increasing except
+  /// `depth`); exported through metrics_json() and /metrics.prom.
+  struct ShardStats {
+    std::size_t submitted = 0;  ///< requests routed to this shard
+    std::size_t admitted = 0;   ///< queued (includes later-evicted ones)
+    std::size_t applied = 0;    ///< taken off the queue and executed
+    std::size_t committed = 0;  ///< applied and committed/accepted
+    std::size_t aborted = 0;    ///< applied but rolled back (violation, ...)
+    std::size_t forwarded = 0;  ///< arrived via a non-replica node
+    std::size_t batches = 0;    ///< pump() rounds that applied work
+    std::size_t evicted = 0;    ///< queued entries displaced by higher rank
+    std::size_t shed_queue_full = 0;
+    std::size_t shed_fee = 0;
+    std::size_t shed_unavailable = 0;
+    std::size_t shed_bad_request = 0;
+    std::size_t depth = 0;      ///< current queue depth
+    std::size_t max_depth = 0;  ///< high-water mark
+
+    [[nodiscard]] std::size_t shed_total() const {
+      return shed_queue_full + shed_fee + shed_unavailable + shed_bad_request;
+    }
+    void add(const ShardStats& o);
+  };
+
+  FrontDoor(Cluster& cluster, ShardMap& map, ShardPolicy policy);
+
+  /// Admission: route, fee-check, queue or shed.  Never throws for
+  /// routine overload — shedding is a return value, not an exception.
+  Submission submit(Request request);
+
+  /// Applies up to policy().batch_size queued requests per shard (one
+  /// batch-overhead charge per non-empty shard); returns requests applied.
+  std::size_t pump();
+
+  /// Pumps until every queue is empty; returns total requests applied.
+  std::size_t drain();
+
+  /// Admission fee a new submission to `shard` must offer right now.
+  [[nodiscard]] std::uint64_t required_fee(ShardId shard) const {
+    return required_fee_at(queues_[shard].size());
+  }
+
+  [[nodiscard]] std::size_t queue_depth(ShardId shard) const {
+    return queues_[shard].size();
+  }
+
+  /// The node a request to `shard` would execute on right now: the first
+  /// replica of the group that is up — the shard's acting primary for
+  /// observability purposes (its designated home while healthy).
+  [[nodiscard]] NodeId current_target(ShardId shard) const;
+
+  [[nodiscard]] const ShardStats& stats(ShardId shard) const {
+    return stats_[shard];
+  }
+  [[nodiscard]] ShardStats totals() const;
+  [[nodiscard]] const ShardPolicy& policy() const { return policy_; }
+  [[nodiscard]] const ShardMap& map() const { return *map_; }
+
+  /// Observer of every apply/eviction outcome.  Outcomes are not stored
+  /// per ticket (a saturation run submits millions); install a sink to
+  /// correlate tickets with results.
+  void set_outcome_sink(std::function<void(const Outcome&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+ private:
+  struct Entry {
+    Request request;
+    std::uint64_t ticket = 0;
+    std::uint64_t fee = 0;  ///< effective offered fee (0 -> base fee)
+    SimTime submitted_at = 0;
+  };
+
+  /// True when `a` must apply before `b`: higher priority class first,
+  /// then higher fee, then earlier submission (FIFO).
+  [[nodiscard]] static bool ranks_before(const Entry& a, const Entry& b);
+
+  [[nodiscard]] std::uint64_t required_fee_at(std::size_t depth) const;
+  void shed(ShardId shard, ShedReason reason, const Request& request);
+  Outcome apply_one(ShardId shard, Entry entry);
+  void deliver(const Outcome& outcome) {
+    if (sink_) sink_(outcome);
+  }
+
+  Cluster* cluster_;
+  ShardMap* map_;
+  ShardPolicy policy_;
+  std::vector<std::vector<Entry>> queues_;  ///< per shard, best-ranked first
+  std::vector<ShardStats> stats_;
+  std::uint64_t next_ticket_ = 1;
+  std::function<void(const Outcome&)> sink_;
+};
+
+}  // namespace dedisys::shard

@@ -1,0 +1,40 @@
+// Shard/admission policy knobs carried by ClusterConfig.
+//
+// Kept in its own header so ClusterConfig can embed the policy without
+// pulling the whole front-door implementation into every middleware
+// include.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dedisys::shard {
+
+/// Tuning of the sharded front door.  The fee-escalation model follows
+/// rippled's TxQ: below `escalation_threshold` of capacity the admission
+/// fee is flat (`base_fee`); above it the required fee grows with the
+/// square of the queue depth, so under overload only clients willing to
+/// outbid the backlog are admitted and everyone else is shed with an
+/// explicit reason instead of silently queueing forever.
+struct ShardPolicy {
+  /// Bounded per-shard queue capacity.  A full queue evicts its cheapest
+  /// entry when a higher-ranked request arrives, else sheds the newcomer.
+  std::size_t queue_capacity = 256;
+  /// Requests applied per shard per pump() round (NetworkOPs-style
+  /// batching: one batch overhead amortized over the whole batch).
+  std::size_t batch_size = 16;
+  /// Flat admission fee while the queue is below the escalation threshold.
+  std::uint64_t base_fee = 10;
+  /// Fraction of capacity where fee escalation starts (TxQ's "expected
+  /// ledger size" analogue).
+  double escalation_threshold = 0.5;
+  /// Simulated cost charged once per applied batch (scheduling overhead);
+  /// per-request costs come from the middleware invocation path itself.
+  std::int64_t batch_overhead_us = 5;
+  /// Run each request without an explicit Request::tx in its own
+  /// transaction (commit semantics, threat negotiation, 2PC).  Off =
+  /// apply non-transactionally — cheaper, used by saturation benches.
+  bool transactional = true;
+};
+
+}  // namespace dedisys::shard

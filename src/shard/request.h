@@ -1,0 +1,127 @@
+// Value-typed front-door API: how client work enters a sharded cluster.
+//
+// Instead of poking `cluster.node(i)` directly, clients build a `Request`,
+// submit it to `Cluster::submit()` and get back a `Submission` — either a
+// queue ticket or an explicit shed with a machine-readable reason.  The
+// admission queue applies requests in priority/fee order on `pump()`, and
+// each applied request produces one `Outcome` (delivered to the optional
+// outcome sink; counters are always kept).  A client observes the same
+// accept/threat verdict whether its request lands on the owning shard's
+// home node or was addressed to any other node and forwarded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "objects/value.h"
+#include "shard/shard_map.h"
+#include "util/ids.h"
+#include "util/sim_clock.h"
+
+namespace dedisys::shard {
+
+enum class RequestOp {
+  Create,   ///< create an entity of `class_name` on the target shard
+  Invoke,   ///< invoke `method` on the logical object `target`
+  Destroy,  ///< destroy the logical object `target`
+};
+
+/// Admission classes, most important first.  Within a class the queue
+/// orders by offered fee, then submission order (FIFO).
+enum class PriorityClass : std::uint8_t {
+  High = 0,
+  Normal = 1,
+  Low = 2,
+};
+
+[[nodiscard]] inline const char* to_string(PriorityClass p) {
+  switch (p) {
+    case PriorityClass::High: return "high";
+    case PriorityClass::Normal: return "normal";
+    case PriorityClass::Low: return "low";
+  }
+  return "?";
+}
+
+/// Why a request was load-shed instead of queued/applied.
+enum class ShedReason : std::uint8_t {
+  None = 0,
+  QueueFull,          ///< shard queue at capacity and the request did not
+                      ///< outrank the cheapest queued entry
+  FeeBelowRequired,   ///< offered fee below the escalated admission fee
+  ShardUnavailable,   ///< no reachable replica of the owning shard
+  BadRequest,         ///< unknown class / unknown target object
+};
+
+[[nodiscard]] inline const char* to_string(ShedReason r) {
+  switch (r) {
+    case ShedReason::None: return "none";
+    case ShedReason::QueueFull: return "queue_full";
+    case ShedReason::FeeBelowRequired: return "fee_below_required";
+    case ShedReason::ShardUnavailable: return "shard_unavailable";
+    case ShedReason::BadRequest: return "bad_request";
+  }
+  return "?";
+}
+
+/// One unit of client work.  `client` is the shard-routing key for creates
+/// (object placement follows the submitting client); invokes and destroys
+/// route by the target object's recorded shard.
+struct Request {
+  RequestOp op = RequestOp::Invoke;
+  std::string class_name;           ///< Create: entity class
+  std::string application;          ///< Create: constraint-repository scope
+  ObjectId target;                  ///< Invoke/Destroy: logical object
+  std::string method;               ///< Invoke: method name
+  std::vector<Value> args;          ///< Invoke: arguments
+  PriorityClass priority = PriorityClass::Normal;
+  std::uint64_t fee = 0;            ///< offered admission fee (0 = base)
+  std::uint64_t client = 0;         ///< client identity / routing key
+  /// Node the client addressed (where the request physically arrived).
+  /// When it is not a replica of the owning shard the front door forwards
+  /// — one charged hop — instead of rejecting (forward-or-redirect).
+  std::optional<NodeId> via;
+  /// Join an already-open transaction instead of running in an implicit
+  /// per-request one: requests of several shards sharing a tx commit or
+  /// abort atomically through the cluster-wide 2PC (the caller commits).
+  std::optional<TxId> tx;
+};
+
+enum class SubmissionStatus : std::uint8_t {
+  Queued,  ///< admitted; an Outcome follows once a pump() applies it
+  Shed,    ///< rejected at the door; `reason` says why
+};
+
+/// Immediate answer of submit(): admission verdict plus enough context for
+/// the client to react (escalated fee to retry with, observed queue depth).
+struct Submission {
+  std::uint64_t ticket = 0;  ///< identity linking to the eventual Outcome
+  SubmissionStatus status = SubmissionStatus::Shed;
+  ShedReason reason = ShedReason::None;
+  ShardId shard = 0;             ///< owning shard the request routed to
+  bool forwarded = false;        ///< arrived via a non-replica node
+  std::uint64_t required_fee = 0;  ///< admission fee at submission time
+  std::size_t queue_depth = 0;     ///< shard queue depth after admission
+
+  [[nodiscard]] bool admitted() const {
+    return status == SubmissionStatus::Queued;
+  }
+};
+
+/// Result of applying one admitted request.
+struct Outcome {
+  std::uint64_t ticket = 0;
+  ShardId shard = 0;
+  bool committed = false;
+  ShedReason shed = ShedReason::None;  ///< ShardUnavailable when the shard
+                                       ///< had no reachable replica at apply
+  std::string error;                   ///< abort/violation detail
+  ObjectId created;                    ///< Create: the new object
+  Value result;                        ///< Invoke: return value
+  SimTime submitted_at = 0;            ///< arrival (queueing-delay anchor)
+  SimTime completed_at = 0;            ///< apply finished
+};
+
+}  // namespace dedisys::shard

@@ -1,0 +1,125 @@
+// Shard map: partitions the entity space across replica groups.
+//
+// Each shard is a contiguous slice of the cluster's nodes that runs the
+// full GMS/replication/P4/CCMgr stack independently: objects created
+// through the front door are replicated only on their shard's nodes, so a
+// write multicast touches one replica group instead of the whole cluster.
+// Routing is two-level: client keys map to shards through a fixed avalanche
+// hash (stable across runs and releases — the pins in tests/test_shard.cpp
+// guard it), and every created object records an explicit assignment so
+// lookups never depend on how an object id happens to hash.  Cross-shard
+// transactions need no extra machinery: the transaction manager is
+// cluster-wide, so one tx spanning two shards rides the existing 2PC.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/errors.h"
+#include "util/ids.h"
+
+namespace dedisys::shard {
+
+using ShardId = std::size_t;
+
+class ShardMap {
+ public:
+  /// Partitions `nodes` into `shards` contiguous replica groups.  Requires
+  /// 1 <= shards <= nodes.size(); group sizes differ by at most one.
+  ShardMap(std::vector<NodeId> nodes, std::size_t shards) {
+    if (shards == 0) shards = 1;
+    if (shards > nodes.size()) {
+      throw ConfigError("shards (" + std::to_string(shards) +
+                        ") exceeds cluster size (" +
+                        std::to_string(nodes.size()) + ")");
+    }
+    groups_.resize(shards);
+    const std::size_t n = nodes.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      // Contiguous slices: shard s owns nodes [s*n/S, (s+1)*n/S).
+      groups_[i * shards / n].push_back(nodes[i]);
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (NodeId node : groups_[s]) shard_of_node_[node] = s;
+    }
+  }
+
+  /// Fixed 64-bit avalanche mix (splitmix64 finalizer).  Deliberately not
+  /// std::hash: the mapping from client key to shard must be identical on
+  /// every platform and stay stable forever (persisted assignments and the
+  /// committed bench baselines depend on it).
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t key) {
+    key += 0x9e3779b97f4a7c15ULL;
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+    return key ^ (key >> 31);
+  }
+
+  /// Shard a client key (account id, session id, ...) routes to.
+  [[nodiscard]] ShardId shard_of_key(std::uint64_t key) const {
+    return static_cast<ShardId>(mix(key) % groups_.size());
+  }
+
+  /// Records where an object was placed at creation time.
+  void assign(ObjectId id, ShardId shard) {
+    assigned_[id] = bounds_checked(shard);
+  }
+
+  /// Drops the assignment of a destroyed object (its id may be reused by a
+  /// later create that lands on a different shard).
+  void forget(ObjectId id) { assigned_.erase(id); }
+
+  /// Shard owning `id`: the explicit creation-time assignment when one was
+  /// recorded, else the hash of the raw id (objects that predate sharding
+  /// or were created outside the front door).
+  [[nodiscard]] ShardId shard_of(ObjectId id) const {
+    const auto it = assigned_.find(id);
+    if (it != assigned_.end()) return it->second;
+    return shard_of_key(id.value());
+  }
+
+  /// Replica group of one shard (the nodes its objects live on).
+  [[nodiscard]] const std::vector<NodeId>& nodes_of(ShardId shard) const {
+    return groups_[bounds_checked(shard)];
+  }
+
+  /// Designated home of a shard: the first node of its group (creations
+  /// enter here, making it the designated primary of new objects).
+  [[nodiscard]] NodeId home_of(ShardId shard) const {
+    return groups_[bounds_checked(shard)].front();
+  }
+
+  /// Whether `node` belongs to `shard`'s replica group.
+  [[nodiscard]] bool owns(ShardId shard, NodeId node) const {
+    const auto it = shard_of_node_.find(node);
+    return it != shard_of_node_.end() && it->second == bounds_checked(shard);
+  }
+
+  /// Shard whose replica group contains `node`; throws for unknown nodes.
+  [[nodiscard]] ShardId shard_of_node(NodeId node) const {
+    const auto it = shard_of_node_.find(node);
+    if (it == shard_of_node_.end()) {
+      throw ConfigError("node " + to_string(node) + " is in no shard");
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return groups_.size(); }
+  [[nodiscard]] std::size_t assigned_count() const { return assigned_.size(); }
+
+ private:
+  [[nodiscard]] ShardId bounds_checked(ShardId shard) const {
+    if (shard >= groups_.size()) {
+      throw ConfigError("shard " + std::to_string(shard) + " out of range");
+    }
+    return shard;
+  }
+
+  std::vector<std::vector<NodeId>> groups_;
+  std::unordered_map<NodeId, ShardId> shard_of_node_;
+  std::unordered_map<ObjectId, ShardId> assigned_;
+};
+
+}  // namespace dedisys::shard

@@ -11,6 +11,7 @@
 // byte-identical event schedule.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -150,6 +151,23 @@ using Op =
 
 /// Human-readable one-line description (trace event detail).
 [[nodiscard]] std::string describe(const Op& op);
+
+/// Convenience for tests and benches: builds a Partition op from dense
+/// node indices (a Cluster constructs node i as NodeId{i}), so
+/// `cluster.inject(fault::split_indices({{0, 1}, {2}}))` reads like the
+/// deprecated index-based `Cluster::split`.
+[[nodiscard]] inline Partition split_indices(
+    const std::vector<std::vector<std::size_t>>& groups) {
+  Partition p;
+  p.groups.reserve(groups.size());
+  for (const auto& g : groups) {
+    std::vector<NodeId> ids;
+    ids.reserve(g.size());
+    for (std::size_t i : g) ids.push_back(NodeId{i});
+    p.groups.push_back(std::move(ids));
+  }
+  return p;
+}
 
 }  // namespace fault
 

@@ -121,7 +121,7 @@ TEST_F(AdaptFixture, RedirectionRespectsPartitions) {
   cluster_.node(0).set_client_monitor(balancer);
   DedisysNode& n = cluster_.node(0);
   const ObjectId f = FlightBooking::create_flight(n, 50);
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   // Reads keep working, balanced only over reachable replicas {0,1}.
   for (int i = 0; i < 6; ++i) {
     TxScope tx(n.tx());

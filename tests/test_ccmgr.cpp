@@ -57,7 +57,7 @@ TEST_F(CcmgrTest, HealthyModeNeverCreatesThreats) {
 TEST_F(CcmgrTest, DegradedModeDetectsThreatsViaStaleness) {
   DedisysNode& n = cluster_.node(0);
   const auto ids = EvalApp::create_entities(n, 1);
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   // Static negotiation: TouchHard has no min degree, app default is
   // Satisfied -> threat rejected.
   EXPECT_FALSE(EvalApp::run_op(n, ids[0], "emptyThreat"));
@@ -69,7 +69,7 @@ TEST_F(CcmgrTest, DegradedModeDetectsThreatsViaStaleness) {
 TEST_F(CcmgrTest, DynamicNegotiationHandlerTakesPriority) {
   DedisysNode& n = cluster_.node(0);
   const auto ids = EvalApp::create_entities(n, 1);
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   // Dynamic handler accepts what static negotiation would reject.
   EXPECT_TRUE(EvalApp::run_op_negotiated(
       n, ids[0], "emptyThreat", std::make_shared<AcceptAllNegotiation>()));
@@ -87,7 +87,7 @@ TEST_F(CcmgrTest, RejectingHandlerAbortsTransaction) {
   };
   DedisysNode& n = cluster_.node(0);
   const auto ids = EvalApp::create_entities(n, 1);
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   EXPECT_FALSE(EvalApp::run_op_negotiated(n, ids[0], "emptyThreat",
                                           std::make_shared<RejectAll>()));
   EXPECT_EQ(cluster_.threats().identity_count(), 0u);
@@ -105,7 +105,7 @@ TEST_F(CcmgrTest, ThreatsOfAbortedTransactionsAreNotPersisted) {
   };
   DedisysNode& n = cluster_.node(0);
   const auto ids = EvalApp::create_entities(n, 1);
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   {
     TxScope tx(n.tx());
     n.ccmgr().register_negotiation_handler(
@@ -135,7 +135,7 @@ TEST_F(CcmgrTest, SoftConstraintValidatedAtCommitNotPerOperation) {
 TEST_F(CcmgrTest, AsyncConstraintSkipsValidationInDegradedMode) {
   DedisysNode& n = cluster_.node(0);
   const auto ids = EvalApp::create_entities(n, 1);
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   const std::size_t validations_before = n.ccmgr().stats().validations;
   EXPECT_TRUE(EvalApp::run_op(n, ids[0], "emptyAsyncThreat"));
   // No validation, no negotiation — but a threat was recorded.
@@ -157,7 +157,7 @@ TEST_F(CcmgrTest, StaticNegotiationRespectsConfiguredMinimumDegree) {
       SatisfactionDegree::PossiblySatisfied);
   DedisysNode& n = cluster_.node(0);
   const auto ids = EvalApp::create_entities(n, 1);
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   EXPECT_TRUE(EvalApp::run_op(n, ids[0], "emptyThreat"));
   EXPECT_EQ(n.ccmgr().stats().threats_accepted, 1u);
 }
@@ -171,7 +171,7 @@ TEST_F(CcmgrTest, ApplicationWideDefaultDegreeActsAsFallback) {
   EvalApp::register_constraints(permissive.constraints());
   DedisysNode& n = permissive.node(0);
   const auto ids = EvalApp::create_entities(n, 1);
-  permissive.split({{0, 1}, {2}});
+  permissive.inject(fault::split_indices({{0, 1}, {2}}));
   EXPECT_TRUE(EvalApp::run_op(n, ids[0], "emptyThreat"));
   EXPECT_EQ(permissive.threats().identity_count(), 1u);
 }
@@ -186,10 +186,10 @@ TEST_F(CcmgrTest, SatisfyingBusinessOperationRemovesStoredThreat) {
   FlightBooking::register_constraints(cl.constraints());
   DedisysNode& n = cl.node(0);
   const ObjectId flight = FlightBooking::create_flight(n, 100);
-  cl.split({{0, 1}, {2}});
+  cl.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBooking::sell(n, flight, 5);
   EXPECT_EQ(cl.threats().identity_count(), 1u);
-  cl.heal();
+  cl.inject(fault::Heal{});
   // A fully-checkable satisfied validation triggered by business activity
   // cleans the stored threat (Section 4.4) without running reconciliation.
   FlightBooking::sell(n, flight, 1);
@@ -199,7 +199,7 @@ TEST_F(CcmgrTest, SatisfyingBusinessOperationRemovesStoredThreat) {
 TEST_F(CcmgrTest, ThreatenedObjectsReportsAffectedObjects) {
   DedisysNode& n = cluster_.node(0);
   const auto ids = EvalApp::create_entities(n, 2);
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   EXPECT_TRUE(EvalApp::run_op_negotiated(
       n, ids[0], "emptyThreat", std::make_shared<AcceptAllNegotiation>()));
   const auto threatened = n.ccmgr().threatened_objects();
@@ -216,7 +216,7 @@ TEST_F(CcmgrTest, NccProducesUncheckableAndCanBeAccepted) {
       "TestEntity", tx.id(), std::vector<NodeId>{NodeId{2}});
   tx.commit();
 
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   DedisysNode& n0 = cluster_.node(0);
   cluster_.constraints().find("TouchHard").set_min_satisfaction_degree(
       SatisfactionDegree::Uncheckable);

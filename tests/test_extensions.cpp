@@ -142,7 +142,7 @@ class DeferredNegotiationTest : public ::testing::Test {
     EvalApp::define_classes(cluster_.classes());
     EvalApp::register_constraints(cluster_.constraints());
     ids_ = EvalApp::create_entities(cluster_.node(0), 2);
-    cluster_.split({{0, 1}, {2}});
+    cluster_.inject(fault::split_indices({{0, 1}, {2}}));
     cluster_.node(0).ccmgr().set_negotiation_timing(
         ConstraintConsistencyManager::NegotiationTiming::Deferred);
   }
@@ -273,7 +273,7 @@ TEST_F(DtmsTest, InconsistentRetuneRejectedWhenHealthy) {
 }
 
 TEST_F(DtmsTest, PartitionMakesPeerUnreachableAndThreatUncheckable) {
-  cluster_.split({{0}, {1}});
+  cluster_.inject(fault::split_indices({{0}, {1}}));
   DedisysNode& a = cluster_.node(0);
   // Peer has no replica in this partition: NCC.
   EXPECT_FALSE(a.replication().reachable(channel_.endpoint_b));
@@ -289,14 +289,14 @@ TEST_F(DtmsTest, PartitionMakesPeerUnreachableAndThreatUncheckable) {
 }
 
 TEST_F(DtmsTest, ReconciliationResolvesRealMismatch) {
-  cluster_.split({{0}, {1}});
+  cluster_.inject(fault::split_indices({{0}, {1}}));
   {
     TxScope tx(cluster_.node(0).tx());
     cluster_.node(0).invoke(tx.id(), channel_.endpoint_a, "setFrequency",
                             {Value{std::int64_t{122800}}});
     tx.commit();
   }
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
 
   class Resync final : public ConstraintReconciliationHandler {
    public:
@@ -335,13 +335,13 @@ TEST(CrashRecovery, CrashedNodeTreatedAsPartitionThenRecovers) {
   const ObjectId flight = FlightBooking::create_flight(n0, 80);
   FlightBooking::sell(n0, flight, 10);
 
-  cluster.network().apply(fault::Crash{NodeId{2}});
+  cluster.sim().network.apply(fault::Crash{NodeId{2}});
   EXPECT_EQ(n0.mode(), SystemMode::Degraded);
   // Work continues; threats arise because node 2 might be a partition.
   FlightBooking::sell(n0, flight, 5);
   EXPECT_EQ(cluster.threats().identity_count(), 1u);
 
-  cluster.network().apply(fault::Restart{NodeId{2}});
+  cluster.sim().network.apply(fault::Restart{NodeId{2}});
   EXPECT_EQ(n0.mode(), SystemMode::Reconciling);
   const auto report = cluster.reconcile();
   EXPECT_EQ(report.replica.conflicts, 0u);  // it was a crash, not a split
@@ -400,12 +400,12 @@ TEST(Determinism, IdenticalRunsAreBitwiseRepeatable) {
     for (int i = 0; i < 20; ++i) {
       FlightBooking::sell(cluster.node(static_cast<std::size_t>(i % 3)), f, 2);
     }
-    cluster.split({{0, 1}, {2}});
+    cluster.inject(fault::split_indices({{0, 1}, {2}}));
     FlightBooking::sell(cluster.node(0), f, 1);
     FlightBooking::sell(cluster.node(2), f, 1);
-    cluster.heal();
+    cluster.inject(fault::Heal{});
     (void)cluster.reconcile();
-    return std::make_pair(cluster.clock().now(),
+    return std::make_pair(cluster.sim().clock.now(),
                           FlightBooking::sold(cluster.node(1), f));
   };
   const auto a = run();

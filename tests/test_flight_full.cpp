@@ -92,7 +92,7 @@ TEST_F(FlightFullTest, PartitionedBookingOverbooksAndReconciles) {
   cluster_.constraints().find("TicketConstraint").set_min_satisfaction_degree(
       SatisfactionDegree::Uncheckable);
 
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   // One more booking per partition; globally 4 > 3.
   EXPECT_NO_THROW(
       FlightBookingFull::book(cluster_.node(0), flight_, persons_[2]));
@@ -100,7 +100,7 @@ TEST_F(FlightFullTest, PartitionedBookingOverbooksAndReconciles) {
       FlightBookingFull::book(cluster_.node(2), flight_, persons_[3]));
   EXPECT_GE(cluster_.threats().identity_count(), 1u);
 
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   class Rebook final : public ConstraintReconciliationHandler {
    public:
     Rebook(Cluster& c, ObjectId flight) : cluster_(&c), flight_(flight) {}
@@ -138,7 +138,7 @@ TEST_F(FlightFullTest, PartitionedBookingOverbooksAndReconciles) {
 
 TEST_F(FlightFullTest, AdminListsThreatsAndExportsConstraints) {
   AdminConsole admin(cluster_);
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBookingFull::book(cluster_.node(0), flight_, persons_[0]);
 
   const auto threats = admin.list_threats();
@@ -170,7 +170,7 @@ TEST_F(FlightFullTest, AdminDisableEnableWithRevalidation) {
 
 TEST_F(FlightFullTest, AdminThreatStateSurvivesRestart) {
   AdminConsole admin(cluster_);
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBookingFull::book(cluster_.node(0), flight_, persons_[0]);
   ASSERT_EQ(cluster_.threats().identity_count(), 1u);
 

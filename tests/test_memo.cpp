@@ -247,7 +247,7 @@ TEST_F(MemoClusterTest, DegradedValidationsBypassTheMemo) {
   FlightBooking::sell(cluster_.node(0), flight_, 10);
   auto& ccm = cluster_.node(0).ccmgr();
   const auto before = ccm.memo_stats();  // copy
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   // LCC semantics: degrees depend on partition state, so degraded-mode
   // validations neither consult nor fill the cache.
   FlightBooking::sell(cluster_.node(0), flight_, 5);
@@ -257,12 +257,12 @@ TEST_F(MemoClusterTest, DegradedValidationsBypassTheMemo) {
 }
 
 TEST_F(MemoClusterTest, ReconcileBatchesViaWarmMemoEntries) {
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   // The referenced flight is possibly stale (its node-2 replica is out of
   // view), so the booking commits with an accepted threat.
   book(cluster_.node(0));
   EXPECT_EQ(cluster_.threats().identity_count(), 1u);
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   auto& ccm = cluster_.node(0).ccmgr();
   // Healthy again: this revalidation evaluates once and warms the cache.
   EXPECT_TRUE(
@@ -280,10 +280,10 @@ TEST_F(MemoClusterTest, DegradedWritesSurfaceAsStaleAtReconciliation) {
   book(cluster_.node(0));  // healthy: warms (RefTicketConstraint, flight)
   auto& ccm = cluster_.node(0).ccmgr();
   EXPECT_GE(ccm.memo_stats().stores, 1u);
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBooking::sell(cluster_.node(0), flight_, 5);  // flight stamp moves
   book(cluster_.node(0));  // degraded booking: stored threat
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   const std::size_t invalidations = ccm.memo_stats().invalidations;
   const auto report = cluster_.reconcile();
   EXPECT_EQ(report.constraints.removed_satisfied, 1u);

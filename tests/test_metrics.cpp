@@ -55,7 +55,7 @@ TEST(Metrics, DegradedModeVisibleInSnapshot) {
   EvalApp::define_classes(cluster.classes());
   EvalApp::register_constraints(cluster.constraints());
   const auto ids = EvalApp::create_entities(cluster.node(0), 1);
-  cluster.split({{0, 1}, {2}});
+  cluster.inject(fault::split_indices({{0, 1}, {2}}));
   EvalApp::run_op_negotiated(cluster.node(0), ids[0], "emptyThreat",
                              std::make_shared<AcceptAllNegotiation>());
 
@@ -77,7 +77,7 @@ TEST(Metrics, JsonExportMatchesSnapshot) {
   EvalApp::define_classes(cluster.classes());
   EvalApp::register_constraints(cluster.constraints());
   const auto ids = EvalApp::create_entities(cluster.node(0), 2);
-  cluster.split({{0, 1}, {2}});
+  cluster.inject(fault::split_indices({{0, 1}, {2}}));
   EvalApp::run_op_negotiated(cluster.node(0), ids[0], "emptyThreat",
                              std::make_shared<AcceptAllNegotiation>());
 
@@ -119,7 +119,7 @@ TEST(WebMultiThreat, TwoNegotiationRoundTripsInOneBusinessRequest) {
   DedisysNode& node = cluster.node(0);
   const ObjectId f1 = FlightBooking::create_flight(node, 80);
   const ObjectId f2 = FlightBooking::create_flight(node, 80);
-  cluster.split({{0, 1}, {2}});
+  cluster.inject(fault::split_indices({{0, 1}, {2}}));
 
   std::shared_ptr<web::WebNegotiationBridge> bridge;
   web::WebBusinessServlet servlet([&] {

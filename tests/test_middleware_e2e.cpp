@@ -119,7 +119,7 @@ TEST_F(FlightCluster, Section13OverbookingScenario) {
   const ObjectId flight = FlightBooking::create_flight(n0, 80);
   FlightBooking::sell(n0, flight, 70);
 
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   EXPECT_EQ(n0.mode(), SystemMode::Degraded);
   EXPECT_EQ(cluster_.node(2).mode(), SystemMode::Degraded);
 
@@ -131,7 +131,7 @@ TEST_F(FlightCluster, Section13OverbookingScenario) {
   EXPECT_EQ(FlightBooking::sold(cluster_.node(2), flight), 78);
   EXPECT_EQ(cluster_.threats().identity_count(), 1u);
 
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   EXPECT_EQ(n0.mode(), SystemMode::Reconciling);
 
   AdditiveMerge merge(70);
@@ -164,11 +164,11 @@ TEST_F(FlightCluster, ThreatThatTurnsOutSatisfiedIsSimplyRemoved) {
   const ObjectId flight = FlightBooking::create_flight(n0, 100);
   FlightBooking::sell(n0, flight, 10);
 
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBooking::sell(cluster_.node(0), flight, 5);  // only one partition
   EXPECT_EQ(cluster_.threats().identity_count(), 1u);
 
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   const Cluster::ReconciliationReport report = cluster_.reconcile();
   EXPECT_EQ(report.replica.conflicts, 0u);
   EXPECT_EQ(report.constraints.removed_satisfied, 1u);
@@ -194,7 +194,7 @@ TEST_F(FlightCluster, NonTradeableConstraintRejectsThreatsInDegradedMode) {
   const ObjectId flight = FlightBooking::create_flight(n0, 80);
   FlightBooking::sell(n0, flight, 70);
 
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   EXPECT_THROW(FlightBooking::sell(cluster_.node(0), flight, 1),
                ConsistencyThreatRejected);
   // Fallback to conventional behaviour: no progress, no threats stored.
@@ -211,7 +211,7 @@ TEST_F(FlightCluster, PrimaryBackupBlocksMinorityPartitionWrites) {
   FlightBooking::register_constraints(pb.constraints());
 
   const ObjectId flight = FlightBooking::create_flight(pb.node(0), 80);
-  pb.split({{0, 1}, {2}});
+  pb.inject(fault::split_indices({{0, 1}, {2}}));
   // Majority partition writes fine; reads there are reliable.
   FlightBooking::sell(pb.node(0), flight, 5);
   EXPECT_EQ(pb.threats().identity_count(), 0u);

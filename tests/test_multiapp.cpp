@@ -98,11 +98,11 @@ TEST_F(MultiAppTest, ThreatsFromAppConstraintsReconcileAcrossApps) {
       .find("CapacityRule")
       .set_min_satisfaction_degree(SatisfactionDegree::PossiblySatisfied);
 
-  cluster_.split({{0}, {1}});
+  cluster_.inject(fault::split_indices({{0}, {1}}));
   sell(charter, 5);  // possibly-satisfied threat, accepted statically
   EXPECT_EQ(cluster_.threats().identity_count(), 1u);
 
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   // Reconciliation must locate "CapacityRule" in the charter repository.
   const auto report = cluster_.reconcile();
   EXPECT_EQ(report.constraints.reevaluated, 1u);

@@ -62,17 +62,17 @@ class FreshnessTest : public ::testing::Test {
 };
 
 TEST_F(FreshnessTest, FreshEnoughStaleCopyIsAccepted) {
-  cluster_.split({{0}, {1}});
+  cluster_.inject(fault::split_indices({{0}, {1}}));
   // Immediately after the split the Alarm copy missed ~0 expected updates.
   EXPECT_NO_THROW(record_mismatched_repair());
   EXPECT_EQ(cluster_.threats().identity_count(), 1u);
 }
 
 TEST_F(FreshnessTest, TooStaleCopyIsRejected) {
-  cluster_.split({{0}, {1}});
+  cluster_.inject(fault::split_indices({{0}, {1}}));
   // Five expected update periods elapse without updates reaching this
   // partition: the estimated latest version exceeds the actual by 5 > 2.
-  cluster_.clock().advance(sim_sec(5));
+  cluster_.sim().clock.advance(sim_sec(5));
   EXPECT_THROW(record_mismatched_repair(), ConsistencyThreatRejected);
   EXPECT_EQ(cluster_.threats().identity_count(), 0u);
 }
@@ -90,8 +90,8 @@ TEST_F(FreshnessTest, FreshnessIgnoredForClassesWithoutCriterion) {
   const ObjectId f = FlightBooking::create_flight(other.node(0), 100);
   other.node(0).replication().local_replica(f).set_expected_update_period(
       sim_sec(1));
-  other.split({{0, 1}, {2}});
-  other.clock().advance(sim_sec(60));
+  other.inject(fault::split_indices({{0, 1}, {2}}));
+  other.sim().clock.advance(sim_sec(60));
   EXPECT_NO_THROW(FlightBooking::sell(other.node(0), f, 1));
 }
 
@@ -106,7 +106,7 @@ TEST(NegotiationPayload, ApplicationDataAndInstructionsArePersisted) {
   EvalApp::define_classes(cluster.classes());
   EvalApp::register_constraints(cluster.constraints());
   const auto ids = EvalApp::create_entities(cluster.node(0), 1);
-  cluster.split({{0, 1}, {2}});
+  cluster.inject(fault::split_indices({{0, 1}, {2}}));
 
   class Annotating final : public NegotiationHandler {
    public:
@@ -146,7 +146,7 @@ TEST(ConflictNotification, HandlerInformedWhenSatisfiedThreatHadConflict) {
   FlightBooking::register_constraints(cluster.constraints(), false,
                                       SatisfactionDegree::PossiblySatisfied);
   const ObjectId flight = FlightBooking::create_flight(cluster.node(0), 1000);
-  cluster.split({{0, 1}, {2}});
+  cluster.inject(fault::split_indices({{0, 1}, {2}}));
 
   class Annotating final : public NegotiationHandler {
    public:
@@ -169,7 +169,7 @@ TEST(ConflictNotification, HandlerInformedWhenSatisfiedThreatHadConflict) {
     tx.commit();
   }
   FlightBooking::sell(cluster.node(2), flight, 2);
-  cluster.heal();
+  cluster.inject(fault::Heal{});
 
   class Recorder final : public ConstraintReconciliationHandler {
    public:
@@ -203,19 +203,19 @@ TEST(PostponedThreats, ReEvaluationWaitsForRemainingPartitions) {
                                       SatisfactionDegree::PossiblySatisfied);
   const ObjectId flight = FlightBooking::create_flight(cluster.node(0), 100);
 
-  cluster.split({{0}, {1}, {2}});
+  cluster.inject(fault::split_indices({{0}, {1}, {2}}));
   FlightBooking::sell(cluster.node(0), flight, 1);
   EXPECT_EQ(cluster.threats().identity_count(), 1u);
 
   // Partial merge: {0,1} reunify, {2} still unreachable — re-evaluation of
   // the threat must be postponed (still only an LCC).
-  cluster.split({{0, 1}, {2}});
+  cluster.inject(fault::split_indices({{0, 1}, {2}}));
   const auto stats = cluster.node(0).ccmgr().reconcile(nullptr);
   EXPECT_EQ(stats.postponed, 1u);
   EXPECT_EQ(cluster.threats().identity_count(), 1u);
 
   // Full heal: now the threat resolves.
-  cluster.heal();
+  cluster.inject(fault::Heal{});
   const auto report = cluster.reconcile();
   EXPECT_EQ(report.constraints.removed_satisfied, 1u);
   EXPECT_EQ(cluster.threats().identity_count(), 0u);
@@ -235,7 +235,7 @@ TEST(NegotiationPriority, DynamicHandlerOverridesStaticAcceptance) {
   cluster.constraints().find("TouchHard").set_min_satisfaction_degree(
       SatisfactionDegree::Uncheckable);
   const auto ids = EvalApp::create_entities(cluster.node(0), 1);
-  cluster.split({{0, 1}, {2}});
+  cluster.inject(fault::split_indices({{0, 1}, {2}}));
 
   class RejectAll final : public NegotiationHandler {
    public:

@@ -91,12 +91,12 @@ TEST_F(OclRuntimeTest, OclPreconditionChecksArguments) {
 
 TEST_F(OclRuntimeTest, OclConstraintParticipatesInThreatHandling) {
   FlightBooking::sell(cluster_.node(0), flight_, 70);
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   // Degraded mode: the OCL invariant becomes a possibly-satisfied threat,
   // accepted by the declared minimum satisfaction degree.
   EXPECT_NO_THROW(FlightBooking::sell(cluster_.node(0), flight_, 5));
   EXPECT_EQ(cluster_.threats().identity_count(), 1u);
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   const auto report = cluster_.reconcile();
   EXPECT_EQ(report.constraints.removed_satisfied, 1u);
 }

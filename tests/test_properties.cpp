@@ -115,7 +115,7 @@ TEST_P(RandomWorkload, DegradedThenReconcileConverges) {
   }
   if (a.empty()) a.push_back(b.back()), b.pop_back();
   if (b.empty()) b.push_back(a.back()), a.pop_back();
-  cluster_.split({a, b});
+  cluster_.inject(fault::split_indices({a, b}));
 
   for (int op = 0; op < 60; ++op) {
     DedisysNode& node = cluster_.node(rng_.below(cluster_.size()));
@@ -127,7 +127,7 @@ TEST_P(RandomWorkload, DegradedThenReconcileConverges) {
     }
   }
 
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   (void)cluster_.reconcile();
   expect_replicas_converged();
   for (std::size_t i = 0; i < cluster_.size(); ++i) {
@@ -171,7 +171,7 @@ TEST_P(AtsRandomWorkload, SystemConvergesAndEndsConstraintConsistent) {
         cluster.node(rng.below(cluster.size())), kinds[rng.below(3)]));
   }
 
-  cluster.split({{0, 1}, {2}});
+  cluster.inject(fault::split_indices({{0, 1}, {2}}));
   for (int op = 0; op < 50; ++op) {
     DedisysNode& node = cluster.node(rng.below(cluster.size()));
     const auto& pair = pairs[rng.below(pairs.size())];
@@ -190,7 +190,7 @@ TEST_P(AtsRandomWorkload, SystemConvergesAndEndsConstraintConsistent) {
     }
   }
 
-  cluster.heal();
+  cluster.inject(fault::Heal{});
   class FixIt final : public ConstraintReconciliationHandler {
    public:
     explicit FixIt(DedisysNode& n) : node_(&n) {}

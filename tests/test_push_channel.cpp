@@ -23,7 +23,7 @@ class PushChannelFixture : public ::testing::Test {
                                         SatisfactionDegree::Satisfied);
     flight_ = FlightBooking::create_flight(cluster_.node(0), 80);
     FlightBooking::sell(cluster_.node(0), flight_, 70);
-    cluster_.split({{0, 1}, {2}});
+    cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   }
 
   static ClusterConfig make_config() {

@@ -18,9 +18,9 @@ class PolicyTest : public ::testing::TestWithParam<ReconciliationBusinessPolicy>
         cluster_.constraints(), false, SatisfactionDegree::PossiblySatisfied);
     threatened_ = FlightBooking::create_flight(cluster_.node(0), 1000);
     untouched_ = FlightBooking::create_flight(cluster_.node(0), 1000);
-    cluster_.split({{0, 1}, {2}});
+    cluster_.inject(fault::split_indices({{0, 1}, {2}}));
     FlightBooking::sell(cluster_.node(0), threatened_, 5);  // stores a threat
-    cluster_.heal();  // mode: Reconciling, reconciliation not yet run
+    cluster_.inject(fault::Heal{});  // mode: Reconciling, reconciliation not yet run
   }
 
   static ClusterConfig make_config(ReconciliationBusinessPolicy policy) {

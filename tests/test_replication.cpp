@@ -78,7 +78,7 @@ TEST_P(ReplicationFixture, ObjectFullyInsidePartitionIsNeverStale) {
   const ObjectId id = n0.replication().create(
       "Flight", tx.id(), std::vector<NodeId>{NodeId{0}, NodeId{1}});
   tx.commit();
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   EXPECT_FALSE(n0.replication().possibly_stale(id));
 }
 
@@ -106,7 +106,7 @@ TEST(ProtocolBehaviour, P4ElectsTemporaryPrimaryPerPartition) {
   FlightBooking::register_constraints(c.constraints(), false,
                                       SatisfactionDegree::Uncheckable);
   const ObjectId f = FlightBooking::create_flight(c.node(0), 50);
-  c.split({{0, 1}, {2}});
+  c.inject(fault::split_indices({{0, 1}, {2}}));
   // Partition with the designated primary keeps it.
   EXPECT_EQ(c.node(1).replication().execution_node(f, true), NodeId{0});
   // The other partition elects its lowest reachable replica node.
@@ -122,7 +122,7 @@ TEST(ProtocolBehaviour, PrimaryBackupOnlyMajorityWritesAndIsFresh) {
   FlightBooking::register_constraints(c.constraints(), false,
                                       SatisfactionDegree::Uncheckable);
   const ObjectId f = FlightBooking::create_flight(c.node(2), 50);
-  c.split({{0, 1}, {2}});
+  c.inject(fault::split_indices({{0, 1}, {2}}));
   // Designated primary (node 2) is in the minority: the majority re-elects.
   EXPECT_EQ(c.node(0).replication().execution_node(f, true), NodeId{0});
   // Minority cannot write at all.
@@ -139,7 +139,7 @@ TEST(ProtocolBehaviour, AdaptiveVotingWritesEverywhereWithQuorumCost) {
   FlightBooking::register_constraints(c.constraints(), false,
                                       SatisfactionDegree::Uncheckable);
   const ObjectId f = FlightBooking::create_flight(c.node(0), 50);
-  c.split({{0, 1}, {2}});
+  c.inject(fault::split_indices({{0, 1}, {2}}));
   EXPECT_NO_THROW(FlightBooking::sell(c.node(0), f, 1));
   EXPECT_NO_THROW(FlightBooking::sell(c.node(2), f, 1));
   EXPECT_TRUE(c.node(0).replication().possibly_stale(f));
@@ -163,7 +163,7 @@ class ReconcileTest : public ::testing::Test {
 };
 
 TEST_F(ReconcileTest, DegradedUpdatesTrackedPerNode) {
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBooking::sell(cluster_.node(0), flight_, 1);
   EXPECT_EQ(cluster_.node(0).replication().degraded_updates().count(flight_),
             1u);
@@ -172,7 +172,7 @@ TEST_F(ReconcileTest, DegradedUpdatesTrackedPerNode) {
 }
 
 TEST_F(ReconcileTest, HistoryCapturedOnlyWhenEnabled) {
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBooking::sell(cluster_.node(0), flight_, 1);
   FlightBooking::sell(cluster_.node(0), flight_, 1);
   EXPECT_EQ(cluster_.node(0).replication().history().history(flight_).size(),
@@ -186,15 +186,15 @@ TEST_F(ReconcileTest, HistoryCapturedOnlyWhenEnabled) {
   FlightBooking::register_constraints(reduced.constraints(), false,
                                       SatisfactionDegree::Uncheckable);
   const ObjectId f2 = FlightBooking::create_flight(reduced.node(0), 100);
-  reduced.split({{0, 1}, {2}});
+  reduced.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBooking::sell(reduced.node(0), f2, 1);
   EXPECT_EQ(reduced.node(0).replication().history().total_entries(), 0u);
 }
 
 TEST_F(ReconcileTest, SinglePartitionUpdateWinsWithoutConflict) {
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBooking::sell(cluster_.node(0), flight_, 4);
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   const auto report = cluster_.reconcile();
   EXPECT_EQ(report.replica.conflicts, 0u);
   EXPECT_EQ(report.replica.updates_propagated, 1u);
@@ -202,11 +202,11 @@ TEST_F(ReconcileTest, SinglePartitionUpdateWinsWithoutConflict) {
 }
 
 TEST_F(ReconcileTest, WriteWriteConflictResolvedByLatestVersionByDefault) {
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBooking::sell(cluster_.node(0), flight_, 1);  // version +1
   FlightBooking::sell(cluster_.node(2), flight_, 1);
   FlightBooking::sell(cluster_.node(2), flight_, 1);  // partition B newer
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   const auto report = cluster_.reconcile();
   EXPECT_EQ(report.replica.conflicts, 1u);
   // Latest version (partition B: 2 sold) wins everywhere.
@@ -236,19 +236,19 @@ TEST_F(ReconcileTest, ApplicationHandlerOverridesGenericPolicy) {
     }
   } handler;
 
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBooking::sell(cluster_.node(0), flight_, 1);
   FlightBooking::sell(cluster_.node(2), flight_, 5);
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   (void)cluster_.reconcile(&handler);
   EXPECT_EQ(FlightBooking::sold(cluster_.node(0), flight_), 1);
 }
 
 TEST_F(ReconcileTest, ConflictTrackingClearsAfterReconciliation) {
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBooking::sell(cluster_.node(0), flight_, 1);
   FlightBooking::sell(cluster_.node(2), flight_, 1);
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   (void)cluster_.reconcile();
   EXPECT_TRUE(cluster_.node(0).replication().degraded_updates().empty());
   EXPECT_TRUE(cluster_.node(2).replication().degraded_updates().empty());
@@ -260,10 +260,10 @@ TEST_F(ReconcileTest, RollbackSearchRestoresConsistentHistoricalState) {
   // Overbook during the partition, then let the rollback search walk the
   // degraded-mode history until the ticket constraint holds again.
   FlightBooking::sell(cluster_.node(0), flight_, 95);  // healthy: 95/100
-  cluster_.split({{0, 1}, {2}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   FlightBooking::sell(cluster_.node(0), flight_, 3);   // A: 98
   FlightBooking::sell(cluster_.node(2), flight_, 4);   // B: 99
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
 
   // Additive merge creates the violation (95+3+4 = 102 > 100).
   class AdditiveMerge final : public ReplicaConsistencyHandler {

@@ -70,7 +70,7 @@ TEST_F(AtsCluster, PossiblyViolatedThreatAcceptedInDegradedMode) {
   // than the stale Alarm copy.
   DedisysNode& n0 = cluster_.node(0);
   const auto pair = AlarmTracking::create_linked(n0, "Signal");
-  cluster_.split({{0}, {1}});
+  cluster_.inject(fault::split_indices({{0}, {1}}));
   DedisysNode& tech = cluster_.node(0);
   TxScope tx(tech.tx());
   // "Power Supply" does not match the (possibly stale) alarm kind: the
@@ -85,14 +85,14 @@ TEST_F(AtsCluster, PossiblyViolatedThreatAcceptedInDegradedMode) {
 TEST_F(AtsCluster, ReconciliationDetectsActualViolationAfterMerge) {
   DedisysNode& n0 = cluster_.node(0);
   const auto pair = AlarmTracking::create_linked(n0, "Signal");
-  cluster_.split({{0}, {1}});
+  cluster_.inject(fault::split_indices({{0}, {1}}));
   {
     TxScope tx(n0.tx());
     n0.invoke(tx.id(), pair.report, "setAffectedComponent",
               {Value{std::string{"Power Supply"}}});
     tx.commit();
   }
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
 
   class Recorder final : public ConstraintReconciliationHandler {
    public:
@@ -174,7 +174,7 @@ TEST_F(PartitionSensitive, TicketsApportionedByPartitionWeight) {
   const ObjectId flight = FlightBooking::create_flight(n0, 80);
   FlightBooking::sell(n0, flight, 40);  // healthy: 40 sold, 40 remaining
 
-  cluster_.split({{0, 1}, {2, 3}});  // 50% weight each -> 20 tickets each
+  cluster_.inject(fault::split_indices({{0, 1}, {2, 3}}));  // 50% weight each -> 20 tickets each
 
   // Partition A may sell its 20-ticket quota but not more.
   EXPECT_NO_THROW(FlightBooking::sell(cluster_.node(0), flight, 20));
@@ -190,10 +190,10 @@ TEST_F(PartitionSensitive, NoOverbookingAfterReconciliation) {
   DedisysNode& n0 = cluster_.node(0);
   const ObjectId flight = FlightBooking::create_flight(n0, 80);
   FlightBooking::sell(n0, flight, 40);
-  cluster_.split({{0, 1}, {2, 3}});
+  cluster_.inject(fault::split_indices({{0, 1}, {2, 3}}));
   FlightBooking::sell(cluster_.node(0), flight, 20);
   FlightBooking::sell(cluster_.node(2), flight, 20);
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
 
   class AdditiveMerge final : public ReplicaConsistencyHandler {
    public:
@@ -224,7 +224,7 @@ TEST_F(PartitionSensitive, UnevenWeightsGiveUnevenQuotas) {
   DedisysNode& n0 = cluster_.node(0);
   const ObjectId flight = FlightBooking::create_flight(n0, 60);
   // 60 remaining tickets; partition {0} holds weight 3/6 -> quota 30.
-  cluster_.split({{0}, {1, 2, 3}});
+  cluster_.inject(fault::split_indices({{0}, {1, 2, 3}}));
   EXPECT_NO_THROW(FlightBooking::sell(cluster_.node(0), flight, 30));
   EXPECT_THROW(FlightBooking::sell(cluster_.node(0), flight, 1),
                ConsistencyThreatRejected);

@@ -518,10 +518,10 @@ TEST_F(TracedClusterTest, ThreatLifecycleAppearsInSimTimeOrder) {
   EvalApp::run_op(cluster_->node(0), ids[0], "setValue",
                   {Value{std::string{"x"}}});
 
-  cluster_->split({{0, 1}, {2}});
+  cluster_->inject(fault::split_indices({{0, 1}, {2}}));
   EvalApp::run_op_negotiated(cluster_->node(0), ids[0], "emptyThreat",
                              std::make_shared<AcceptAllNegotiation>());
-  cluster_->heal();
+  cluster_->inject(fault::Heal{});
   cluster_->reconcile();
 
   const TraceRecorder& trace = cluster_->obs().trace();
@@ -574,10 +574,10 @@ TEST_F(TracedClusterTest, ThreatLifecycleAppearsInSimTimeOrder) {
 
 TEST_F(TracedClusterTest, TimelineRendersLifecycle) {
   const auto ids = EvalApp::create_entities(cluster_->node(0), 1);
-  cluster_->split({{0, 1}, {2}});
+  cluster_->inject(fault::split_indices({{0, 1}, {2}}));
   EvalApp::run_op_negotiated(cluster_->node(0), ids[0], "emptyThreat",
                              std::make_shared<AcceptAllNegotiation>());
-  cluster_->heal();
+  cluster_->inject(fault::Heal{});
   cluster_->reconcile();
 
   AdminConsole admin(*cluster_);
@@ -641,10 +641,10 @@ TEST_F(TracedClusterTest, EveryTracedEventReachesItsRootSpan) {
   const auto ids = EvalApp::create_entities(cluster_->node(0), 2);
   EvalApp::run_op(cluster_->node(0), ids[0], "setValue",
                   {Value{std::string{"x"}}});
-  cluster_->split({{0, 1}, {2}});
+  cluster_->inject(fault::split_indices({{0, 1}, {2}}));
   EvalApp::run_op_negotiated(cluster_->node(0), ids[0], "emptyThreat",
                              std::make_shared<AcceptAllNegotiation>());
-  cluster_->heal();
+  cluster_->inject(fault::Heal{});
   cluster_->reconcile();
 
   const std::vector<TraceEvent> events = cluster_->obs().trace().events();
@@ -818,7 +818,7 @@ TEST(SpanPropagation, TracingInvariantUnderGrayFaults) {
     Cluster cluster(cfg);
     EvalApp::define_classes(cluster.classes());
     EvalApp::register_constraints(cluster.constraints());
-    FaultEngine engine(cluster.network(), random_gray_plan(4242, popt));
+    FaultEngine engine(cluster.sim().network, random_gray_plan(4242, popt));
     cluster.adopt_fault_engine(engine);
 
     const auto ids = EvalApp::create_entities(cluster.node(0), 3);
@@ -833,9 +833,9 @@ TEST(SpanPropagation, TracingInvariantUnderGrayFaults) {
       }
     }
     while (!engine.done()) engine.advance_to(engine.next_at());
-    cluster.heal();
+    cluster.inject(fault::Heal{});
     cluster.reconcile();
-    return cluster.clock().now();
+    return cluster.sim().clock.now();
   };
   // Gray faults, retries and backup applies traced or not: the simulated
   // clock lands on the same stamp.
@@ -869,12 +869,12 @@ TEST(TraceDisabled, TracingDoesNotChangeSimulatedTime) {
       EvalApp::run_op(cluster.node(0), ids[i % ids.size()], "setValue",
                       {Value{std::string{"x"}}});
     }
-    cluster.split({{0, 1}, {2}});
+    cluster.inject(fault::split_indices({{0, 1}, {2}}));
     EvalApp::run_op_negotiated(cluster.node(0), ids[0], "emptyThreat",
                                std::make_shared<AcceptAllNegotiation>());
-    cluster.heal();
+    cluster.inject(fault::Heal{});
     cluster.reconcile();
-    return cluster.clock().now();
+    return cluster.sim().clock.now();
   };
   // Deterministic simulation: recording costs zero simulated time.
   EXPECT_EQ(run(false), run(true));

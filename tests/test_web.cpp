@@ -24,7 +24,7 @@ struct WebFlightFixture : ::testing::Test {
                                         SatisfactionDegree::Satisfied);
     flight_ = FlightBooking::create_flight(cluster_.node(0), 80);
     FlightBooking::sell(cluster_.node(0), flight_, 70);
-    cluster_.split({{0, 1}, {2}});
+    cluster_.inject(fault::split_indices({{0, 1}, {2}}));
   }
 
   static ClusterConfig make_config() {
@@ -112,7 +112,7 @@ TEST_F(WebFlightFixture, SequentialBusinessRequestsWork) {
 }
 
 TEST_F(WebFlightFixture, HealthyModeNeedsNoNegotiationRoundTrip) {
-  cluster_.heal();
+  cluster_.inject(fault::Heal{});
   (void)cluster_.reconcile();
   auto servlet = make_servlet();
   const HttpResponse r = servlet->handle(HttpRequest{"/business", {}});
